@@ -1,0 +1,27 @@
+//! Micro-benchmark behind E3: maintenance cost vs. group fan-in (how many
+//! view rows exist). Exercises the view B-tree depth and the escrow apply
+//! path as the view grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use txview_bench::experiments::{bench_bank, bench_deposit};
+use txview_engine::MaintenanceMode;
+
+fn groups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_groups_fanin");
+    group.sample_size(20);
+    for n_groups in [1i64, 16, 256, 4096] {
+        let bank = bench_bank(MaintenanceMode::Escrow, n_groups);
+        let mut seq = 0i64;
+        group.bench_with_input(BenchmarkId::from_parameter(n_groups), &n_groups, |b, _| {
+            b.iter(|| {
+                bench_deposit(black_box(&bank), seq);
+                seq += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, groups);
+criterion_main!(benches);

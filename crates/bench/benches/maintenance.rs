@@ -1,0 +1,31 @@
+//! Micro-benchmark behind E1: per-transaction cost of immediate view
+//! maintenance under the two locking protocols (single-threaded — the
+//! protocol's *overhead*, not its concurrency, which `run_experiments e1`
+//! measures).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use txview_bench::experiments::{bench_bank, bench_deposit};
+use txview_engine::MaintenanceMode;
+
+fn maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_maintenance_per_txn");
+    group.sample_size(20);
+    for (name, mode) in [
+        ("escrow", MaintenanceMode::Escrow),
+        ("xlock", MaintenanceMode::XLock),
+    ] {
+        let bank = bench_bank(mode, 8);
+        let mut seq = 0i64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                bench_deposit(black_box(&bank), seq);
+                seq += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, maintenance);
+criterion_main!(benches);

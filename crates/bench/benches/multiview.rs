@@ -1,0 +1,37 @@
+//! Micro-benchmark behind E8: per-insert cost vs. the number of indexed
+//! views each DML statement must maintain (plus the join-view variant).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use txview_bench::experiments::bench_insert_sale;
+use txview_workload::sales::{Sales, SalesConfig};
+
+fn multiview(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_views_per_insert");
+    group.sample_size(20);
+    for n_views in [0usize, 1, 2, 4, 8] {
+        let sales = Sales::setup(SalesConfig { n_views, ..Default::default() }).unwrap();
+        let mut seq = 0i64;
+        group.bench_with_input(BenchmarkId::from_parameter(n_views), &n_views, |b, _| {
+            b.iter(|| {
+                bench_insert_sale(black_box(&sales), seq);
+                seq += 1;
+            })
+        });
+    }
+    {
+        let sales = Sales::setup(SalesConfig { n_views: 4, join_view: true, ..Default::default() })
+            .unwrap();
+        let mut seq = 0i64;
+        group.bench_function("4+join", |b| {
+            b.iter(|| {
+                bench_insert_sale(black_box(&sales), seq);
+                seq += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, multiview);
+criterion_main!(benches);

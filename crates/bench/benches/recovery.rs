@@ -1,0 +1,39 @@
+//! Micro-benchmark behind E5: full ARIES recovery time as a function of
+//! the committed-work volume since the last checkpoint.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use txview_bench::experiments::{bench_bank, bench_deposit};
+use txview_engine::MaintenanceMode;
+
+fn recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_recovery_time");
+    group.sample_size(10);
+    for txns_since_checkpoint in [100i64, 1000, 5000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(txns_since_checkpoint),
+            &txns_since_checkpoint,
+            |b, &n| {
+                b.iter_batched(
+                    || {
+                        let bank = bench_bank(MaintenanceMode::Escrow, 8);
+                        bank.db.checkpoint().unwrap();
+                        for seq in 0..n {
+                            bench_deposit(&bank, seq);
+                        }
+                        bank
+                    },
+                    |bank| {
+                        let report = bank.db.crash_and_recover(0.5, 7).unwrap();
+                        black_box(report);
+                    },
+                    criterion::BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, recovery);
+criterion_main!(benches);

@@ -1,0 +1,440 @@
+//! The eight experiments. See `DESIGN.md` §3 for the claim each one tests
+//! and `EXPERIMENTS.md` for recorded results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use txview_common::{row, Value};
+use txview_engine::{IsolationLevel, MaintenanceMode};
+use txview_workload::bank::{Bank, BankConfig};
+use txview_workload::churn::{Churn, ChurnConfig};
+use txview_workload::driver::{run_for, WorkerSpec};
+use txview_workload::report::{f, pct, Table};
+use txview_workload::sales::{Sales, SalesConfig};
+
+/// Knobs shared by all experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpConfig {
+    /// Wall-clock duration per measured cell.
+    pub cell: Duration,
+    /// Writer thread counts used by sweeps (capped to this max elsewhere).
+    pub max_threads: usize,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig { cell: Duration::from_millis(1500), max_threads: 16 }
+    }
+}
+
+impl ExpConfig {
+    /// A fast smoke configuration (CI, `--quick`).
+    pub fn quick() -> ExpConfig {
+        ExpConfig { cell: Duration::from_millis(300), max_threads: 8 }
+    }
+}
+
+fn mode_name(m: MaintenanceMode) -> &'static str {
+    match m {
+        MaintenanceMode::Escrow => "escrow",
+        MaintenanceMode::XLock => "xlock",
+    }
+}
+
+/// E1 — throughput vs. concurrent writers, escrow vs. X-lock, 8 hot view
+/// rows. The paper's headline: escrow scales, X-lock flatlines.
+pub fn e1(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "E1: writer throughput vs threads (8 branches, 4-update txns), commits/s",
+        &["threads", "escrow", "xlock", "escrow/xlock"],
+    );
+    let threads: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&t| t <= cfg.max_threads)
+        .collect();
+    for &t in &threads {
+        let mut tput = [0.0f64; 2];
+        for (i, mode) in [MaintenanceMode::Escrow, MaintenanceMode::XLock].into_iter().enumerate() {
+            let bank = Bank::setup(BankConfig { mode, ..Default::default() }).expect("setup");
+            let specs = [WorkerSpec {
+                name: "deposit".into(),
+                threads: t,
+                isolation: IsolationLevel::ReadCommitted,
+                op: bank.batch_deposit_op(4),
+            }];
+            let res = run_for(&bank.db, &specs, cfg.cell);
+            bank.verify().expect("view consistent after E1 cell");
+            tput[i] = res[0].throughput();
+        }
+        table.row(vec![
+            t.to_string(),
+            f(tput[0]),
+            f(tput[1]),
+            f(tput[0] / tput[1].max(1e-9)),
+        ]);
+    }
+    table
+}
+
+/// E2 — abort/deadlock behaviour of multi-row transactions under skew.
+pub fn e2(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "E2: transfers (2 accounts/txn, 8 threads): commits/s, deadlocks, aborts",
+        &["theta", "mode", "commits/s", "deadlocks", "timeouts", "abort rate"],
+    );
+    let threads = 8.min(cfg.max_threads);
+    for theta in [0.0, 0.8, 1.2] {
+        for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+            let bank = Bank::setup(BankConfig { mode, zipf_theta: theta, ..Default::default() })
+                .expect("setup");
+            let specs = [WorkerSpec {
+                name: "transfer".into(),
+                threads,
+                isolation: IsolationLevel::ReadCommitted,
+                op: bank.transfer_op(2),
+            }];
+            let res = run_for(&bank.db, &specs, cfg.cell);
+            bank.verify().expect("view consistent after E2 cell");
+            table.row(vec![
+                format!("{theta:.1}"),
+                mode_name(mode).into(),
+                f(res[0].throughput()),
+                res[0].deadlocks.to_string(),
+                res[0].timeouts.to_string(),
+                pct(res[0].abort_rate()),
+            ]);
+        }
+    }
+    table
+}
+
+/// E3 — the contention crossover: sweep the number of groups (view rows).
+pub fn e3(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "E3: throughput vs #groups (8 threads, 4-update txns), commits/s",
+        &["groups", "escrow", "xlock", "escrow/xlock"],
+    );
+    let threads = 8.min(cfg.max_threads);
+    for groups in [1i64, 4, 16, 256, 4096] {
+        let mut tput = [0.0f64; 2];
+        for (i, mode) in [MaintenanceMode::Escrow, MaintenanceMode::XLock].into_iter().enumerate() {
+            let accounts = (groups * 4).max(4096);
+            let bank = Bank::setup(BankConfig {
+                mode,
+                branches: groups,
+                accounts,
+                ..Default::default()
+            })
+            .expect("setup");
+            let specs = [WorkerSpec {
+                name: "deposit".into(),
+                threads,
+                isolation: IsolationLevel::ReadCommitted,
+                op: bank.batch_deposit_op(4),
+            }];
+            let res = run_for(&bank.db, &specs, cfg.cell);
+            bank.verify().expect("view consistent after E3 cell");
+            tput[i] = res[0].throughput();
+        }
+        table.row(vec![
+            groups.to_string(),
+            f(tput[0]),
+            f(tput[1]),
+            f(tput[0] / tput[1].max(1e-9)),
+        ]);
+    }
+    table
+}
+
+/// E4 — reader isolation levels against escrow writers.
+pub fn e4(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "E4: 8 escrow writers + 2 view-scanning readers, by reader isolation",
+        &["reader isolation", "writer commits/s", "reader scans/s", "reader mean ms", "anomalies"],
+    );
+    let wthreads = 8.min(cfg.max_threads);
+    for (name, iso) in [
+        ("serializable", IsolationLevel::Serializable),
+        ("read-committed", IsolationLevel::ReadCommitted),
+        ("snapshot", IsolationLevel::Snapshot),
+    ] {
+        let bank = Bank::setup(BankConfig::default()).expect("setup");
+        let anomalies = Arc::new(AtomicU64::new(0));
+        let specs = [
+            WorkerSpec {
+                name: "transfer".into(),
+                threads: wthreads,
+                isolation: IsolationLevel::ReadCommitted,
+                op: bank.transfer_op(2),
+            },
+            WorkerSpec {
+                name: "audit".into(),
+                threads: 2,
+                isolation: iso,
+                op: bank.audit_op(Arc::clone(&anomalies)),
+            },
+        ];
+        let res = run_for(&bank.db, &specs, cfg.cell);
+        bank.verify().expect("view consistent after E4 cell");
+        table.row(vec![
+            name.into(),
+            f(res[0].throughput()),
+            f(res[1].throughput()),
+            f(res[1].mean_latency_us() / 1000.0),
+            anomalies.load(Ordering::Relaxed).to_string(),
+        ]);
+    }
+    table
+}
+
+/// E5 — logging and recovery: log volume per committed transaction, crash
+/// with in-flight losers, phase-by-phase recovery work, post-recovery
+/// verification.
+pub fn e5(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "E5: crash recovery (steal=0.5, 4 in-flight losers at crash)",
+        &[
+            "mode",
+            "log bytes/commit",
+            "analysis recs",
+            "redo applied",
+            "logical undos",
+            "a+r+u ms",
+            "view verified",
+        ],
+    );
+    for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+        let bank = Bank::setup(BankConfig { mode, ..Default::default() }).expect("setup");
+        let db = Arc::clone(&bank.db);
+        let before = db.stats();
+        let specs = [WorkerSpec {
+            name: "deposit".into(),
+            threads: 4.min(cfg.max_threads),
+            isolation: IsolationLevel::ReadCommitted,
+            op: bank.deposit_op(),
+        }];
+        let res = run_for(&db, &specs, cfg.cell);
+        let after = db.stats();
+        let bytes_per_commit =
+            (after.log_bytes - before.log_bytes) as f64 / res[0].committed.max(1) as f64;
+        db.checkpoint().expect("checkpoint");
+
+        // Leave 4 transactions in flight (losers) and crash.
+        for k in 0..4i64 {
+            let mut txn = db.begin(IsolationLevel::ReadCommitted);
+            db.update_with(&mut txn, "accounts", &[Value::Int(k)], |r| {
+                let mut out = r.clone();
+                let bal = r.get(2).as_int().unwrap();
+                out.set(2, Value::Int(bal + 1_000_000));
+                out
+            })
+            .expect("loser op");
+            std::mem::forget(txn);
+        }
+        let t0 = Instant::now();
+        let report = db.crash_and_recover(0.5, 0xC0FFEE).expect("recovery");
+        let recovery_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let verified = bank.verify().is_ok();
+        assert!(verified, "E5 post-recovery verification failed");
+        assert!(report.losers >= 4);
+        let _ = recovery_ms;
+        table.row(vec![
+            mode_name(mode).into(),
+            f(bytes_per_commit),
+            report.analysis_records.to_string(),
+            report.redo_applied.to_string(),
+            report.logical_undos.to_string(),
+            format!(
+                "{}+{}+{}",
+                f(report.analysis_us as f64 / 1000.0),
+                f(report.redo_us as f64 / 1000.0),
+                f(report.undo_us as f64 / 1000.0)
+            ),
+            verified.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E6 — immediate vs. deferred maintenance: writer cost, reader cost,
+/// staleness, refresh spike.
+pub fn e6(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "E6: immediate vs deferred maintenance (4 insert threads)",
+        &["variant", "inserts/s", "insert mean us", "staleness (pending)", "refresh ms"],
+    );
+    let threads = 4.min(cfg.max_threads);
+    for (name, n_views, deferred) in [
+        ("no view", 0usize, false),
+        ("immediate escrow", 1, false),
+        ("deferred", 1, true),
+    ] {
+        let sales =
+            Sales::setup(SalesConfig { n_views, deferred, ..Default::default() }).expect("setup");
+        let specs = [WorkerSpec {
+            name: "insert".into(),
+            threads,
+            isolation: IsolationLevel::ReadCommitted,
+            op: sales.insert_sale_op(),
+        }];
+        let res = run_for(&sales.db, &specs, cfg.cell);
+        let (staleness, refresh_ms) = if deferred {
+            let staleness = sales.db.deferred_staleness("sales_by_product_0").unwrap();
+            let t0 = Instant::now();
+            sales.db.refresh_deferred_view("sales_by_product_0").unwrap();
+            (staleness, t0.elapsed().as_secs_f64() * 1000.0)
+        } else {
+            (0, 0.0)
+        };
+        sales.verify().expect("views consistent after E6 cell");
+        table.row(vec![
+            name.into(),
+            f(res[0].throughput()),
+            f(res[0].mean_latency_us()),
+            staleness.to_string(),
+            f(refresh_ms),
+        ]);
+    }
+    table
+}
+
+/// E7 — the group come/go anomaly: ghost-based (paper) vs. eager deletion.
+pub fn e7(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "E7: group churn, 8 threads, 2 group-toggles per txn over 16 groups",
+        &[
+            "variant",
+            "commits/s",
+            "deadlocks",
+            "abort rate",
+            "cleanup removed",
+            "view verified",
+        ],
+    );
+    let threads = 8.min(cfg.max_threads);
+    for (name, eager) in [("ghost+async cleanup", false), ("eager delete", true)] {
+        let churn = Churn::setup(ChurnConfig { eager_group_delete: eager, ..Default::default() })
+            .expect("setup");
+        let specs = [WorkerSpec {
+            name: "toggle".into(),
+            threads,
+            isolation: IsolationLevel::ReadCommitted,
+            op: churn.toggle_op(2),
+        }];
+        let res = run_for(&churn.db, &specs, cfg.cell);
+        let cleanup = churn.db.run_ghost_cleanup().expect("cleanup");
+        let verified = churn.verify().is_ok();
+        assert!(verified, "E7 verification failed ({name})");
+        table.row(vec![
+            name.into(),
+            f(res[0].throughput()),
+            res[0].deadlocks.to_string(),
+            pct(res[0].abort_rate()),
+            cleanup.removed.to_string(),
+            verified.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E8 — per-DML maintenance overhead vs. number of indexed views.
+pub fn e8(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "E8: insert throughput vs #views maintained (4 threads)",
+        &["views", "inserts/s", "vs 0 views"],
+    );
+    let threads = 4.min(cfg.max_threads);
+    let mut base_tput = 0.0f64;
+    for (label, n_views, join) in [
+        ("0", 0usize, false),
+        ("1", 1, false),
+        ("2", 2, false),
+        ("4", 4, false),
+        ("8", 8, false),
+        ("4+join", 4, true),
+    ] {
+        let sales = Sales::setup(SalesConfig { n_views, join_view: join, ..Default::default() })
+            .expect("setup");
+        let specs = [WorkerSpec {
+            name: "insert".into(),
+            threads,
+            isolation: IsolationLevel::ReadCommitted,
+            op: sales.insert_sale_op(),
+        }];
+        let res = run_for(&sales.db, &specs, cfg.cell);
+        sales.verify().expect("views consistent after E8 cell");
+        let tput = res[0].throughput();
+        if n_views == 0 && !join {
+            base_tput = tput;
+        }
+        table.row(vec![
+            label.into(),
+            f(tput),
+            pct(tput / base_tput.max(1e-9)),
+        ]);
+    }
+    table
+}
+
+/// One-row workload warmup used by the Criterion benches to amortize setup.
+pub fn bench_bank(mode: MaintenanceMode, branches: i64) -> Bank {
+    Bank::setup(BankConfig {
+        mode,
+        branches,
+        accounts: (branches * 4).max(1024),
+        ..Default::default()
+    })
+    .expect("bench setup")
+}
+
+/// A single deposit transaction against a prepared bank (bench body).
+pub fn bench_deposit(bank: &Bank, seq: i64) {
+    let db = &bank.db;
+    let id = seq.rem_euclid(bank.cfg.accounts);
+    db.run_txn(IsolationLevel::ReadCommitted, 5, |txn| {
+        db.update_with(txn, "accounts", &[Value::Int(id)], |r| {
+            let mut out = r.clone();
+            let bal = r.get(2).as_int().unwrap();
+            out.set(2, Value::Int(bal + 1));
+            out
+        })
+    })
+    .expect("bench deposit");
+}
+
+/// A single sale insert against a prepared sales db (bench body).
+pub fn bench_insert_sale(sales: &Sales, seq: i64) {
+    let db = &sales.db;
+    db.run_txn(IsolationLevel::ReadCommitted, 5, |txn| {
+        db.insert(
+            txn,
+            "sales",
+            row![seq, seq % sales.cfg.n_stores, seq % sales.cfg.n_products, 10i64],
+        )
+    })
+    .expect("bench insert");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke-run every experiment at minimal duration; correctness
+    /// assertions live inside the experiment functions.
+    #[test]
+    fn all_experiments_smoke() {
+        let cfg = ExpConfig { cell: Duration::from_millis(120), max_threads: 4 };
+        for (name, table) in [
+            ("e1", e1(&cfg)),
+            ("e2", e2(&cfg)),
+            ("e3", e3(&cfg)),
+            ("e4", e4(&cfg)),
+            ("e5", e5(&cfg)),
+            ("e6", e6(&cfg)),
+            ("e7", e7(&cfg)),
+            ("e8", e8(&cfg)),
+        ] {
+            assert!(!table.is_empty(), "{name} produced rows");
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! # txview-bench
+//!
+//! The experiment suite reproducing the (reconstructed) evaluation of
+//! *Graefe & Zwilling, "Transaction support for indexed views", SIGMOD
+//! 2004*. One function per experiment (E1–E8); the `run_experiments`
+//! binary drives them and prints the tables recorded in `EXPERIMENTS.md`,
+//! and the Criterion benches in `benches/` micro-benchmark the same paths.
+//!
+//! Every experiment ends by *verifying* each view against a recomputation
+//! from base — throughput numbers only count if the protocol stayed
+//! correct.
+
+pub mod experiments;
+
+pub use experiments::{e1, e2, e3, e4, e5, e6, e7, e8, ExpConfig};

@@ -1,0 +1,34 @@
+//! # txview-btree
+//!
+//! A page-based B+ tree with the features the reproduced paper's protocol
+//! needs from its index substrate:
+//!
+//! * **ghost records** — deletion marks a record as a ghost (one-byte flag,
+//!   logged as a tiny in-place patch); rollback resurrects it; a later
+//!   system transaction removes it physically ([`tree::Tree::cleanup_ghosts`]);
+//! * **in-place value patches** — escrow increments are applied under the
+//!   leaf latch as a read-modify-write of the record's aggregate region and
+//!   logged as a physiological `SlotPatch` (result image ⇒ idempotent redo);
+//! * **structure modifications as system transactions** — splits run in
+//!   their own redo-logged transaction with physical inverses, committing
+//!   immediately; a user rollback never un-splits a page;
+//! * **fixed root page** — the root page id never changes (the root "splits"
+//!   by pushing its contents down), so the catalog entry for an index is
+//!   immutable after DDL;
+//! * **key-range support** — range scans return the *next* key after the
+//!   range so the engine can take next-key (gap) locks against phantoms.
+//!
+//! Latching protocol: a tree-level `RwLock` is held shared by all single-
+//! record operations and scans (interior nodes and sibling pointers are
+//! therefore stable), and exclusively during structure modifications. Page
+//! frames are additionally latched for the actual byte access. Transaction
+//! locks are a different layer entirely (`txview-lock`) and are taken by
+//! the engine *before* calling into this crate.
+
+pub mod logctx;
+pub mod node;
+pub mod tree;
+
+pub use logctx::{LogCtx, OpLog};
+pub use node::{LeafRecord, MAX_RECORD_BYTES};
+pub use tree::{ScanItem, Tree};

@@ -1,0 +1,283 @@
+//! Node layout: header accessors and record codecs for leaf and interior
+//! pages.
+//!
+//! Page payload layout (after the 32-byte page header):
+//!
+//! ```text
+//! [ 16-byte node header | slotted area ]
+//! node header: level:u8 flags:u8 right_sibling:u32 reserved:10
+//! leaf record: ghost:u8 key_len:u16 key value-bytes
+//! interior record: key_len:u16 key child:u32
+//! ```
+//!
+//! Interior nodes hold `(separator, child)` pairs; `child` covers keys
+//! `>= separator`, and the first separator of every interior node is the
+//! minimal (empty) key, so descent never falls off the left edge.
+
+use txview_common::{Error, Key, PageId, Result};
+use txview_storage::page::Page;
+use txview_storage::slotted::{Slotted, SlottedRef};
+use txview_wal::log::PAYLOAD_HEADER_LEN;
+use txview_wal::record::RedoOp;
+
+/// Offset of the ghost flag within a leaf record.
+pub const GHOST_FLAG_OFFSET: usize = 0;
+/// Largest key+value record the tree accepts (guarantees ≥4 records/leaf).
+pub const MAX_RECORD_BYTES: usize = 1900;
+
+const OFF_LEVEL: usize = 0;
+const OFF_RIGHT: usize = 2;
+
+/// Node level of a page (0 = leaf).
+pub fn level(page: &Page) -> u8 {
+    page.payload()[OFF_LEVEL]
+}
+
+/// The right-sibling pointer.
+pub fn right_sibling(page: &Page) -> PageId {
+    PageId(u32::from_le_bytes(
+        page.payload()[OFF_RIGHT..OFF_RIGHT + 4].try_into().unwrap(),
+    ))
+}
+
+/// Initialize a node header in a freshly formatted payload (the slotted
+/// area must already be formatted by the `FormatPage` redo op).
+pub fn init_header(page: &mut Page, lvl: u8, right: PageId) {
+    let p = page.payload_mut();
+    p[OFF_LEVEL] = lvl;
+    p[OFF_RIGHT..OFF_RIGHT + 4].copy_from_slice(&right.0.to_le_bytes());
+}
+
+/// Build the redo/inverse pair for setting the right-sibling pointer.
+pub fn right_sibling_patch(page: &Page, new: PageId) -> (RedoOp, RedoOp) {
+    let old = right_sibling(page);
+    (
+        RedoOp::Patch { off: OFF_RIGHT as u16, bytes: new.0.to_le_bytes().to_vec() },
+        RedoOp::Patch { off: OFF_RIGHT as u16, bytes: old.0.to_le_bytes().to_vec() },
+    )
+}
+
+/// Build the redo/inverse pair for setting the level byte (root push-down).
+pub fn level_patch(page: &Page, new: u8) -> (RedoOp, RedoOp) {
+    let old = level(page);
+    (
+        RedoOp::Patch { off: OFF_LEVEL as u16, bytes: vec![new] },
+        RedoOp::Patch { off: OFF_LEVEL as u16, bytes: vec![old] },
+    )
+}
+
+/// Read-only slotted view of a node.
+pub fn slots(page: &Page) -> SlottedRef<'_> {
+    SlottedRef::wrap(&page.payload()[PAYLOAD_HEADER_LEN..])
+}
+
+/// Mutable slotted view of a node.
+pub fn slots_mut(page: &mut Page) -> Slotted<'_> {
+    Slotted::wrap(&mut page.payload_mut()[PAYLOAD_HEADER_LEN..])
+}
+
+/// A decoded leaf record.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LeafRecord<'a> {
+    /// Ghost flag: true = logically deleted.
+    pub ghost: bool,
+    /// The record's key bytes.
+    pub key: &'a [u8],
+    /// The record's value bytes.
+    pub value: &'a [u8],
+}
+
+/// Encode a leaf record.
+pub fn encode_leaf(ghost: bool, key: &Key, value: &[u8]) -> Vec<u8> {
+    let kb = key.as_bytes();
+    let mut out = Vec::with_capacity(3 + kb.len() + value.len());
+    out.push(ghost as u8);
+    out.extend_from_slice(&(kb.len() as u16).to_le_bytes());
+    out.extend_from_slice(kb);
+    out.extend_from_slice(value);
+    out
+}
+
+/// Decode a leaf record.
+pub fn decode_leaf(rec: &[u8]) -> Result<LeafRecord<'_>> {
+    if rec.len() < 3 {
+        return Err(Error::corruption("leaf record too short"));
+    }
+    let ghost = rec[0] != 0;
+    let klen = u16::from_le_bytes(rec[1..3].try_into().unwrap()) as usize;
+    if rec.len() < 3 + klen {
+        return Err(Error::corruption("leaf record key overruns record"));
+    }
+    Ok(LeafRecord { ghost, key: &rec[3..3 + klen], value: &rec[3 + klen..] })
+}
+
+/// Byte offset of the value region within a leaf record with this key.
+pub fn leaf_value_offset(key_len: usize) -> usize {
+    3 + key_len
+}
+
+/// Encode an interior record.
+pub fn encode_interior(sep: &[u8], child: PageId) -> Vec<u8> {
+    let mut out = Vec::with_capacity(6 + sep.len());
+    out.extend_from_slice(&(sep.len() as u16).to_le_bytes());
+    out.extend_from_slice(sep);
+    out.extend_from_slice(&child.0.to_le_bytes());
+    out
+}
+
+/// Decode an interior record into (separator, child).
+pub fn decode_interior(rec: &[u8]) -> Result<(&[u8], PageId)> {
+    if rec.len() < 6 {
+        return Err(Error::corruption("interior record too short"));
+    }
+    let klen = u16::from_le_bytes(rec[0..2].try_into().unwrap()) as usize;
+    if rec.len() != 2 + klen + 4 {
+        return Err(Error::corruption("interior record length mismatch"));
+    }
+    let child = PageId(u32::from_le_bytes(rec[2 + klen..].try_into().unwrap()));
+    Ok((&rec[2..2 + klen], child))
+}
+
+/// Binary-search a leaf for `key`: `Ok(idx)` if present, `Err(pos)` where it
+/// would insert.
+pub fn leaf_search(page: &Page, key: &[u8]) -> std::result::Result<usize, usize> {
+    let s = slots(page);
+    let mut lo = 0usize;
+    let mut hi = s.count();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let rec = s.get(mid);
+        let klen = u16::from_le_bytes(rec[1..3].try_into().unwrap()) as usize;
+        let k = &rec[3..3 + klen];
+        match k.cmp(key) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+/// Find the child an interior node routes `key` to: the last entry whose
+/// separator is `<= key`. Returns (slot index, child page).
+pub fn interior_route(page: &Page, key: &[u8]) -> Result<(usize, PageId)> {
+    let s = slots(page);
+    let n = s.count();
+    if n == 0 {
+        return Err(Error::corruption("empty interior node"));
+    }
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let (sep, _) = decode_interior(s.get(mid))?;
+        if sep <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    // lo = first entry with sep > key; route to lo-1 (first sep is minimal).
+    let idx = lo.checked_sub(1).ok_or_else(|| Error::corruption("key below interior low fence"))?;
+    let (_, child) = decode_interior(s.get(idx))?;
+    Ok((idx, child))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txview_common::Value;
+    use txview_storage::page::PageType;
+
+    fn leaf_page_with(keys: &[i64]) -> Page {
+        let mut page = Page::new(PageType::BTreeLeaf);
+        Slotted::format(&mut page.payload_mut()[PAYLOAD_HEADER_LEN..]);
+        init_header(&mut page, 0, PageId::NULL);
+        for (i, k) in keys.iter().enumerate() {
+            let rec = encode_leaf(false, &Key::from_values(&[Value::Int(*k)]), b"v");
+            slots_mut(&mut page).insert_at(i, &rec).unwrap();
+        }
+        page
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let mut page = Page::new(PageType::BTreeLeaf);
+        init_header(&mut page, 3, PageId(42));
+        assert_eq!(level(&page), 3);
+        assert_eq!(right_sibling(&page), PageId(42));
+    }
+
+    #[test]
+    fn right_sibling_patch_has_correct_inverse() {
+        let mut page = Page::new(PageType::BTreeLeaf);
+        init_header(&mut page, 0, PageId(7));
+        let (redo, inverse) = right_sibling_patch(&page, PageId(9));
+        redo.apply(page.payload_mut(), PAYLOAD_HEADER_LEN).unwrap();
+        assert_eq!(right_sibling(&page), PageId(9));
+        inverse.apply(page.payload_mut(), PAYLOAD_HEADER_LEN).unwrap();
+        assert_eq!(right_sibling(&page), PageId(7));
+    }
+
+    #[test]
+    fn leaf_record_roundtrip() {
+        let key = Key::from_values(&[Value::Int(5), Value::Str("x".into())]);
+        let rec = encode_leaf(true, &key, b"payload");
+        let dec = decode_leaf(&rec).unwrap();
+        assert!(dec.ghost);
+        assert_eq!(dec.key, key.as_bytes());
+        assert_eq!(dec.value, b"payload");
+        assert_eq!(leaf_value_offset(key.len()), rec.len() - 7);
+    }
+
+    #[test]
+    fn interior_record_roundtrip() {
+        let rec = encode_interior(b"sep", PageId(12));
+        let (sep, child) = decode_interior(&rec).unwrap();
+        assert_eq!(sep, b"sep");
+        assert_eq!(child, PageId(12));
+        // Minimal separator encodes fine too.
+        let rec = encode_interior(b"", PageId(1));
+        assert_eq!(decode_interior(&rec).unwrap().0, b"");
+    }
+
+    #[test]
+    fn leaf_search_finds_and_positions() {
+        let page = leaf_page_with(&[10, 20, 30]);
+        let k = |v: i64| Key::from_values(&[Value::Int(v)]);
+        assert_eq!(leaf_search(&page, k(20).as_bytes()), Ok(1));
+        assert_eq!(leaf_search(&page, k(5).as_bytes()), Err(0));
+        assert_eq!(leaf_search(&page, k(25).as_bytes()), Err(2));
+        assert_eq!(leaf_search(&page, k(35).as_bytes()), Err(3));
+    }
+
+    #[test]
+    fn interior_route_picks_covering_child() {
+        let mut page = Page::new(PageType::BTreeInterior);
+        Slotted::format(&mut page.payload_mut()[PAYLOAD_HEADER_LEN..]);
+        init_header(&mut page, 1, PageId::NULL);
+        let k = |v: i64| Key::from_values(&[Value::Int(v)]);
+        // children: (-inf..10) -> 100, [10..20) -> 200, [20..) -> 300
+        let entries = [
+            (Key::min(), PageId(100)),
+            (k(10), PageId(200)),
+            (k(20), PageId(300)),
+        ];
+        for (i, (sep, child)) in entries.iter().enumerate() {
+            let rec = encode_interior(sep.as_bytes(), *child);
+            slots_mut(&mut page).insert_at(i, &rec).unwrap();
+        }
+        assert_eq!(interior_route(&page, k(5).as_bytes()).unwrap().1, PageId(100));
+        assert_eq!(interior_route(&page, k(10).as_bytes()).unwrap().1, PageId(200));
+        assert_eq!(interior_route(&page, k(15).as_bytes()).unwrap().1, PageId(200));
+        assert_eq!(interior_route(&page, k(99).as_bytes()).unwrap().1, PageId(300));
+    }
+
+    #[test]
+    fn corrupt_records_rejected() {
+        assert!(decode_leaf(&[1]).is_err());
+        assert!(decode_leaf(&[0, 10, 0, 1]).is_err()); // klen 10 > remaining
+        assert!(decode_interior(&[0]).is_err());
+        assert!(decode_interior(&[3, 0, b'a', 1, 0, 0, 0]).is_err()); // bad len
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based model checking of the B+ tree against `BTreeMap`,
+//! with structural validation after every mutation batch.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use txview_btree::{logctx::LogCtx, tree::Tree, OpLog};
+use txview_common::{IndexId, Key, Lsn, Value};
+use txview_storage::buffer::BufferPool;
+use txview_storage::disk::MemDisk;
+use txview_wal::record::UndoOp;
+use txview_wal::LogManager;
+
+#[derive(Clone, Debug)]
+enum TreeOp {
+    Insert { k: i64, len: usize },
+    Ghost { k: i64 },
+    Revive { k: i64, len: usize },
+    Update { k: i64, len: usize },
+    Remove { k: i64 },
+}
+
+fn arb_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        5 => (0i64..200, 1usize..300).prop_map(|(k, len)| TreeOp::Insert { k, len }),
+        2 => (0i64..200).prop_map(|k| TreeOp::Ghost { k }),
+        1 => (0i64..200, 1usize..300).prop_map(|(k, len)| TreeOp::Revive { k, len }),
+        2 => (0i64..200, 1usize..300).prop_map(|(k, len)| TreeOp::Update { k, len }),
+        1 => (0i64..200).prop_map(|k| TreeOp::Remove { k }),
+    ]
+}
+
+fn value_of(k: i64, len: usize) -> Vec<u8> {
+    let mut v = vec![(k % 251) as u8; len];
+    if let Some(first) = v.first_mut() {
+        *first = (len % 251) as u8;
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Random interleavings of inserts/ghosts/revives/updates/removes
+    /// behave exactly like a BTreeMap<i64, (ghost, value)>, and the tree
+    /// stays structurally valid throughout.
+    #[test]
+    fn tree_matches_btreemap(ops in proptest::collection::vec(arb_op(), 1..250)) {
+        let log = Arc::new(LogManager::in_memory());
+        let pool = BufferPool::new(Arc::new(MemDisk::new()), 128);
+        let l2 = Arc::clone(&log);
+        pool.set_wal_flush(Arc::new(move |lsn| l2.flush_to(lsn)));
+        let tree = Tree::create(&pool, &log, IndexId(1)).unwrap();
+        let mut model: BTreeMap<i64, (bool, Vec<u8>)> = BTreeMap::new();
+
+        let txn = log.alloc_txn_id();
+        let mut last = Lsn::NULL;
+        let how = OpLog::Update { undo: UndoOp::None };
+
+        for op in &ops {
+            let mut ctx = LogCtx { log: &log, txn, last_lsn: &mut last };
+            match op {
+                TreeOp::Insert { k, len } => {
+                    let key = Key::from_values(&[Value::Int(*k)]);
+                    let v = value_of(*k, *len);
+                    let res = tree.insert(&key, &v, &mut ctx, &how);
+                    match model.get(k) {
+                        Some((false, _)) => prop_assert!(res.is_err(), "dup insert must fail"),
+                        _ => {
+                            res.unwrap();
+                            model.insert(*k, (false, v));
+                        }
+                    }
+                }
+                TreeOp::Ghost { k } => {
+                    let key = Key::from_values(&[Value::Int(*k)]);
+                    let res = tree.set_ghost(&key, true, &mut ctx, &how);
+                    if let Some((_, v)) = model.get(k) {
+                        prop_assert_eq!(res.unwrap(), v.clone());
+                        let v = v.clone();
+                        model.insert(*k, (true, v));
+                    } else {
+                        prop_assert!(res.is_err());
+                    }
+                }
+                TreeOp::Revive { k, len } => {
+                    // Insert on an existing ghost replaces its value.
+                    if let Some((true, _)) = model.get(k) {
+                        let key = Key::from_values(&[Value::Int(*k)]);
+                        let v = value_of(*k, *len);
+                        tree.insert(&key, &v, &mut ctx, &how).unwrap();
+                        model.insert(*k, (false, v));
+                    }
+                }
+                TreeOp::Update { k, len } => {
+                    let key = Key::from_values(&[Value::Int(*k)]);
+                    let v = value_of(*k, *len);
+                    let res = tree.update_value(&key, &v, &mut ctx, &how);
+                    if let Some((g, _)) = model.get(k).cloned() {
+                        res.unwrap();
+                        model.insert(*k, (g, v));
+                    } else {
+                        prop_assert!(res.is_err());
+                    }
+                }
+                TreeOp::Remove { k } => {
+                    let key = Key::from_values(&[Value::Int(*k)]);
+                    let res = tree.remove_record(&key, &mut ctx, &how);
+                    if model.remove(k).is_some() {
+                        res.unwrap();
+                    } else {
+                        prop_assert!(res.is_err());
+                    }
+                }
+            }
+        }
+
+        // Structural invariants hold and the record count matches.
+        let physical = tree.validate().unwrap();
+        prop_assert_eq!(physical, model.len());
+
+        // Full scans agree (live-only and with ghosts).
+        let (all, next) = tree.scan(None, None, true).unwrap();
+        prop_assert!(next.is_none());
+        prop_assert_eq!(all.len(), model.len());
+        for (item, (k, (ghost, v))) in all.iter().zip(model.iter()) {
+            let expected_key = Key::from_values(&[Value::Int(*k)]);
+            prop_assert_eq!(&item.key, expected_key.as_bytes());
+            prop_assert_eq!(item.ghost, *ghost);
+            prop_assert_eq!(&item.value, v);
+        }
+        let (live, _) = tree.scan(None, None, false).unwrap();
+        prop_assert_eq!(live.len(), model.values().filter(|(g, _)| !g).count());
+
+        // Point lookups agree on a sample.
+        for k in (0..200).step_by(17) {
+            let key = Key::from_values(&[Value::Int(k)]);
+            let got = tree.get(&key).unwrap();
+            match model.get(&k) {
+                Some((g, v)) => prop_assert_eq!(got, Some((*g, v.clone()))),
+                None => prop_assert_eq!(got, None),
+            }
+        }
+
+        // Descending scan is the reverse of ascending.
+        let desc = tree.scan_desc(None, None, true).unwrap();
+        let mut fwd = all;
+        fwd.reverse();
+        prop_assert_eq!(desc, fwd);
+    }
+}

@@ -1,0 +1,157 @@
+//! Workspace-wide error type.
+//!
+//! Every layer of the engine returns [`Result<T>`]. The variants are chosen
+//! so that callers can distinguish the errors they must *handle as part of
+//! the protocol* (deadlock victim, lock timeout, serialization conflict)
+//! from genuine failures (I/O, corruption, misuse).
+
+use crate::ids::TxnId;
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The workspace-wide error enum.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// On-disk bytes did not decode as expected (torn page, bad magic, ...).
+    Corruption(String),
+    /// A page, slot, or record that should exist was not found.
+    NotFound(String),
+    /// Insertion of a key that already exists in a unique index.
+    DuplicateKey(String),
+    /// The transaction was chosen as a deadlock victim and must roll back.
+    DeadlockVictim {
+        /// The victim transaction.
+        txn: TxnId,
+    },
+    /// A lock request waited longer than the configured timeout.
+    LockTimeout {
+        /// The waiting transaction.
+        txn: TxnId,
+        /// Human-readable name of the contested resource.
+        what: String,
+    },
+    /// The transaction conflicts with a committed peer under snapshot rules.
+    SerializationConflict(String),
+    /// The buffer pool has no evictable frame (all pages pinned).
+    BufferExhausted,
+    /// A record or key is too large to ever fit on a page.
+    RecordTooLarge {
+        /// Offending record size in bytes.
+        size: usize,
+        /// Maximum admissible size.
+        max: usize,
+    },
+    /// API misuse: operating on a finished transaction, wrong schema, etc.
+    InvalidOperation(String),
+    /// Catalog-level schema error (unknown column, type mismatch, ...).
+    Schema(String),
+    /// The transaction was explicitly rolled back by the user or the engine.
+    RolledBack {
+        /// The rolled-back transaction.
+        txn: TxnId,
+        /// Why it was rolled back.
+        reason: String,
+    },
+}
+
+impl Error {
+    /// True for errors that the concurrency-control protocol *expects* a
+    /// client to handle by aborting and retrying the transaction.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Error::DeadlockVictim { .. }
+                | Error::LockTimeout { .. }
+                | Error::SerializationConflict(_)
+        )
+    }
+
+    /// Shorthand constructor for corruption errors.
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        Error::Corruption(msg.into())
+    }
+
+    /// Shorthand constructor for invalid-operation errors.
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Error::InvalidOperation(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Corruption(m) => write!(f, "corruption: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::DuplicateKey(m) => write!(f, "duplicate key: {m}"),
+            Error::DeadlockVictim { txn } => {
+                write!(f, "transaction {txn} chosen as deadlock victim")
+            }
+            Error::LockTimeout { txn, what } => {
+                write!(f, "transaction {txn} timed out waiting for {what}")
+            }
+            Error::SerializationConflict(m) => write!(f, "serialization conflict: {m}"),
+            Error::BufferExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
+            Error::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page capacity {max}")
+            }
+            Error::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::RolledBack { txn, reason } => {
+                write!(f, "transaction {txn} rolled back: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification() {
+        assert!(Error::DeadlockVictim { txn: TxnId(1) }.is_retryable());
+        assert!(Error::LockTimeout {
+            txn: TxnId(1),
+            what: "k".into()
+        }
+        .is_retryable());
+        assert!(Error::SerializationConflict("w".into()).is_retryable());
+        assert!(!Error::BufferExhausted.is_retryable());
+        assert!(!Error::corruption("x").is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::RecordTooLarge { size: 9000, max: 8000 };
+        assert!(e.to_string().contains("9000"));
+        let e = Error::DeadlockVictim { txn: TxnId(42) };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        let io = std::io::Error::other("boom");
+        let e: Error = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

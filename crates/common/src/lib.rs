@@ -1,0 +1,31 @@
+//! # txview-common
+//!
+//! Foundation types shared by every crate in the `txview` workspace:
+//!
+//! * [`value::Value`] — the dynamic cell type of the row model,
+//! * [`row::Row`] — an ordered tuple of values with a stable binary codec,
+//! * [`key::Key`] — an order-preserving binary encoding used by the B-tree,
+//! * [`schema`] — table/view schemas and column metadata,
+//! * [`codec`] — the little hand-written binary reader/writer everything
+//!   on-disk (pages, log records) is serialized with,
+//! * [`rng`] — a deterministic xorshift RNG plus a Zipf sampler used by the
+//!   workload generators and property tests,
+//! * [`error::Error`] — the workspace-wide error enum.
+//!
+//! The crate is intentionally dependency-free so that on-disk formats are
+//! explicit and auditable.
+
+pub mod codec;
+pub mod error;
+pub mod ids;
+pub mod key;
+pub mod rng;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use ids::{IndexId, Lsn, ObjectId, PageId, SlotId, TxnId, ViewId};
+pub use key::Key;
+pub use row::Row;
+pub use value::Value;

@@ -1,0 +1,265 @@
+//! Table and view schemas.
+//!
+//! A [`Schema`] names and types the columns of a table or of a view index,
+//! designates the primary-key columns, and validates rows. Schemas are part
+//! of the catalog and have a binary encoding so the catalog can persist them.
+
+use crate::codec::{Reader, Writer};
+use crate::error::{Error, Result};
+use crate::row::Row;
+use crate::value::{Value, ValueType};
+
+/// One column: a name, a type, and nullability.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Column {
+    /// Column name (unique within the schema).
+    pub name: String,
+    /// Declared type.
+    pub ty: ValueType,
+    /// Whether NULL is admissible.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// Non-nullable column.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Column {
+        Column { name: name.into(), ty, nullable: false }
+    }
+
+    /// Nullable column.
+    pub fn nullable(name: impl Into<String>, ty: ValueType) -> Column {
+        Column { name: name.into(), ty, nullable: true }
+    }
+}
+
+/// A named, ordered set of columns plus the primary-key column positions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schema {
+    columns: Vec<Column>,
+    /// Positions (into `columns`) of the primary-key columns, in key order.
+    pk: Vec<usize>,
+}
+
+impl Schema {
+    /// Build a schema. `pk` lists primary-key column positions in key order.
+    pub fn new(columns: Vec<Column>, pk: Vec<usize>) -> Result<Schema> {
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            if !seen.insert(c.name.clone()) {
+                return Err(Error::Schema(format!("duplicate column '{}'", c.name)));
+            }
+        }
+        for &p in &pk {
+            if p >= columns.len() {
+                return Err(Error::Schema(format!("pk position {p} out of range")));
+            }
+            if columns[p].nullable {
+                return Err(Error::Schema(format!(
+                    "pk column '{}' must be NOT NULL",
+                    columns[p].name
+                )));
+            }
+        }
+        Ok(Schema { columns, pk })
+    }
+
+    /// All columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Primary-key column positions.
+    pub fn pk(&self) -> &[usize] {
+        &self.pk
+    }
+
+    /// Position of a column by name.
+    pub fn position(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| Error::Schema(format!("unknown column '{name}'")))
+    }
+
+    /// Column metadata by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        Ok(&self.columns[self.position(name)?])
+    }
+
+    /// Validate a row: arity, types, nullability.
+    pub fn validate(&self, row: &Row) -> Result<()> {
+        if row.arity() != self.columns.len() {
+            return Err(Error::Schema(format!(
+                "row arity {} != schema arity {}",
+                row.arity(),
+                self.columns.len()
+            )));
+        }
+        for (i, col) in self.columns.iter().enumerate() {
+            let v = row.get(i);
+            if v.is_null() {
+                if !col.nullable {
+                    return Err(Error::Schema(format!(
+                        "NULL in NOT NULL column '{}'",
+                        col.name
+                    )));
+                }
+            } else if v.value_type() != Some(col.ty) {
+                return Err(Error::Schema(format!(
+                    "column '{}' expects {}, got {v:?}",
+                    col.name, col.ty
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Extract the primary-key values of a row, in key order.
+    pub fn pk_values(&self, row: &Row) -> Vec<Value> {
+        self.pk.iter().map(|&p| row.get(p).clone()).collect()
+    }
+
+    /// Encode for catalog persistence.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u16(self.columns.len() as u16);
+        for c in &self.columns {
+            w.str(&c.name);
+            let t = match c.ty {
+                ValueType::Int => 1u8,
+                ValueType::Float => 2,
+                ValueType::Str => 3,
+            };
+            w.u8(t).bool(c.nullable);
+        }
+        w.u16(self.pk.len() as u16);
+        for &p in &self.pk {
+            w.u16(p as u16);
+        }
+    }
+
+    /// Decode from catalog bytes.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Schema> {
+        let n = r.u16()? as usize;
+        let mut columns = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?.to_owned();
+            let ty = match r.u8()? {
+                1 => ValueType::Int,
+                2 => ValueType::Float,
+                3 => ValueType::Str,
+                t => return Err(Error::corruption(format!("bad column type tag {t}"))),
+            };
+            let nullable = r.bool()?;
+            columns.push(Column { name, ty, nullable });
+        }
+        let np = r.u16()? as usize;
+        let mut pk = Vec::with_capacity(np);
+        for _ in 0..np {
+            pk.push(r.u16()? as usize);
+        }
+        Schema::new(columns, pk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn sample() -> Schema {
+        Schema::new(
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("name", ValueType::Str),
+                Column::nullable("score", ValueType::Float),
+            ],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validate_accepts_conforming_rows() {
+        let s = sample();
+        s.validate(&row![1i64, "a", 0.5f64]).unwrap();
+        let mut r = row![1i64, "a"];
+        r.push(Value::Null);
+        s.validate(&r).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_rows() {
+        let s = sample();
+        assert!(s.validate(&row![1i64, "a"]).is_err()); // arity
+        assert!(s.validate(&row!["x", "a", 0.5f64]).is_err()); // type
+        let mut r = Row::new(vec![Value::Null, "a".into(), Value::Null]);
+        assert!(s.validate(&r).is_err()); // NULL pk
+        r.set(0, Value::Int(1));
+        assert!(s.validate(&r).is_ok());
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        assert!(Schema::new(
+            vec![
+                Column::new("a", ValueType::Int),
+                Column::new("a", ValueType::Int)
+            ],
+            vec![0]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn nullable_pk_rejected() {
+        assert!(Schema::new(
+            vec![Column::nullable("a", ValueType::Int)],
+            vec![0]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn pk_out_of_range_rejected() {
+        assert!(Schema::new(vec![Column::new("a", ValueType::Int)], vec![3]).is_err());
+    }
+
+    #[test]
+    fn pk_values_extracted_in_key_order() {
+        let s = Schema::new(
+            vec![
+                Column::new("a", ValueType::Int),
+                Column::new("b", ValueType::Int),
+            ],
+            vec![1, 0],
+        )
+        .unwrap();
+        assert_eq!(
+            s.pk_values(&row![10i64, 20i64]),
+            vec![Value::Int(20), Value::Int(10)]
+        );
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = sample();
+        let mut w = Writer::new();
+        s.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = Schema::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn position_lookup() {
+        let s = sample();
+        assert_eq!(s.position("name").unwrap(), 1);
+        assert!(s.position("nope").is_err());
+        assert_eq!(s.column("score").unwrap().ty, ValueType::Float);
+    }
+}

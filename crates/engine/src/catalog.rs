@@ -1,0 +1,766 @@
+//! The catalog: table and indexed-view definitions.
+//!
+//! Definitions are immutable after DDL (like the paper's system: creating
+//! or dropping an indexed view is a schema change, not a runtime event).
+//! Root page ids never change (the B-tree "splits" its root in place), so a
+//! catalog entry fully describes an index forever.
+
+use std::collections::HashMap;
+use txview_common::codec::{Reader, Writer};
+use txview_common::schema::Schema;
+use txview_common::value::ValueType;
+use txview_common::{Error, IndexId, ObjectId, PageId, Result, Row, Value, ViewId};
+
+/// Comparison operator for simple view filters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+/// A simple conjunctive predicate over base-table columns (the WHERE clause
+/// of an indexed-view definition).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Predicate {
+    /// Always true (no filter).
+    True,
+    /// `row[col] op value`.
+    Cmp {
+        /// Column position in the base row.
+        col: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Constant to compare against.
+        value: Value,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluate against a base row. NULL comparisons are false (SQL-ish).
+    pub fn eval(&self, row: &Row) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Cmp { col, op, value } => {
+                let v = row.get(*col);
+                if v.is_null() || value.is_null() {
+                    return false;
+                }
+                let ord = v.total_cmp(value);
+                match op {
+                    CmpOp::Eq => ord.is_eq(),
+                    CmpOp::Ne => ord.is_ne(),
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                }
+            }
+            Predicate::And(a, b) => a.eval(row) && b.eval(row),
+        }
+    }
+}
+
+/// One aggregate column of an indexed view.
+///
+/// `COUNT_BIG(*)` is always maintained implicitly (the paper requires it —
+/// it is the group's existence counter), so it is not listed here.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggSpec {
+    /// SUM of an INT base column (escrow-maintainable).
+    SumInt {
+        /// Source column in the base row.
+        col: usize,
+    },
+    /// SUM of a FLOAT base column (escrow-maintainable).
+    SumFloat {
+        /// Source column in the base row.
+        col: usize,
+    },
+    /// MIN of a base column — **not** escrow-maintainable: forces X-lock
+    /// maintenance and may require base recomputation on deletes.
+    Min {
+        /// Source column in the base row.
+        col: usize,
+    },
+    /// MAX of a base column — same restrictions as `Min`.
+    Max {
+        /// Source column in the base row.
+        col: usize,
+    },
+}
+
+impl AggSpec {
+    /// Source column in the base row.
+    pub fn col(&self) -> usize {
+        match self {
+            AggSpec::SumInt { col }
+            | AggSpec::SumFloat { col }
+            | AggSpec::Min { col }
+            | AggSpec::Max { col } => *col,
+        }
+    }
+
+    /// True iff this aggregate commutes under addition (escrow-capable).
+    pub fn is_escrow_capable(&self) -> bool {
+        matches!(self, AggSpec::SumInt { .. } | AggSpec::SumFloat { .. })
+    }
+
+    /// The stored value type of the aggregate column.
+    pub fn stored_type(&self, base: &Schema) -> Result<ValueType> {
+        match self {
+            AggSpec::SumInt { .. } => Ok(ValueType::Int),
+            AggSpec::SumFloat { .. } => Ok(ValueType::Float),
+            AggSpec::Min { col } | AggSpec::Max { col } => {
+                let ty = base.columns()[*col].ty;
+                if ty == ValueType::Str {
+                    return Err(Error::Schema("MIN/MAX over STR unsupported".into()));
+                }
+                Ok(ty)
+            }
+        }
+    }
+}
+
+/// How view rows are locked during maintenance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MaintenanceMode {
+    /// The paper's protocol: E locks + commutative deltas.
+    Escrow,
+    /// The baseline: plain exclusive locks on view rows.
+    XLock,
+}
+
+/// Where a view's rows come from.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ViewSource {
+    /// `SELECT g..., COUNT_BIG(*), aggs FROM base WHERE p GROUP BY g...`
+    Single {
+        /// The base table.
+        table: ObjectId,
+        /// Group-by columns of the base table.
+        group_by: Vec<usize>,
+    },
+    /// `SELECT dim.g..., COUNT_BIG(*), aggs(fact) FROM fact JOIN dim ON
+    /// fact[fk] = dim.pk WHERE p(fact) GROUP BY dim.g...`
+    Join {
+        /// The fact table (aggregated; DML drives maintenance).
+        fact: ObjectId,
+        /// Column of `fact` holding the dim's primary key.
+        fact_fk_col: usize,
+        /// The dimension table (probed during maintenance).
+        dim: ObjectId,
+        /// Group-by columns of the **dim** table.
+        dim_group_by: Vec<usize>,
+    },
+}
+
+/// What a user supplies to `create_indexed_view`.
+#[derive(Clone, Debug)]
+pub struct ViewSpec {
+    /// View name (unique).
+    pub name: String,
+    /// Row source (single table or fact-join-dim).
+    pub source: ViewSource,
+    /// Aggregate columns (COUNT_BIG(*) is implicit).
+    pub aggs: Vec<AggSpec>,
+    /// Filter over base/fact rows.
+    pub filter: Predicate,
+    /// Requested locking protocol. Views containing MIN/MAX are forced to
+    /// `XLock` regardless (the paper's restriction).
+    pub maintenance: MaintenanceMode,
+    /// Deferred views are not maintained by DML; they are refreshed in bulk
+    /// (the E6 baseline).
+    pub deferred: bool,
+    /// E7 ablation: physically delete a group row inside the user
+    /// transaction when its count reaches zero (requires an E→X conversion,
+    /// which deadlocks with concurrent escrow holders) instead of leaving
+    /// an invisible row for asynchronous ghost cleanup.
+    pub eager_group_delete: bool,
+}
+
+/// A table in the catalog.
+#[derive(Clone, Debug)]
+pub struct TableDef {
+    /// Object id.
+    pub id: ObjectId,
+    /// Name (unique).
+    pub name: String,
+    /// Row schema (with primary-key columns).
+    pub schema: Schema,
+    /// The clustered index (rows live in its leaves, keyed by PK).
+    pub index: IndexId,
+    /// Root page of the clustered index.
+    pub root: PageId,
+}
+
+/// A secondary index on a base table.
+///
+/// Non-unique entries are keyed by `(indexed columns..., pk columns...)` so
+/// duplicates stay distinct; unique entries are keyed by the indexed
+/// columns alone. Entry values hold the encoded primary-key values for the
+/// back-probe into the clustered index.
+#[derive(Clone, Debug)]
+pub struct SecondaryIndexDef {
+    /// Index name (unique).
+    pub name: String,
+    /// The base table.
+    pub table: ObjectId,
+    /// Indexed column positions, in key order.
+    pub cols: Vec<usize>,
+    /// Enforce uniqueness of the indexed columns.
+    pub unique: bool,
+    /// The index's B-tree.
+    pub index: IndexId,
+    /// Root page.
+    pub root: PageId,
+}
+
+/// An indexed view in the catalog.
+#[derive(Clone, Debug)]
+pub struct ViewDef {
+    /// View id.
+    pub id: ViewId,
+    /// Object id (for object-level locks).
+    pub object: ObjectId,
+    /// Name (unique).
+    pub name: String,
+    /// Row source.
+    pub source: ViewSource,
+    /// Aggregates (after COUNT_BIG).
+    pub aggs: Vec<AggSpec>,
+    /// Filter.
+    pub filter: Predicate,
+    /// Effective maintenance mode.
+    pub maintenance: MaintenanceMode,
+    /// Deferred-maintenance flag.
+    pub deferred: bool,
+    /// E7 ablation: eager in-transaction deletion of emptied groups.
+    pub eager_group_delete: bool,
+    /// The view's B-tree index.
+    pub index: IndexId,
+    /// Root page of the view index.
+    pub root: PageId,
+    /// Types of the group-by columns (for decoding view keys).
+    pub group_types: Vec<ValueType>,
+}
+
+impl ViewDef {
+    /// Number of stored aggregate columns (count + user aggregates).
+    pub fn stored_agg_count(&self) -> usize {
+        1 + self.aggs.len()
+    }
+
+    /// True if maintained with escrow locks.
+    pub fn is_escrow(&self) -> bool {
+        self.maintenance == MaintenanceMode::Escrow
+    }
+}
+
+/// The catalog: name → definition maps plus id allocation.
+#[derive(Default)]
+pub struct Catalog {
+    tables: HashMap<String, TableDef>,
+    views: HashMap<String, ViewDef>,
+    indexes: HashMap<String, SecondaryIndexDef>,
+    next_object: u32,
+    next_index: u32,
+    next_view: u32,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Allocate an object id.
+    pub fn alloc_object(&mut self) -> ObjectId {
+        self.next_object += 1;
+        ObjectId(self.next_object)
+    }
+
+    /// Allocate an index id.
+    pub fn alloc_index(&mut self) -> IndexId {
+        self.next_index += 1;
+        IndexId(self.next_index)
+    }
+
+    /// Allocate a view id.
+    pub fn alloc_view(&mut self) -> ViewId {
+        self.next_view += 1;
+        ViewId(self.next_view)
+    }
+
+    /// Register a table.
+    pub fn add_table(&mut self, def: TableDef) -> Result<()> {
+        if self.tables.contains_key(&def.name) {
+            return Err(Error::Schema(format!("table '{}' exists", def.name)));
+        }
+        self.tables.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// Register a view.
+    pub fn add_view(&mut self, def: ViewDef) -> Result<()> {
+        if self.views.contains_key(&def.name) {
+            return Err(Error::Schema(format!("view '{}' exists", def.name)));
+        }
+        self.views.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Result<&TableDef> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| Error::Schema(format!("unknown table '{name}'")))
+    }
+
+    /// Look up a table by id.
+    pub fn table_by_id(&self, id: ObjectId) -> Result<&TableDef> {
+        self.tables
+            .values()
+            .find(|t| t.id == id)
+            .ok_or_else(|| Error::Schema(format!("unknown table id {id:?}")))
+    }
+
+    /// Look up a view by name.
+    pub fn view(&self, name: &str) -> Result<&ViewDef> {
+        self.views
+            .get(name)
+            .ok_or_else(|| Error::Schema(format!("unknown view '{name}'")))
+    }
+
+    /// Register a secondary index.
+    pub fn add_index(&mut self, def: SecondaryIndexDef) -> Result<()> {
+        if self.indexes.contains_key(&def.name) {
+            return Err(Error::Schema(format!("index '{}' exists", def.name)));
+        }
+        self.indexes.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// Look up a secondary index by name.
+    pub fn index(&self, name: &str) -> Result<&SecondaryIndexDef> {
+        self.indexes
+            .get(name)
+            .ok_or_else(|| Error::Schema(format!("unknown index '{name}'")))
+    }
+
+    /// Secondary indexes of one table.
+    pub fn indexes_on(&self, table: ObjectId) -> Vec<&SecondaryIndexDef> {
+        self.indexes.values().filter(|i| i.table == table).collect()
+    }
+
+    /// All secondary indexes (diagnostics).
+    pub fn indexes(&self) -> impl Iterator<Item = &SecondaryIndexDef> {
+        self.indexes.values()
+    }
+
+    /// All views whose maintenance is driven by DML on `table` (single-table
+    /// views on it, plus join views whose *fact* side is it).
+    pub fn views_on(&self, table: ObjectId) -> Vec<&ViewDef> {
+        self.views
+            .values()
+            .filter(|v| match &v.source {
+                ViewSource::Single { table: t, .. } => *t == table,
+                ViewSource::Join { fact, .. } => *fact == table,
+            })
+            .collect()
+    }
+
+    /// All join views that use `table` as their dimension side (their fact
+    /// maintenance probes it; its own DML is therefore restricted).
+    pub fn views_with_dim(&self, table: ObjectId) -> Vec<&ViewDef> {
+        self.views
+            .values()
+            .filter(|v| matches!(&v.source, ViewSource::Join { dim, .. } if *dim == table))
+            .collect()
+    }
+
+    /// All tables (diagnostics).
+    pub fn tables(&self) -> impl Iterator<Item = &TableDef> {
+        self.tables.values()
+    }
+
+    /// All views (diagnostics).
+    pub fn views(&self) -> impl Iterator<Item = &ViewDef> {
+        self.views.values()
+    }
+}
+
+// ---- persistence -----------------------------------------------------
+
+impl Predicate {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Predicate::True => {
+                w.u8(0);
+            }
+            Predicate::Cmp { col, op, value } => {
+                w.u8(1).u16(*col as u16).u8(match op {
+                    CmpOp::Eq => 0,
+                    CmpOp::Ne => 1,
+                    CmpOp::Lt => 2,
+                    CmpOp::Le => 3,
+                    CmpOp::Gt => 4,
+                    CmpOp::Ge => 5,
+                });
+                value.encode(w);
+            }
+            Predicate::And(a, b) => {
+                w.u8(2);
+                a.encode(w);
+                b.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Predicate> {
+        Ok(match r.u8()? {
+            0 => Predicate::True,
+            1 => {
+                let col = r.u16()? as usize;
+                let op = match r.u8()? {
+                    0 => CmpOp::Eq,
+                    1 => CmpOp::Ne,
+                    2 => CmpOp::Lt,
+                    3 => CmpOp::Le,
+                    4 => CmpOp::Gt,
+                    5 => CmpOp::Ge,
+                    t => return Err(Error::corruption(format!("bad cmp op {t}"))),
+                };
+                Predicate::Cmp { col, op, value: Value::decode(r)? }
+            }
+            2 => Predicate::And(Box::new(Predicate::decode(r)?), Box::new(Predicate::decode(r)?)),
+            t => return Err(Error::corruption(format!("bad predicate tag {t}"))),
+        })
+    }
+}
+
+fn encode_agg(a: &AggSpec, w: &mut Writer) {
+    match a {
+        AggSpec::SumInt { col } => w.u8(0).u16(*col as u16),
+        AggSpec::SumFloat { col } => w.u8(1).u16(*col as u16),
+        AggSpec::Min { col } => w.u8(2).u16(*col as u16),
+        AggSpec::Max { col } => w.u8(3).u16(*col as u16),
+    };
+}
+
+fn decode_agg(r: &mut Reader<'_>) -> Result<AggSpec> {
+    let tag = r.u8()?;
+    let col = r.u16()? as usize;
+    Ok(match tag {
+        0 => AggSpec::SumInt { col },
+        1 => AggSpec::SumFloat { col },
+        2 => AggSpec::Min { col },
+        3 => AggSpec::Max { col },
+        t => return Err(Error::corruption(format!("bad agg tag {t}"))),
+    })
+}
+
+fn encode_vt(t: ValueType) -> u8 {
+    match t {
+        ValueType::Int => 1,
+        ValueType::Float => 2,
+        ValueType::Str => 3,
+    }
+}
+
+fn decode_vt(b: u8) -> Result<ValueType> {
+    Ok(match b {
+        1 => ValueType::Int,
+        2 => ValueType::Float,
+        3 => ValueType::Str,
+        t => return Err(Error::corruption(format!("bad value type {t}"))),
+    })
+}
+
+impl Catalog {
+    /// Serialize the full catalog (DDL state) for the sidecar file.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(256);
+        w.u32(self.next_object).u32(self.next_index).u32(self.next_view);
+        w.u32(self.tables.len() as u32);
+        let mut tables: Vec<_> = self.tables.values().collect();
+        tables.sort_by_key(|t| t.id);
+        for t in tables {
+            w.u32(t.id.0).str(&t.name);
+            t.schema.encode(&mut w);
+            w.u32(t.index.0).page(t.root);
+        }
+        w.u32(self.views.len() as u32);
+        let mut views: Vec<_> = self.views.values().collect();
+        views.sort_by_key(|v| v.id);
+        for v in views {
+            w.u32(v.id.0).u32(v.object.0).str(&v.name);
+            match &v.source {
+                ViewSource::Single { table, group_by } => {
+                    w.u8(0).u32(table.0).u16(group_by.len() as u16);
+                    for &g in group_by {
+                        w.u16(g as u16);
+                    }
+                }
+                ViewSource::Join { fact, fact_fk_col, dim, dim_group_by } => {
+                    w.u8(1).u32(fact.0).u16(*fact_fk_col as u16).u32(dim.0);
+                    w.u16(dim_group_by.len() as u16);
+                    for &g in dim_group_by {
+                        w.u16(g as u16);
+                    }
+                }
+            }
+            w.u16(v.aggs.len() as u16);
+            for a in &v.aggs {
+                encode_agg(a, &mut w);
+            }
+            v.filter.encode(&mut w);
+            w.u8(match v.maintenance {
+                MaintenanceMode::Escrow => 0,
+                MaintenanceMode::XLock => 1,
+            });
+            w.bool(v.deferred).bool(v.eager_group_delete);
+            w.u32(v.index.0).page(v.root);
+            w.u16(v.group_types.len() as u16);
+            for &t in &v.group_types {
+                w.u8(encode_vt(t));
+            }
+        }
+        w.u32(self.indexes.len() as u32);
+        let mut indexes: Vec<_> = self.indexes.values().collect();
+        indexes.sort_by_key(|i| i.index);
+        for i in indexes {
+            w.str(&i.name).u32(i.table.0);
+            w.u16(i.cols.len() as u16);
+            for &c in &i.cols {
+                w.u16(c as u16);
+            }
+            w.bool(i.unique).u32(i.index.0).page(i.root);
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialize a catalog produced by [`Catalog::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Catalog> {
+        let mut r = Reader::new(bytes);
+        let mut cat = Catalog::new();
+        cat.next_object = r.u32()?;
+        cat.next_index = r.u32()?;
+        cat.next_view = r.u32()?;
+        let nt = r.u32()? as usize;
+        for _ in 0..nt {
+            let id = ObjectId(r.u32()?);
+            let name = r.str()?.to_owned();
+            let schema = Schema::decode(&mut r)?;
+            let index = IndexId(r.u32()?);
+            let root = r.page()?;
+            cat.tables.insert(name.clone(), TableDef { id, name, schema, index, root });
+        }
+        let nv = r.u32()? as usize;
+        for _ in 0..nv {
+            let id = ViewId(r.u32()?);
+            let object = ObjectId(r.u32()?);
+            let name = r.str()?.to_owned();
+            let source = match r.u8()? {
+                0 => {
+                    let table = ObjectId(r.u32()?);
+                    let n = r.u16()? as usize;
+                    let mut group_by = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        group_by.push(r.u16()? as usize);
+                    }
+                    ViewSource::Single { table, group_by }
+                }
+                1 => {
+                    let fact = ObjectId(r.u32()?);
+                    let fact_fk_col = r.u16()? as usize;
+                    let dim = ObjectId(r.u32()?);
+                    let n = r.u16()? as usize;
+                    let mut dim_group_by = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        dim_group_by.push(r.u16()? as usize);
+                    }
+                    ViewSource::Join { fact, fact_fk_col, dim, dim_group_by }
+                }
+                t => return Err(Error::corruption(format!("bad view source tag {t}"))),
+            };
+            let na = r.u16()? as usize;
+            let mut aggs = Vec::with_capacity(na);
+            for _ in 0..na {
+                aggs.push(decode_agg(&mut r)?);
+            }
+            let filter = Predicate::decode(&mut r)?;
+            let maintenance = match r.u8()? {
+                0 => MaintenanceMode::Escrow,
+                _ => MaintenanceMode::XLock,
+            };
+            let deferred = r.bool()?;
+            let eager_group_delete = r.bool()?;
+            let index = IndexId(r.u32()?);
+            let root = r.page()?;
+            let ng = r.u16()? as usize;
+            let mut group_types = Vec::with_capacity(ng);
+            for _ in 0..ng {
+                group_types.push(decode_vt(r.u8()?)?);
+            }
+            cat.views.insert(
+                name.clone(),
+                ViewDef {
+                    id,
+                    object,
+                    name,
+                    source,
+                    aggs,
+                    filter,
+                    maintenance,
+                    deferred,
+                    eager_group_delete,
+                    index,
+                    root,
+                    group_types,
+                },
+            );
+        }
+        let ni = r.u32()? as usize;
+        for _ in 0..ni {
+            let name = r.str()?.to_owned();
+            let table = ObjectId(r.u32()?);
+            let nc = r.u16()? as usize;
+            let mut cols = Vec::with_capacity(nc);
+            for _ in 0..nc {
+                cols.push(r.u16()? as usize);
+            }
+            let unique = r.bool()?;
+            let index = IndexId(r.u32()?);
+            let root = r.page()?;
+            cat.indexes.insert(
+                name.clone(),
+                SecondaryIndexDef { name, table, cols, unique, index, root },
+            );
+        }
+        Ok(cat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txview_common::row;
+    use txview_common::schema::Column;
+
+    fn base_schema() -> Schema {
+        Schema::new(
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("grp", ValueType::Int),
+                Column::new("amount", ValueType::Int),
+            ],
+            vec![0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn predicate_eval() {
+        let r = row![1i64, 5i64, 100i64];
+        let p = Predicate::Cmp { col: 2, op: CmpOp::Ge, value: Value::Int(50) };
+        assert!(p.eval(&r));
+        let p2 = Predicate::And(
+            Box::new(p),
+            Box::new(Predicate::Cmp { col: 1, op: CmpOp::Eq, value: Value::Int(6) }),
+        );
+        assert!(!p2.eval(&r));
+        assert!(Predicate::True.eval(&r));
+    }
+
+    #[test]
+    fn predicate_null_is_false() {
+        let mut r = row![1i64];
+        r.push(Value::Null);
+        let p = Predicate::Cmp { col: 1, op: CmpOp::Eq, value: Value::Int(1) };
+        assert!(!p.eval(&r));
+        let p = Predicate::Cmp { col: 1, op: CmpOp::Ne, value: Value::Int(1) };
+        assert!(!p.eval(&r), "NULL != x is unknown, not true");
+    }
+
+    #[test]
+    fn agg_spec_classification() {
+        assert!(AggSpec::SumInt { col: 1 }.is_escrow_capable());
+        assert!(AggSpec::SumFloat { col: 1 }.is_escrow_capable());
+        assert!(!AggSpec::Min { col: 1 }.is_escrow_capable());
+        assert!(!AggSpec::Max { col: 1 }.is_escrow_capable());
+        let s = base_schema();
+        assert_eq!(AggSpec::SumInt { col: 2 }.stored_type(&s).unwrap(), ValueType::Int);
+        assert_eq!(AggSpec::Min { col: 2 }.stored_type(&s).unwrap(), ValueType::Int);
+    }
+
+    #[test]
+    fn catalog_registration_and_lookup() {
+        let mut c = Catalog::new();
+        let id = c.alloc_object();
+        let index = c.alloc_index();
+        c.add_table(TableDef {
+            id,
+            name: "t".into(),
+            schema: base_schema(),
+            index,
+            root: PageId(1),
+        })
+        .unwrap();
+        assert_eq!(c.table("t").unwrap().id, id);
+        assert!(c.table("nope").is_err());
+        let dup_id = c.alloc_object();
+        assert!(c
+            .add_table(TableDef {
+                id: dup_id,
+                name: "t".into(),
+                schema: base_schema(),
+                index: IndexId(9),
+                root: PageId(2),
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn views_on_filters_by_source() {
+        let mut c = Catalog::new();
+        let t1 = c.alloc_object();
+        let t2 = c.alloc_object();
+        let mk = |c: &mut Catalog, name: &str, source: ViewSource| ViewDef {
+            id: c.alloc_view(),
+            object: c.alloc_object(),
+            name: name.into(),
+            source,
+            aggs: vec![],
+            filter: Predicate::True,
+            maintenance: MaintenanceMode::Escrow,
+            deferred: false,
+            eager_group_delete: false,
+            index: c.alloc_index(),
+            root: PageId(1),
+            group_types: vec![ValueType::Int],
+        };
+        let v1 = mk(&mut c, "v1", ViewSource::Single { table: t1, group_by: vec![1] });
+        let v2 = mk(
+            &mut c,
+            "v2",
+            ViewSource::Join { fact: t1, fact_fk_col: 1, dim: t2, dim_group_by: vec![1] },
+        );
+        c.add_view(v1).unwrap();
+        c.add_view(v2).unwrap();
+        assert_eq!(c.views_on(t1).len(), 2);
+        assert_eq!(c.views_on(t2).len(), 0);
+        assert_eq!(c.views_with_dim(t2).len(), 1);
+    }
+}

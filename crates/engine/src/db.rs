@@ -1,0 +1,1311 @@
+//! The database engine: DDL, DML with immediate view maintenance,
+//! commit/rollback, ghost cleanup, crash/recovery, verification.
+//!
+//! ## The maintenance protocol (the paper's contribution)
+//!
+//! Every DML statement on a base table computes, per dependent view, a
+//! [`RowDelta`] and applies it *inside the same user transaction*:
+//!
+//! * existing group row, all-SUM view, escrow mode → **E lock** on the view
+//!   row key + in-place commutative delta (concurrent transactions touch
+//!   the same hot row simultaneously); logged with an `Escrow` logical-undo
+//!   descriptor;
+//! * existing group row, X-lock baseline (or MIN/MAX view) → **X lock**,
+//!   full-row rewrite where needed;
+//! * missing group row → **X lock** on the key + instant-duration X gap
+//!   lock (phantom protection), insert of a fresh row whose undo is the
+//!   *inverse delta* — not record removal — because concurrently committed
+//!   escrow increments may have piled onto the row by rollback time (the
+//!   group come/go anomaly);
+//! * decrement to zero → the row becomes *logically absent* (visibility is
+//!   `COUNT_BIG > 0`); it is queued for physical removal by a ghost-cleanup
+//!   **system transaction** that takes an instant X lock (skipping rows any
+//!   transaction still depends on).
+
+use crate::catalog::{
+    AggSpec, Catalog, MaintenanceMode, TableDef, ViewDef, ViewSource, ViewSpec,
+};
+use crate::delta::{join_delta, single_table_delta, update_deltas};
+use crate::escrow::{
+    self, agg_region_offset, apply_additive, apply_insert_merge, apply_undo_pairs,
+    encode_view_row, initial_aggs, RowDelta,
+};
+use crate::versions::VersionStore;
+use crate::watermark::CommitWatermark;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+use txview_btree::{LogCtx, OpLog, Tree};
+use txview_common::schema::Schema;
+use txview_common::value::ValueType;
+use txview_common::{Error, IndexId, Key, Lsn, ObjectId, Result, Row, TxnId, Value, ViewId};
+use txview_lock::{LockManager, LockMode, LockName};
+use txview_storage::buffer::BufferPool;
+use txview_storage::disk::{DiskManager, MemDisk};
+use txview_txn::{IsolationLevel, Transaction, TxnManager};
+use txview_wal::record::UndoOp;
+use txview_wal::recovery::{recover, RecoveryReport, UndoHandler};
+use txview_wal::{LogManager, MemLogStore};
+
+/// Aggregate statistics snapshot for experiment reporting.
+#[derive(Clone, Debug, Default)]
+pub struct DbStats {
+    /// Lock-manager counters.
+    pub locks: txview_lock::manager::LockStatsSnapshot,
+    /// Log records appended since open.
+    pub log_records: u64,
+    /// Log bytes appended since open.
+    pub log_bytes: u64,
+}
+
+/// Result of one ghost-cleanup sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GhostCleanupReport {
+    /// Rows physically removed.
+    pub removed: usize,
+    /// Rows skipped because a transaction still holds a conflicting lock.
+    pub skipped_locked: usize,
+    /// Rows skipped because they became visible again (resurrected).
+    pub skipped_live: usize,
+}
+
+/// How a transaction touched one view row, for version publication.
+enum Touch {
+    /// Net commutative delta accumulated by this transaction.
+    Additive(crate::versions::DeltaPairs),
+    /// The row was modified under an exclusive lock (MIN/MAX rewrite,
+    /// X-lock baseline full paths, eager removal): the physical value at
+    /// commit time is a clean committed image.
+    Exclusive,
+}
+
+/// Per-row touch records of one transaction.
+type TouchedRows = HashMap<(IndexId, Vec<u8>), Touch>;
+
+/// The engine. Share via `Arc`; transactions are `&mut` and single-threaded.
+pub struct Database {
+    pool: Arc<BufferPool>,
+    log: Arc<LogManager>,
+    pub(crate) locks: Arc<LockManager>,
+    pub(crate) txns: TxnManager,
+    pub(crate) catalog: RwLock<Catalog>,
+    trees: RwLock<HashMap<IndexId, Arc<Tree>>>,
+    pub(crate) versions: VersionStore,
+    watermark: CommitWatermark,
+    /// View rows touched per transaction (for version publication at commit).
+    touched: Mutex<HashMap<TxnId, TouchedRows>>,
+    /// Ghost-cleanup work queue: (index, key bytes).
+    ghost_queue: Mutex<VecDeque<(IndexId, Vec<u8>)>>,
+    /// Pending-delta counters of deferred views (E6 staleness metric).
+    deferred_pending: Mutex<HashMap<ViewId, u64>>,
+    /// Sidecar path persisting the catalog at each DDL (None = in-memory).
+    catalog_path: Mutex<Option<std::path::PathBuf>>,
+}
+
+impl Database {
+    /// Fully in-memory database (tests, benches): `MemDisk` + `MemLogStore`.
+    pub fn new_in_memory(pool_pages: usize) -> Arc<Database> {
+        Database::with_parts(
+            Arc::new(MemDisk::new()),
+            Box::new(MemLogStore::new()),
+            pool_pages,
+            Duration::from_secs(10),
+        )
+        .expect("in-memory open cannot fail")
+    }
+
+    /// Fully in-memory database with a custom lock-wait timeout.
+    pub fn new_in_memory_with(pool_pages: usize, lock_timeout: Duration) -> Arc<Database> {
+        Database::with_parts(
+            Arc::new(MemDisk::new()),
+            Box::new(MemLogStore::new()),
+            pool_pages,
+            lock_timeout,
+        )
+        .expect("in-memory open cannot fail")
+    }
+
+    /// Assemble a database over arbitrary storage parts.
+    pub fn with_parts(
+        disk: Arc<dyn DiskManager>,
+        log_store: Box<dyn txview_wal::LogStore>,
+        pool_pages: usize,
+        lock_timeout: Duration,
+    ) -> Result<Arc<Database>> {
+        let log = Arc::new(LogManager::open(log_store)?);
+        let pool = BufferPool::new(disk, pool_pages);
+        let l2 = Arc::clone(&log);
+        pool.set_wal_flush(Arc::new(move |lsn| l2.flush_to(lsn)));
+        let locks = Arc::new(LockManager::new(lock_timeout));
+        let txns = TxnManager::new(Arc::clone(&log), Arc::clone(&locks));
+        Ok(Arc::new(Database {
+            pool,
+            log,
+            locks,
+            txns,
+            catalog: RwLock::new(Catalog::new()),
+            trees: RwLock::new(HashMap::new()),
+            versions: VersionStore::new(),
+            watermark: CommitWatermark::new(),
+            touched: Mutex::new(HashMap::new()),
+            ghost_queue: Mutex::new(VecDeque::new()),
+            deferred_pending: Mutex::new(HashMap::new()),
+            catalog_path: Mutex::new(None),
+        }))
+    }
+
+    /// Open (or create) a durable database in `dir`: `data.db` (pages),
+    /// `wal.log` (+ `.master`), and `catalog.bin` (DDL state). Runs crash
+    /// recovery before returning, so the database is always consistent.
+    pub fn open_dir(
+        dir: impl AsRef<std::path::Path>,
+        pool_pages: usize,
+        lock_timeout: Duration,
+    ) -> Result<(Arc<Database>, RecoveryReport)> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let disk = Arc::new(txview_storage::disk::FileDisk::open(dir.join("data.db"))?);
+        let store = Box::new(txview_wal::FileLogStore::open(dir.join("wal.log"))?);
+        let db = Database::with_parts(disk, store, pool_pages, lock_timeout)?;
+        let catalog_path = dir.join("catalog.bin");
+        if let Ok(bytes) = std::fs::read(&catalog_path) {
+            let cat = Catalog::decode(&bytes)?;
+            let mut trees = db.trees.write();
+            for t in cat.tables() {
+                trees.insert(t.index, Arc::new(Tree::open(&db.pool, t.index, t.root)));
+            }
+            for v in cat.views() {
+                trees.insert(v.index, Arc::new(Tree::open(&db.pool, v.index, v.root)));
+            }
+            for i in cat.indexes() {
+                trees.insert(i.index, Arc::new(Tree::open(&db.pool, i.index, i.root)));
+            }
+            drop(trees);
+            *db.catalog.write() = cat;
+        }
+        *db.catalog_path.lock() = Some(catalog_path);
+        let report = recover(&db.log, &db.pool, db.as_ref())?;
+        Ok((db, report))
+    }
+
+    /// Persist the catalog sidecar if this database is file-backed.
+    fn persist_catalog(&self) -> Result<()> {
+        if let Some(path) = self.catalog_path.lock().clone() {
+            let bytes = self.catalog.read().encode();
+            std::fs::write(path, bytes)?;
+        }
+        Ok(())
+    }
+
+    /// The buffer pool (diagnostics, checkpoints).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The log manager (diagnostics).
+    pub fn log(&self) -> &Arc<LogManager> {
+        &self.log
+    }
+
+    /// The lock manager (diagnostics).
+    pub fn locks(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    /// Counters for the experiment harness.
+    pub fn stats(&self) -> DbStats {
+        DbStats {
+            locks: self.locks.stats(),
+            log_records: self.log.appended_records(),
+            log_bytes: self.log.appended_bytes(),
+        }
+    }
+
+    /// Register a tree for an index id (DDL paths).
+    pub(crate) fn register_tree(&self, index: IndexId, tree: Tree) {
+        self.trees.write().insert(index, Arc::new(tree));
+    }
+
+    /// Persist the catalog sidecar (pub-crate wrapper for DDL modules).
+    pub(crate) fn persist_catalog_pub(&self) -> Result<()> {
+        self.persist_catalog()
+    }
+
+    /// Queue an entry for ghost cleanup.
+    pub(crate) fn enqueue_ghost(&self, index: IndexId, kb: Vec<u8>) {
+        self.ghost_queue.lock().push_back((index, kb));
+    }
+
+    pub(crate) fn tree(&self, index: IndexId) -> Result<Arc<Tree>> {
+        self.trees
+            .read()
+            .get(&index)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("index {}", index.0)))
+    }
+
+    // ---- DDL -------------------------------------------------------------
+
+    /// Create a table with a clustered index on its primary key.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<ObjectId> {
+        if schema.pk().is_empty() {
+            return Err(Error::Schema(format!("table '{name}' needs a primary key")));
+        }
+        let mut cat = self.catalog.write();
+        let id = cat.alloc_object();
+        let index = cat.alloc_index();
+        let tree = Tree::create(&self.pool, &self.log, index)?;
+        let root = tree.root();
+        cat.add_table(TableDef { id, name: name.to_string(), schema, index, root })?;
+        drop(cat);
+        self.trees.write().insert(index, Arc::new(tree));
+        self.persist_catalog()?;
+        Ok(id)
+    }
+
+    /// Create an indexed view and populate it from the current base rows.
+    /// DDL is assumed quiesced (no concurrent DML), as in the paper's
+    /// system, and is followed by a checkpoint so it is crash-durable.
+    pub fn create_indexed_view(&self, spec: ViewSpec) -> Result<ViewId> {
+        let def = {
+            let mut cat = self.catalog.write();
+            // Resolve and validate the source.
+            let (group_types, base_schema): (Vec<ValueType>, Schema) = match &spec.source {
+                ViewSource::Single { table, group_by } => {
+                    let t = cat.table_by_id(*table)?;
+                    let types = group_by.iter().map(|&c| t.schema.columns()[c].ty).collect();
+                    (types, t.schema.clone())
+                }
+                ViewSource::Join { fact, dim, dim_group_by, fact_fk_col } => {
+                    let f = cat.table_by_id(*fact)?;
+                    let d = cat.table_by_id(*dim)?;
+                    if d.schema.pk().len() != 1 {
+                        return Err(Error::Schema("join-view dim needs a 1-column pk".into()));
+                    }
+                    if *fact_fk_col >= f.schema.arity() {
+                        return Err(Error::Schema("fact fk column out of range".into()));
+                    }
+                    let types = dim_group_by.iter().map(|&c| d.schema.columns()[c].ty).collect();
+                    (types, f.schema.clone())
+                }
+            };
+            for agg in &spec.aggs {
+                agg.stored_type(&base_schema)?;
+                if !agg.is_escrow_capable() && matches!(spec.source, ViewSource::Join { .. }) {
+                    return Err(Error::Schema("MIN/MAX unsupported on join views".into()));
+                }
+            }
+            // The paper's restriction: MIN/MAX force X-lock maintenance.
+            let effective = if spec.aggs.iter().all(AggSpec::is_escrow_capable) {
+                spec.maintenance
+            } else {
+                MaintenanceMode::XLock
+            };
+            let id = cat.alloc_view();
+            let object = cat.alloc_object();
+            let index = cat.alloc_index();
+            let tree = Tree::create(&self.pool, &self.log, index)?;
+            let root = tree.root();
+            self.trees.write().insert(index, Arc::new(tree));
+            let def = ViewDef {
+                id,
+                object,
+                name: spec.name.clone(),
+                source: spec.source.clone(),
+                aggs: spec.aggs.clone(),
+                filter: spec.filter.clone(),
+                maintenance: effective,
+                deferred: spec.deferred,
+                eager_group_delete: spec.eager_group_delete,
+                index,
+                root,
+                group_types,
+            };
+            cat.add_view(def.clone())?;
+            def
+        };
+        // Populate from existing base rows.
+        let rows = self.compute_view_from_base(&def)?;
+        if !rows.is_empty() {
+            let mut txn = self.begin(IsolationLevel::ReadCommitted);
+            let tree = self.tree(def.index)?;
+            for (group, (count, aggs)) in rows {
+                let key = Key::from_values(&group);
+                let bytes = encode_view_row(&group, count, &aggs)?;
+                let mut ctx = LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
+                tree.insert(&key, &bytes, &mut ctx, &OpLog::Update { undo: UndoOp::None })?;
+            }
+            self.txns.commit(&mut txn)?;
+        }
+        self.checkpoint()?;
+        self.persist_catalog()?;
+        Ok(def.id)
+    }
+
+    // ---- transactions ----------------------------------------------------
+
+    /// Begin a user transaction. Snapshot transactions get their snapshot
+    /// point from the commit watermark (every commit at or below it has
+    /// fully published its versions).
+    pub fn begin(&self, isolation: IsolationLevel) -> Transaction {
+        let mut txn = self.txns.begin(isolation);
+        if isolation == IsolationLevel::Snapshot {
+            txn.snapshot_lsn = self.watermark.begin_snapshot(&self.log);
+        }
+        txn
+    }
+
+    /// Deregister a finished snapshot transaction.
+    fn release_snapshot(&self, txn: &Transaction) {
+        if txn.isolation == IsolationLevel::Snapshot {
+            self.watermark.end_snapshot(txn.snapshot_lsn);
+        }
+    }
+
+    /// Commit: publishes multiversion entries of touched view rows (while
+    /// locks are still held), forces the commit record, releases locks.
+    pub fn commit(&self, txn: &mut Transaction) -> Result<Lsn> {
+        let touched: TouchedRows = self.touched.lock().remove(&txn.id).unwrap_or_default();
+        let ticket = self.watermark.begin_commit(&self.log);
+        let result = self.txns.commit_with(txn, |commit_lsn| {
+            self.watermark.set_lsn(ticket, commit_lsn);
+            let cat = self.catalog.read();
+            for ((index, kb), touch) in &touched {
+                let view = cat
+                    .views()
+                    .find(|v| v.index == *index)
+                    .ok_or_else(|| Error::NotFound(format!("view for index {}", index.0)))?;
+                let group = Key::from_bytes(kb.clone()).decode_values()?;
+                let horizon = self.watermark.fold_horizon(&self.log);
+                match touch {
+                    Touch::Additive(pairs) => {
+                        let mat = view_materializer(view, &group);
+                        self.versions
+                            .publish_delta(*index, kb, commit_lsn, pairs.clone(), horizon, &mat)?;
+                    }
+                    Touch::Exclusive => {
+                        let tree = self.tree(*index)?;
+                        let key = Key::from_bytes(kb.clone());
+                        let value = match tree.get(&key)? {
+                            Some((false, v)) => Some(v),
+                            _ => None,
+                        };
+                        self.versions.publish_full(*index, kb, commit_lsn, value, horizon);
+                    }
+                }
+            }
+            Ok(())
+        });
+        self.watermark.end_commit(ticket);
+        if result.is_ok() {
+            self.release_snapshot(txn);
+        }
+        result
+    }
+
+    /// Roll back completely (logical undo through the engine, CLRs logged).
+    pub fn rollback(&self, txn: &mut Transaction) -> Result<()> {
+        self.touched.lock().remove(&txn.id);
+        let result = self.txns.rollback(txn, self);
+        if result.is_ok() {
+            self.release_snapshot(txn);
+        }
+        result
+    }
+
+    /// Savepoint token for [`Database::rollback_to_savepoint`].
+    pub fn savepoint(&self, txn: &Transaction) -> usize {
+        txn.savepoint()
+    }
+
+    /// Partial rollback to a savepoint.
+    pub fn rollback_to_savepoint(&self, txn: &mut Transaction, sp: usize) -> Result<()> {
+        self.txns.rollback_to_savepoint(txn, sp, self)
+    }
+
+    /// Run `body` in a fresh transaction, committing on success and rolling
+    /// back + retrying (up to `retries`) on deadlock/timeout.
+    pub fn run_txn<R>(
+        &self,
+        isolation: IsolationLevel,
+        retries: usize,
+        mut body: impl FnMut(&mut Transaction) -> Result<R>,
+    ) -> Result<R> {
+        let mut attempt = 0;
+        loop {
+            let mut txn = self.begin(isolation);
+            match body(&mut txn).and_then(|r| self.commit(&mut txn).map(|_| r)) {
+                Ok(r) => return Ok(r),
+                Err(e) if e.is_retryable() && attempt < retries => {
+                    if txn.is_active() {
+                        self.rollback(&mut txn)?;
+                    }
+                    attempt += 1;
+                }
+                Err(e) => {
+                    if txn.is_active() {
+                        self.rollback(&mut txn)?;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Write a fuzzy checkpoint.
+    pub fn checkpoint(&self) -> Result<Lsn> {
+        self.txns.checkpoint(&self.pool)
+    }
+
+    // ---- DML ---------------------------------------------------------
+
+    /// Insert a row.
+    pub fn insert(&self, txn: &mut Transaction, table: &str, row: Row) -> Result<()> {
+        let (def, views) = self.table_and_views(table)?;
+        def.schema.validate(&row)?;
+        let key = Key::from_values(&def.schema.pk_values(&row));
+        let tree = self.tree(def.index)?;
+        self.locks.acquire(txn.id, LockName::Object(def.id), LockMode::IX)?;
+        self.locks.acquire(txn.id, LockName::key(def.index, key.as_bytes()), LockMode::X)?;
+        let ghost_image = match tree.get(&key)? {
+            Some((false, _)) => return Err(Error::DuplicateKey(format!("{key:?} in '{table}'"))),
+            Some((true, old)) => Some(old),
+            None => None,
+        };
+        // Instant-duration gap lock: no serializable reader may have the
+        // target range locked.
+        let gap = self.gap_after(&tree, def.index, &key)?;
+        self.locks.acquire(txn.id, gap.clone(), LockMode::X)?;
+        let bytes = row.to_bytes();
+        if let Some(old) = ghost_image {
+            // Revive a ghost: two undoable steps, so rollback restores BOTH
+            // the old record image and the ghost flag (a plain "re-ghost"
+            // undo would leak the new value into a later resurrection).
+            let prev = txn.last_lsn;
+            let undo_val = UndoOp::IndexUpdate {
+                index: def.index,
+                key: key.as_bytes().to_vec(),
+                old_row: old,
+            };
+            {
+                let mut ctx = LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
+                tree.update_value(&key, &bytes, &mut ctx, &OpLog::Update { undo: undo_val.clone() })?;
+            }
+            txn.push_undo(undo_val, prev);
+            let prev = txn.last_lsn;
+            let undo_flag = UndoOp::IndexInsert { index: def.index, key: key.as_bytes().to_vec() };
+            {
+                let mut ctx = LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
+                tree.set_ghost(&key, false, &mut ctx, &OpLog::Update { undo: undo_flag.clone() })?;
+            }
+            txn.push_undo(undo_flag, prev);
+        } else {
+            let prev = txn.last_lsn;
+            let undo = UndoOp::IndexInsert { index: def.index, key: key.as_bytes().to_vec() };
+            {
+                let mut ctx = LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
+                tree.insert(&key, &bytes, &mut ctx, &OpLog::Update { undo: undo.clone() })?;
+            }
+            txn.push_undo(undo, prev);
+        }
+        self.locks.release(txn.id, &gap);
+        self.maintain_secondary(txn, &def, Some(&row), None)?;
+        self.maintain(txn, &def, &views, Some(&row), None)?;
+        self.txns.note_progress(txn);
+        Ok(())
+    }
+
+    /// Delete a row by primary key (logical delete: ghost + cleanup later).
+    pub fn delete(&self, txn: &mut Transaction, table: &str, pk: &[Value]) -> Result<()> {
+        let (def, views) = self.table_and_views(table)?;
+        let key = Key::from_values(pk);
+        let tree = self.tree(def.index)?;
+        self.locks.acquire(txn.id, LockName::Object(def.id), LockMode::IX)?;
+        self.locks.acquire(txn.id, LockName::key(def.index, key.as_bytes()), LockMode::X)?;
+        let row = match tree.get(&key)? {
+            Some((false, value)) => Row::from_bytes(&value)?,
+            _ => return Err(Error::NotFound(format!("{key:?} in '{table}'"))),
+        };
+        let prev = txn.last_lsn;
+        let undo = UndoOp::IndexDelete {
+            index: def.index,
+            key: key.as_bytes().to_vec(),
+            row: row.to_bytes(),
+        };
+        {
+            let mut ctx = LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
+            tree.set_ghost(&key, true, &mut ctx, &OpLog::Update { undo: undo.clone() })?;
+        }
+        txn.push_undo(undo, prev);
+        self.ghost_queue.lock().push_back((def.index, key.as_bytes().to_vec()));
+        self.maintain_secondary(txn, &def, None, Some(&row))?;
+        self.maintain(txn, &def, &views, None, Some(&row))?;
+        self.txns.note_progress(txn);
+        Ok(())
+    }
+
+    /// Update a row in place (primary key must be unchanged).
+    pub fn update(&self, txn: &mut Transaction, table: &str, new_row: Row) -> Result<()> {
+        let (def, views) = self.table_and_views(table)?;
+        def.schema.validate(&new_row)?;
+        let key = Key::from_values(&def.schema.pk_values(&new_row));
+        let tree = self.tree(def.index)?;
+        self.locks.acquire(txn.id, LockName::Object(def.id), LockMode::IX)?;
+        self.locks.acquire(txn.id, LockName::key(def.index, key.as_bytes()), LockMode::X)?;
+        let old_row = match tree.get(&key)? {
+            Some((false, value)) => Row::from_bytes(&value)?,
+            _ => return Err(Error::NotFound(format!("{key:?} in '{table}'"))),
+        };
+        let prev = txn.last_lsn;
+        let undo = UndoOp::IndexUpdate {
+            index: def.index,
+            key: key.as_bytes().to_vec(),
+            old_row: old_row.to_bytes(),
+        };
+        {
+            let mut ctx = LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
+            tree.update_value(&key, &new_row.to_bytes(), &mut ctx, &OpLog::Update { undo: undo.clone() })?;
+        }
+        txn.push_undo(undo, prev);
+        self.maintain_secondary(txn, &def, Some(&new_row), Some(&old_row))?;
+        self.maintain(txn, &def, &views, Some(&new_row), Some(&old_row))?;
+        self.txns.note_progress(txn);
+        Ok(())
+    }
+
+    /// Atomic read-modify-write of one row: X-locks the key, reads the
+    /// current row, applies `f`, and updates. This is how transactional
+    /// workloads avoid lost updates (read-committed `get_row` + `update`
+    /// would release the read lock in between).
+    pub fn update_with(
+        &self,
+        txn: &mut Transaction,
+        table: &str,
+        pk: &[Value],
+        f: impl FnOnce(&Row) -> Row,
+    ) -> Result<()> {
+        let def = self.catalog.read().table(table)?.clone();
+        let key = Key::from_values(pk);
+        let tree = self.tree(def.index)?;
+        self.locks.acquire(txn.id, LockName::Object(def.id), LockMode::IX)?;
+        self.locks.acquire(txn.id, LockName::key(def.index, key.as_bytes()), LockMode::X)?;
+        let old_row = match tree.get(&key)? {
+            Some((false, value)) => Row::from_bytes(&value)?,
+            _ => return Err(Error::NotFound(format!("{key:?} in '{table}'"))),
+        };
+        let new_row = f(&old_row);
+        if self.catalog.read().table(table)?.schema.pk_values(&new_row) != pk {
+            return Err(Error::invalid("update_with must not change the primary key"));
+        }
+        self.update(txn, table, new_row)
+    }
+
+    fn table_and_views(&self, table: &str) -> Result<(TableDef, Vec<ViewDef>)> {
+        let cat = self.catalog.read();
+        let def = cat.table(table)?.clone();
+        if !cat.views_with_dim(def.id).is_empty() {
+            // Keeping dim-side DML simple: the join-delta probe assumes a
+            // stable dimension (see DESIGN.md).
+            return Err(Error::invalid(format!(
+                "table '{table}' is the dimension of a join view; its DML is frozen"
+            )));
+        }
+        let views = cat.views_on(def.id).into_iter().cloned().collect();
+        Ok((def, views))
+    }
+
+    /// Lock name of the gap the key would be inserted into.
+    pub(crate) fn gap_after(&self, tree: &Tree, index: IndexId, key: &Key) -> Result<LockName> {
+        Ok(match tree.next_geq(&key.successor())? {
+            Some((next, _)) => LockName::gap(index, next),
+            None => LockName::EndGap(index),
+        })
+    }
+
+    // ---- view maintenance --------------------------------------------
+
+    /// Maintain all `views` for a DML that inserted `new` and/or removed
+    /// `old` (update = both).
+    fn maintain(
+        &self,
+        txn: &mut Transaction,
+        base: &TableDef,
+        views: &[ViewDef],
+        new: Option<&Row>,
+        old: Option<&Row>,
+    ) -> Result<()> {
+        for view in views {
+            if view.deferred {
+                *self.deferred_pending.lock().entry(view.id).or_insert(0) += 1;
+                continue;
+            }
+            let deltas: Vec<RowDelta> = match &view.source {
+                ViewSource::Single { .. } => match (old, new) {
+                    (Some(o), Some(n)) => update_deltas(view, o, n)?,
+                    (Some(o), None) => single_table_delta(view, o, -1)?.into_iter().collect(),
+                    (None, Some(n)) => single_table_delta(view, n, 1)?.into_iter().collect(),
+                    (None, None) => vec![],
+                },
+                ViewSource::Join { dim, fact_fk_col, dim_group_by, .. } => {
+                    let mut out = Vec::new();
+                    for (row, sign) in [(old, -1i64), (new, 1i64)] {
+                        if let Some(r) = row {
+                            if let Some(group) =
+                                self.probe_dim_group(txn, *dim, *fact_fk_col, dim_group_by, r)?
+                            {
+                                out.extend(join_delta(view, r, group, sign)?);
+                            }
+                        }
+                    }
+                    out
+                }
+            };
+            for delta in deltas {
+                self.apply_delta(txn, view, base, &delta)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve a fact row's group values by probing the dimension table
+    /// (short S lock on the dim row: it must not move under us).
+    fn probe_dim_group(
+        &self,
+        txn: &mut Transaction,
+        dim: ObjectId,
+        fact_fk_col: usize,
+        dim_group_by: &[usize],
+        fact_row: &Row,
+    ) -> Result<Option<Vec<Value>>> {
+        let cat = self.catalog.read();
+        let d = cat.table_by_id(dim)?.clone();
+        drop(cat);
+        let fk = fact_row.get(fact_fk_col).clone();
+        let key = Key::from_values(std::slice::from_ref(&fk));
+        let name = LockName::key(d.index, key.as_bytes());
+        self.locks.acquire(txn.id, name.clone(), LockMode::S)?;
+        let tree = self.tree(d.index)?;
+        let out = match tree.get(&key)? {
+            Some((false, value)) => {
+                let row = Row::from_bytes(&value)?;
+                Some(dim_group_by.iter().map(|&c| row.get(c).clone()).collect())
+            }
+            _ => None, // inner-join semantics: unmatched fact rows drop out
+        };
+        self.locks.release(txn.id, &name);
+        Ok(out)
+    }
+
+    /// Is an encoded view row visible (COUNT_BIG > 0)?
+    pub(crate) fn view_row_visible(&self, index: IndexId, value: &[u8]) -> Result<bool> {
+        let cat = self.catalog.read();
+        let view = cat
+            .views()
+            .find(|v| v.index == index)
+            .ok_or_else(|| Error::NotFound(format!("view for index {}", index.0)))?;
+        let row = Row::from_bytes(value)?;
+        let count = row.get(row.arity() - 1 - view.aggs.len()).as_int()?;
+        Ok(count > 0)
+    }
+
+    /// Apply one [`RowDelta`] to a view — the heart of the protocol.
+    fn apply_delta(
+        &self,
+        txn: &mut Transaction,
+        view: &ViewDef,
+        base: &TableDef,
+        delta: &RowDelta,
+    ) -> Result<()> {
+        if delta.count == 0 && delta.aggs.iter().all(|d| match d {
+            txview_wal::record::ValueDelta::Int(v) => *v == 0,
+            txview_wal::record::ValueDelta::Float(v) => *v == 0.0,
+        }) {
+            return Ok(());
+        }
+        let key = delta.key();
+        let kb = key.as_bytes().to_vec();
+        let tree = self.tree(view.index)?;
+        self.locks.acquire(txn.id, LockName::Object(view.object), LockMode::IX)?;
+        let all_sums = view.aggs.iter().all(AggSpec::is_escrow_capable);
+
+        // Gap lock taken when this transaction materializes a new group row
+        // (insert-intention: conflicts with serializable range readers).
+        let mut pending_gap: Option<LockName> = None;
+        loop {
+            let exists = tree.get(&key)?.is_some();
+            if !exists {
+                if delta.count < 0 {
+                    return Err(Error::corruption(format!(
+                        "negative delta for missing group {key:?} in view '{}'",
+                        view.name
+                    )));
+                }
+                // The paper's trick: the new group row is created *invisible*
+                // (COUNT_BIG = 0) by a system transaction that commits and
+                // releases immediately — the user transaction then only ever
+                // needs an E lock, so concurrent transactions can pile onto
+                // a group one of them just created.
+                self.ensure_group_row(view, &tree, &key, &delta.group)?;
+                self.versions.ensure_base(view.index, &kb, None);
+                if pending_gap.is_none() {
+                    let gap = self.gap_after(&tree, view.index, &key)?;
+                    self.locks.acquire(txn.id, gap.clone(), LockMode::X)?;
+                    pending_gap = Some(gap);
+                }
+                continue;
+            }
+            let mode = if view.is_escrow() && all_sums { LockMode::E } else { LockMode::X };
+            self.locks.acquire(txn.id, LockName::key(view.index, kb.clone()), mode)?;
+            // Re-check under the lock (ghost cleanup may have removed it).
+            let current = tree.get(&key)?;
+            let Some((_, cur_value)) = current else { continue };
+            self.safeguard_base_version(view, &tree, &key, &kb)?;
+            if all_sums {
+                self.apply_additive_delta(txn, view, &tree, &key, delta)?;
+                self.note_additive(txn.id, view.index, &kb, &delta.to_undo_pairs())?;
+            } else {
+                self.apply_minmax_delta(txn, view, base, &tree, &key, &cur_value, delta)?;
+                self.note_exclusive(txn.id, view.index, &kb);
+            }
+            if let Some(gap) = pending_gap {
+                self.locks.release(txn.id, &gap);
+            }
+            return Ok(());
+        }
+    }
+
+    /// Materialize an invisible (COUNT_BIG = 0) group row in a system
+    /// transaction. Losing a creation race to another transaction is fine.
+    fn ensure_group_row(&self, view: &ViewDef, tree: &Tree, key: &Key, group: &[Value]) -> Result<()> {
+        let bytes = encode_view_row(group, 0, &escrow::zero_aggs(view))?;
+        match self.txns.system(|id, last| {
+            let mut ctx = LogCtx { log: &self.log, txn: id, last_lsn: last };
+            tree.insert(key, &bytes, &mut ctx, &OpLog::System)
+        }) {
+            Ok(()) => Ok(()),
+            Err(Error::DuplicateKey(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Record the pre-image version the first time any transaction touches
+    /// a view row (so snapshot readers never see in-flight increments).
+    /// The read happens inside the version store's critical section: a
+    /// concurrent escrow holder that raced past its own safeguard cannot
+    /// have modified the row yet, so the captured image is committed-clean.
+    fn safeguard_base_version(&self, view: &ViewDef, tree: &Tree, key: &Key, kb: &[u8]) -> Result<()> {
+        self.versions.ensure_base_with(view.index, kb, || {
+            match tree.get(key)? {
+                Some((false, value)) if row_visible(view, &value)? => Ok(Some(value)),
+                _ => Ok(None),
+            }
+        })
+    }
+
+    /// Accumulate this transaction's net commutative delta for a view row.
+    fn note_additive(&self, txn: TxnId, index: IndexId, kb: &[u8], pairs: &[(u16, txview_wal::record::ValueDelta)]) -> Result<()> {
+        let mut touched = self.touched.lock();
+        let entry = touched
+            .entry(txn)
+            .or_default()
+            .entry((index, kb.to_vec()))
+            .or_insert_with(|| Touch::Additive(Vec::new()));
+        match entry {
+            Touch::Additive(acc) => escrow::merge_pairs(acc, pairs)?,
+            Touch::Exclusive => {} // exclusive image already covers it
+        }
+        Ok(())
+    }
+
+    /// Mark a view row as exclusively rewritten by this transaction.
+    fn note_exclusive(&self, txn: TxnId, index: IndexId, kb: &[u8]) {
+        self.touched
+            .lock()
+            .entry(txn)
+            .or_default()
+            .insert((index, kb.to_vec()), Touch::Exclusive);
+    }
+
+    /// Escrow-capable path: in-place commutative region patch.
+    fn apply_additive_delta(
+        &self,
+        txn: &mut Transaction,
+        view: &ViewDef,
+        tree: &Tree,
+        key: &Key,
+        delta: &RowDelta,
+    ) -> Result<()> {
+        let region_off = agg_region_offset(&delta.group);
+        let prev = txn.last_lsn;
+        let undo = UndoOp::Escrow {
+            index: view.index,
+            key: key.as_bytes().to_vec(),
+            deltas: delta.to_undo_pairs(),
+        };
+        let mut new_count = 0i64;
+        {
+            let mut ctx = LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
+            tree.modify_value_region(
+                key,
+                region_off,
+                |old| {
+                    let out = apply_additive(old, view, delta)?;
+                    new_count = escrow::decode_agg_region(&out, view.aggs.len())?.0;
+                    Ok(out)
+                },
+                &mut ctx,
+                &OpLog::Update { undo: undo.clone() },
+            )?;
+        }
+        txn.push_undo(undo, prev);
+        if new_count == 0 {
+            if view.eager_group_delete {
+                self.eager_delete_group(txn, view, tree, key)?;
+            } else {
+                self.ghost_queue.lock().push_back((view.index, key.as_bytes().to_vec()));
+            }
+        }
+        Ok(())
+    }
+
+    /// E7 ablation: delete an emptied group row inside the user transaction.
+    /// Requires converting the row lock to X — the source of the deadlocks
+    /// this experiment measures — and re-checking the count under it.
+    fn eager_delete_group(&self, txn: &mut Transaction, view: &ViewDef, tree: &Tree, key: &Key) -> Result<()> {
+        let kb = key.as_bytes().to_vec();
+        self.locks.acquire(txn.id, LockName::key(view.index, kb.clone()), LockMode::X)?;
+        let Some((_, value)) = tree.get(key)? else { return Ok(()) };
+        if self.view_row_visible(view.index, &value)? {
+            return Ok(()); // somebody legitimately resurrected it before our X
+        }
+        let prev = txn.last_lsn;
+        let undo = UndoOp::IndexDelete { index: view.index, key: kb, row: value };
+        {
+            let mut ctx = LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
+            tree.remove_record(key, &mut ctx, &OpLog::Update { undo: undo.clone() })?;
+        }
+        txn.push_undo(undo, prev);
+        self.note_exclusive(txn.id, view.index, key.as_bytes());
+        Ok(())
+    }
+
+    /// MIN/MAX (X-lock) path: full-row rewrite with physical-image undo;
+    /// deletes that may retire the extremum recompute the group from base.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_minmax_delta(
+        &self,
+        txn: &mut Transaction,
+        view: &ViewDef,
+        base: &TableDef,
+        tree: &Tree,
+        key: &Key,
+        cur_value: &[u8],
+        delta: &RowDelta,
+    ) -> Result<()> {
+        let region_off = agg_region_offset(&delta.group);
+        let new_value = if delta.count >= 0 {
+            let mut out = cur_value.to_vec();
+            let region = apply_insert_merge(&cur_value[region_off..], view, delta)?;
+            out[region_off..].copy_from_slice(&region);
+            out
+        } else {
+            // Recompute the group from base (S object lock serializes with
+            // writers; deadlocks are detected and retried upstream).
+            self.locks.acquire(txn.id, LockName::Object(base.id), LockMode::S)?;
+            let recomputed = self.compute_view_from_base(view)?;
+            let (count, aggs) = recomputed
+                .get(&delta.group)
+                .cloned()
+                .unwrap_or_else(|| (0, initial_aggs(view, delta)));
+            encode_view_row(&delta.group, count, &aggs)?
+        };
+        let prev = txn.last_lsn;
+        let undo = UndoOp::IndexUpdate {
+            index: view.index,
+            key: key.as_bytes().to_vec(),
+            old_row: cur_value.to_vec(),
+        };
+        {
+            let mut ctx = LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
+            tree.update_value(key, &new_value, &mut ctx, &OpLog::Update { undo: undo.clone() })?;
+        }
+        txn.push_undo(undo, prev);
+        let count = escrow::decode_agg_region(&new_value[region_off..], view.aggs.len())?.0;
+        if count == 0 {
+            self.ghost_queue.lock().push_back((view.index, key.as_bytes().to_vec()));
+        }
+        Ok(())
+    }
+
+    // ---- recompute / verify / deferred ---------------------------------
+
+    /// Compute a view's contents from its base table(s) by direct scans
+    /// (no locks — callers quiesce or hold object locks).
+    #[allow(clippy::type_complexity)]
+    pub fn compute_view_from_base(
+        &self,
+        view: &ViewDef,
+    ) -> Result<HashMap<Vec<Value>, (i64, Vec<Value>)>> {
+        let cat = self.catalog.read();
+        let mut out: HashMap<Vec<Value>, (i64, Vec<Value>)> = HashMap::new();
+        let mut add = |view: &ViewDef, group: Vec<Value>, row: &Row| -> Result<()> {
+            if let Some(contrib) = crate::delta::row_contribution(view, row, 1)? {
+                let delta = RowDelta { group, count: 1, aggs: contrib };
+                match out.entry(delta.group.clone()) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let (count, aggs) = e.get_mut();
+                        let region = escrow::encode_agg_region(*count, aggs);
+                        let merged = apply_insert_merge(&region, view, &delta)?;
+                        let (c, a) = escrow::decode_agg_region(&merged, view.aggs.len())?;
+                        *count = c;
+                        *aggs = a;
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert((1, initial_aggs(view, &delta)));
+                    }
+                }
+            }
+            Ok(())
+        };
+        match &view.source {
+            ViewSource::Single { table, group_by } => {
+                let t = cat.table_by_id(*table)?;
+                let tree = self.tree(t.index)?;
+                let (items, _) = tree.scan(None, None, false)?;
+                for item in items {
+                    let row = Row::from_bytes(&item.value)?;
+                    let group = group_by.iter().map(|&c| row.get(c).clone()).collect();
+                    add(view, group, &row)?;
+                }
+            }
+            ViewSource::Join { fact, dim, fact_fk_col, dim_group_by } => {
+                let f = cat.table_by_id(*fact)?;
+                let d = cat.table_by_id(*dim)?;
+                let ftree = self.tree(f.index)?;
+                let dtree = self.tree(d.index)?;
+                let (items, _) = ftree.scan(None, None, false)?;
+                for item in items {
+                    let row = Row::from_bytes(&item.value)?;
+                    let fk = row.get(*fact_fk_col).clone();
+                    let dkey = Key::from_values(std::slice::from_ref(&fk));
+                    if let Some((false, dval)) = dtree.get(&dkey)? {
+                        let drow = Row::from_bytes(&dval)?;
+                        let group = dim_group_by.iter().map(|&c| drow.get(c).clone()).collect();
+                        add(view, group, &row)?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Verify that a view's stored rows exactly match a recomputation from
+    /// base (the correctness spine of every experiment). Quiesced only.
+    pub fn verify_view(&self, view_name: &str) -> Result<()> {
+        let view = self.catalog.read().view(view_name)?.clone();
+        let expected = self.compute_view_from_base(&view)?;
+        let tree = self.tree(view.index)?;
+        let (items, _) = tree.scan(None, None, false)?;
+        let mut seen = 0usize;
+        for item in items {
+            let row = Row::from_bytes(&item.value)?;
+            let ngroup = view.group_types.len();
+            let group: Vec<Value> = (0..ngroup).map(|i| row.get(i).clone()).collect();
+            let count = row.get(ngroup).as_int()?;
+            let aggs: Vec<Value> = (0..view.aggs.len()).map(|i| row.get(ngroup + 1 + i).clone()).collect();
+            if count == 0 {
+                continue; // logically absent
+            }
+            if count < 0 {
+                return Err(Error::corruption(format!(
+                    "view '{view_name}' group {group:?} has negative count {count}"
+                )));
+            }
+            seen += 1;
+            match expected.get(&group) {
+                Some((ec, ea)) if *ec == count && *ea == aggs => {}
+                Some((ec, ea)) => {
+                    return Err(Error::corruption(format!(
+                        "view '{view_name}' group {group:?}: stored ({count}, {aggs:?}) != expected ({ec}, {ea:?})"
+                    )))
+                }
+                None => {
+                    return Err(Error::corruption(format!(
+                        "view '{view_name}' has spurious group {group:?}"
+                    )))
+                }
+            }
+        }
+        if seen != expected.len() {
+            return Err(Error::corruption(format!(
+                "view '{view_name}' has {seen} visible groups, expected {}",
+                expected.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Pending (unapplied) delta count of a deferred view.
+    pub fn deferred_staleness(&self, view_name: &str) -> Result<u64> {
+        let view = self.catalog.read().view(view_name)?.clone();
+        Ok(*self.deferred_pending.lock().get(&view.id).unwrap_or(&0))
+    }
+
+    /// Rebuild a deferred view from base (bulk refresh). Quiesced only.
+    pub fn refresh_deferred_view(&self, view_name: &str) -> Result<usize> {
+        let view = self.catalog.read().view(view_name)?.clone();
+        let tree = self.tree(view.index)?;
+        // Remove current rows in a system transaction.
+        let (items, _) = tree.scan(None, None, true)?;
+        self.txns.system(|id, last| {
+            for item in &items {
+                let mut ctx = LogCtx { log: &self.log, txn: id, last_lsn: last };
+                tree.remove_record(&Key::from_bytes(item.key.clone()), &mut ctx, &OpLog::System)?;
+            }
+            Ok(())
+        })?;
+        // Rebuild.
+        let rows = self.compute_view_from_base(&view)?;
+        let n = rows.len();
+        let mut txn = self.begin(IsolationLevel::ReadCommitted);
+        for (group, (count, aggs)) in rows {
+            let key = Key::from_values(&group);
+            let bytes = encode_view_row(&group, count, &aggs)?;
+            let mut ctx = LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
+            tree.insert(&key, &bytes, &mut ctx, &OpLog::Update { undo: UndoOp::None })?;
+        }
+        self.txns.commit(&mut txn)?;
+        self.deferred_pending.lock().insert(view.id, 0);
+        Ok(n)
+    }
+
+    // ---- ghost cleanup ---------------------------------------------------
+
+    /// One cleanup sweep: physically remove queued ghosts/zero-count rows
+    /// whose keys can be X-locked instantly, each in its own system
+    /// transaction.
+    pub fn run_ghost_cleanup(&self) -> Result<GhostCleanupReport> {
+        let work: Vec<(IndexId, Vec<u8>)> = {
+            let mut q = self.ghost_queue.lock();
+            let mut seen = HashSet::new();
+            q.drain(..).filter(|e| seen.insert(e.clone())).collect()
+        };
+        let mut report = GhostCleanupReport::default();
+        for (index, kb) in work {
+            let key = Key::from_bytes(kb.clone());
+            let tree = self.tree(index)?;
+            let cleaner = self.log.alloc_txn_id();
+            let name = LockName::key(index, kb.clone());
+            if !self.locks.try_acquire(cleaner, name.clone(), LockMode::X)? {
+                report.skipped_locked += 1;
+                self.ghost_queue.lock().push_back((index, kb));
+                continue;
+            }
+            let removable = match tree.get(&key)? {
+                None => false,
+                Some((true, _)) => true, // base-table ghost
+                Some((false, value)) => {
+                    // A view row is removable when its count settled at 0.
+                    let is_view = self.catalog.read().views().any(|v| v.index == index);
+                    is_view && !self.view_row_visible(index, &value)?
+                }
+            };
+            if removable {
+                self.txns.system(|id, last| {
+                    let mut ctx = LogCtx { log: &self.log, txn: id, last_lsn: last };
+                    tree.remove_record(&key, &mut ctx, &OpLog::System)
+                })?;
+                report.removed += 1;
+            } else {
+                report.skipped_live += 1;
+            }
+            self.locks.release_all(cleaner);
+        }
+        Ok(report)
+    }
+
+    /// Number of entries waiting for ghost cleanup.
+    pub fn ghost_backlog(&self) -> usize {
+        self.ghost_queue.lock().len()
+    }
+
+    /// Debug: dump the version chain of a view row (tests/diagnostics).
+    #[doc(hidden)]
+    pub fn debug_chain(&self, view_name: &str, group: &[Value]) -> Result<Vec<(u64, bool, Option<crate::versions::DeltaPairs>)>> {
+        let view = self.catalog.read().view(view_name)?.clone();
+        let key = Key::from_values(group);
+        Ok(self.versions.debug_chain(view.index, key.as_bytes()))
+    }
+
+    /// Snapshot read of one view row at snapshot LSN `s`: reconstruct from
+    /// the version chain, or read directly when the row was never modified.
+    /// Returns the full row bytes iff the group is visible at `s`.
+    pub(crate) fn snapshot_view_value(
+        &self,
+        view: &ViewDef,
+        kb: &[u8],
+        s: Lsn,
+    ) -> Result<Option<Vec<u8>>> {
+        let key = Key::from_bytes(kb.to_vec());
+        let group = key.decode_values()?;
+        let mat = view_materializer(view, &group);
+        let reconstructed = loop {
+            match self.versions.read_at(view.index, kb, s, &mat)? {
+                Some(v) => break v,
+                None => {
+                    // No chain: the physical image should be stable — but a
+                    // writer may create the chain and modify the row between
+                    // our check and the read. Re-check afterwards; a chain
+                    // that appeared means the bytes we read may carry an
+                    // uncommitted delta, so resolve through the chain.
+                    let tree = self.tree(view.index)?;
+                    let phys = match tree.get(&key)? {
+                        Some((false, v)) => Some(v),
+                        _ => None,
+                    };
+                    if !self.versions.has_chain(view.index, kb) {
+                        break phys;
+                    }
+                }
+            }
+        };
+        match reconstructed {
+            Some(v) if row_visible(view, &v)? => Ok(Some(v)),
+            _ => Ok(None),
+        }
+    }
+
+    // ---- crash & recovery --------------------------------------------
+
+    /// Simulate a hard crash (volatile state lost; each dirty page was
+    /// "stolen" to disk with probability `steal_probability`) and run ARIES
+    /// recovery. Requires no active transactions on the calling side.
+    pub fn crash_and_recover(&self, steal_probability: f64, seed: u64) -> Result<RecoveryReport> {
+        let mut rng = txview_common::rng::Rng::new(seed);
+        self.pool.simulate_crash(steal_probability, &mut rng)?;
+        self.log.simulate_crash();
+        self.versions.clear();
+        self.touched.lock().clear();
+        self.ghost_queue.lock().clear();
+        self.watermark.clear_snapshots();
+        self.locks.reset();
+        self.txns.reset_active();
+        recover(&self.log, &self.pool, self)
+    }
+}
+
+/// Build the version-store materializer for one view row: applies forward
+/// escrow pairs to a (possibly absent) row image. Absent rows materialize
+/// from the invisible zero row of this group.
+#[allow(clippy::type_complexity)]
+fn view_materializer<'a>(
+    view: &'a ViewDef,
+    group: &'a [Value],
+) -> impl Fn(Option<Vec<u8>>, &[(u16, txview_wal::record::ValueDelta)]) -> Result<Option<Vec<u8>>> + 'a {
+    move |base, pairs| {
+        let mut value = match base {
+            Some(b) => b,
+            None => encode_view_row(group, 0, &escrow::zero_aggs(view))?,
+        };
+        let off = agg_region_offset(group);
+        let region = escrow::apply_forward_pairs(&value[off..], view.aggs.len(), pairs)?;
+        value[off..].copy_from_slice(&region);
+        Ok(Some(value))
+    }
+}
+
+/// Is an encoded view row visible (COUNT_BIG > 0)? Catalog-free.
+fn row_visible(view: &ViewDef, value: &[u8]) -> Result<bool> {
+    let row = Row::from_bytes(value)?;
+    let count = row.get(view.group_types.len()).as_int()?;
+    Ok(count > 0)
+}
+
+impl UndoHandler for Database {
+    /// Logical undo executor: runs during runtime rollback AND crash
+    /// recovery. Every page change is logged as a CLR chaining `undo_next`.
+    fn undo(&self, txn: TxnId, op: &UndoOp, undo_next: Lsn, chain: &mut Lsn) -> Result<()> {
+        let last = chain;
+        let how = OpLog::Clr { undo_next };
+        match op {
+            UndoOp::IndexInsert { index, key } => {
+                // Undo a base-row insert: ghost it (X lock held by owner).
+                let tree = self.tree(*index)?;
+                let k = Key::from_bytes(key.clone());
+                let mut ctx = LogCtx { log: &self.log, txn, last_lsn: last };
+                tree.set_ghost(&k, true, &mut ctx, &how)?;
+                self.ghost_queue.lock().push_back((*index, key.clone()));
+            }
+            UndoOp::IndexDelete { index, key, row } => {
+                // Undo a base-row delete: resurrect the ghost.
+                let tree = self.tree(*index)?;
+                let k = Key::from_bytes(key.clone());
+                let mut ctx = LogCtx { log: &self.log, txn, last_lsn: last };
+                match tree.set_ghost(&k, false, &mut ctx, &how) {
+                    Ok(_) => {}
+                    Err(Error::NotFound(_)) => {
+                        // Defensive: re-insert from the logged image.
+                        tree.insert(&k, &row_value_bytes(row)?, &mut ctx, &how_as_update(&how))?;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            UndoOp::IndexUpdate { index, key, old_row } => {
+                let tree = self.tree(*index)?;
+                let k = Key::from_bytes(key.clone());
+                let mut ctx = LogCtx { log: &self.log, txn, last_lsn: last };
+                tree.update_value(&k, old_row, &mut ctx, &how)?;
+            }
+            UndoOp::Escrow { index, key, deltas } => {
+                let tree = self.tree(*index)?;
+                let k = Key::from_bytes(key.clone());
+                let group = k.decode_values()?;
+                let cat = self.catalog.read();
+                let n_aggs = cat
+                    .views()
+                    .find(|v| v.index == *index)
+                    .map(|v| v.aggs.len())
+                    .ok_or_else(|| Error::NotFound(format!("view for index {}", index.0)))?;
+                drop(cat);
+                let region_off = agg_region_offset(&group);
+                let mut new_count = 0i64;
+                let mut ctx = LogCtx { log: &self.log, txn, last_lsn: last };
+                tree.modify_value_region(
+                    &k,
+                    region_off,
+                    |old| {
+                        let out = apply_undo_pairs(old, n_aggs, deltas)?;
+                        new_count = escrow::decode_agg_region(&out, n_aggs)?.0;
+                        Ok(out)
+                    },
+                    &mut ctx,
+                    &how,
+                )?;
+                if new_count == 0 {
+                    self.ghost_queue.lock().push_back((*index, key.clone()));
+                }
+                // Keep the version-publication accumulator in sync with a
+                // partial (savepoint) rollback: subtract the undone pairs.
+                let inverse: Vec<(u16, txview_wal::record::ValueDelta)> =
+                    deltas.iter().map(|(p, d)| (*p, d.inverse())).collect();
+                let mut touched = self.touched.lock();
+                if let Some(rows) = touched.get_mut(&txn) {
+                    if let Some(Touch::Additive(acc)) = rows.get_mut(&(*index, key.clone())) {
+                        escrow::merge_pairs(acc, &inverse)?;
+                    }
+                }
+            }
+            UndoOp::None | UndoOp::Page { .. } => {}
+        }
+        Ok(())
+    }
+}
+
+fn row_value_bytes(row: &[u8]) -> Result<Vec<u8>> {
+    Ok(row.to_vec())
+}
+
+fn how_as_update(how: &OpLog) -> OpLog {
+    how.clone()
+}

@@ -1,0 +1,226 @@
+//! Delta computation: how one DML statement on a base table translates
+//! into [`RowDelta`]s against each dependent view.
+//!
+//! This is the "maintenance plan" of the paper's system, reduced to the
+//! group-by/aggregate shape indexed views take: project the group-by
+//! columns, evaluate the filter, and emit signed aggregate contributions.
+//! Join views differ only in where the group values come from (a probe of
+//! the dimension table, done by the caller).
+
+use crate::catalog::{AggSpec, ViewDef, ViewSource};
+use crate::escrow::RowDelta;
+use txview_common::{Error, Result, Row, Value};
+use txview_wal::record::ValueDelta;
+
+/// The aggregate contributions of one qualifying row, with `sign` +1 for
+/// inserts and −1 for deletes. Returns `None` if the row fails the filter.
+/// For MIN/MAX columns the "delta" carries the contributing value (signs do
+/// not apply; deletes of MIN/MAX contributors trigger recomputation
+/// upstream).
+pub fn row_contribution(view: &ViewDef, row: &Row, sign: i64) -> Result<Option<Vec<ValueDelta>>> {
+    if !view.filter.eval(row) {
+        return Ok(None);
+    }
+    let mut out = Vec::with_capacity(view.aggs.len());
+    for spec in &view.aggs {
+        let v = row.get(spec.col());
+        if v.is_null() {
+            return Err(Error::Schema(format!(
+                "NULL in aggregated column {} (view '{}')",
+                spec.col(),
+                view.name
+            )));
+        }
+        let d = match spec {
+            AggSpec::SumInt { .. } => ValueDelta::Int(v.as_int()? * sign),
+            AggSpec::SumFloat { .. } => ValueDelta::Float(v.as_float()? * sign as f64),
+            AggSpec::Min { .. } | AggSpec::Max { .. } => match v {
+                Value::Int(i) => ValueDelta::Int(*i),
+                Value::Float(f) => ValueDelta::Float(*f),
+                other => {
+                    return Err(Error::Schema(format!("MIN/MAX over {other:?} unsupported")))
+                }
+            },
+        };
+        out.push(d);
+    }
+    Ok(Some(out))
+}
+
+/// Delta of a single-table view for an inserted (+1) or deleted (−1) row.
+pub fn single_table_delta(view: &ViewDef, row: &Row, sign: i64) -> Result<Option<RowDelta>> {
+    let group_by = match &view.source {
+        ViewSource::Single { group_by, .. } => group_by,
+        ViewSource::Join { .. } => {
+            return Err(Error::invalid("single_table_delta on a join view"))
+        }
+    };
+    Ok(row_contribution(view, row, sign)?.map(|aggs| RowDelta {
+        group: group_by.iter().map(|&c| row.get(c).clone()).collect(),
+        count: sign,
+        aggs,
+    }))
+}
+
+/// Delta of a join view for a fact-row insert/delete, given the group
+/// values resolved by probing the dimension table.
+pub fn join_delta(
+    view: &ViewDef,
+    fact_row: &Row,
+    group: Vec<Value>,
+    sign: i64,
+) -> Result<Option<RowDelta>> {
+    Ok(row_contribution(view, fact_row, sign)?.map(|aggs| RowDelta { group, count: sign, aggs }))
+}
+
+/// Deltas of a single-table view for an update `old → new`.
+///
+/// If the group is unchanged and both rows qualify, the two contributions
+/// are merged into one delta with count 0 (the common fast path: only the
+/// aggregated columns moved). Otherwise a −1 delta for the old row and a
+/// +1 delta for the new row are emitted. MIN/MAX views never merge (the
+/// departing value may have been the extremum).
+pub fn update_deltas(view: &ViewDef, old: &Row, new: &Row) -> Result<Vec<RowDelta>> {
+    let d_old = single_table_delta(view, old, -1)?;
+    let d_new = single_table_delta(view, new, 1)?;
+    let mergeable = view.aggs.iter().all(AggSpec::is_escrow_capable);
+    match (d_old, d_new) {
+        (None, None) => Ok(vec![]),
+        (Some(o), None) => Ok(vec![o]),
+        (None, Some(n)) => Ok(vec![n]),
+        (Some(o), Some(n)) => {
+            if mergeable && o.group == n.group {
+                let aggs = o
+                    .aggs
+                    .iter()
+                    .zip(&n.aggs)
+                    .map(|(a, b)| merge_delta(*a, *b))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(vec![RowDelta { group: n.group, count: 0, aggs }])
+            } else {
+                Ok(vec![o, n])
+            }
+        }
+    }
+}
+
+fn merge_delta(a: ValueDelta, b: ValueDelta) -> Result<ValueDelta> {
+    match (a, b) {
+        (ValueDelta::Int(x), ValueDelta::Int(y)) => x
+            .checked_add(y)
+            .map(ValueDelta::Int)
+            .ok_or_else(|| Error::invalid("delta overflow")),
+        (ValueDelta::Float(x), ValueDelta::Float(y)) => Ok(ValueDelta::Float(x + y)),
+        _ => Err(Error::corruption("mismatched delta types")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{CmpOp, MaintenanceMode, Predicate};
+    use txview_common::row;
+    use txview_common::value::ValueType;
+    use txview_common::{IndexId, ObjectId, PageId, ViewId};
+
+    fn sum_view(filter: Predicate) -> ViewDef {
+        ViewDef {
+            id: ViewId(1),
+            object: ObjectId(10),
+            name: "v".into(),
+            source: ViewSource::Single { table: ObjectId(1), group_by: vec![1] },
+            aggs: vec![AggSpec::SumInt { col: 2 }],
+            filter,
+            maintenance: MaintenanceMode::Escrow,
+            deferred: false,
+            eager_group_delete: false,
+            index: IndexId(2),
+            root: PageId(1),
+            group_types: vec![ValueType::Int],
+        }
+    }
+
+    #[test]
+    fn insert_delta_projects_group_and_sums() {
+        let v = sum_view(Predicate::True);
+        let d = single_table_delta(&v, &row![1i64, 7i64, 100i64], 1).unwrap().unwrap();
+        assert_eq!(d.group, vec![Value::Int(7)]);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.aggs, vec![ValueDelta::Int(100)]);
+    }
+
+    #[test]
+    fn delete_delta_is_negative() {
+        let v = sum_view(Predicate::True);
+        let d = single_table_delta(&v, &row![1i64, 7i64, 100i64], -1).unwrap().unwrap();
+        assert_eq!(d.count, -1);
+        assert_eq!(d.aggs, vec![ValueDelta::Int(-100)]);
+    }
+
+    #[test]
+    fn filter_suppresses_delta() {
+        let v = sum_view(Predicate::Cmp { col: 2, op: CmpOp::Ge, value: Value::Int(1000) });
+        assert!(single_table_delta(&v, &row![1i64, 7i64, 100i64], 1).unwrap().is_none());
+        assert!(single_table_delta(&v, &row![1i64, 7i64, 2000i64], 1).unwrap().is_some());
+    }
+
+    #[test]
+    fn update_same_group_merges_to_count_zero() {
+        let v = sum_view(Predicate::True);
+        let ds = update_deltas(&v, &row![1i64, 7i64, 100i64], &row![1i64, 7i64, 130i64]).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].count, 0);
+        assert_eq!(ds[0].aggs, vec![ValueDelta::Int(30)]);
+    }
+
+    #[test]
+    fn update_group_move_emits_two_deltas() {
+        let v = sum_view(Predicate::True);
+        let ds = update_deltas(&v, &row![1i64, 7i64, 100i64], &row![1i64, 8i64, 100i64]).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].group, vec![Value::Int(7)]);
+        assert_eq!(ds[0].count, -1);
+        assert_eq!(ds[1].group, vec![Value::Int(8)]);
+        assert_eq!(ds[1].count, 1);
+    }
+
+    #[test]
+    fn update_into_filter_emits_insert_only() {
+        let v = sum_view(Predicate::Cmp { col: 2, op: CmpOp::Ge, value: Value::Int(150) });
+        let ds = update_deltas(&v, &row![1i64, 7i64, 100i64], &row![1i64, 7i64, 200i64]).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].count, 1);
+    }
+
+    #[test]
+    fn min_max_view_never_merges_updates() {
+        let mut v = sum_view(Predicate::True);
+        v.aggs = vec![AggSpec::Min { col: 2 }];
+        let ds = update_deltas(&v, &row![1i64, 7i64, 100i64], &row![1i64, 7i64, 130i64]).unwrap();
+        assert_eq!(ds.len(), 2, "MIN views need delete+insert handling");
+    }
+
+    #[test]
+    fn null_in_aggregated_column_is_an_error() {
+        let v = sum_view(Predicate::True);
+        let mut r = row![1i64, 7i64];
+        r.push(Value::Null);
+        assert!(single_table_delta(&v, &r, 1).is_err());
+    }
+
+    #[test]
+    fn join_delta_uses_provided_group() {
+        let mut v = sum_view(Predicate::True);
+        v.source = ViewSource::Join {
+            fact: ObjectId(1),
+            fact_fk_col: 1,
+            dim: ObjectId(2),
+            dim_group_by: vec![1],
+        };
+        let d = join_delta(&v, &row![1i64, 7i64, 100i64], vec![Value::Str("west".into())], 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(d.group, vec![Value::Str("west".into())]);
+        assert_eq!(d.aggs, vec![ValueDelta::Int(100)]);
+    }
+}

@@ -1,0 +1,439 @@
+//! The commutative-delta machinery for aggregate view rows.
+//!
+//! A view row is an encoded [`Row`] of the shape
+//!
+//! ```text
+//! [ group values ... | COUNT_BIG | agg_1 | agg_2 | ... ]
+//! ```
+//!
+//! where every aggregate column (including the count) is stored as a
+//! *fixed-width* INT or FLOAT value — 9 encoded bytes each — so escrow
+//! increments can be applied as same-length in-place patches of the record's
+//! trailing "aggregate region". The region's byte offset depends only on the
+//! group values, which never change for a given row.
+//!
+//! `COUNT_BIG(*)` doubles as the row's existence flag: a view row is
+//! *visible* iff its count is positive. Decrement-to-zero therefore "ghosts"
+//! the row without any non-commutative operation (a later increment
+//! resurrects it; the ghost-cleanup system transaction removes settled
+//! zero-count rows physically).
+
+use crate::catalog::{AggSpec, ViewDef};
+use txview_common::codec::{Reader, Writer};
+use txview_common::{Error, Key, Result, Row, Value};
+use txview_wal::record::ValueDelta;
+
+/// A maintenance delta for one view row: how DML on the base table changes
+/// one group's aggregates.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RowDelta {
+    /// The group-by values (the view key).
+    pub group: Vec<Value>,
+    /// COUNT_BIG delta (+1 per qualifying inserted row, −1 per delete).
+    pub count: i64,
+    /// Per-aggregate deltas, aligned with `ViewDef::aggs`. For MIN/MAX these
+    /// carry the *contributing value* instead of an additive delta.
+    pub aggs: Vec<ValueDelta>,
+}
+
+impl RowDelta {
+    /// The view key for this delta.
+    pub fn key(&self) -> Key {
+        Key::from_values(&self.group)
+    }
+
+    /// The inverse delta (rollback).
+    pub fn inverse(&self) -> RowDelta {
+        RowDelta {
+            group: self.group.clone(),
+            count: -self.count,
+            aggs: self.aggs.iter().map(|d| d.inverse()).collect(),
+        }
+    }
+
+    /// Flatten into the `(region position, delta)` pairs stored in
+    /// [`txview_wal::record::UndoOp::Escrow`]: position 0 is the count,
+    /// positions 1.. are the aggregates.
+    pub fn to_undo_pairs(&self) -> Vec<(u16, ValueDelta)> {
+        let mut out = Vec::with_capacity(1 + self.aggs.len());
+        out.push((0u16, ValueDelta::Int(self.count)));
+        for (i, d) in self.aggs.iter().enumerate() {
+            out.push(((i + 1) as u16, *d));
+        }
+        out
+    }
+}
+
+/// Encoded byte length of one fixed-width aggregate value (tag + 8).
+pub const AGG_VALUE_BYTES: usize = 9;
+
+/// Byte offset of the aggregate region within an encoded view row whose
+/// group values are `group`: the row header (arity) plus the group values.
+pub fn agg_region_offset(group: &[Value]) -> usize {
+    let mut w = Writer::new();
+    for v in group {
+        v.encode(&mut w);
+    }
+    2 + w.len()
+}
+
+/// Byte length of the aggregate region for a view with `n_aggs` user
+/// aggregates (count included).
+pub fn agg_region_len(n_aggs: usize) -> usize {
+    (1 + n_aggs) * AGG_VALUE_BYTES
+}
+
+/// Encode a full view row (group values + count + aggregates).
+pub fn encode_view_row(group: &[Value], count: i64, aggs: &[Value]) -> Result<Vec<u8>> {
+    for a in aggs {
+        match a {
+            Value::Int(_) | Value::Float(_) => {}
+            other => {
+                return Err(Error::Schema(format!(
+                    "aggregate values must be INT/FLOAT, got {other:?}"
+                )))
+            }
+        }
+    }
+    let mut row = Row::new(group.to_vec());
+    row.push(Value::Int(count));
+    for a in aggs {
+        row.push(a.clone());
+    }
+    Ok(row.to_bytes())
+}
+
+/// Decode the aggregate region bytes into `(count, aggregates)`.
+pub fn decode_agg_region(region: &[u8], n_aggs: usize) -> Result<(i64, Vec<Value>)> {
+    if region.len() != agg_region_len(n_aggs) {
+        return Err(Error::corruption(format!(
+            "aggregate region is {} bytes, expected {}",
+            region.len(),
+            agg_region_len(n_aggs)
+        )));
+    }
+    let mut r = Reader::new(region);
+    let count = match Value::decode(&mut r)? {
+        Value::Int(c) => c,
+        other => return Err(Error::corruption(format!("count column is {other:?}"))),
+    };
+    let mut aggs = Vec::with_capacity(n_aggs);
+    for _ in 0..n_aggs {
+        aggs.push(Value::decode(&mut r)?);
+    }
+    Ok((count, aggs))
+}
+
+/// Re-encode `(count, aggregates)` as region bytes.
+pub fn encode_agg_region(count: i64, aggs: &[Value]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(agg_region_len(aggs.len()));
+    Value::Int(count).encode(&mut w);
+    for a in aggs {
+        a.encode(&mut w);
+    }
+    w.into_bytes()
+}
+
+/// Apply an *additive* delta to a region: count += delta.count and each
+/// SUM aggregate gets its delta added. Used by forward escrow maintenance
+/// and (with the inverse delta) by logical undo. MIN/MAX columns must not
+/// reach this path.
+pub fn apply_additive(region: &[u8], view: &ViewDef, delta: &RowDelta) -> Result<Vec<u8>> {
+    let (count, mut aggs) = decode_agg_region(region, view.aggs.len())?;
+    let new_count = count.checked_add(delta.count).ok_or_else(|| {
+        Error::invalid("COUNT_BIG overflow")
+    })?;
+    for (i, (spec, d)) in view.aggs.iter().zip(&delta.aggs).enumerate() {
+        if !spec.is_escrow_capable() {
+            return Err(Error::invalid(
+                "additive apply on non-commutative aggregate (MIN/MAX)",
+            ));
+        }
+        aggs[i] = d.apply_to(&aggs[i])?;
+    }
+    Ok(encode_agg_region(new_count, &aggs))
+}
+
+/// Apply inverse escrow pairs (from an `UndoOp::Escrow`) to a region.
+/// `pairs` are the *forward* pairs as logged; this applies their inverses.
+pub fn apply_undo_pairs(region: &[u8], n_aggs: usize, pairs: &[(u16, ValueDelta)]) -> Result<Vec<u8>> {
+    let (mut count, mut aggs) = decode_agg_region(region, n_aggs)?;
+    for (pos, d) in pairs {
+        let inv = d.inverse();
+        if *pos == 0 {
+            match inv {
+                ValueDelta::Int(dc) => {
+                    count = count
+                        .checked_add(dc)
+                        .ok_or_else(|| Error::invalid("COUNT_BIG overflow in undo"))?;
+                }
+                ValueDelta::Float(_) => {
+                    return Err(Error::corruption("float delta on COUNT_BIG"));
+                }
+            }
+        } else {
+            let i = (*pos - 1) as usize;
+            if i >= aggs.len() {
+                return Err(Error::corruption("escrow undo position out of range"));
+            }
+            aggs[i] = inv.apply_to(&aggs[i])?;
+        }
+    }
+    Ok(encode_agg_region(count, &aggs))
+}
+
+/// Apply *forward* escrow pairs (as logged / as published to the version
+/// store) to a region.
+pub fn apply_forward_pairs(region: &[u8], n_aggs: usize, pairs: &[(u16, ValueDelta)]) -> Result<Vec<u8>> {
+    let (mut count, mut aggs) = decode_agg_region(region, n_aggs)?;
+    for (pos, d) in pairs {
+        if *pos == 0 {
+            match d {
+                ValueDelta::Int(dc) => {
+                    count = count
+                        .checked_add(*dc)
+                        .ok_or_else(|| Error::invalid("COUNT_BIG overflow"))?;
+                }
+                ValueDelta::Float(_) => {
+                    return Err(Error::corruption("float delta on COUNT_BIG"));
+                }
+            }
+        } else {
+            let i = (*pos - 1) as usize;
+            if i >= aggs.len() {
+                return Err(Error::corruption("escrow position out of range"));
+            }
+            aggs[i] = d.apply_to(&aggs[i])?;
+        }
+    }
+    Ok(encode_agg_region(count, &aggs))
+}
+
+/// Merge two sets of forward pairs (a transaction touching the same view
+/// row repeatedly accumulates one net delta per row).
+pub fn merge_pairs(acc: &mut Vec<(u16, ValueDelta)>, add: &[(u16, ValueDelta)]) -> Result<()> {
+    for (pos, d) in add {
+        if let Some((_, existing)) = acc.iter_mut().find(|(p, _)| p == pos) {
+            *existing = match (*existing, d) {
+                (ValueDelta::Int(a), ValueDelta::Int(b)) => ValueDelta::Int(
+                    a.checked_add(*b).ok_or_else(|| Error::invalid("delta overflow"))?,
+                ),
+                (ValueDelta::Float(a), ValueDelta::Float(b)) => ValueDelta::Float(a + b),
+                _ => return Err(Error::corruption("mismatched delta types in merge")),
+            };
+        } else {
+            acc.push((*pos, *d));
+        }
+    }
+    Ok(())
+}
+
+/// Apply a MIN/MAX-style *merge* for inserts under X-lock maintenance:
+/// each non-escrow aggregate takes min/max of the stored value and the
+/// contributed value; escrow-capable ones are added.
+pub fn apply_insert_merge(region: &[u8], view: &ViewDef, delta: &RowDelta) -> Result<Vec<u8>> {
+    let (count, mut aggs) = decode_agg_region(region, view.aggs.len())?;
+    let new_count = count
+        .checked_add(delta.count)
+        .ok_or_else(|| Error::invalid("COUNT_BIG overflow"))?;
+    for (i, (spec, d)) in view.aggs.iter().zip(&delta.aggs).enumerate() {
+        match spec {
+            AggSpec::SumInt { .. } | AggSpec::SumFloat { .. } => {
+                aggs[i] = d.apply_to(&aggs[i])?;
+            }
+            AggSpec::Min { .. } => {
+                let v = delta_value(d);
+                if count == 0 || v.total_cmp(&aggs[i]).is_lt() {
+                    aggs[i] = v;
+                }
+            }
+            AggSpec::Max { .. } => {
+                let v = delta_value(d);
+                if count == 0 || v.total_cmp(&aggs[i]).is_gt() {
+                    aggs[i] = v;
+                }
+            }
+        }
+    }
+    Ok(encode_agg_region(new_count, &aggs))
+}
+
+/// Neutral aggregate values for a freshly materialized (invisible,
+/// COUNT_BIG = 0) group row. MIN/MAX placeholders are overwritten by the
+/// first merge (count 0 ⇒ take the contributed value unconditionally).
+pub fn zero_aggs(view: &ViewDef) -> Vec<Value> {
+    view.aggs
+        .iter()
+        .map(|spec| match spec {
+            AggSpec::SumFloat { .. } => Value::Float(0.0),
+            _ => Value::Int(0),
+        })
+        .collect()
+}
+
+/// The contributed value carried by a MIN/MAX delta.
+pub fn delta_value(d: &ValueDelta) -> Value {
+    match d {
+        ValueDelta::Int(v) => Value::Int(*v),
+        ValueDelta::Float(v) => Value::Float(*v),
+    }
+}
+
+/// Initial aggregate values for a brand-new group row receiving `delta`.
+pub fn initial_aggs(view: &ViewDef, delta: &RowDelta) -> Vec<Value> {
+    view.aggs
+        .iter()
+        .zip(&delta.aggs)
+        .map(|(spec, d)| match spec {
+            AggSpec::SumInt { .. } => match d {
+                ValueDelta::Int(v) => Value::Int(*v),
+                ValueDelta::Float(v) => Value::Int(*v as i64),
+            },
+            AggSpec::SumFloat { .. } => Value::Float(match d {
+                ValueDelta::Int(v) => *v as f64,
+                ValueDelta::Float(v) => *v,
+            }),
+            AggSpec::Min { .. } | AggSpec::Max { .. } => delta_value(d),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{MaintenanceMode, Predicate, ViewSource};
+    use txview_common::value::ValueType;
+    use txview_common::{IndexId, ObjectId, PageId, ViewId};
+
+    fn view(aggs: Vec<AggSpec>) -> ViewDef {
+        ViewDef {
+            id: ViewId(1),
+            object: ObjectId(10),
+            name: "v".into(),
+            source: ViewSource::Single { table: ObjectId(1), group_by: vec![1] },
+            aggs,
+            filter: Predicate::True,
+            maintenance: MaintenanceMode::Escrow,
+            deferred: false,
+            eager_group_delete: false,
+            index: IndexId(2),
+            root: PageId(1),
+            group_types: vec![ValueType::Int],
+        }
+    }
+
+    fn sum_view() -> ViewDef {
+        view(vec![AggSpec::SumInt { col: 2 }, AggSpec::SumFloat { col: 3 }])
+    }
+
+    #[test]
+    fn region_offset_matches_row_encoding() {
+        let group = vec![Value::Int(7), Value::Str("g".into())];
+        let row_bytes = encode_view_row(&group, 3, &[Value::Int(10), Value::Float(0.5)]).unwrap();
+        let off = agg_region_offset(&group);
+        let (count, aggs) = decode_agg_region(&row_bytes[off..], 2).unwrap();
+        assert_eq!(count, 3);
+        assert_eq!(aggs, vec![Value::Int(10), Value::Float(0.5)]);
+        assert_eq!(row_bytes.len() - off, agg_region_len(2));
+    }
+
+    #[test]
+    fn additive_apply_and_inverse_cancel() {
+        let v = sum_view();
+        let region = encode_agg_region(2, &[Value::Int(100), Value::Float(1.5)]);
+        let delta = RowDelta {
+            group: vec![Value::Int(1)],
+            count: 1,
+            aggs: vec![ValueDelta::Int(40), ValueDelta::Float(0.25)],
+        };
+        let after = apply_additive(&region, &v, &delta).unwrap();
+        let (c, a) = decode_agg_region(&after, 2).unwrap();
+        assert_eq!(c, 3);
+        assert_eq!(a, vec![Value::Int(140), Value::Float(1.75)]);
+        // Undo via the logged pairs restores exactly.
+        let restored = apply_undo_pairs(&after, 2, &delta.to_undo_pairs()).unwrap();
+        assert_eq!(restored, region);
+    }
+
+    #[test]
+    fn additive_apply_preserves_length_always() {
+        let v = sum_view();
+        let region = encode_agg_region(0, &[Value::Int(0), Value::Float(0.0)]);
+        let delta = RowDelta {
+            group: vec![Value::Int(1)],
+            count: -5,
+            aggs: vec![ValueDelta::Int(i64::MIN / 2), ValueDelta::Float(-1e300)],
+        };
+        let after = apply_additive(&region, &v, &delta).unwrap();
+        assert_eq!(after.len(), region.len());
+    }
+
+    #[test]
+    fn count_overflow_checked() {
+        let v = sum_view();
+        let region = encode_agg_region(i64::MAX, &[Value::Int(0), Value::Float(0.0)]);
+        let delta = RowDelta {
+            group: vec![],
+            count: 1,
+            aggs: vec![ValueDelta::Int(0), ValueDelta::Float(0.0)],
+        };
+        assert!(apply_additive(&region, &v, &delta).is_err());
+    }
+
+    #[test]
+    fn min_max_merge_on_insert() {
+        let v = view(vec![AggSpec::Min { col: 2 }, AggSpec::Max { col: 2 }]);
+        let region = encode_agg_region(1, &[Value::Int(50), Value::Int(50)]);
+        let d = |x: i64| RowDelta {
+            group: vec![],
+            count: 1,
+            aggs: vec![ValueDelta::Int(x), ValueDelta::Int(x)],
+        };
+        let after = apply_insert_merge(&region, &v, &d(30)).unwrap();
+        let (_, a) = decode_agg_region(&after, 2).unwrap();
+        assert_eq!(a, vec![Value::Int(30), Value::Int(50)]);
+        let after = apply_insert_merge(&after, &v, &d(90)).unwrap();
+        let (c, a) = decode_agg_region(&after, 2).unwrap();
+        assert_eq!(c, 3);
+        assert_eq!(a, vec![Value::Int(30), Value::Int(90)]);
+    }
+
+    #[test]
+    fn min_max_rejected_on_additive_path() {
+        let v = view(vec![AggSpec::Min { col: 2 }]);
+        let region = encode_agg_region(1, &[Value::Int(5)]);
+        let delta = RowDelta { group: vec![], count: 1, aggs: vec![ValueDelta::Int(1)] };
+        assert!(apply_additive(&region, &v, &delta).is_err());
+    }
+
+    #[test]
+    fn initial_aggs_for_new_group() {
+        let v = sum_view();
+        let delta = RowDelta {
+            group: vec![Value::Int(1)],
+            count: 1,
+            aggs: vec![ValueDelta::Int(7), ValueDelta::Float(2.5)],
+        };
+        assert_eq!(initial_aggs(&v, &delta), vec![Value::Int(7), Value::Float(2.5)]);
+    }
+
+    #[test]
+    fn undo_pairs_layout() {
+        let delta = RowDelta {
+            group: vec![],
+            count: -1,
+            aggs: vec![ValueDelta::Int(-7)],
+        };
+        assert_eq!(
+            delta.to_undo_pairs(),
+            vec![(0, ValueDelta::Int(-1)), (1, ValueDelta::Int(-7))]
+        );
+    }
+
+    #[test]
+    fn bad_region_rejected() {
+        assert!(decode_agg_region(&[0u8; 5], 1).is_err());
+        let region = encode_agg_region(1, &[Value::Int(1)]);
+        assert!(decode_agg_region(&region, 2).is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! Readers: view lookups/scans and base-table reads at the three isolation
+//! levels.
+//!
+//! * **ReadCommitted** — short S key locks: the reader waits out in-flight
+//!   escrow/X writers of each row it touches, then releases immediately.
+//! * **Serializable** — long S key locks *plus* key-range (gap) locks held
+//!   to commit: the read range is phantom-protected and conflicts with
+//!   escrow writers, exactly the paper's "stable aggregates" guarantee.
+//! * **Snapshot** — no locks at all: versions as of the transaction's
+//!   snapshot LSN. Escrow writers are never blocked by snapshot readers.
+
+use crate::db::Database;
+use txview_common::{Error, Key, Result, Row, Value};
+use txview_lock::{LockMode, LockName};
+use txview_txn::{IsolationLevel, Transaction};
+
+impl Database {
+    /// Point lookup of a view row by its group values. Returns the full
+    /// view row `[group..., COUNT_BIG, aggs...]` if the group is visible.
+    pub fn view_lookup(
+        &self,
+        txn: &mut Transaction,
+        view_name: &str,
+        group: &[Value],
+    ) -> Result<Option<Row>> {
+        let view = self.catalog.read().view(view_name)?.clone();
+        let key = Key::from_values(group);
+        let kb = key.as_bytes().to_vec();
+        let tree = self.tree(view.index)?;
+
+        if txn.isolation == IsolationLevel::Snapshot {
+            return self
+                .snapshot_view_value(&view, &kb, txn.snapshot_lsn)?
+                .map(|bytes| Row::from_bytes(&bytes))
+                .transpose();
+        }
+
+        let name = LockName::key(view.index, kb.clone());
+        self.locks.acquire(txn.id, name.clone(), LockMode::S)?;
+        let out = match tree.get(&key)? {
+            Some((false, bytes)) if self.view_row_visible(view.index, &bytes)? => {
+                Some(Row::from_bytes(&bytes)?)
+            }
+            _ => None,
+        };
+        match txn.isolation {
+            IsolationLevel::ReadCommitted => {
+                self.locks.release(txn.id, &name);
+            }
+            IsolationLevel::Serializable => {
+                // Phantom protection for a missing/invisible group: lock the
+                // gap the group would occupy.
+                if out.is_none() {
+                    let gap = match tree.next_geq(&key.successor())? {
+                        Some((next, _)) => LockName::gap(view.index, next),
+                        None => LockName::EndGap(view.index),
+                    };
+                    self.locks.acquire(txn.id, gap, LockMode::S)?;
+                }
+            }
+            IsolationLevel::Snapshot => unreachable!("handled above"),
+        }
+        Ok(out)
+    }
+
+    /// Range scan of a view over group keys in `[lo, hi_exclusive)` (both
+    /// optional). Returns visible rows in key order.
+    pub fn view_scan(
+        &self,
+        txn: &mut Transaction,
+        view_name: &str,
+        lo: Option<&[Value]>,
+        hi_exclusive: Option<&[Value]>,
+    ) -> Result<Vec<Row>> {
+        let view = self.catalog.read().view(view_name)?.clone();
+        let tree = self.tree(view.index)?;
+        let lo_key = lo.map(Key::from_values);
+        let hi_key = hi_exclusive.map(Key::from_values);
+
+        if txn.isolation == IsolationLevel::Snapshot {
+            // Union of live tree keys and version-chain keys in range.
+            let (items, _) = tree.scan(lo_key.as_ref(), hi_key.as_ref(), true)?;
+            let mut keys: Vec<Vec<u8>> = items.into_iter().map(|i| i.key).collect();
+            for k in self.versions.keys_for(view.index) {
+                let in_lo = lo_key.as_ref().is_none_or(|l| k.as_slice() >= l.as_bytes());
+                let in_hi = hi_key.as_ref().is_none_or(|h| k.as_slice() < h.as_bytes());
+                if in_lo && in_hi {
+                    keys.push(k);
+                }
+            }
+            keys.sort();
+            keys.dedup();
+            let mut out = Vec::new();
+            for kb in keys {
+                if let Some(bytes) = self.snapshot_view_value(&view, &kb, txn.snapshot_lsn)? {
+                    out.push(Row::from_bytes(&bytes)?);
+                }
+            }
+            return Ok(out);
+        }
+
+        // Locking scans: enumerate physical keys first, then lock + re-read
+        // each (values observed under the S lock are settled).
+        let (items, next_key) = tree.scan(lo_key.as_ref(), hi_key.as_ref(), true)?;
+        let serializable = txn.isolation == IsolationLevel::Serializable;
+        let mut out = Vec::new();
+        for item in items {
+            let name = LockName::key(view.index, item.key.clone());
+            self.locks.acquire(txn.id, name.clone(), LockMode::S)?;
+            if serializable {
+                self.locks
+                    .acquire(txn.id, LockName::gap(view.index, item.key.clone()), LockMode::S)?;
+            }
+            let key = Key::from_bytes(item.key.clone());
+            if let Some((false, bytes)) = tree.get(&key)? {
+                if self.view_row_visible(view.index, &bytes)? {
+                    out.push(Row::from_bytes(&bytes)?);
+                }
+            }
+            if !serializable {
+                self.locks.release(txn.id, &name);
+            }
+        }
+        if serializable {
+            // Close the range: lock the gap beyond the last key.
+            let end = match next_key {
+                Some(k) => LockName::gap(view.index, k),
+                None => LockName::EndGap(view.index),
+            };
+            self.locks.acquire(txn.id, end, LockMode::S)?;
+        }
+        Ok(out)
+    }
+
+    /// Point lookup of a base-table row by primary key.
+    pub fn get_row(&self, txn: &mut Transaction, table: &str, pk: &[Value]) -> Result<Option<Row>> {
+        let def = self.catalog.read().table(table)?.clone();
+        let key = Key::from_values(pk);
+        let tree = self.tree(def.index)?;
+        if txn.isolation == IsolationLevel::Snapshot {
+            // Base tables are not versioned in this reproduction; snapshot
+            // reads of base rows degrade to read-committed.
+        }
+        let name = LockName::key(def.index, key.as_bytes());
+        self.locks.acquire(txn.id, name.clone(), LockMode::S)?;
+        let out = match tree.get(&key)? {
+            Some((false, bytes)) => Some(Row::from_bytes(&bytes)?),
+            _ => None,
+        };
+        if txn.isolation != IsolationLevel::Serializable {
+            self.locks.release(txn.id, &name);
+        }
+        Ok(out)
+    }
+
+    /// Full scan of a base table (S object lock; long for serializable).
+    pub fn scan_table(&self, txn: &mut Transaction, table: &str) -> Result<Vec<Row>> {
+        let def = self.catalog.read().table(table)?.clone();
+        let tree = self.tree(def.index)?;
+        let name = LockName::Object(def.id);
+        self.locks.acquire(txn.id, name.clone(), LockMode::S)?;
+        let (items, _) = tree.scan(None, None, false)?;
+        let rows = items
+            .into_iter()
+            .map(|i| Row::from_bytes(&i.value))
+            .collect::<Result<Vec<_>>>()?;
+        if txn.isolation != IsolationLevel::Serializable {
+            self.locks.release(txn.id, &name);
+        }
+        Ok(rows)
+    }
+
+    /// Convenience: the aggregate values of one group — `(COUNT_BIG,
+    /// aggs...)` — or `None` if the group is invisible.
+    pub fn view_aggregates(
+        &self,
+        txn: &mut Transaction,
+        view_name: &str,
+        group: &[Value],
+    ) -> Result<Option<(i64, Vec<Value>)>> {
+        let view = self.catalog.read().view(view_name)?.clone();
+        match self.view_lookup(txn, view_name, group)? {
+            None => Ok(None),
+            Some(row) => {
+                let ngroup = view.group_types.len();
+                let count = row.get(ngroup).as_int()?;
+                let aggs = (0..view.aggs.len())
+                    .map(|i| row.get(ngroup + 1 + i).clone())
+                    .collect();
+                Ok(Some((count, aggs)))
+            }
+        }
+    }
+
+    /// Derived AVG of a SUM aggregate, following the paper's rule: AVG is
+    /// not stored (it does not commute); it is computed at read time as
+    /// `SUM / COUNT_BIG` from the same row, at the transaction's isolation
+    /// level. `agg_idx` selects the SUM column among the view's aggregates.
+    /// Returns `None` when the group is invisible.
+    pub fn view_avg(
+        &self,
+        txn: &mut Transaction,
+        view_name: &str,
+        group: &[Value],
+        agg_idx: usize,
+    ) -> Result<Option<f64>> {
+        let view = self.catalog.read().view(view_name)?.clone();
+        if agg_idx >= view.aggs.len() {
+            return Err(Error::Schema(format!(
+                "view '{view_name}' has {} aggregates",
+                view.aggs.len()
+            )));
+        }
+        if !view.aggs[agg_idx].is_escrow_capable() {
+            return Err(Error::Schema("AVG derives only from SUM aggregates".into()));
+        }
+        match self.view_aggregates(txn, view_name, group)? {
+            Some((count, aggs)) if count > 0 => {
+                Ok(Some(aggs[agg_idx].as_float()? / count as f64))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// A transaction reading a row it has escrow-incremented must convert
+    /// E → X (it cannot know concurrent increments). This helper makes the
+    /// conversion explicit for callers that need read-back semantics.
+    pub fn view_lookup_for_update(
+        &self,
+        txn: &mut Transaction,
+        view_name: &str,
+        group: &[Value],
+    ) -> Result<Option<Row>> {
+        let view = self.catalog.read().view(view_name)?.clone();
+        let key = Key::from_values(group);
+        self.locks
+            .acquire(txn.id, LockName::key(view.index, key.as_bytes()), LockMode::X)?;
+        let tree = self.tree(view.index)?;
+        match tree.get(&key)? {
+            Some((false, bytes)) if self.view_row_visible(view.index, &bytes)? => {
+                Ok(Some(Row::from_bytes(&bytes)?))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Quiesced, lock-free view dump (tests and verification): all visible
+    /// rows in key order.
+    pub fn dump_view(&self, view_name: &str) -> Result<Vec<Row>> {
+        let view = self.catalog.read().view(view_name)?.clone();
+        let tree = self.tree(view.index)?;
+        let (items, _) = tree.scan(None, None, false)?;
+        let mut out = Vec::new();
+        for item in items {
+            if self.view_row_visible(view.index, &item.value)? {
+                out.push(Row::from_bytes(&item.value)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Quiesced, lock-free table dump (tests): all live rows in key order.
+    pub fn dump_table(&self, table: &str) -> Result<Vec<Row>> {
+        let def = self.catalog.read().table(table)?.clone();
+        let tree = self.tree(def.index)?;
+        let (items, _) = tree.scan(None, None, false)?;
+        items.into_iter().map(|i| Row::from_bytes(&i.value)).collect()
+    }
+}
+
+// Keep Error in the prelude for doc examples referencing it.
+#[allow(unused_imports)]
+use Error as _ErrorAlias;

@@ -1,0 +1,410 @@
+//! A multiversion store for snapshot readers, built around the escrow
+//! insight: **committed increments commute**, so the version history of an
+//! aggregate row is a base image plus a set of commit-stamped *delta*
+//! entries. A snapshot at LSN `s` reconstructs the row by applying every
+//! delta with `commit_lsn <= s` to the newest full image at or below `s` —
+//! correct regardless of the order concurrent committers appended their
+//! entries, because addition is order-independent.
+//!
+//! Full-image entries come from X-lock paths (MIN/MAX views, the X-lock
+//! baseline, eager group deletion): the X lock serializes those writers, so
+//! their physical row value *is* a clean committed image at publish time.
+//!
+//! Chains are folded (oldest deltas merged into the base) once they exceed
+//! [`MAX_CHAIN`], using a caller-supplied materializer — the store itself
+//! is agnostic to row encoding.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use txview_common::{IndexId, Lsn, Result};
+use txview_wal::record::ValueDelta;
+
+/// Fold the chain once it exceeds this many entries.
+pub const MAX_CHAIN: usize = 16;
+
+/// Version stamp of the pre-modification base image.
+pub const BASE_VERSION: Lsn = Lsn(1);
+
+/// Escrow delta pairs: (aggregate-region position, delta).
+pub type DeltaPairs = Vec<(u16, ValueDelta)>;
+
+/// One committed version event.
+#[derive(Clone, Debug)]
+enum Payload {
+    /// A full row image (`None` = row absent/removed).
+    Full(Option<Vec<u8>>),
+    /// Commutative aggregate deltas relative to whatever precedes them.
+    Delta(DeltaPairs),
+}
+
+#[derive(Clone, Debug)]
+struct VersionEntry {
+    commit_lsn: Lsn,
+    payload: Payload,
+}
+
+/// Applies delta pairs to a (possibly absent) row image, producing the new
+/// image. Supplied by the engine, which knows the row encoding.
+pub type Materializer<'a> =
+    dyn Fn(Option<Vec<u8>>, &[(u16, ValueDelta)]) -> Result<Option<Vec<u8>>> + 'a;
+
+type ChainKey = (IndexId, Vec<u8>);
+
+/// The version store.
+#[derive(Default)]
+pub struct VersionStore {
+    chains: Mutex<HashMap<ChainKey, Vec<VersionEntry>>>,
+}
+
+impl VersionStore {
+    /// Empty store.
+    pub fn new() -> VersionStore {
+        VersionStore::default()
+    }
+
+    /// True if the row already has a chain (its base image is safeguarded).
+    pub fn has_chain(&self, index: IndexId, key: &[u8]) -> bool {
+        self.chains.lock().contains_key(&(index, key.to_vec()))
+    }
+
+    /// Record the pre-modification image of a row, computing it *inside*
+    /// the store's critical section (see the engine: under escrow
+    /// concurrency an unsynchronized read could capture another writer's
+    /// uncommitted delta).
+    pub fn ensure_base_with<F>(&self, index: IndexId, key: &[u8], read: F) -> Result<()>
+    where
+        F: FnOnce() -> Result<Option<Vec<u8>>>,
+    {
+        let mut chains = self.chains.lock();
+        if let std::collections::hash_map::Entry::Vacant(e) = chains.entry((index, key.to_vec())) {
+            let value = read()?;
+            e.insert(vec![VersionEntry { commit_lsn: BASE_VERSION, payload: Payload::Full(value) }]);
+        }
+        Ok(())
+    }
+
+    /// Convenience base recording when the caller already has the clean
+    /// image (row-creation path: the row did not exist).
+    pub fn ensure_base(&self, index: IndexId, key: &[u8], value: Option<Vec<u8>>) {
+        let mut chains = self.chains.lock();
+        chains.entry((index, key.to_vec())).or_insert_with(|| {
+            vec![VersionEntry { commit_lsn: BASE_VERSION, payload: Payload::Full(value) }]
+        });
+    }
+
+    /// Insert an entry keeping the chain sorted by commit LSN. Concurrent
+    /// committers publish in nondeterministic order; folding and base
+    /// selection assume `chain[1]` is the oldest unfolded event, so the
+    /// chain must be maintained in LSN order (an out-of-order append would
+    /// let a fold absorb a *newer* sibling into the base, permanently
+    /// hiding the older delta behind the base LSN).
+    fn insert_sorted(chain: &mut Vec<VersionEntry>, entry: VersionEntry) {
+        let pos = chain
+            .iter()
+            .rposition(|e| e.commit_lsn <= entry.commit_lsn)
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        chain.insert(pos, entry);
+    }
+
+    /// Publish a committed escrow delta. Folds the chain with `materialize`
+    /// if it grew too long — but never past `horizon` (the oldest active
+    /// snapshot): a folded base with `commit_lsn > s` would make a reader
+    /// at `s` see the row as absent.
+    pub fn publish_delta(
+        &self,
+        index: IndexId,
+        key: &[u8],
+        commit_lsn: Lsn,
+        pairs: DeltaPairs,
+        horizon: Lsn,
+        materialize: &Materializer<'_>,
+    ) -> Result<()> {
+        let mut chains = self.chains.lock();
+        let chain = chains.entry((index, key.to_vec())).or_default();
+        Self::insert_sorted(chain, VersionEntry { commit_lsn, payload: Payload::Delta(pairs) });
+        if chain.len() > MAX_CHAIN {
+            Self::fold(chain, horizon, materialize)?;
+        }
+        Ok(())
+    }
+
+    /// Publish a committed full image (X-lock paths; `None` = removed).
+    pub fn publish_full(
+        &self,
+        index: IndexId,
+        key: &[u8],
+        commit_lsn: Lsn,
+        value: Option<Vec<u8>>,
+        horizon: Lsn,
+    ) {
+        let mut chains = self.chains.lock();
+        let chain = chains.entry((index, key.to_vec())).or_default();
+        Self::insert_sorted(chain, VersionEntry { commit_lsn, payload: Payload::Full(value) });
+        // Full images supersede everything before them with smaller LSNs;
+        // cheap prune: drop entries strictly older than the newest full
+        // image once the chain is long — unless an active snapshot still
+        // needs them.
+        if chain.len() > MAX_CHAIN {
+            if let Some(pos) = chain.iter().rposition(|e| matches!(e.payload, Payload::Full(_))) {
+                let cutoff = chain[pos].commit_lsn;
+                if cutoff <= horizon && chain[..pos].iter().all(|e| e.commit_lsn <= cutoff) {
+                    chain.drain(..pos);
+                }
+            }
+        }
+    }
+
+    /// Fold the oldest entries into the base until the chain is bounded,
+    /// stopping at `horizon` (entries newer than the oldest active snapshot
+    /// must stay individually resolvable).
+    fn fold(chain: &mut Vec<VersionEntry>, horizon: Lsn, materialize: &Materializer<'_>) -> Result<()> {
+        while chain.len() > MAX_CHAIN && chain.len() > 1 && chain[1].commit_lsn <= horizon {
+            // Entry 0 is always a Full (the base); entry 1 gets absorbed.
+            let second = chain.remove(1);
+            let base = &mut chain[0];
+            match second.payload {
+                Payload::Full(v) => {
+                    base.payload = Payload::Full(v);
+                }
+                Payload::Delta(pairs) => {
+                    let cur = match &base.payload {
+                        Payload::Full(v) => v.clone(),
+                        Payload::Delta(_) => unreachable!("chain head is always Full"),
+                    };
+                    base.payload = Payload::Full(materialize(cur, &pairs)?);
+                }
+            }
+            base.commit_lsn = base.commit_lsn.max(second.commit_lsn);
+        }
+        Ok(())
+    }
+
+    /// Reconstruct the row image visible at snapshot `s`. Outer `None`
+    /// means the row has no chain (never modified — read it directly);
+    /// `Some(None)` means reconstruction says "row absent".
+    pub fn read_at(
+        &self,
+        index: IndexId,
+        key: &[u8],
+        s: Lsn,
+        materialize: &Materializer<'_>,
+    ) -> Result<Option<Option<Vec<u8>>>> {
+        let chains = self.chains.lock();
+        let Some(chain) = chains.get(&(index, key.to_vec())) else {
+            return Ok(None);
+        };
+        // Newest full image at or below s (the base qualifies when s >= 1).
+        let mut base: Option<(Lsn, Option<Vec<u8>>)> = None;
+        for e in chain {
+            if e.commit_lsn <= s {
+                if let Payload::Full(v) = &e.payload {
+                    if base.as_ref().is_none_or(|(l, _)| e.commit_lsn >= *l) {
+                        base = Some((e.commit_lsn, v.clone()));
+                    }
+                }
+            }
+        }
+        let Some((base_lsn, mut value)) = base else {
+            // Chain exists but the snapshot predates even the base image
+            // (possible after folding): report "absent".
+            return Ok(Some(None));
+        };
+        // Apply every delta in (base_lsn, s] — order-independent.
+        for e in chain {
+            if e.commit_lsn > base_lsn && e.commit_lsn <= s {
+                if let Payload::Delta(pairs) = &e.payload {
+                    value = materialize(value, pairs)?;
+                }
+            }
+        }
+        Ok(Some(value))
+    }
+
+    /// All keys with chains for one index (snapshot scans union these with
+    /// the live tree keys).
+    pub fn keys_for(&self, index: IndexId) -> Vec<Vec<u8>> {
+        self.chains
+            .lock()
+            .keys()
+            .filter(|(i, _)| *i == index)
+            .map(|(_, k)| k.clone())
+            .collect()
+    }
+
+    /// Drop everything (crash simulation: versions are volatile state).
+    pub fn clear(&self) {
+        self.chains.lock().clear();
+    }
+
+    /// Debug dump of a chain: (commit_lsn, is_full, delta-pairs-if-any).
+    #[doc(hidden)]
+    pub fn debug_chain(&self, index: IndexId, key: &[u8]) -> Vec<(u64, bool, Option<DeltaPairs>)> {
+        self.chains
+            .lock()
+            .get(&(index, key.to_vec()))
+            .map(|chain| {
+                chain
+                    .iter()
+                    .map(|e| match &e.payload {
+                        Payload::Full(_) => (e.commit_lsn.0, true, None),
+                        Payload::Delta(p) => (e.commit_lsn.0, false, Some(p.clone())),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    #[cfg(test)]
+    fn chain_len(&self, index: IndexId, key: &[u8]) -> usize {
+        self.chains
+            .lock()
+            .get(&(index, key.to_vec()))
+            .map_or(0, |c| c.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IDX: IndexId = IndexId(1);
+
+    /// Toy materializer: the "row" is one little-endian i64; deltas at
+    /// position 0 add to it; absent rows materialize from 0.
+    fn mat(base: Option<Vec<u8>>, pairs: &[(u16, ValueDelta)]) -> Result<Option<Vec<u8>>> {
+        let mut v = base
+            .map(|b| i64::from_le_bytes(b[..8].try_into().unwrap()))
+            .unwrap_or(0);
+        for (pos, d) in pairs {
+            assert_eq!(*pos, 0);
+            if let ValueDelta::Int(x) = d {
+                v += x;
+            }
+        }
+        Ok(Some(v.to_le_bytes().to_vec()))
+    }
+
+    fn read(vs: &VersionStore, s: u64) -> Option<i64> {
+        vs.read_at(IDX, b"k", Lsn(s), &mat)
+            .unwrap()
+            .expect("chain exists")
+            .map(|b| i64::from_le_bytes(b[..8].try_into().unwrap()))
+    }
+
+    fn delta(x: i64) -> DeltaPairs {
+        vec![(0, ValueDelta::Int(x))]
+    }
+
+    #[test]
+    fn deltas_commute_out_of_order_publish() {
+        let vs = VersionStore::new();
+        vs.ensure_base(IDX, b"k", Some(100i64.to_le_bytes().to_vec()));
+        // T2 (lsn 20) publishes BEFORE T1 (lsn 10) — the race that breaks
+        // value-based version chains.
+        vs.publish_delta(IDX, b"k", Lsn(20), delta(7), Lsn(u64::MAX), &mat).unwrap();
+        vs.publish_delta(IDX, b"k", Lsn(10), delta(5), Lsn(u64::MAX), &mat).unwrap();
+        assert_eq!(read(&vs, 5), Some(100));
+        assert_eq!(read(&vs, 10), Some(105));
+        assert_eq!(read(&vs, 19), Some(105));
+        assert_eq!(read(&vs, 20), Some(112));
+        assert_eq!(read(&vs, 99), Some(112));
+    }
+
+    #[test]
+    fn snapshot_between_commits_sees_prefix() {
+        let vs = VersionStore::new();
+        vs.ensure_base(IDX, b"k", None);
+        vs.publish_delta(IDX, b"k", Lsn(10), delta(1), Lsn(u64::MAX), &mat).unwrap();
+        vs.publish_delta(IDX, b"k", Lsn(30), delta(2), Lsn(u64::MAX), &mat).unwrap();
+        assert_eq!(read(&vs, 15), Some(1)); // materialized from absent = 0
+        assert_eq!(read(&vs, 30), Some(3));
+    }
+
+    #[test]
+    fn full_image_supersedes_prior_deltas() {
+        let vs = VersionStore::new();
+        vs.ensure_base(IDX, b"k", Some(0i64.to_le_bytes().to_vec()));
+        vs.publish_delta(IDX, b"k", Lsn(10), delta(5), Lsn(u64::MAX), &mat).unwrap();
+        vs.publish_full(IDX, b"k", Lsn(20), Some(1000i64.to_le_bytes().to_vec()), Lsn(u64::MAX));
+        vs.publish_delta(IDX, b"k", Lsn(30), delta(1), Lsn(u64::MAX), &mat).unwrap();
+        assert_eq!(read(&vs, 10), Some(5));
+        assert_eq!(read(&vs, 20), Some(1000));
+        assert_eq!(read(&vs, 30), Some(1001));
+    }
+
+    #[test]
+    fn removal_then_recreation() {
+        let vs = VersionStore::new();
+        vs.ensure_base(IDX, b"k", Some(5i64.to_le_bytes().to_vec()));
+        vs.publish_full(IDX, b"k", Lsn(10), None, Lsn(u64::MAX)); // removed
+        vs.publish_delta(IDX, b"k", Lsn(20), delta(3), Lsn(u64::MAX), &mat).unwrap();
+        assert_eq!(read(&vs, 5), Some(5));
+        assert_eq!(read(&vs, 10), None, "absent at 10");
+        assert_eq!(read(&vs, 20), Some(3)); // recreated from absent
+    }
+
+    #[test]
+    fn folding_preserves_newest_reads_and_bounds_memory() {
+        let vs = VersionStore::new();
+        vs.ensure_base(IDX, b"k", Some(0i64.to_le_bytes().to_vec()));
+        for i in 0..(MAX_CHAIN as u64 + 20) {
+            vs.publish_delta(IDX, b"k", Lsn(10 + i), delta(1), Lsn(u64::MAX), &mat).unwrap();
+        }
+        assert_eq!(read(&vs, 1000), Some(MAX_CHAIN as i64 + 20));
+        assert!(vs.chain_len(IDX, b"k") <= MAX_CHAIN + 1);
+    }
+
+    /// Regression: an out-of-order publish (older LSN arriving later) must
+    /// not be lost when folding kicks in — the chain is kept LSN-sorted so
+    /// folds always absorb the genuinely oldest entry.
+    #[test]
+    fn fold_after_out_of_order_publish_loses_nothing() {
+        let vs = VersionStore::new();
+        vs.ensure_base(IDX, b"k", Some(0i64.to_le_bytes().to_vec()));
+        // Newer commit publishes first...
+        vs.publish_delta(IDX, b"k", Lsn(1000), delta(100), Lsn(u64::MAX), &mat).unwrap();
+        // ...then the older one lands...
+        vs.publish_delta(IDX, b"k", Lsn(999), delta(1), Lsn(u64::MAX), &mat).unwrap();
+        // ...and a burst forces folding, with an active snapshot at 999
+        // bounding the horizon.
+        for i in 0..MAX_CHAIN as u64 + 4 {
+            vs.publish_delta(IDX, b"k", Lsn(2000 + i), delta(0), Lsn(999), &mat).unwrap();
+        }
+        assert_eq!(read(&vs, 999), Some(1), "older delta resolvable at the protected snapshot");
+        assert_eq!(read(&vs, 1000), Some(101));
+        assert_eq!(read(&vs, 1_000_000), Some(101), "nothing lost to folding");
+    }
+
+    #[test]
+    fn no_chain_is_outer_none() {
+        let vs = VersionStore::new();
+        assert!(vs.read_at(IDX, b"nope", Lsn(5), &mat).unwrap().is_none());
+    }
+
+    #[test]
+    fn ensure_base_with_runs_once() {
+        let vs = VersionStore::new();
+        let mut calls = 0;
+        vs.ensure_base_with(IDX, b"k", || {
+            calls += 1;
+            Ok(Some(1i64.to_le_bytes().to_vec()))
+        })
+        .unwrap();
+        vs.ensure_base_with(IDX, b"k", || {
+            calls += 1;
+            Ok(Some(2i64.to_le_bytes().to_vec()))
+        })
+        .unwrap();
+        assert_eq!(calls, 1);
+        assert_eq!(read(&vs, 5), Some(1));
+    }
+
+    #[test]
+    fn keys_for_lists_only_that_index() {
+        let vs = VersionStore::new();
+        vs.ensure_base(IDX, b"a", None);
+        vs.ensure_base(IndexId(2), b"b", None);
+        assert_eq!(vs.keys_for(IDX), vec![b"a".to_vec()]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Commit watermark: the snapshot point generator for snapshot isolation.
+//!
+//! A snapshot reader must only use a snapshot LSN `S` such that every
+//! commit with `commit_lsn <= S` has already *published* its versions.
+//! Without this, a reader could take `S` covering a commit record that was
+//! appended but whose touched rows were not yet stamped — and observe an
+//! inconsistent mix of old and new versions across rows.
+//!
+//! Protocol: a committing transaction registers a ticket (carrying the
+//! log's current end as a *floor* — its eventual commit LSN is strictly
+//! above it), upgrades the ticket to the actual commit LSN once known, and
+//! retires the ticket only after all its versions are published. The
+//! watermark is the log end clipped below every live ticket.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use txview_common::Lsn;
+use txview_wal::LogManager;
+
+#[derive(Clone, Copy)]
+enum TicketState {
+    /// Commit record not appended yet; its LSN will exceed this floor.
+    Floor(Lsn),
+    /// Commit record appended at this LSN; publication in progress.
+    Actual(Lsn),
+}
+
+/// The watermark tracker. Also owns active-snapshot registration: both the
+/// snapshot point and the version-fold horizon must be computed atomically
+/// against the live-ticket set, or a reader beginning in the gap could
+/// observe a fold that crossed its snapshot.
+#[derive(Default)]
+pub struct CommitWatermark {
+    inner: Mutex<WatermarkState>,
+}
+
+#[derive(Default)]
+struct WatermarkState {
+    next_ticket: u64,
+    live: HashMap<u64, TicketState>,
+    /// Refcounted active snapshot LSNs.
+    snapshots: std::collections::BTreeMap<u64, u32>,
+}
+
+impl WatermarkState {
+    fn watermark(&self, log: &LogManager) -> Lsn {
+        let mut w = log.last_allocated_lsn();
+        for t in self.live.values() {
+            let bound = match t {
+                // Eventual LSN > floor ⇒ excluding it means w <= floor.
+                TicketState::Floor(f) => *f,
+                // Exclude the in-flight commit itself.
+                TicketState::Actual(l) => Lsn(l.0.saturating_sub(1)),
+            };
+            w = w.min(bound);
+        }
+        w
+    }
+}
+
+impl CommitWatermark {
+    /// New tracker.
+    pub fn new() -> CommitWatermark {
+        CommitWatermark::default()
+    }
+
+    /// Register a commit intent. Must be called *before* the commit record
+    /// is appended.
+    pub fn begin_commit(&self, log: &LogManager) -> u64 {
+        let mut st = self.inner.lock();
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.live.insert(ticket, TicketState::Floor(log.last_allocated_lsn()));
+        ticket
+    }
+
+    /// Record the actual commit LSN (called from the commit hook, after the
+    /// record is appended).
+    pub fn set_lsn(&self, ticket: u64, lsn: Lsn) {
+        let mut st = self.inner.lock();
+        if let Some(t) = st.live.get_mut(&ticket) {
+            *t = TicketState::Actual(lsn);
+        }
+    }
+
+    /// Retire a ticket once its versions are fully published (or the commit
+    /// failed).
+    pub fn end_commit(&self, ticket: u64) {
+        self.inner.lock().live.remove(&ticket);
+    }
+
+    /// The current safe snapshot LSN: every commit at or below it is fully
+    /// published.
+    pub fn snapshot_lsn(&self, log: &LogManager) -> Lsn {
+        self.inner.lock().watermark(log)
+    }
+
+    /// Atomically compute a safe snapshot LSN AND register it as active, so
+    /// no fold computed after this call can cross it.
+    pub fn begin_snapshot(&self, log: &LogManager) -> Lsn {
+        let mut st = self.inner.lock();
+        let s = st.watermark(log);
+        *st.snapshots.entry(s.0).or_insert(0) += 1;
+        s
+    }
+
+    /// Deregister an active snapshot.
+    pub fn end_snapshot(&self, s: Lsn) {
+        let mut st = self.inner.lock();
+        if let Some(c) = st.snapshots.get_mut(&s.0) {
+            *c -= 1;
+            if *c == 0 {
+                st.snapshots.remove(&s.0);
+            }
+        }
+    }
+
+    /// The version-fold horizon: no fold may absorb an entry newer than
+    /// this. It is the minimum of (a) every active snapshot and (b) the
+    /// current watermark itself — (b) bounds the snapshot any *future*
+    /// reader could obtain (live tickets clip it), closing the race where a
+    /// reader registers just after a fold decision.
+    pub fn fold_horizon(&self, log: &LogManager) -> Lsn {
+        let st = self.inner.lock();
+        let w = st.watermark(log);
+        match st.snapshots.keys().next() {
+            Some(&oldest) => w.min(Lsn(oldest)),
+            None => w,
+        }
+    }
+
+    /// Drop all snapshot registrations (crash simulation).
+    pub fn clear_snapshots(&self) {
+        self.inner.lock().snapshots.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txview_common::TxnId;
+    use txview_wal::record::RecordBody;
+
+    #[test]
+    fn watermark_tracks_log_end_when_idle() {
+        let log = LogManager::in_memory();
+        let wm = CommitWatermark::new();
+        let a = log.append(TxnId(1), Lsn::NULL, RecordBody::Commit);
+        assert_eq!(wm.snapshot_lsn(&log), a);
+    }
+
+    #[test]
+    fn inflight_commit_clips_watermark() {
+        let log = LogManager::in_memory();
+        let wm = CommitWatermark::new();
+        let before = log.append(TxnId(1), Lsn::NULL, RecordBody::Commit);
+        let ticket = wm.begin_commit(&log);
+        // Floor phase: watermark stays at/below the pre-commit log end.
+        let commit = log.append(TxnId(2), Lsn::NULL, RecordBody::Commit);
+        assert_eq!(wm.snapshot_lsn(&log), before);
+        // Actual phase: still excludes the commit itself.
+        wm.set_lsn(ticket, commit);
+        assert_eq!(wm.snapshot_lsn(&log), Lsn(commit.0 - 1));
+        // Retired: watermark advances past it.
+        wm.end_commit(ticket);
+        assert_eq!(wm.snapshot_lsn(&log), commit);
+    }
+
+    #[test]
+    fn multiple_tickets_take_the_minimum() {
+        let log = LogManager::in_memory();
+        let wm = CommitWatermark::new();
+        let t1 = wm.begin_commit(&log);
+        let c1 = log.append(TxnId(1), Lsn::NULL, RecordBody::Commit);
+        wm.set_lsn(t1, c1);
+        let _t2 = wm.begin_commit(&log); // floor = c1
+        let _c2 = log.append(TxnId(2), Lsn::NULL, RecordBody::Commit);
+        // t1 excludes c1; t2's floor is c1 — watermark is c1 - 1.
+        assert_eq!(wm.snapshot_lsn(&log), Lsn(c1.0 - 1));
+        wm.end_commit(t1);
+        assert_eq!(wm.snapshot_lsn(&log), c1, "t2's floor still clips");
+    }
+}

@@ -1,0 +1,198 @@
+//! Robustness under hostile conditions: tiny buffer pools (eviction storms
+//! exercising the WAL rule), ghost cleanup racing live writers, derived
+//! AVG reads, and repeated crash/cleanup interleavings.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use txview_common::schema::{Column, Schema};
+use txview_common::value::ValueType;
+use txview_common::{row, Value};
+use txview_engine::{
+    AggSpec, Database, IsolationLevel, MaintenanceMode, Predicate, ViewSource, ViewSpec,
+};
+
+fn items_schema() -> Schema {
+    Schema::new(
+        vec![
+            Column::new("id", ValueType::Int),
+            Column::new("grp", ValueType::Int),
+            Column::new("amount", ValueType::Int),
+        ],
+        vec![0],
+    )
+    .unwrap()
+}
+
+fn setup_with_pool(pool_pages: usize) -> Arc<Database> {
+    let db = Database::new_in_memory_with(pool_pages, Duration::from_secs(10));
+    let t = db.create_table("items", items_schema()).unwrap();
+    db.create_indexed_view(ViewSpec {
+        name: "totals".into(),
+        source: ViewSource::Single { table: t, group_by: vec![1] },
+        aggs: vec![AggSpec::SumInt { col: 2 }],
+        filter: Predicate::True,
+        maintenance: MaintenanceMode::Escrow,
+        deferred: false,
+        eager_group_delete: false,
+    })
+    .unwrap();
+    db
+}
+
+#[test]
+fn tiny_buffer_pool_eviction_storm() {
+    // 12 frames for a working set of dozens of pages: every operation
+    // churns the pool and forces WAL-before-data flushes.
+    let db = setup_with_pool(12);
+    for batch in 0..10i64 {
+        let mut txn = db.begin(IsolationLevel::ReadCommitted);
+        for i in 0..100i64 {
+            let id = batch * 100 + i;
+            db.insert(&mut txn, "items", row![id, id % 7, 3i64]).unwrap();
+        }
+        db.commit(&mut txn).unwrap();
+    }
+    db.verify_view("totals").unwrap();
+    assert_eq!(db.dump_table("items").unwrap().len(), 1000);
+    // Crash + recover with the same tiny pool.
+    db.crash_and_recover(0.5, 99).unwrap();
+    db.verify_view("totals").unwrap();
+}
+
+#[test]
+fn ghost_cleanup_races_live_writers() {
+    let db = setup_with_pool(1024);
+    // Preload groups that will be emptied and refilled.
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    for g in 0..8i64 {
+        db.insert(&mut txn, "items", row![g, g, 5i64]).unwrap();
+    }
+    db.commit(&mut txn).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    // Writers toggle rows (creating count-0 view rows constantly).
+    for t in 0..4u64 {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = txview_common::rng::Rng::new(t);
+            while !stop.load(Ordering::Relaxed) {
+                let g = rng.below(8) as i64;
+                let mut txn = db.begin(IsolationLevel::ReadCommitted);
+                let r = match db.delete(&mut txn, "items", &[Value::Int(g)]) {
+                    Ok(()) => Ok(()),
+                    Err(txview_common::Error::NotFound(_)) => {
+                        match db.insert(&mut txn, "items", row![g, g, 5i64]) {
+                            Ok(()) | Err(txview_common::Error::DuplicateKey(_)) => Ok(()),
+                            Err(e) => Err(e),
+                        }
+                    }
+                    Err(e) => Err(e),
+                }
+                .and_then(|()| db.commit(&mut txn).map(|_| ()));
+                if r.is_err() && txn.is_active() {
+                    let _ = db.rollback(&mut txn);
+                }
+            }
+        }));
+    }
+    // A cleaner thread sweeps continuously WHILE writers run.
+    {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                db.run_ghost_cleanup().unwrap();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(600));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    db.verify_view("totals").unwrap();
+    // A final sweep leaves only live state behind.
+    db.run_ghost_cleanup().unwrap();
+    db.verify_view("totals").unwrap();
+}
+
+#[test]
+fn derived_avg_reads() {
+    let db = setup_with_pool(256);
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    for (id, amount) in [(1i64, 10i64), (2, 20), (3, 33)] {
+        db.insert(&mut txn, "items", row![id, 0i64, amount]).unwrap();
+    }
+    db.commit(&mut txn).unwrap();
+    let mut r = db.begin(IsolationLevel::ReadCommitted);
+    let avg = db.view_avg(&mut r, "totals", &[Value::Int(0)], 0).unwrap().unwrap();
+    assert!((avg - 21.0).abs() < 1e-9);
+    // Missing group → None; bad aggregate index → error.
+    assert!(db.view_avg(&mut r, "totals", &[Value::Int(99)], 0).unwrap().is_none());
+    assert!(db.view_avg(&mut r, "totals", &[Value::Int(0)], 5).is_err());
+    db.commit(&mut r).unwrap();
+}
+
+#[test]
+fn cleanup_then_crash_then_cleanup() {
+    let db = setup_with_pool(512);
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    for g in 0..20i64 {
+        db.insert(&mut txn, "items", row![g, g, 1i64]).unwrap();
+    }
+    db.commit(&mut txn).unwrap();
+    // Empty half the groups, clean some, crash mid-state, clean the rest.
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    for g in 0..10i64 {
+        db.delete(&mut txn, "items", &[Value::Int(g)]).unwrap();
+    }
+    db.commit(&mut txn).unwrap();
+    let first = db.run_ghost_cleanup().unwrap();
+    assert!(first.removed > 0);
+    db.crash_and_recover(0.7, 5).unwrap();
+    db.verify_view("totals").unwrap();
+    // The crash dropped the queue; cleanup must be re-derivable by a scan
+    // (the queue is an optimization, not the source of truth) — here we
+    // simply verify correctness holds and remaining rows can be re-queued
+    // by future DML without issue.
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    for g in 10..20i64 {
+        db.delete(&mut txn, "items", &[Value::Int(g)]).unwrap();
+    }
+    db.commit(&mut txn).unwrap();
+    db.run_ghost_cleanup().unwrap();
+    db.verify_view("totals").unwrap();
+    assert!(db.dump_table("items").unwrap().is_empty());
+}
+
+#[test]
+fn many_groups_split_view_tree_under_concurrency() {
+    // Enough distinct groups that the VIEW index itself splits repeatedly
+    // while escrow writers run — system transactions interleaving with
+    // user transactions on the same tree.
+    let db = setup_with_pool(2048);
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for i in 0..400i64 {
+                    let id = t as i64 * 10_000 + i;
+                    let grp = id; // one group per row: maximal view growth
+                    db.run_txn(IsolationLevel::ReadCommitted, 5, |txn| {
+                        db.insert(txn, "items", row![id, grp, 2i64])
+                    })
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    db.verify_view("totals").unwrap();
+    assert_eq!(db.dump_view("totals").unwrap().len(), 1600);
+}

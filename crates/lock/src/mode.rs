@@ -1,0 +1,237 @@
+//! Lock modes, their compatibility matrix, and the conversion lattice.
+//!
+//! The matrix is the classic hierarchical one (IS/IX/S/SIX/U/X) extended
+//! with the paper's **E (escrow / increment)** mode:
+//!
+//! ```text
+//!        IS   IX   S    SIX  U    X    E
+//!   IS   ✓    ✓    ✓    ✓    ✓    ✗    ✓
+//!   IX   ✓    ✓    ✗    ✗    ✗    ✗    ✓
+//!   S    ✓    ✗    ✓    ✗    ✓    ✗    ✗
+//!   SIX  ✓    ✗    ✗    ✗    ✗    ✗    ✗
+//!   U    ✓    ✗    ✓    ✗    ✗    ✗    ✗
+//!   X    ✗    ✗    ✗    ✗    ✗    ✗    ✗
+//!   E    ✓    ✓    ✗    ✗    ✗    ✗    ✓
+//! ```
+//!
+//! E–E compatibility is the whole point: concurrent increments commute.
+//! E–S/U/X incompatibility keeps readers consistent: nobody may observe a
+//! value that unfinished increments could still change, and an incrementing
+//! transaction may not read "its" value back without converting to X
+//! (it cannot know the other increments in flight).
+
+use std::fmt;
+
+/// A lock mode.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LockMode {
+    /// Intent shared (hierarchical parent of S).
+    IS,
+    /// Intent exclusive (hierarchical parent of X **and of E**).
+    IX,
+    /// Shared.
+    S,
+    /// Shared + intent exclusive.
+    SIX,
+    /// Update (read now, likely write later; prevents conversion deadlock).
+    U,
+    /// Exclusive.
+    X,
+    /// Escrow / increment: commutative delta updates only.
+    E,
+}
+
+impl LockMode {
+    /// All modes (test helper and table iteration).
+    pub const ALL: [LockMode; 7] = [
+        LockMode::IS,
+        LockMode::IX,
+        LockMode::S,
+        LockMode::SIX,
+        LockMode::U,
+        LockMode::X,
+        LockMode::E,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            LockMode::IS => 0,
+            LockMode::IX => 1,
+            LockMode::S => 2,
+            LockMode::SIX => 3,
+            LockMode::U => 4,
+            LockMode::X => 5,
+            LockMode::E => 6,
+        }
+    }
+
+    /// True iff a holder in `self` and a holder in `other` may coexist.
+    pub fn compatible(self, other: LockMode) -> bool {
+        const T: bool = true;
+        const F: bool = false;
+        //                         IS IX  S  SIX U  X  E
+        const MATRIX: [[bool; 7]; 7] = [
+            /* IS  */ [T, T, T, T, T, F, T],
+            /* IX  */ [T, T, F, F, F, F, T],
+            /* S   */ [T, F, T, F, T, F, F],
+            /* SIX */ [T, F, F, F, F, F, F],
+            /* U   */ [T, F, T, F, F, F, F],
+            /* X   */ [F, F, F, F, F, F, F],
+            /* E   */ [T, T, F, F, F, F, T],
+        ];
+        MATRIX[self.idx()][other.idx()]
+    }
+
+    /// Least upper bound in the conversion lattice: the weakest single mode
+    /// that grants both `self` and `other`.
+    ///
+    /// The lattice orders modes by the set of actions they permit. E joins
+    /// with anything that reads or writes as X (an incrementer that also
+    /// wants to read or overwrite needs full exclusion); E joins with
+    /// intent modes as E-over-IX (approximated as X only when S-reading is
+    /// involved).
+    pub fn sup(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        if self == other {
+            return self;
+        }
+        // Normalize order to halve the table.
+        let (a, b) = if self.idx() <= other.idx() { (self, other) } else { (other, self) };
+        match (a, b) {
+            (IS, IX) => IX,
+            (IS, S) => S,
+            (IS, SIX) => SIX,
+            (IS, U) => U,
+            (IS, X) => X,
+            (IS, E) => E,
+            (IX, S) => SIX,
+            (IX, SIX) => SIX,
+            (IX, U) => SIX,
+            (IX, X) => X,
+            (IX, E) => E,
+            (S, SIX) => SIX,
+            (S, U) => U,
+            (S, X) => X,
+            (S, E) => X,
+            (SIX, U) => SIX,
+            (SIX, X) => X,
+            (SIX, E) => X,
+            (U, X) => X,
+            (U, E) => X,
+            (X, E) => X,
+            _ => unreachable!("normalized ordering covers all pairs"),
+        }
+    }
+
+    /// True iff holding `self` already implies every right `other` grants.
+    pub fn covers(self, other: LockMode) -> bool {
+        self.sup(other) == self
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LockMode::IS => "IS",
+            LockMode::IX => "IX",
+            LockMode::S => "S",
+            LockMode::SIX => "SIX",
+            LockMode::U => "U",
+            LockMode::X => "X",
+            LockMode::E => "E",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use LockMode::*;
+
+    #[test]
+    fn escrow_is_self_compatible_but_excludes_readers() {
+        assert!(E.compatible(E));
+        assert!(!E.compatible(S));
+        assert!(!E.compatible(U));
+        assert!(!E.compatible(X));
+        assert!(E.compatible(IX));
+        assert!(E.compatible(IS));
+    }
+
+    #[test]
+    fn x_excludes_everything() {
+        for m in LockMode::ALL {
+            assert!(!X.compatible(m));
+            assert!(!m.compatible(X));
+        }
+    }
+
+    #[test]
+    fn u_is_asymmetric_free() {
+        // Classic U: compatible with S (readers), not with another U.
+        assert!(U.compatible(S));
+        assert!(!U.compatible(U));
+        assert!(!U.compatible(E));
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        for a in LockMode::ALL {
+            for b in LockMode::ALL {
+                assert_eq!(a.compatible(b), b.compatible(a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sup_examples_from_the_paper_protocol() {
+        // Incrementer that must read its row back: E ∨ S = X.
+        assert_eq!(E.sup(S), X);
+        // Incrementer that must overwrite (group deletion): E ∨ X = X.
+        assert_eq!(E.sup(X), X);
+        // Reader upgrading to write: classic S ∨ IX = SIX at table level.
+        assert_eq!(S.sup(IX), SIX);
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_x_covers_all() {
+        for m in LockMode::ALL {
+            assert!(m.covers(m));
+            assert!(X.covers(m));
+        }
+        assert!(!E.covers(S));
+        assert!(!S.covers(E));
+    }
+
+    fn arb_mode() -> impl Strategy<Value = LockMode> {
+        prop::sample::select(LockMode::ALL.to_vec())
+    }
+
+    proptest! {
+        /// sup is commutative, idempotent, and an upper bound.
+        #[test]
+        fn sup_lattice_laws(a in arb_mode(), b in arb_mode()) {
+            prop_assert_eq!(a.sup(b), b.sup(a));
+            prop_assert_eq!(a.sup(a), a);
+            prop_assert!(a.sup(b).covers(a));
+            prop_assert!(a.sup(b).covers(b));
+        }
+
+        /// Anything incompatible with `c` stays incompatible after joining
+        /// more rights in (monotonicity of conflicts).
+        #[test]
+        fn sup_preserves_conflicts(a in arb_mode(), b in arb_mode(), c in arb_mode()) {
+            if !a.compatible(c) {
+                prop_assert!(!a.sup(b).compatible(c));
+            }
+        }
+
+        /// sup is associative (checked exhaustively by proptest sampling).
+        #[test]
+        fn sup_associative(a in arb_mode(), b in arb_mode(), c in arb_mode()) {
+            prop_assert_eq!(a.sup(b).sup(c), a.sup(b.sup(c)));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Lockable resource names.
+//!
+//! Three granularities, mirroring the paper's protocol:
+//!
+//! * [`LockName::Object`] — a whole table or view index (intent locks live
+//!   here; coarse S/X for scans and DDL);
+//! * [`LockName::Key`] — one record in one index, named by its key bytes;
+//! * [`LockName::Gap`] — the open interval *immediately before* a key in an
+//!   index (next-key / key-range locking). Locking `Gap(k)` together with
+//!   `Key(k)` protects the half-open range `(prev_key, k]` against
+//!   phantoms; an inserter into that interval must take the gap lock in X.
+
+use std::fmt;
+use txview_common::{IndexId, ObjectId};
+
+/// A lockable resource.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LockName {
+    /// A whole table / view index.
+    Object(ObjectId),
+    /// One record, named by index and key bytes.
+    Key(IndexId, Vec<u8>),
+    /// The open gap before the record with these key bytes.
+    Gap(IndexId, Vec<u8>),
+    /// The gap above the highest key of an index (range to +infinity).
+    EndGap(IndexId),
+}
+
+impl LockName {
+    /// Convenience constructor for key locks.
+    pub fn key(index: IndexId, key_bytes: impl Into<Vec<u8>>) -> LockName {
+        LockName::Key(index, key_bytes.into())
+    }
+
+    /// Convenience constructor for gap locks.
+    pub fn gap(index: IndexId, key_bytes: impl Into<Vec<u8>>) -> LockName {
+        LockName::Gap(index, key_bytes.into())
+    }
+}
+
+impl fmt::Display for LockName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockName::Object(o) => write!(f, "object:{}", o.0),
+            LockName::Key(i, k) => write!(f, "key:{}:{}", i.0, hex(k)),
+            LockName::Gap(i, k) => write!(f, "gap:{}:{}", i.0, hex(k)),
+            LockName::EndGap(i) => write!(f, "endgap:{}", i.0),
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes.iter().take(16) {
+        s.push_str(&format!("{b:02x}"));
+    }
+    if bytes.len() > 16 {
+        s.push('…');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_and_hash_distinguish_granules() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(LockName::Object(ObjectId(1)));
+        set.insert(LockName::key(IndexId(1), vec![1, 2]));
+        set.insert(LockName::gap(IndexId(1), vec![1, 2]));
+        set.insert(LockName::EndGap(IndexId(1)));
+        assert_eq!(set.len(), 4);
+        assert!(set.contains(&LockName::key(IndexId(1), vec![1, 2])));
+        assert!(!set.contains(&LockName::key(IndexId(2), vec![1, 2])));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let n = LockName::key(IndexId(3), vec![0xAB, 0xCD]);
+        assert_eq!(n.to_string(), "key:3:abcd");
+        let long = LockName::gap(IndexId(1), vec![0u8; 20]);
+        assert!(long.to_string().ends_with('…'));
+    }
+}

@@ -1,0 +1,480 @@
+//! Buffer pool: fixed set of frames over a [`DiskManager`].
+//!
+//! * **steal / no-force** — dirty pages may be evicted before commit and are
+//!   not forced at commit; recovery (in `txview-wal`) relies on this.
+//! * **WAL-before-data** — before a dirty page image is written, the pool
+//!   calls the registered WAL-flush hook with the page's pageLSN.
+//! * **CLOCK eviction** with pin counts; per-frame `RwLock<Page>` serves as
+//!   the page *latch* (short-term physical consistency), entirely separate
+//!   from transaction *locks*.
+//! * **crash simulation** — [`BufferPool::simulate_crash`] flushes a random
+//!   subset of dirty pages (modelling steal having happened at arbitrary
+//!   points) and then forgets everything, leaving the disk in exactly the
+//!   kind of inconsistent state ARIES recovery must repair.
+
+use crate::disk::DiskManager;
+use crate::page::{Page, PageType};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::HashMap;
+use std::sync::Arc;
+use txview_common::rng::Rng;
+use txview_common::{Error, Lsn, PageId, Result};
+
+/// Hook invoked with a pageLSN just before that page is written to disk.
+/// The WAL layer registers `|lsn| log.flush_to(lsn)` here.
+pub type WalFlushFn = dyn Fn(Lsn) -> Result<()> + Send + Sync;
+
+struct FrameState {
+    pid: Option<PageId>,
+    dirty: bool,
+    /// ARIES recLSN: a lower bound on the LSN of the first log record that
+    /// dirtied this page since it was last flushed (the page's pageLSN at
+    /// the clean→dirty transition). Null while clean.
+    rec_lsn: Lsn,
+    pins: u32,
+    refbit: bool,
+}
+
+struct PoolState {
+    map: HashMap<PageId, usize>,
+    frames: Vec<FrameState>,
+    hand: usize,
+}
+
+/// The buffer pool. Cheap to share: wrap in `Arc`.
+pub struct BufferPool {
+    disk: Arc<dyn DiskManager>,
+    latches: Vec<RwLock<Page>>,
+    state: Mutex<PoolState>,
+    wal_flush: RwLock<Option<Arc<WalFlushFn>>>,
+}
+
+impl BufferPool {
+    /// Create a pool with `capacity` frames over `disk`.
+    pub fn new(disk: Arc<dyn DiskManager>, capacity: usize) -> Arc<BufferPool> {
+        assert!(capacity > 0);
+        let latches = (0..capacity)
+            .map(|_| RwLock::new(Page::new(PageType::Free)))
+            .collect();
+        let frames = (0..capacity)
+            .map(|_| FrameState { pid: None, dirty: false, rec_lsn: Lsn::NULL, pins: 0, refbit: false })
+            .collect();
+        Arc::new(BufferPool {
+            disk,
+            latches,
+            state: Mutex::new(PoolState { map: HashMap::new(), frames, hand: 0 }),
+            wal_flush: RwLock::new(None),
+        })
+    }
+
+    /// Register the WAL-before-data hook.
+    pub fn set_wal_flush(&self, f: Arc<WalFlushFn>) {
+        *self.wal_flush.write() = Some(f);
+    }
+
+    /// The underlying disk manager.
+    pub fn disk(&self) -> &Arc<dyn DiskManager> {
+        &self.disk
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.latches.len()
+    }
+
+    fn flush_wal_to(&self, lsn: Lsn) -> Result<()> {
+        if lsn.is_null() {
+            return Ok(());
+        }
+        let hook = self.wal_flush.read().clone();
+        if let Some(f) = hook {
+            f(lsn)?;
+        }
+        Ok(())
+    }
+
+    /// Write one frame's page to disk, honouring WAL-before-data.
+    /// Caller holds the state mutex; the frame must be unpinned or the
+    /// caller must otherwise guarantee latch availability.
+    fn write_frame(&self, idx: usize, st: &mut PoolState) -> Result<()> {
+        let pid = st.frames[idx].pid.expect("write_frame on empty frame");
+        // Uncontended: pins == 0 or caller owns the only pin and no latch.
+        let mut page = self.latches[idx].write();
+        self.flush_wal_to(page.lsn())?;
+        self.disk.write_page(pid, &mut page)?;
+        st.frames[idx].dirty = false;
+        st.frames[idx].rec_lsn = Lsn::NULL;
+        Ok(())
+    }
+
+    /// Find a victim frame with CLOCK, flushing it if dirty. Returns the
+    /// frame index with its state cleared and pinned once for the caller.
+    fn take_victim(&self, st: &mut PoolState, for_pid: PageId) -> Result<usize> {
+        let n = st.frames.len();
+        // Two full sweeps: first clears refbits, second takes any unpinned.
+        for _ in 0..2 * n + 1 {
+            let idx = st.hand;
+            st.hand = (st.hand + 1) % n;
+            let f = &mut st.frames[idx];
+            if f.pins > 0 {
+                continue;
+            }
+            if f.refbit {
+                f.refbit = false;
+                continue;
+            }
+            // Victim found.
+            if f.dirty {
+                self.write_frame(idx, st)?;
+            }
+            let f = &mut st.frames[idx];
+            if let Some(old) = f.pid.take() {
+                st.map.remove(&old);
+            }
+            f.dirty = false;
+            f.rec_lsn = Lsn::NULL;
+            f.pins = 1;
+            f.refbit = true;
+            f.pid = Some(for_pid);
+            st.map.insert(for_pid, idx);
+            return Ok(idx);
+        }
+        Err(Error::BufferExhausted)
+    }
+
+    /// Fetch `pid` into the pool, pinning it.
+    pub fn fetch(self: &Arc<Self>, pid: PageId) -> Result<PinnedPage> {
+        let mut st = self.state.lock();
+        if let Some(&idx) = st.map.get(&pid) {
+            let f = &mut st.frames[idx];
+            f.pins += 1;
+            f.refbit = true;
+            return Ok(PinnedPage { pool: Arc::clone(self), idx, pid });
+        }
+        let idx = self.take_victim(&mut st, pid)?;
+        // Read from disk while holding the state lock: simple and safe
+        // (frame is pinned so nothing else will touch it).
+        match self.disk.read_page(pid) {
+            Ok(page) => {
+                *self.latches[idx].write() = page;
+                Ok(PinnedPage { pool: Arc::clone(self), idx, pid })
+            }
+            Err(e) => {
+                // Back out the reservation.
+                let f = &mut st.frames[idx];
+                f.pid = None;
+                f.pins = 0;
+                st.map.remove(&pid);
+                Err(e)
+            }
+        }
+    }
+
+    /// Allocate a fresh page of type `ty`, pinned and dirty.
+    pub fn new_page(self: &Arc<Self>, ty: PageType) -> Result<(PageId, PinnedPage)> {
+        let pid = self.disk.allocate()?;
+        let mut st = self.state.lock();
+        let idx = self.take_victim(&mut st, pid)?;
+        st.frames[idx].dirty = true;
+        st.frames[idx].rec_lsn = Lsn::NULL;
+        *self.latches[idx].write() = Page::new(ty);
+        Ok((pid, PinnedPage { pool: Arc::clone(self), idx, pid }))
+    }
+
+    /// Re-create page `pid` in the pool with a fresh image (recovery redo of
+    /// a page-format record for a page the disk never saw). Pinned + dirty.
+    pub fn recreate_page(self: &Arc<Self>, pid: PageId, ty: PageType) -> Result<PinnedPage> {
+        self.disk.ensure_allocated(pid);
+        let mut st = self.state.lock();
+        if let Some(&idx) = st.map.get(&pid) {
+            let f = &mut st.frames[idx];
+            f.pins += 1;
+            f.dirty = true;
+            f.rec_lsn = Lsn::NULL;
+            *self.latches[idx].write() = Page::new(ty);
+            return Ok(PinnedPage { pool: Arc::clone(self), idx, pid });
+        }
+        let idx = self.take_victim(&mut st, pid)?;
+        st.frames[idx].dirty = true;
+        st.frames[idx].rec_lsn = Lsn::NULL;
+        *self.latches[idx].write() = Page::new(ty);
+        Ok(PinnedPage { pool: Arc::clone(self), idx, pid })
+    }
+
+    /// Fetch `pid`, creating a fresh image if the disk has never stored it.
+    /// Used by recovery redo, where a logged page may have died unflushed.
+    pub fn fetch_or_recreate(self: &Arc<Self>, pid: PageId, ty: PageType) -> Result<PinnedPage> {
+        match self.fetch(pid) {
+            Ok(p) => Ok(p),
+            Err(Error::NotFound(_)) | Err(Error::Io(_)) | Err(Error::Corruption(_)) => {
+                self.recreate_page(pid, ty)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Flush a single page if resident and dirty.
+    pub fn flush_page(&self, pid: PageId) -> Result<()> {
+        let mut st = self.state.lock();
+        if let Some(&idx) = st.map.get(&pid) {
+            if st.frames[idx].dirty {
+                self.write_frame(idx, &mut st)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush every dirty resident page (checkpoint helper).
+    pub fn flush_all(&self) -> Result<()> {
+        let mut st = self.state.lock();
+        for idx in 0..st.frames.len() {
+            if st.frames[idx].pid.is_some() && st.frames[idx].dirty {
+                self.write_frame(idx, &mut st)?;
+            }
+        }
+        self.disk.sync()
+    }
+
+    /// (page, recLSN) of currently dirty resident pages — the dirty-page
+    /// table a fuzzy checkpoint records. The recLSN is where redo for that
+    /// page must start.
+    pub fn dirty_pages(&self) -> Vec<(PageId, Lsn)> {
+        let st = self.state.lock();
+        let mut out = Vec::new();
+        for f in st.frames.iter() {
+            if let (Some(pid), true) = (f.pid, f.dirty) {
+                out.push((pid, f.rec_lsn));
+            }
+        }
+        out
+    }
+
+    /// Crash simulation: flush each dirty page with probability
+    /// `steal_probability` (modelling evictions that already happened),
+    /// then forget all frames. Requires no outstanding pins.
+    pub fn simulate_crash(&self, steal_probability: f64, rng: &mut Rng) -> Result<()> {
+        let mut st = self.state.lock();
+        for idx in 0..st.frames.len() {
+            let f = &st.frames[idx];
+            assert_eq!(f.pins, 0, "simulate_crash with pinned pages");
+            if f.pid.is_some() && f.dirty && rng.chance(steal_probability) {
+                self.write_frame(idx, &mut st)?;
+            }
+        }
+        for f in st.frames.iter_mut() {
+            f.pid = None;
+            f.dirty = false;
+            f.rec_lsn = Lsn::NULL;
+            f.refbit = false;
+        }
+        st.map.clear();
+        Ok(())
+    }
+}
+
+/// Read latch guard.
+pub type PageReadGuard<'a> = RwLockReadGuard<'a, Page>;
+/// Write latch guard.
+pub type PageWriteGuard<'a> = RwLockWriteGuard<'a, Page>;
+
+/// A pinned page. Dropping unpins. `read()`/`write()` take the page latch.
+pub struct PinnedPage {
+    pool: Arc<BufferPool>,
+    idx: usize,
+    pid: PageId,
+}
+
+impl PinnedPage {
+    /// The page id.
+    pub fn id(&self) -> PageId {
+        self.pid
+    }
+
+    /// Take the shared (read) latch.
+    pub fn read(&self) -> PageReadGuard<'_> {
+        self.pool.latches[self.idx].read()
+    }
+
+    /// Take the exclusive (write) latch and mark the frame dirty, recording
+    /// the recLSN (the pageLSN before this modification) at the clean→dirty
+    /// transition. Latch-then-state order is safe: state→latch paths only
+    /// touch unpinned frames, and this frame is pinned.
+    pub fn write(&self) -> PageWriteGuard<'_> {
+        let guard = self.pool.latches[self.idx].write();
+        {
+            let mut st = self.pool.state.lock();
+            let f = &mut st.frames[self.idx];
+            if !f.dirty {
+                f.dirty = true;
+                f.rec_lsn = guard.lsn();
+            }
+        }
+        guard
+    }
+}
+
+impl Drop for PinnedPage {
+    fn drop(&mut self) {
+        let mut st = self.pool.state.lock();
+        let f = &mut st.frames[self.idx];
+        debug_assert!(f.pins > 0);
+        f.pins -= 1;
+    }
+}
+
+impl Clone for PinnedPage {
+    fn clone(&self) -> Self {
+        let mut st = self.pool.state.lock();
+        st.frames[self.idx].pins += 1;
+        PinnedPage { pool: Arc::clone(&self.pool), idx: self.idx, pid: self.pid }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn pool(cap: usize) -> Arc<BufferPool> {
+        BufferPool::new(Arc::new(MemDisk::new()), cap)
+    }
+
+    #[test]
+    fn new_page_fetch_roundtrip() {
+        let p = pool(4);
+        let (pid, page) = p.new_page(PageType::BTreeLeaf).unwrap();
+        page.write().payload_mut()[0] = 0x5A;
+        drop(page);
+        let again = p.fetch(pid).unwrap();
+        assert_eq!(again.read().payload()[0], 0x5A);
+    }
+
+    #[test]
+    fn eviction_and_reload() {
+        let p = pool(2);
+        let mut pids = Vec::new();
+        for i in 0..5u8 {
+            let (pid, page) = p.new_page(PageType::BTreeLeaf).unwrap();
+            page.write().payload_mut()[0] = i;
+            pids.push(pid);
+        }
+        // All five pages must still be readable (three were evicted).
+        for (i, pid) in pids.iter().enumerate() {
+            let page = p.fetch(*pid).unwrap();
+            assert_eq!(page.read().payload()[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let p = pool(2);
+        let (pid_a, a) = p.new_page(PageType::BTreeLeaf).unwrap();
+        let (_pid_b, b) = p.new_page(PageType::BTreeLeaf).unwrap();
+        // Both frames pinned: a third page cannot enter.
+        assert!(matches!(p.new_page(PageType::BTreeLeaf), Err(Error::BufferExhausted)));
+        drop(b);
+        // Now one frame is evictable.
+        let (_pid_c, _c) = p.new_page(PageType::BTreeLeaf).unwrap();
+        // `a` is still resident and correct.
+        assert_eq!(p.fetch(pid_a).unwrap().id(), a.id());
+    }
+
+    #[test]
+    fn wal_hook_called_before_dirty_write() {
+        let p = pool(1);
+        let called = Arc::new(AtomicU64::new(u64::MAX));
+        let c2 = Arc::clone(&called);
+        p.set_wal_flush(Arc::new(move |lsn| {
+            c2.store(lsn.0, Ordering::SeqCst);
+            Ok(())
+        }));
+        let (_pid, page) = p.new_page(PageType::BTreeLeaf).unwrap();
+        page.write().set_lsn(Lsn(99));
+        drop(page);
+        // Force eviction by allocating another page into the single frame.
+        let (_pid2, _page2) = p.new_page(PageType::BTreeLeaf).unwrap();
+        assert_eq!(called.load(Ordering::SeqCst), 99);
+    }
+
+    #[test]
+    fn flush_all_clears_dirty_set() {
+        let p = pool(4);
+        let (_p1, g1) = p.new_page(PageType::BTreeLeaf).unwrap();
+        g1.write().set_lsn(Lsn(1));
+        drop(g1);
+        assert_eq!(p.dirty_pages().len(), 1);
+        p.flush_all().unwrap();
+        assert!(p.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn simulate_crash_loses_unflushed_writes() {
+        let disk = Arc::new(MemDisk::new());
+        let p = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskManager>, 4);
+        let (pid, page) = p.new_page(PageType::BTreeLeaf).unwrap();
+        page.write().payload_mut()[0] = 7;
+        drop(page);
+        let mut rng = Rng::new(1);
+        p.simulate_crash(0.0, &mut rng).unwrap(); // steal probability 0: nothing flushed
+        // Disk never saw the page.
+        assert!(disk.read_page(pid).is_err());
+        // And recovery-style access recreates a fresh image.
+        let page = p.fetch_or_recreate(pid, PageType::BTreeLeaf).unwrap();
+        assert_eq!(page.read().payload()[0], 0);
+    }
+
+    #[test]
+    fn simulate_crash_with_full_steal_preserves_writes() {
+        let p = pool(4);
+        let (pid, page) = p.new_page(PageType::BTreeLeaf).unwrap();
+        page.write().payload_mut()[0] = 7;
+        drop(page);
+        let mut rng = Rng::new(1);
+        p.simulate_crash(1.0, &mut rng).unwrap();
+        let page = p.fetch(pid).unwrap();
+        assert_eq!(page.read().payload()[0], 7);
+    }
+
+    #[test]
+    fn clone_pin_keeps_frame() {
+        let p = pool(1);
+        let (_pid, page) = p.new_page(PageType::BTreeLeaf).unwrap();
+        let second = page.clone();
+        drop(page);
+        // Still pinned by `second`, so a new page cannot take the frame.
+        assert!(p.new_page(PageType::BTreeLeaf).is_err());
+        drop(second);
+        assert!(p.new_page(PageType::BTreeLeaf).is_ok());
+    }
+
+    #[test]
+    fn concurrent_fetch_stress() {
+        let disk = Arc::new(MemDisk::new());
+        let p = BufferPool::new(disk as Arc<dyn DiskManager>, 8);
+        let mut pids = Vec::new();
+        for i in 0..32u8 {
+            let (pid, page) = p.new_page(PageType::BTreeLeaf).unwrap();
+            page.write().payload_mut()[0] = i;
+            pids.push(pid);
+        }
+        p.flush_all().unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let p = Arc::clone(&p);
+                let pids = pids.clone();
+                std::thread::spawn(move || {
+                    let mut rng = Rng::new(t as u64);
+                    for _ in 0..500 {
+                        let i = rng.below(pids.len() as u64) as usize;
+                        let page = p.fetch(pids[i]).unwrap();
+                        assert_eq!(page.read().payload()[0], i as u8);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+}

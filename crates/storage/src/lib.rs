@@ -1,0 +1,25 @@
+//! # txview-storage
+//!
+//! Page-based storage substrate:
+//!
+//! * [`page`] — the 8 KiB page frame with header (type, pageLSN, checksum),
+//! * [`slotted`] — the slotted-page record layout used by B-tree nodes and
+//!   the catalog,
+//! * [`disk`] — a file-backed disk manager (page read/write/allocate) with a
+//!   superblock, plus an in-memory variant for tests,
+//! * [`buffer`] — a steal/no-force buffer pool with CLOCK eviction, pin
+//!   counting, per-frame latches, and a WAL-before-data hook.
+//!
+//! Responsibilities are split exactly the way the reproduced paper assumes:
+//! this crate provides *physical* consistency (latches, checksums); *logical*
+//! consistency (locks, transactions) lives in `txview-lock` / `txview-txn`.
+
+pub mod buffer;
+pub mod disk;
+pub mod page;
+pub mod slotted;
+
+pub use buffer::{BufferPool, PageReadGuard, PageWriteGuard};
+pub use disk::{DiskManager, FileDisk, MemDisk};
+pub use page::{Page, PageType, PAGE_SIZE, PAGE_HEADER_SIZE, PAGE_PAYLOAD_SIZE};
+pub use slotted::{Slotted, SlottedRef};

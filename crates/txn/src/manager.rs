@@ -1,0 +1,306 @@
+//! The transaction manager: begin / commit / rollback / savepoint /
+//! system transactions / checkpoint.
+
+use crate::txn::{IsolationLevel, Transaction, TxnState};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use txview_common::{Error, Lsn, Result, TxnId};
+use txview_lock::LockManager;
+use txview_storage::buffer::BufferPool;
+use txview_wal::record::{RecordBody, TxnKind};
+use txview_wal::recovery::UndoHandler;
+use txview_wal::LogManager;
+
+/// Coordinates transactions over the log and lock managers.
+pub struct TxnManager {
+    log: Arc<LogManager>,
+    locks: Arc<LockManager>,
+    /// Active user transactions: id → last known LSN (for checkpoints).
+    active: Mutex<HashMap<TxnId, Lsn>>,
+}
+
+impl TxnManager {
+    /// Create a manager over shared log and lock managers.
+    pub fn new(log: Arc<LogManager>, locks: Arc<LockManager>) -> TxnManager {
+        TxnManager { log, locks, active: Mutex::new(HashMap::new()) }
+    }
+
+    /// The log manager.
+    pub fn log(&self) -> &Arc<LogManager> {
+        &self.log
+    }
+
+    /// The lock manager.
+    pub fn locks(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    /// Begin a user transaction at the given isolation level.
+    pub fn begin(&self, isolation: IsolationLevel) -> Transaction {
+        let id = self.log.alloc_txn_id();
+        let snapshot_lsn = self.log.last_allocated_lsn();
+        let last_lsn = self.log.append(id, Lsn::NULL, RecordBody::Begin { kind: TxnKind::User });
+        self.active.lock().insert(id, last_lsn);
+        Transaction {
+            id,
+            isolation,
+            last_lsn,
+            snapshot_lsn,
+            state: TxnState::Active,
+            undo: Vec::new(),
+        }
+    }
+
+    /// Commit: force the commit record, release all locks, log End.
+    /// Returns the commit LSN (the version stamp for snapshot readers).
+    pub fn commit(&self, txn: &mut Transaction) -> Result<Lsn> {
+        self.commit_with(txn, |_| Ok(()))
+    }
+
+    /// Commit with a hook that runs after the commit record is durable but
+    /// *before* locks are released — the engine stamps multiversion entries
+    /// for snapshot readers there, while the touched rows are still stable.
+    pub fn commit_with(
+        &self,
+        txn: &mut Transaction,
+        pre_release: impl FnOnce(Lsn) -> Result<()>,
+    ) -> Result<Lsn> {
+        if txn.state != TxnState::Active {
+            return Err(Error::invalid(format!("commit of finished {}", txn.id)));
+        }
+        let commit_lsn = self.log.append(txn.id, txn.last_lsn, RecordBody::Commit);
+        self.log.flush_to(commit_lsn)?;
+        pre_release(commit_lsn)?;
+        self.locks.release_all(txn.id);
+        txn.last_lsn = self.log.append(txn.id, commit_lsn, RecordBody::End);
+        txn.state = TxnState::Committed;
+        txn.undo.clear();
+        self.active.lock().remove(&txn.id);
+        Ok(commit_lsn)
+    }
+
+    /// Roll the transaction back completely. Logical undo actions are
+    /// executed by `handler` (the engine), which writes CLRs through the
+    /// normal code paths; locks are released at the end.
+    pub fn rollback(&self, txn: &mut Transaction, handler: &dyn UndoHandler) -> Result<()> {
+        if txn.state != TxnState::Active {
+            return Err(Error::invalid(format!("rollback of finished {}", txn.id)));
+        }
+        txn.last_lsn = self.log.append(txn.id, txn.last_lsn, RecordBody::Abort);
+        self.rollback_to(txn, 0, handler)?;
+        txn.last_lsn = self.log.append(txn.id, txn.last_lsn, RecordBody::End);
+        txn.state = TxnState::Aborted;
+        self.locks.release_all(txn.id);
+        self.active.lock().remove(&txn.id);
+        Ok(())
+    }
+
+    /// Partial rollback to a savepoint token from
+    /// [`Transaction::savepoint`]. Locks are retained (standard savepoint
+    /// semantics — they may protect earlier, kept work).
+    pub fn rollback_to_savepoint(
+        &self,
+        txn: &mut Transaction,
+        savepoint: usize,
+        handler: &dyn UndoHandler,
+    ) -> Result<()> {
+        if txn.state != TxnState::Active {
+            return Err(Error::invalid(format!("savepoint rollback of finished {}", txn.id)));
+        }
+        self.rollback_to(txn, savepoint, handler)
+    }
+
+    fn rollback_to(&self, txn: &mut Transaction, upto: usize, handler: &dyn UndoHandler) -> Result<()> {
+        while txn.undo.len() > upto {
+            let entry = txn.undo.pop().expect("checked non-empty");
+            // CLRs written by the handler chain through txn.last_lsn, so
+            // records logged after a savepoint rollback back-chain through
+            // them (crash-undo then skips the compensated work).
+            handler.undo(txn.id, &entry.op, entry.undo_next, &mut txn.last_lsn)?;
+        }
+        Ok(())
+    }
+
+    /// Run `body` inside a system transaction (nested top action): its log
+    /// records commit independently of any user transaction. On error the
+    /// system transaction's page operations are *not* rolled back here —
+    /// callers must only fail before making changes (the B-tree upholds
+    /// this) — so an error simply abandons the bracket.
+    pub fn system<R>(
+        &self,
+        body: impl FnOnce(TxnId, &mut Lsn) -> Result<R>,
+    ) -> Result<R> {
+        let id = self.log.alloc_txn_id();
+        let mut last = self.log.append(id, Lsn::NULL, RecordBody::Begin { kind: TxnKind::System });
+        let out = body(id, &mut last)?;
+        let commit = self.log.append(id, last, RecordBody::Commit);
+        self.log.append(id, commit, RecordBody::End);
+        Ok(out)
+    }
+
+    /// Write a fuzzy checkpoint: active transactions + dirty pages.
+    pub fn checkpoint(&self, pool: &Arc<BufferPool>) -> Result<Lsn> {
+        let active: Vec<_> = self
+            .active
+            .lock()
+            .iter()
+            .map(|(&t, &l)| (t, TxnKind::User, l))
+            .collect();
+        let dirty = pool.dirty_pages();
+        self.log.write_checkpoint(active, dirty)
+    }
+
+    /// Forget all active-transaction bookkeeping (volatile state lost in a
+    /// crash; recovery rebuilds what matters from the log).
+    pub fn reset_active(&self) {
+        self.active.lock().clear();
+    }
+
+    /// Ids of currently active transactions (diagnostics).
+    pub fn active_txns(&self) -> Vec<TxnId> {
+        self.active.lock().keys().copied().collect()
+    }
+
+    /// Update the checkpoint-visible last LSN of an active transaction.
+    /// The engine calls this after each operation so fuzzy checkpoints
+    /// carry usable back-chain anchors.
+    pub fn note_progress(&self, txn: &Transaction) {
+        if let Some(slot) = self.active.lock().get_mut(&txn.id) {
+            *slot = txn.last_lsn;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use txview_common::IndexId;
+    use txview_lock::{LockMode, LockName};
+    use txview_storage::disk::MemDisk;
+    use txview_wal::record::UndoOp;
+
+    struct Recording(Mutex<Vec<UndoOp>>);
+    impl UndoHandler for Recording {
+        fn undo(&self, _txn: TxnId, op: &UndoOp, _next: Lsn, _chain: &mut Lsn) -> Result<()> {
+            self.0.lock().push(op.clone());
+            Ok(())
+        }
+    }
+
+    fn setup() -> (Arc<LogManager>, Arc<LockManager>, TxnManager) {
+        let log = Arc::new(LogManager::in_memory());
+        let locks = Arc::new(LockManager::new(Duration::from_millis(500)));
+        let mgr = TxnManager::new(Arc::clone(&log), Arc::clone(&locks));
+        (log, locks, mgr)
+    }
+
+    fn key_undo(n: u8) -> UndoOp {
+        UndoOp::IndexInsert { index: IndexId(1), key: vec![n] }
+    }
+
+    #[test]
+    fn begin_commit_writes_records_and_releases_locks() {
+        let (log, locks, mgr) = setup();
+        let mut t = mgr.begin(IsolationLevel::ReadCommitted);
+        locks.acquire(t.id, LockName::key(IndexId(1), vec![1]), LockMode::X).unwrap();
+        assert_eq!(locks.held_count(t.id), 1);
+        let commit_lsn = mgr.commit(&mut t).unwrap();
+        assert_eq!(locks.held_count(t.id), 0);
+        assert!(log.flushed_lsn() >= commit_lsn, "commit is durable");
+        let recs = log.read_durable_from(0).unwrap();
+        assert!(matches!(recs[0].1.body, RecordBody::Begin { kind: TxnKind::User }));
+        assert!(matches!(recs[1].1.body, RecordBody::Commit));
+        assert_eq!(t.state, TxnState::Committed);
+        assert!(mgr.active_txns().is_empty());
+    }
+
+    #[test]
+    fn double_commit_rejected() {
+        let (_log, _locks, mgr) = setup();
+        let mut t = mgr.begin(IsolationLevel::ReadCommitted);
+        mgr.commit(&mut t).unwrap();
+        assert!(mgr.commit(&mut t).is_err());
+    }
+
+    #[test]
+    fn rollback_undoes_in_reverse_and_releases_locks() {
+        let (_log, locks, mgr) = setup();
+        let mut t = mgr.begin(IsolationLevel::ReadCommitted);
+        locks.acquire(t.id, LockName::key(IndexId(1), vec![9]), LockMode::E).unwrap();
+        t.push_undo(key_undo(1), Lsn(10));
+        t.push_undo(key_undo(2), Lsn(11));
+        let h = Recording(Mutex::new(Vec::new()));
+        mgr.rollback(&mut t, &h).unwrap();
+        let calls = h.0.into_inner();
+        assert_eq!(calls, vec![key_undo(2), key_undo(1)]);
+        assert_eq!(t.state, TxnState::Aborted);
+        assert_eq!(locks.held_count(t.id), 0);
+    }
+
+    #[test]
+    fn savepoint_rolls_back_suffix_only() {
+        let (_log, _locks, mgr) = setup();
+        let mut t = mgr.begin(IsolationLevel::ReadCommitted);
+        t.push_undo(key_undo(1), Lsn(10));
+        let sp = t.savepoint();
+        t.push_undo(key_undo(2), Lsn(11));
+        t.push_undo(key_undo(3), Lsn(12));
+        let h = Recording(Mutex::new(Vec::new()));
+        mgr.rollback_to_savepoint(&mut t, sp, &h).unwrap();
+        assert_eq!(h.0.lock().as_slice(), &[key_undo(3), key_undo(2)]);
+        assert_eq!(t.undo_len(), 1);
+        assert!(t.is_active());
+        // Full rollback still undoes the rest.
+        let h2 = Recording(Mutex::new(Vec::new()));
+        mgr.rollback(&mut t, &h2).unwrap();
+        assert_eq!(h2.0.lock().as_slice(), &[key_undo(1)]);
+    }
+
+    #[test]
+    fn system_txn_brackets_commit_immediately() {
+        let (log, _locks, mgr) = setup();
+        let out = mgr.system(|id, last| {
+            assert!(!id.is_none());
+            assert!(!last.is_null());
+            Ok(42)
+        }).unwrap();
+        assert_eq!(out, 42);
+        log.flush_all().unwrap();
+        let recs = log.read_durable_from(0).unwrap();
+        assert!(matches!(recs[0].1.body, RecordBody::Begin { kind: TxnKind::System }));
+        assert!(matches!(recs[1].1.body, RecordBody::Commit));
+        assert!(matches!(recs[2].1.body, RecordBody::End));
+    }
+
+    #[test]
+    fn checkpoint_records_active_transactions() {
+        let (log, _locks, mgr) = setup();
+        let pool = BufferPool::new(Arc::new(MemDisk::new()), 4);
+        let t1 = mgr.begin(IsolationLevel::Serializable);
+        let _ck = mgr.checkpoint(&pool).unwrap();
+        let (off, _) = log.master().unwrap();
+        let recs = log.read_durable_from(off).unwrap();
+        match &recs[0].1.body {
+            RecordBody::Checkpoint { active, .. } => {
+                assert_eq!(active.len(), 1);
+                assert_eq!(active[0].0, t1.id);
+            }
+            other => panic!("expected checkpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_lsn_taken_at_begin() {
+        let (log, _locks, mgr) = setup();
+        let t1 = mgr.begin(IsolationLevel::Snapshot);
+        let before = t1.snapshot_lsn;
+        // Other activity advances the log.
+        let mut t2 = mgr.begin(IsolationLevel::ReadCommitted);
+        mgr.commit(&mut t2).unwrap();
+        let t3 = mgr.begin(IsolationLevel::Snapshot);
+        assert!(t3.snapshot_lsn > before);
+        assert!(log.last_allocated_lsn() >= t3.snapshot_lsn);
+    }
+}

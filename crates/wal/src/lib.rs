@@ -1,0 +1,31 @@
+//! # txview-wal
+//!
+//! ARIES-style write-ahead logging, specialised with exactly the machinery
+//! the reproduced paper (Graefe & Zwilling, SIGMOD 2004) requires:
+//!
+//! * **physiological redo** — every page modification is logged as a slot-
+//!   level operation ([`record::RedoOp`]) that is re-applied iff
+//!   `pageLSN < recordLSN`, so redo is idempotent even for escrow
+//!   increments (the redo image is the *result* bytes);
+//! * **logical undo** — escrow deltas and B-tree key operations carry an
+//!   [`record::UndoOp`] descriptor that is undone *logically* (inverse
+//!   delta / ghosting the key) through a resource-manager callback, because
+//!   physical before-images are wrong once concurrent increments on the
+//!   same record have committed in between;
+//! * **compensation log records** (CLRs) chaining `undo_next`, so rollback
+//!   and crash-undo never undo an undo;
+//! * **system transactions** (nested top actions) for structure
+//!   modifications: short, redo-logged, physically undone if caught
+//!   in-flight by a crash, and never undone once committed — even if the
+//!   user transaction that triggered them rolls back;
+//! * **fuzzy checkpoints** recording the active-transaction table and the
+//!   dirty-page table;
+//! * the classic **analysis / redo / undo** recovery driver.
+
+pub mod log;
+pub mod record;
+pub mod recovery;
+
+pub use log::{FileLogStore, LogManager, LogStore, MemLogStore};
+pub use record::{LogRecord, RecordBody, RedoOp, TxnKind, UndoOp, ValueDelta};
+pub use recovery::{recover, RecoveryReport, UndoHandler};

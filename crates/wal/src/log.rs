@@ -1,0 +1,448 @@
+//! The log manager: LSN allocation, buffered append, group flush, and the
+//! master checkpoint pointer.
+//!
+//! Records are appended to an in-memory tail and become durable only when
+//! flushed (`flush_to` / `flush_all`). The buffer pool's WAL-before-data
+//! hook calls [`LogManager::flush_to`] with a pageLSN; commit calls it with
+//! the commit record's LSN. A simulated crash discards the un-flushed tail,
+//! exactly like a real power failure.
+
+use crate::record::{LogRecord, RecordBody};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use txview_common::{Lsn, Result, TxnId};
+
+/// Reserved payload-header bytes at the start of every slotted page payload
+/// (B-tree node header). Shared between the WAL redo applier and the B-tree.
+pub const PAYLOAD_HEADER_LEN: usize = 16;
+
+/// Durable byte sink for the log, plus the master checkpoint pointer.
+pub trait LogStore: Send + Sync {
+    /// Durably append bytes (caller serializes; called under the manager's
+    /// lock).
+    fn append(&self, bytes: &[u8]) -> Result<()>;
+    /// Force bytes to stable storage.
+    fn sync(&self) -> Result<()>;
+    /// Total durable length in bytes.
+    fn len_bytes(&self) -> Result<u64>;
+    /// Read all durable bytes from `offset` to the end.
+    fn read_from(&self, offset: u64) -> Result<Vec<u8>>;
+    /// Persist the master checkpoint pointer (byte offset, LSN).
+    fn set_master(&self, offset: u64, lsn: Lsn) -> Result<()>;
+    /// Read the master checkpoint pointer.
+    fn get_master(&self) -> Result<(u64, Lsn)>;
+}
+
+/// In-memory log store (tests, crash simulation).
+#[derive(Default)]
+pub struct MemLogStore {
+    durable: Mutex<Vec<u8>>,
+    master: Mutex<(u64, Lsn)>,
+}
+
+impl MemLogStore {
+    /// New empty store.
+    pub fn new() -> MemLogStore {
+        MemLogStore::default()
+    }
+}
+
+impl LogStore for MemLogStore {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        self.durable.lock().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn len_bytes(&self) -> Result<u64> {
+        Ok(self.durable.lock().len() as u64)
+    }
+
+    fn read_from(&self, offset: u64) -> Result<Vec<u8>> {
+        let d = self.durable.lock();
+        Ok(d[(offset as usize).min(d.len())..].to_vec())
+    }
+
+    fn set_master(&self, offset: u64, lsn: Lsn) -> Result<()> {
+        *self.master.lock() = (offset, lsn);
+        Ok(())
+    }
+
+    fn get_master(&self) -> Result<(u64, Lsn)> {
+        Ok(*self.master.lock())
+    }
+}
+
+/// File-backed log store; the master pointer lives in a sibling file.
+pub struct FileLogStore {
+    file: Mutex<File>,
+    master_path: std::path::PathBuf,
+}
+
+impl FileLogStore {
+    /// Open (or create) `path` as the log file; the master pointer is kept
+    /// at `path` + ".master".
+    pub fn open(path: impl AsRef<Path>) -> Result<FileLogStore> {
+        let path = path.as_ref();
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)?;
+        let mut master_path = path.as_os_str().to_owned();
+        master_path.push(".master");
+        Ok(FileLogStore { file: Mutex::new(file), master_path: master_path.into() })
+    }
+}
+
+impl LogStore for FileLogStore {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        self.file.lock().write_all(bytes)?;
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+
+    fn len_bytes(&self) -> Result<u64> {
+        Ok(self.file.lock().metadata()?.len())
+    }
+
+    fn read_from(&self, offset: u64) -> Result<Vec<u8>> {
+        let mut f = self.file.lock();
+        let len = f.metadata()?.len();
+        let mut buf = Vec::with_capacity(len.saturating_sub(offset) as usize);
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn set_master(&self, offset: u64, lsn: Lsn) -> Result<()> {
+        let mut bytes = Vec::with_capacity(16);
+        bytes.extend_from_slice(&offset.to_le_bytes());
+        bytes.extend_from_slice(&lsn.0.to_le_bytes());
+        std::fs::write(&self.master_path, bytes)?;
+        Ok(())
+    }
+
+    fn get_master(&self) -> Result<(u64, Lsn)> {
+        match std::fs::read(&self.master_path) {
+            Ok(bytes) if bytes.len() == 16 => {
+                let offset = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+                let lsn = Lsn(u64::from_le_bytes(bytes[8..].try_into().unwrap()));
+                Ok((offset, lsn))
+            }
+            _ => Ok((0, Lsn::NULL)),
+        }
+    }
+}
+
+struct Pending {
+    lsn: Lsn,
+    bytes: Vec<u8>,
+}
+
+struct Tail {
+    pending: Vec<Pending>,
+    pending_bytes: usize,
+}
+
+/// The log manager.
+pub struct LogManager {
+    store: Box<dyn LogStore>,
+    tail: Mutex<Tail>,
+    next_lsn: AtomicU64,
+    flushed_lsn: AtomicU64,
+    next_txn: AtomicU64,
+    /// Monotone counters for experiment reporting.
+    appended_records: AtomicU64,
+    appended_bytes: AtomicU64,
+}
+
+impl LogManager {
+    /// Open a manager over `store`, scanning durable records to continue
+    /// the LSN sequence after a restart.
+    pub fn open(store: Box<dyn LogStore>) -> Result<LogManager> {
+        let bytes = store.read_from(0)?;
+        let mut max_lsn = 0u64;
+        let mut max_txn = 0u64;
+        let mut off = 0usize;
+        while let Some((rec, used)) = LogRecord::decode_framed(&bytes[off..])? {
+            max_lsn = max_lsn.max(rec.lsn.0);
+            max_txn = max_txn.max(rec.txn.0);
+            off += used;
+        }
+        Ok(LogManager {
+            store,
+            tail: Mutex::new(Tail { pending: Vec::new(), pending_bytes: 0 }),
+            next_lsn: AtomicU64::new(max_lsn + 1),
+            flushed_lsn: AtomicU64::new(max_lsn),
+            next_txn: AtomicU64::new(max_txn + 1),
+            appended_records: AtomicU64::new(0),
+            appended_bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// Allocate a transaction id. The log manager owns the id space so that
+    /// user transactions, system transactions, and post-recovery work never
+    /// collide (ids restart above everything seen in the durable log).
+    pub fn alloc_txn_id(&self) -> TxnId {
+        TxnId(self.next_txn.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Convenience: fresh in-memory log.
+    pub fn in_memory() -> LogManager {
+        LogManager::open(Box::new(MemLogStore::new())).expect("mem log open")
+    }
+
+    /// Append a record; returns its LSN. Not durable until flushed.
+    pub fn append(&self, txn: TxnId, prev_lsn: Lsn, body: RecordBody) -> Lsn {
+        let mut tail = self.tail.lock();
+        let lsn = Lsn(self.next_lsn.fetch_add(1, Ordering::SeqCst));
+        let rec = LogRecord { lsn, prev_lsn, txn, body };
+        let bytes = rec.encode_framed();
+        self.appended_records.fetch_add(1, Ordering::Relaxed);
+        self.appended_bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        tail.pending_bytes += bytes.len();
+        tail.pending.push(Pending { lsn, bytes });
+        lsn
+    }
+
+    /// Highest durably-flushed LSN.
+    pub fn flushed_lsn(&self) -> Lsn {
+        Lsn(self.flushed_lsn.load(Ordering::SeqCst))
+    }
+
+    /// Highest LSN allocated so far (flushed or not). Used as the snapshot
+    /// point of snapshot-isolation readers.
+    pub fn last_allocated_lsn(&self) -> Lsn {
+        Lsn(self.next_lsn.load(Ordering::SeqCst).saturating_sub(1))
+    }
+
+    /// Make every record with `lsn <= target` durable. The tail is written
+    /// in order, so this flushes a prefix.
+    pub fn flush_to(&self, target: Lsn) -> Result<()> {
+        if self.flushed_lsn() >= target {
+            return Ok(());
+        }
+        let mut tail = self.tail.lock();
+        // Re-check under the lock (another thread may have flushed).
+        if self.flushed_lsn() >= target {
+            return Ok(());
+        }
+        let split = tail
+            .pending
+            .iter()
+            .position(|p| p.lsn > target)
+            .unwrap_or(tail.pending.len());
+        if split == 0 {
+            return Ok(());
+        }
+        let mut buf = Vec::with_capacity(tail.pending_bytes);
+        for p in &tail.pending[..split] {
+            buf.extend_from_slice(&p.bytes);
+        }
+        let last = tail.pending[split - 1].lsn;
+        self.store.append(&buf)?;
+        self.store.sync()?;
+        tail.pending.drain(..split);
+        tail.pending_bytes = tail.pending.iter().map(|p| p.bytes.len()).sum();
+        self.flushed_lsn.fetch_max(last.0, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Flush the entire tail.
+    pub fn flush_all(&self) -> Result<()> {
+        let target = Lsn(self.next_lsn.load(Ordering::SeqCst).saturating_sub(1));
+        self.flush_to(target)
+    }
+
+    /// Write a checkpoint record: flushes first so the recorded byte offset
+    /// is exact, persists the master pointer, then flushes the checkpoint.
+    pub fn write_checkpoint(
+        &self,
+        active: Vec<(TxnId, crate::record::TxnKind, Lsn)>,
+        dirty: Vec<(txview_common::PageId, Lsn)>,
+    ) -> Result<Lsn> {
+        self.flush_all()?;
+        let offset = self.store.len_bytes()?;
+        let lsn = self.append(TxnId::NONE, Lsn::NULL, RecordBody::Checkpoint { active, dirty });
+        self.flush_to(lsn)?;
+        self.store.set_master(offset, lsn)?;
+        Ok(lsn)
+    }
+
+    /// The persisted master checkpoint pointer (byte offset, LSN).
+    pub fn master(&self) -> Result<(u64, Lsn)> {
+        self.store.get_master()
+    }
+
+    /// Snapshot of all durable records from byte `offset`, with the byte
+    /// offset of each record. Stops cleanly at a torn tail.
+    pub fn read_durable_from(&self, offset: u64) -> Result<Vec<(u64, LogRecord)>> {
+        let bytes = self.store.read_from(offset)?;
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        while let Some((rec, used)) = LogRecord::decode_framed(&bytes[off..])? {
+            out.push((offset + off as u64, rec));
+            off += used;
+        }
+        Ok(out)
+    }
+
+    /// Simulate a crash: the un-flushed tail evaporates. LSN allocation
+    /// continues (recovery reopens with a fresh manager in real use; tests
+    /// may keep using this one).
+    pub fn simulate_crash(&self) {
+        let mut tail = self.tail.lock();
+        tail.pending.clear();
+        tail.pending_bytes = 0;
+    }
+
+    /// Total records appended since open (durable or not).
+    pub fn appended_records(&self) -> u64 {
+        self.appended_records.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes appended since open (durable or not).
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Current durable length in bytes.
+    pub fn durable_len(&self) -> Result<u64> {
+        self.store.len_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TxnKind;
+
+    fn begin_body() -> RecordBody {
+        RecordBody::Begin { kind: TxnKind::User }
+    }
+
+    #[test]
+    fn append_assigns_increasing_lsns() {
+        let log = LogManager::in_memory();
+        let a = log.append(TxnId(1), Lsn::NULL, begin_body());
+        let b = log.append(TxnId(1), a, RecordBody::Commit);
+        assert!(b > a);
+        assert_eq!(log.appended_records(), 2);
+    }
+
+    #[test]
+    fn flush_to_makes_prefix_durable() {
+        let log = LogManager::in_memory();
+        let a = log.append(TxnId(1), Lsn::NULL, begin_body());
+        let b = log.append(TxnId(1), a, RecordBody::Commit);
+        log.flush_to(a).unwrap();
+        assert_eq!(log.flushed_lsn(), a);
+        let recs = log.read_durable_from(0).unwrap();
+        assert_eq!(recs.len(), 1);
+        log.flush_to(b).unwrap();
+        assert_eq!(log.read_durable_from(0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn crash_drops_unflushed_tail() {
+        let log = LogManager::in_memory();
+        let a = log.append(TxnId(1), Lsn::NULL, begin_body());
+        log.flush_to(a).unwrap();
+        let _b = log.append(TxnId(1), a, RecordBody::Commit);
+        log.simulate_crash();
+        let recs = log.read_durable_from(0).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert!(matches!(recs[0].1.body, RecordBody::Begin { .. }));
+    }
+
+    #[test]
+    fn checkpoint_sets_master_and_is_durable() {
+        let log = LogManager::in_memory();
+        let a = log.append(TxnId(1), Lsn::NULL, begin_body());
+        let ck = log
+            .write_checkpoint(vec![(TxnId(1), TxnKind::User, a)], vec![])
+            .unwrap();
+        let (offset, lsn) = log.master().unwrap();
+        assert_eq!(lsn, ck);
+        let recs = log.read_durable_from(offset).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert!(matches!(recs[0].1.body, RecordBody::Checkpoint { .. }));
+    }
+
+    #[test]
+    fn reopen_continues_lsn_sequence() {
+        let store = MemLogStore::new();
+        let first_lsn;
+        {
+            // Scope one manager's lifetime over the shared store bytes.
+            let log = LogManager::open(Box::new(MemLogStore::new())).unwrap();
+            first_lsn = log.append(TxnId(1), Lsn::NULL, begin_body());
+            log.flush_all().unwrap();
+            // Copy durable bytes into `store` to model the same file.
+            store.append(&log.read_durable_from(0).unwrap()[0].1.encode_framed()).unwrap();
+        }
+        let log2 = LogManager::open(Box::new(store)).unwrap();
+        let next = log2.append(TxnId(2), Lsn::NULL, begin_body());
+        assert!(next > first_lsn);
+    }
+
+    #[test]
+    fn file_log_store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("txview-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.wal");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(dir.join("test.wal.master"));
+        {
+            let log = LogManager::open(Box::new(FileLogStore::open(&path).unwrap())).unwrap();
+            let a = log.append(TxnId(1), Lsn::NULL, begin_body());
+            log.write_checkpoint(vec![], vec![]).unwrap();
+            log.flush_to(a).unwrap();
+        }
+        {
+            let log = LogManager::open(Box::new(FileLogStore::open(&path).unwrap())).unwrap();
+            let recs = log.read_durable_from(0).unwrap();
+            assert_eq!(recs.len(), 2);
+            let (off, lsn) = log.master().unwrap();
+            assert!(lsn > Lsn::NULL);
+            assert_eq!(log.read_durable_from(off).unwrap()[0].1.lsn, lsn);
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(dir.join("test.wal.master"));
+    }
+
+    #[test]
+    fn concurrent_appends_are_totally_ordered() {
+        let log = std::sync::Arc::new(LogManager::in_memory());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let log = std::sync::Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        log.append(TxnId(t + 1), Lsn::NULL, RecordBody::Commit);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        log.flush_all().unwrap();
+        let recs = log.read_durable_from(0).unwrap();
+        assert_eq!(recs.len(), 800);
+        for w in recs.windows(2) {
+            assert!(w[0].1.lsn < w[1].1.lsn, "log must be LSN-ordered");
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Multi-threaded, fixed-duration workload driver.
+//!
+//! Each [`WorkerSpec`] describes a group of identical workers (same
+//! operation closure, same isolation level). The driver runs every group
+//! for the given wall-clock duration and reports per-group commits,
+//! aborts by cause, and latency.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use txview_common::rng::Rng;
+use txview_common::{Error, Result};
+use txview_engine::{Database, IsolationLevel, Transaction};
+
+/// Operation closure: one transaction body. `seq` is a per-worker sequence
+/// number useful for generating unique keys.
+pub type OpFn =
+    dyn Fn(&Database, &mut Transaction, &mut Rng, u64) -> Result<()> + Send + Sync;
+
+/// A group of identical workers.
+pub struct WorkerSpec {
+    /// Group label for reporting.
+    pub name: String,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Isolation level for the group's transactions.
+    pub isolation: IsolationLevel,
+    /// The transaction body.
+    pub op: Arc<OpFn>,
+}
+
+/// Per-group outcome counters.
+#[derive(Clone, Debug, Default)]
+pub struct GroupResult {
+    /// Group label.
+    pub name: String,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Deadlock-victim aborts.
+    pub deadlocks: u64,
+    /// Lock-timeout aborts.
+    pub timeouts: u64,
+    /// Other errors (each rolled back and not retried).
+    pub errors: u64,
+    /// Sum of commit latencies in microseconds.
+    pub latency_us_total: u64,
+    /// Measured wall-clock seconds.
+    pub elapsed_s: f64,
+}
+
+impl GroupResult {
+    /// Commits per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_s == 0.0 {
+            return 0.0;
+        }
+        self.committed as f64 / self.elapsed_s
+    }
+
+    /// Mean commit latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.committed == 0 {
+            return 0.0;
+        }
+        self.latency_us_total as f64 / self.committed as f64
+    }
+
+    /// All aborts (deadlocks + timeouts).
+    pub fn aborts(&self) -> u64 {
+        self.deadlocks + self.timeouts
+    }
+
+    /// Abort rate relative to attempts.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.committed + self.aborts();
+        if attempts == 0 {
+            return 0.0;
+        }
+        self.aborts() as f64 / attempts as f64
+    }
+}
+
+struct GroupCounters {
+    committed: AtomicU64,
+    deadlocks: AtomicU64,
+    timeouts: AtomicU64,
+    errors: AtomicU64,
+    latency_us: AtomicU64,
+}
+
+/// Run all worker groups concurrently for `duration`; returns one
+/// [`GroupResult`] per spec, in order.
+pub fn run_for(db: &Arc<Database>, specs: &[WorkerSpec], duration: Duration) -> Vec<GroupResult> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let counters: Vec<Arc<GroupCounters>> = specs
+        .iter()
+        .map(|_| {
+            Arc::new(GroupCounters {
+                committed: AtomicU64::new(0),
+                deadlocks: AtomicU64::new(0),
+                timeouts: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                latency_us: AtomicU64::new(0),
+            })
+        })
+        .collect();
+
+    let mut handles = Vec::new();
+    for (gi, spec) in specs.iter().enumerate() {
+        for w in 0..spec.threads {
+            let db = Arc::clone(db);
+            let stop = Arc::clone(&stop);
+            let op = Arc::clone(&spec.op);
+            let counters = Arc::clone(&counters[gi]);
+            let isolation = spec.isolation;
+            let seed = (gi as u64) << 32 | w as u64;
+            handles.push(std::thread::spawn(move || {
+                let mut rng = Rng::new(0x5EED ^ seed.wrapping_mul(0x9E37_79B9));
+                let mut seq = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    let mut txn = db.begin(isolation);
+                    let result =
+                        op(&db, &mut txn, &mut rng, seq).and_then(|()| db.commit(&mut txn).map(|_| ()));
+                    seq += 1;
+                    match result {
+                        Ok(()) => {
+                            counters.committed.fetch_add(1, Ordering::Relaxed);
+                            counters
+                                .latency_us
+                                .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            if txn.is_active() {
+                                let _ = db.rollback(&mut txn);
+                            }
+                            match e {
+                                Error::DeadlockVictim { .. } => {
+                                    counters.deadlocks.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Error::LockTimeout { .. } => {
+                                    counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                                }
+                                _ => {
+                                    counters.errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+    }
+
+    let t0 = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    specs
+        .iter()
+        .zip(counters)
+        .map(|(spec, c)| GroupResult {
+            name: spec.name.clone(),
+            committed: c.committed.load(Ordering::Relaxed),
+            deadlocks: c.deadlocks.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            latency_us_total: c.latency_us.load(Ordering::Relaxed),
+            elapsed_s: elapsed,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txview_common::row;
+    use txview_common::schema::{Column, Schema};
+    use txview_common::value::ValueType;
+
+    #[test]
+    fn driver_counts_commits() {
+        let db = Database::new_in_memory(256);
+        db.create_table(
+            "t",
+            Schema::new(vec![Column::new("id", ValueType::Int)], vec![0]).unwrap(),
+        )
+        .unwrap();
+        let spec = WorkerSpec {
+            name: "writers".into(),
+            threads: 2,
+            isolation: IsolationLevel::ReadCommitted,
+            op: Arc::new(|db, txn, rng, seq| {
+                let id = (rng.next_u64() % 1000) as i64 * 1_000_000 + seq as i64;
+                db.insert(txn, "t", row![id])
+            }),
+        };
+        let results = run_for(&db, &[spec], Duration::from_millis(200));
+        assert_eq!(results.len(), 1);
+        assert!(results[0].committed > 0);
+        assert!(results[0].throughput() > 0.0);
+        assert!(results[0].mean_latency_us() > 0.0);
+    }
+
+    #[test]
+    fn group_result_math() {
+        let g = GroupResult {
+            name: "g".into(),
+            committed: 90,
+            deadlocks: 5,
+            timeouts: 5,
+            errors: 0,
+            latency_us_total: 9000,
+            elapsed_s: 2.0,
+        };
+        assert_eq!(g.throughput(), 45.0);
+        assert_eq!(g.mean_latency_us(), 100.0);
+        assert_eq!(g.aborts(), 10);
+        assert!((g.abort_rate() - 0.1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,25 @@
+//! # txview-workload
+//!
+//! Workload generators and the multi-threaded measurement driver for the
+//! experiment suite:
+//!
+//! * [`bank`] — the contention workload of E1/E2/E3/E4: accounts funnel
+//!   into few hot `branch_balance` view rows; deposits, cross-branch
+//!   transfers, auditing readers with an exact money-conservation invariant;
+//! * [`sales`] — the star-schema workload of E6/E8: a sales fact table,
+//!   a store dimension, N single-table views and an optional join view,
+//!   with deferred-maintenance variants;
+//! * [`churn`] — the group come/go workload of E7: single-row groups that
+//!   are emptied and refilled continuously;
+//! * [`driver`] — fixed-duration multi-threaded runner with per-group
+//!   commit/abort/latency accounting;
+//! * [`report`] — fixed-width table formatting for experiment output.
+
+pub mod bank;
+pub mod churn;
+pub mod driver;
+pub mod report;
+pub mod sales;
+
+pub use driver::{run_for, GroupResult, WorkerSpec};
+pub use report::Table;

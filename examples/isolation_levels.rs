@@ -1,0 +1,57 @@
+//! The reader's dilemma, live: scan an aggregate view while escrow writers
+//! hammer it, at each isolation level. Serializable is exact but slow;
+//! read-committed is fast but wrong; snapshot is fast AND exact.
+//!
+//! ```text
+//! cargo run --release --example isolation_levels
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use txview_engine::IsolationLevel;
+use txview_workload::bank::{Bank, BankConfig};
+use txview_workload::driver::{run_for, WorkerSpec};
+
+fn main() {
+    println!("8 transfer writers vs 2 auditors; an 'anomaly' is an audit whose");
+    println!("view SUM violates money conservation — an exact error detector.\n");
+    println!(
+        "{:>16}  {:>14}  {:>12}  {:>10}  {:>9}",
+        "reader isolation", "writer txns/s", "reader scans/s", "mean ms", "anomalies"
+    );
+    for (name, iso) in [
+        ("serializable", IsolationLevel::Serializable),
+        ("read-committed", IsolationLevel::ReadCommitted),
+        ("snapshot", IsolationLevel::Snapshot),
+    ] {
+        let bank = Bank::setup(BankConfig::default()).expect("setup");
+        let anomalies = Arc::new(AtomicU64::new(0));
+        let specs = [
+            WorkerSpec {
+                name: "writers".into(),
+                threads: 8,
+                isolation: IsolationLevel::ReadCommitted,
+                op: bank.transfer_op(2),
+            },
+            WorkerSpec {
+                name: "auditors".into(),
+                threads: 2,
+                isolation: iso,
+                op: bank.audit_op(Arc::clone(&anomalies)),
+            },
+        ];
+        let res = run_for(&bank.db, &specs, Duration::from_secs(2));
+        bank.verify().expect("view consistent");
+        println!(
+            "{:>16}  {:>14.0}  {:>12.0}  {:>10.2}  {:>9}",
+            name,
+            res[0].throughput(),
+            res[1].throughput(),
+            res[1].mean_latency_us() / 1000.0,
+            anomalies.load(Ordering::Relaxed),
+        );
+    }
+    println!("\nThe paper's point: with multiversioning, snapshot readers keep");
+    println!("writer concurrency AND exactness — no stable-aggregate tax.");
+}

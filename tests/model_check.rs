@@ -1,0 +1,204 @@
+//! Property-based model checking: random DML programs (with rollbacks,
+//! savepoints, filters, and crashes) against a pure in-memory model. After
+//! every program, the table contents, the view contents, and the engine's
+//! own `verify_view` must all agree with the model.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use txview_repro::prelude::*;
+use txview_repro::row;
+
+/// The reference model: pk → (group, amount).
+type Model = HashMap<i64, (i64, i64)>;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { id: i64, grp: i64, amount: i64 },
+    Update { id: i64, grp: i64, amount: i64 },
+    Delete { id: i64 },
+    Commit,
+    Rollback,
+    SavepointRoundtrip { id: i64, grp: i64, amount: i64 },
+    Crash { steal_milli: u16, seed: u64 },
+    Cleanup,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0i64..40, 0i64..4, 1i64..100).prop_map(|(id, grp, amount)| Op::Insert { id, grp, amount }),
+        3 => (0i64..40, 0i64..4, 1i64..100).prop_map(|(id, grp, amount)| Op::Update { id, grp, amount }),
+        3 => (0i64..40).prop_map(|id| Op::Delete { id }),
+        3 => Just(Op::Commit),
+        1 => Just(Op::Rollback),
+        1 => (100i64..140, 0i64..4, 1i64..100)
+            .prop_map(|(id, grp, amount)| Op::SavepointRoundtrip { id, grp, amount }),
+        1 => (0u16..1000, any::<u64>()).prop_map(|(steal_milli, seed)| Op::Crash { steal_milli, seed }),
+        1 => Just(Op::Cleanup),
+    ]
+}
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![
+            Column::new("id", ValueType::Int),
+            Column::new("grp", ValueType::Int),
+            Column::new("amount", ValueType::Int),
+        ],
+        vec![0],
+    )
+    .unwrap()
+}
+
+fn setup(mode: MaintenanceMode, filter: Predicate) -> std::sync::Arc<Database> {
+    let db = Database::new_in_memory(512);
+    let t = db.create_table("items", schema()).unwrap();
+    db.create_indexed_view(ViewSpec {
+        name: "v".into(),
+        source: ViewSource::Single { table: t, group_by: vec![1] },
+        aggs: vec![AggSpec::SumInt { col: 2 }],
+        filter,
+        maintenance: mode,
+        deferred: false,
+        eager_group_delete: false,
+    })
+    .unwrap();
+    db
+}
+
+/// Expected view contents from the model (only rows passing `min_amount`).
+fn expected_view(model: &Model, min_amount: i64) -> HashMap<i64, (i64, i64)> {
+    let mut out: HashMap<i64, (i64, i64)> = HashMap::new();
+    for (_, (grp, amount)) in model.iter() {
+        if *amount >= min_amount {
+            let e = out.entry(*grp).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += amount;
+        }
+    }
+    out
+}
+
+fn check_against_model(db: &Database, model: &Model, min_amount: i64) {
+    // Engine's own invariant first.
+    db.verify_view("v").unwrap();
+    // Table contents.
+    let rows = db.dump_table("items").unwrap();
+    assert_eq!(rows.len(), model.len(), "table cardinality");
+    for r in &rows {
+        let id = r.get(0).as_int().unwrap();
+        let (grp, amount) = model.get(&id).expect("row must exist in model");
+        assert_eq!(r.get(1).as_int().unwrap(), *grp);
+        assert_eq!(r.get(2).as_int().unwrap(), *amount);
+    }
+    // View contents.
+    let expected = expected_view(model, min_amount);
+    let view_rows = db.dump_view("v").unwrap();
+    assert_eq!(view_rows.len(), expected.len(), "view cardinality");
+    for r in &view_rows {
+        let grp = r.get(0).as_int().unwrap();
+        let (count, sum) = expected.get(&grp).expect("group must exist in model");
+        assert_eq!(r.get(1).as_int().unwrap(), *count, "count of group {grp}");
+        assert_eq!(r.get(2).as_int().unwrap(), *sum, "sum of group {grp}");
+    }
+}
+
+fn run_program(mode: MaintenanceMode, min_amount: i64, ops: Vec<Op>) {
+    let filter = if min_amount > 0 {
+        Predicate::Cmp { col: 2, op: CmpOp::Ge, value: Value::Int(min_amount) }
+    } else {
+        Predicate::True
+    };
+    let db = setup(mode, filter);
+    let mut committed: Model = HashMap::new();
+    let mut pending: Model = committed.clone();
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+
+    for op in ops {
+        match op {
+            Op::Insert { id, grp, amount } => {
+                let res = db.insert(&mut txn, "items", row![id, grp, amount]);
+                if let std::collections::hash_map::Entry::Vacant(e) = pending.entry(id) {
+                    res.unwrap();
+                    e.insert((grp, amount));
+                } else {
+                    assert!(matches!(res, Err(Error::DuplicateKey(_))));
+                }
+            }
+            Op::Update { id, grp, amount } => {
+                let res = db.update(&mut txn, "items", row![id, grp, amount]);
+                if let std::collections::hash_map::Entry::Occupied(mut e) = pending.entry(id) {
+                    res.unwrap();
+                    e.insert((grp, amount));
+                } else {
+                    assert!(matches!(res, Err(Error::NotFound(_))));
+                }
+            }
+            Op::Delete { id } => {
+                let res = db.delete(&mut txn, "items", &[Value::Int(id)]);
+                if pending.contains_key(&id) {
+                    res.unwrap();
+                    pending.remove(&id);
+                } else {
+                    assert!(matches!(res, Err(Error::NotFound(_))));
+                }
+            }
+            Op::Commit => {
+                db.commit(&mut txn).unwrap();
+                committed = pending.clone();
+                check_against_model(&db, &committed, min_amount);
+                txn = db.begin(IsolationLevel::ReadCommitted);
+            }
+            Op::Rollback => {
+                db.rollback(&mut txn).unwrap();
+                pending = committed.clone();
+                check_against_model(&db, &committed, min_amount);
+                txn = db.begin(IsolationLevel::ReadCommitted);
+            }
+            Op::SavepointRoundtrip { id, grp, amount } => {
+                // Do work after a savepoint, then roll it back: must be a
+                // no-op overall.
+                let sp = db.savepoint(&txn);
+                if !pending.contains_key(&id) {
+                    db.insert(&mut txn, "items", row![id, grp, amount]).unwrap();
+                }
+                db.rollback_to_savepoint(&mut txn, sp).unwrap();
+            }
+            Op::Crash { steal_milli, seed } => {
+                // Whatever the open transaction did must vanish.
+                std::mem::forget(txn);
+                db.log().flush_all().unwrap();
+                db.crash_and_recover(steal_milli as f64 / 1000.0, seed).unwrap();
+                pending = committed.clone();
+                check_against_model(&db, &committed, min_amount);
+                txn = db.begin(IsolationLevel::ReadCommitted);
+            }
+            Op::Cleanup => {
+                // Ghost cleanup must never change logical contents. Run it
+                // between transactions (the open one has made no changes
+                // that cleanup could observe under its instant locks).
+                let _ = db.run_ghost_cleanup().unwrap();
+            }
+        }
+    }
+    db.commit(&mut txn).unwrap();
+    check_against_model(&db, &pending, min_amount);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn escrow_mode_matches_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        run_program(MaintenanceMode::Escrow, 0, ops);
+    }
+
+    #[test]
+    fn xlock_mode_matches_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        run_program(MaintenanceMode::XLock, 0, ops);
+    }
+
+    #[test]
+    fn filtered_escrow_matches_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        run_program(MaintenanceMode::Escrow, 50, ops);
+    }
+}
