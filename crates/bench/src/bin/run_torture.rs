@@ -1,0 +1,116 @@
+//! Crash-torture driver: sweep deterministic crash points over the bank +
+//! churn workload in both maintenance modes, plus a batch of seeded random
+//! fault schedules, and assert the recovery oracle at every point.
+//!
+//! ```text
+//! run_torture [--quick] [--seed N] [--points N] [--txns N] [--schedules N]
+//! ```
+//!
+//! `--quick` is the CI budget: fixed seed, ~60 crash points per mode,
+//! bounded well under a minute. Exit status is non-zero on any oracle
+//! violation, so CI can gate on it directly.
+
+use txview_engine::torture::{run_episode, run_sweep, SweepReport, TortureConfig};
+use txview_engine::MaintenanceMode;
+use txview_storage::fault::FaultSchedule;
+
+fn parse_flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn mode_name(mode: MaintenanceMode) -> &'static str {
+    match mode {
+        MaintenanceMode::Escrow => "escrow",
+        MaintenanceMode::XLock => "xlock",
+    }
+}
+
+fn print_sweep(mode: MaintenanceMode, r: &SweepReport) {
+    println!(
+        "  {:<6}  horizon {:>4} events  episodes {:>3}  distinct crash points {:>3}  \
+         acked commits {:>4}  losers undone {:>3}  violations {}",
+        mode_name(mode),
+        r.horizon,
+        r.episodes,
+        r.crash_events.len(),
+        r.acked_commits,
+        r.losers_undone,
+        r.violations.len(),
+    );
+    for (offset, v) in &r.violations {
+        println!("    VIOLATION at crash offset {offset}: {v}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = parse_flag(&args, "--seed").unwrap_or(42);
+    let points = parse_flag(&args, "--points").unwrap_or(if quick { 60 } else { 120 }) as usize;
+    let txns = parse_flag(&args, "--txns").unwrap_or(if quick { 24 } else { 36 }) as usize;
+    let schedules = parse_flag(&args, "--schedules").unwrap_or(if quick { 10 } else { 40 });
+
+    println!(
+        "crash-torture: seed {seed}, {points} crash points/mode, {txns} txns/episode, \
+         {schedules} random schedules"
+    );
+
+    let mut failures = 0usize;
+    let mut total_points = 0usize;
+
+    // Part 1: systematic crash-point sweep, both maintenance modes.
+    println!("crash-point sweep:");
+    for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+        let cfg = TortureConfig { mode, txns, seed, ..Default::default() };
+        match run_sweep(&cfg, points) {
+            Ok(r) => {
+                failures += r.violations.len();
+                total_points += r.crash_events.len();
+                print_sweep(mode, &r);
+            }
+            Err(e) => {
+                failures += 1;
+                println!("  {:<6}  SWEEP ERROR: {e}", mode_name(mode));
+            }
+        }
+    }
+
+    // Part 2: seeded random schedules (transients + torn writes + crash),
+    // escrow mode, one derived seed per schedule.
+    println!("random fault schedules:");
+    let mut sched_violations = 0usize;
+    let mut crashes_fired = 0usize;
+    for i in 0..schedules {
+        let cfg = TortureConfig { txns, seed: seed ^ (i + 1), ..Default::default() };
+        let schedule = FaultSchedule::random(seed.wrapping_mul(31).wrapping_add(i), 120);
+        match run_episode(&cfg, &schedule) {
+            Ok(ep) => {
+                if ep.crash_event.is_some() {
+                    crashes_fired += 1;
+                }
+                for v in &ep.violations {
+                    println!("  VIOLATION (schedule {i}): {v}");
+                }
+                sched_violations += ep.violations.len();
+            }
+            Err(e) => {
+                sched_violations += 1;
+                println!("  EPISODE ERROR (schedule {i}): {e}");
+            }
+        }
+    }
+    failures += sched_violations;
+    println!(
+        "  {schedules} schedules, {crashes_fired} crashes fired, {sched_violations} violations"
+    );
+
+    println!(
+        "total: {total_points} distinct crash points swept across modes, {failures} violations"
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

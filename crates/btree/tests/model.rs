@@ -149,3 +149,121 @@ proptest! {
         prop_assert_eq!(desc, fwd);
     }
 }
+
+// ---- reopen after crash --------------------------------------------------
+
+/// Page splits run as system transactions that commit independently of the
+/// user transaction whose insert triggered them. After a crash that loses
+/// an in-flight user transaction, recovery must keep the committed split
+/// structure, replay the committed inserts, logically undo the loser's,
+/// and leave a tree that still validates.
+#[test]
+fn committed_splits_survive_crash_that_loses_the_user_txn() {
+    use txview_common::{Result as TxResult, TxnId};
+    use txview_storage::disk::DiskManager;
+    use txview_storage::fault::{FaultClock, FaultDisk, FaultPoint, FaultSchedule};
+    use txview_wal::{recover, FaultLogStore, RecordBody, TxnKind, UndoHandler};
+
+    const INDEX: IndexId = IndexId(9);
+
+    /// Minimal logical-undo executor: the only user-level operation this
+    /// test logs is an insert, whose inverse is ghosting the key.
+    struct GhostInserts<'a> {
+        tree: &'a Tree,
+        log: &'a LogManager,
+    }
+    impl UndoHandler for GhostInserts<'_> {
+        fn undo(&self, txn: TxnId, op: &UndoOp, undo_next: Lsn, chain: &mut Lsn) -> TxResult<()> {
+            match op {
+                UndoOp::IndexInsert { key, .. } => {
+                    let mut ctx = LogCtx { log: self.log, txn, last_lsn: chain };
+                    let k = Key::from_bytes(key.clone());
+                    self.tree.set_ghost(&k, true, &mut ctx, &OpLog::Clr { undo_next })?;
+                    Ok(())
+                }
+                other => panic!("unexpected logical undo {other:?}"),
+            }
+        }
+    }
+
+    fn insert_range(tree: &Tree, log: &LogManager, txn: txview_common::TxnId, last: &mut Lsn, range: std::ops::Range<i64>) {
+        for k in range {
+            let key = Key::from_values(&[Value::Int(k)]);
+            let undo = UndoOp::IndexInsert { index: INDEX, key: key.as_bytes().to_vec() };
+            let mut ctx = LogCtx { log, txn, last_lsn: last };
+            tree.insert(&key, &value_of(k, 300), &mut ctx, &OpLog::Update { undo }).unwrap();
+        }
+    }
+
+    let clock = FaultClock::new();
+    let disk = FaultDisk::new(Arc::clone(&clock));
+    let store = FaultLogStore::new(Arc::clone(&clock));
+
+    let root = {
+        let pool = BufferPool::new(Arc::new(disk.clone()), 128);
+        let log = Arc::new(LogManager::open(Box::new(store.clone())).unwrap());
+        let l2 = Arc::clone(&log);
+        pool.set_wal_flush(Arc::new(move |lsn| l2.flush_to(lsn)));
+        let tree = Tree::create(&pool, &log, INDEX).unwrap();
+
+        // Committed transaction: 300-byte values force leaf splits.
+        let txn_a = log.alloc_txn_id();
+        let mut last = log.append(txn_a, Lsn::NULL, RecordBody::Begin { kind: TxnKind::User });
+        insert_range(&tree, &log, txn_a, &mut last, 0..80);
+        log.append(txn_a, last, RecordBody::Commit);
+        log.flush_all().unwrap();
+        assert!(disk.num_pages() > 4, "workload too small to split");
+
+        // Loser transaction: more splits, records made durable mid-flight
+        // (and some dirty pages stolen to disk), but never committed.
+        let txn_b = log.alloc_txn_id();
+        let mut last = log.append(txn_b, Lsn::NULL, RecordBody::Begin { kind: TxnKind::User });
+        insert_range(&tree, &log, txn_b, &mut last, 1000..1040);
+        log.flush_all().unwrap();
+        pool.flush_all().unwrap();
+
+        // Hard crash: everything from this event on is gone.
+        clock.arm(&FaultSchedule::crash_at(0));
+        clock.tick(FaultPoint::Probe("model.crash"));
+        tree.root()
+    };
+    disk.crash_restore();
+    store.crash_restore();
+    clock.disarm();
+
+    // Reboot onto the durable image and recover.
+    let pool = BufferPool::new(Arc::new(disk.clone()), 128);
+    let log = Arc::new(LogManager::open(Box::new(store.clone())).unwrap());
+    let l2 = Arc::clone(&log);
+    pool.set_wal_flush(Arc::new(move |lsn| l2.flush_to(lsn)));
+    let tree = Tree::open(&pool, INDEX, root);
+
+    let handler = GhostInserts { tree: &tree, log: &log };
+    let report = recover(&log, &pool, &handler).unwrap();
+    assert_eq!(report.losers, 1, "exactly the uncommitted user txn loses");
+    assert!(report.winners >= 1);
+    assert_eq!(report.logical_undos, 40, "every loser insert undone");
+
+    // Committed keys survive with their exact values; the split structure
+    // validates; the loser's keys are ghosts awaiting cleanup.
+    let physical = tree.validate().unwrap();
+    assert_eq!(physical, 80 + 40);
+    for k in 0..80 {
+        let key = Key::from_values(&[Value::Int(k)]);
+        assert_eq!(tree.get(&key).unwrap(), Some((false, value_of(k, 300))));
+    }
+    for k in 1000..1040 {
+        let key = Key::from_values(&[Value::Int(k)]);
+        match tree.get(&key).unwrap() {
+            Some((true, _)) => {}
+            other => panic!("loser key {k} not ghosted: {other:?}"),
+        }
+    }
+
+    // Redo is idempotent: a second recovery pass finds no losers and
+    // applies nothing new.
+    let again = recover(&log, &pool, &handler).unwrap();
+    assert_eq!(again.losers, 0);
+    assert_eq!(again.redo_applied, 0);
+    assert_eq!(again.logical_undos, 0);
+}

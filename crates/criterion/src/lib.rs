@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace-local
+//! crate implements the small slice of the criterion 0.5 API the bench
+//! targets use. Like real criterion, a bench binary invoked *without*
+//! `--bench` (as `cargo test` does for `harness = false` targets) runs each
+//! routine once as a smoke test; with `--bench` (as `cargo bench` passes)
+//! it measures wall-clock time and prints one line per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for convenience parity with criterion.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (accepted, not used for sizing).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Fresh setup per iteration.
+    PerIteration,
+    /// Small batches.
+    SmallInput,
+    /// Large batches.
+    LargeInput,
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Criterion {
+    /// Build from process args: measurement mode iff `--bench` was passed.
+    pub fn from_args() -> Criterion {
+        Criterion { measure: std::env::args().any(|a| a == "--bench") }
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20 }
+    }
+
+    /// Bench outside a group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion::from_args()
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples to take in measurement mode.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut b = Bencher {
+            measure: self.criterion.measure,
+            sample_size: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if self.criterion.measure && b.iters > 0 {
+            let per_iter = b.total.as_nanos() / b.iters as u128;
+            println!("bench {:<40} {:>12} ns/iter ({} iters)",
+                format!("{}/{}", self.name, id.label), per_iter, b.iters);
+        }
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group (drop-equivalent; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark routine to drive iterations.
+pub struct Bencher {
+    measure: bool,
+    sample_size: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly (once in smoke mode).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let n = self.planned_iters();
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += n;
+    }
+
+    /// Time `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let n = self.planned_iters();
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+        }
+        self.iters += n;
+    }
+
+    fn planned_iters(&self) -> u64 {
+        if self.measure { self.sample_size as u64 } else { 1 }
+    }
+}
+
+/// Define a group-runner function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::PerIteration)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_routine_once() {
+        let mut c = Criterion { measure: false };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn measure_mode_times_iterations() {
+        let mut c = Criterion { measure: true };
+        sample_bench(&mut c);
+    }
+}

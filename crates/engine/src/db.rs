@@ -155,6 +155,50 @@ impl Database {
         }))
     }
 
+    /// Reopen a database over surviving storage parts, as after a crash:
+    /// load the catalog snapshot (if any), re-attach the trees, and run
+    /// ARIES recovery before handing the database out. This is `open_dir`
+    /// without the filesystem — the torture harness reopens frozen
+    /// in-memory images through it.
+    pub fn with_parts_recovered(
+        disk: Arc<dyn DiskManager>,
+        log_store: Box<dyn txview_wal::LogStore>,
+        catalog: Option<&[u8]>,
+        pool_pages: usize,
+        lock_timeout: Duration,
+    ) -> Result<(Arc<Database>, RecoveryReport)> {
+        let db = Database::with_parts(disk, log_store, pool_pages, lock_timeout)?;
+        if let Some(bytes) = catalog {
+            db.load_catalog(bytes)?;
+        }
+        let report = recover(&db.log, &db.pool, db.as_ref())?;
+        Ok((db, report))
+    }
+
+    /// Install a previously-exported catalog and attach its trees.
+    fn load_catalog(&self, bytes: &[u8]) -> Result<()> {
+        let cat = Catalog::decode(bytes)?;
+        let mut trees = self.trees.write();
+        for t in cat.tables() {
+            trees.insert(t.index, Arc::new(Tree::open(&self.pool, t.index, t.root)));
+        }
+        for v in cat.views() {
+            trees.insert(v.index, Arc::new(Tree::open(&self.pool, v.index, v.root)));
+        }
+        for i in cat.indexes() {
+            trees.insert(i.index, Arc::new(Tree::open(&self.pool, i.index, i.root)));
+        }
+        drop(trees);
+        *self.catalog.write() = cat;
+        Ok(())
+    }
+
+    /// Serialize the current catalog (what `open_dir` keeps in
+    /// `catalog.bin`), for reopening via [`Database::with_parts_recovered`].
+    pub fn export_catalog(&self) -> Vec<u8> {
+        self.catalog.read().encode()
+    }
+
     /// Open (or create) a durable database in `dir`: `data.db` (pages),
     /// `wal.log` (+ `.master`), and `catalog.bin` (DDL state). Runs crash
     /// recovery before returning, so the database is always consistent.
@@ -170,19 +214,7 @@ impl Database {
         let db = Database::with_parts(disk, store, pool_pages, lock_timeout)?;
         let catalog_path = dir.join("catalog.bin");
         if let Ok(bytes) = std::fs::read(&catalog_path) {
-            let cat = Catalog::decode(&bytes)?;
-            let mut trees = db.trees.write();
-            for t in cat.tables() {
-                trees.insert(t.index, Arc::new(Tree::open(&db.pool, t.index, t.root)));
-            }
-            for v in cat.views() {
-                trees.insert(v.index, Arc::new(Tree::open(&db.pool, v.index, v.root)));
-            }
-            for i in cat.indexes() {
-                trees.insert(i.index, Arc::new(Tree::open(&db.pool, i.index, i.root)));
-            }
-            drop(trees);
-            *db.catalog.write() = cat;
+            db.load_catalog(&bytes)?;
         }
         *db.catalog_path.lock() = Some(catalog_path);
         let report = recover(&db.log, &db.pool, db.as_ref())?;

@@ -30,6 +30,7 @@ pub mod delta;
 pub mod escrow;
 pub mod read;
 pub mod secondary;
+pub mod torture;
 pub mod versions;
 pub mod watermark;
 

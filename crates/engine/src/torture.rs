@@ -1,0 +1,592 @@
+//! Crash-torture harness: deterministic fault-injection episodes with a
+//! recovery oracle.
+//!
+//! One **episode** builds a database over a [`FaultDisk`] + [`FaultLogStore`]
+//! sharing a [`FaultClock`], runs a mixed committed/uncommitted workload
+//! (a ledger-audited bank plus group-churn, in either escrow or X-lock
+//! maintenance mode), lets the armed fault schedule crash it at a chosen
+//! event, reboots onto the frozen durable image through ARIES recovery,
+//! and interrogates the **oracle**:
+//!
+//! * every indexed view equals recomputation from its base table;
+//! * every *acknowledged* commit (commit returned before the crash fired)
+//!   survives — checked against a ledger table that records each transfer;
+//! * account balances equal the initial load plus a replay of the durable
+//!   ledger (so no transaction is ever half-applied, and no loser's delta
+//!   survives);
+//! * recovery is idempotent — a second crash+recovery applies zero redo
+//!   and finds zero losers;
+//! * leftover ghosts are cleanable, and cleanup preserves all of the above.
+//!
+//! A **sweep** measures the fault-free event horizon of the workload, then
+//! replays the identical episode once per crash point. Everything is a pure
+//! function of the seed: the same seed yields the same schedule, the same
+//! crash points, and the same pass/fail outcome.
+
+use crate::catalog::{AggSpec, MaintenanceMode, Predicate, ViewSource, ViewSpec};
+use crate::db::{Database, GhostCleanupReport};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+use txview_common::rng::Rng;
+use txview_common::schema::{Column, Schema};
+use txview_common::value::ValueType;
+use txview_common::{row, Error, Result, Row, Value};
+use txview_storage::fault::{
+    FaultClock, FaultDisk, FaultPoint, FaultSchedule, FaultStatsSnapshot,
+};
+use txview_txn::IsolationLevel;
+use txview_wal::recovery::RecoveryReport;
+use txview_wal::FaultLogStore;
+
+/// Bank view name (mirrors the workload crate's bank).
+pub const BANK_VIEW: &str = "branch_balance";
+/// Churn view name.
+pub const CHURN_VIEW: &str = "group_totals";
+
+/// Torture workload parameters. Defaults are sized so one episode runs in
+/// milliseconds while still exercising splits, ghosts, and evictions.
+#[derive(Clone, Debug)]
+pub struct TortureConfig {
+    /// Bank accounts (ids 0..accounts).
+    pub accounts: i64,
+    /// Branches (= bank view rows = escrow contention points).
+    pub branches: i64,
+    /// Initial balance per account.
+    pub initial_balance: i64,
+    /// Single-row churn groups (ids 0..groups; even ones pre-populated).
+    pub churn_groups: i64,
+    /// Transactions attempted by the workload.
+    pub txns: usize,
+    /// View maintenance protocol under test.
+    pub mode: MaintenanceMode,
+    /// Buffer-pool pages (small, to force evictions through the
+    /// WAL-before-data window).
+    pub pool_pages: usize,
+    /// Workload RNG seed; with the schedule, fully determines an episode.
+    pub seed: u64,
+}
+
+impl Default for TortureConfig {
+    fn default() -> Self {
+        TortureConfig {
+            accounts: 32,
+            branches: 4,
+            initial_balance: 100,
+            churn_groups: 8,
+            txns: 36,
+            mode: MaintenanceMode::Escrow,
+            pool_pages: 64,
+            seed: 1,
+        }
+    }
+}
+
+/// What one episode's workload acknowledged before the crash.
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadTrace {
+    /// Transactions attempted.
+    pub attempted: usize,
+    /// Transfers `(seq, from, to, amount)` whose commit returned *before*
+    /// the crash fired — the durability contract covers exactly these.
+    pub acked_transfers: Vec<(i64, i64, i64, i64)>,
+    /// Commits acknowledged in total (transfers + churn).
+    pub acked_commits: usize,
+    /// Operations that failed at runtime (injected transient faults,
+    /// duplicate-key races) and were rolled back.
+    pub rolled_back: usize,
+    /// Transactions abandoned in-flight (rollback itself failed); crash
+    /// recovery must undo these as losers.
+    pub abandoned: usize,
+}
+
+/// Outcome of one crash episode.
+#[derive(Clone, Debug)]
+pub struct EpisodeReport {
+    /// The schedule the episode ran under.
+    pub schedule: FaultSchedule,
+    /// Clock counters at the end of the episode.
+    pub fault_stats: FaultStatsSnapshot,
+    /// Absolute event the crash fired at (None = schedule never fired).
+    pub crash_event: Option<u64>,
+    /// What the workload observed.
+    pub trace: WorkloadTrace,
+    /// First (real) recovery.
+    pub recovery: RecoveryReport,
+    /// Second recovery (idempotence check).
+    pub second_recovery: RecoveryReport,
+    /// Ghost-cleanup sweep after recovery.
+    pub ghost_cleanup: GhostCleanupReport,
+    /// Oracle violations; empty = the episode passed.
+    pub violations: Vec<String>,
+}
+
+/// Outcome of a crash-point sweep.
+#[derive(Clone, Debug, Default)]
+pub struct SweepReport {
+    /// Fault-free event horizon of the workload window.
+    pub horizon: u64,
+    /// Episodes run.
+    pub episodes: usize,
+    /// Distinct absolute crash events exercised.
+    pub crash_events: Vec<u64>,
+    /// All violations, tagged with the crash offset that produced them.
+    pub violations: Vec<(u64, String)>,
+    /// Total acknowledged commits across episodes.
+    pub acked_commits: usize,
+    /// Total transactions recovery undid across episodes.
+    pub losers_undone: u64,
+}
+
+struct Parts {
+    clock: Arc<FaultClock>,
+    disk: FaultDisk,
+    store: FaultLogStore,
+}
+
+fn install_probes(db: &Database, clock: &Arc<FaultClock>) {
+    let c = Arc::clone(clock);
+    db.pool().set_crash_probe(Arc::new(move |p| {
+        c.tick(FaultPoint::Probe(p));
+    }));
+    let c = Arc::clone(clock);
+    db.log().set_crash_probe(Arc::new(move |p| {
+        c.tick(FaultPoint::Probe(p));
+    }));
+}
+
+/// Build the fault-injected database and load the initial state: bank
+/// accounts, pre-populated even churn groups, an empty ledger, and a
+/// checkpoint so every episode starts from the same durable image.
+fn build(cfg: &TortureConfig) -> Result<(Arc<Database>, Parts)> {
+    let clock = FaultClock::new();
+    let disk = FaultDisk::new(Arc::clone(&clock));
+    let store = FaultLogStore::new(Arc::clone(&clock));
+    let db = Database::with_parts(
+        Arc::new(disk.clone()),
+        Box::new(store.clone()),
+        cfg.pool_pages,
+        Duration::from_secs(2),
+    )?;
+    install_probes(&db, &clock);
+
+    let accounts = db.create_table(
+        "accounts",
+        Schema::new(
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("branch", ValueType::Int),
+                Column::new("balance", ValueType::Int),
+            ],
+            vec![0],
+        )?,
+    )?;
+    db.create_indexed_view(ViewSpec {
+        name: BANK_VIEW.into(),
+        source: ViewSource::Single { table: accounts, group_by: vec![1] },
+        aggs: vec![AggSpec::SumInt { col: 2 }],
+        filter: Predicate::True,
+        maintenance: cfg.mode,
+        deferred: false,
+        eager_group_delete: false,
+    })?;
+    let items = db.create_table(
+        "items",
+        Schema::new(
+            vec![
+                Column::new("id", ValueType::Int),
+                Column::new("grp", ValueType::Int),
+                Column::new("val", ValueType::Int),
+            ],
+            vec![0],
+        )?,
+    )?;
+    db.create_indexed_view(ViewSpec {
+        name: CHURN_VIEW.into(),
+        source: ViewSource::Single { table: items, group_by: vec![1] },
+        aggs: vec![AggSpec::SumInt { col: 2 }],
+        filter: Predicate::True,
+        maintenance: cfg.mode,
+        deferred: false,
+        eager_group_delete: false,
+    })?;
+    db.create_table(
+        "ledger",
+        Schema::new(
+            vec![
+                Column::new("seq", ValueType::Int),
+                Column::new("src", ValueType::Int),
+                Column::new("dst", ValueType::Int),
+                Column::new("amount", ValueType::Int),
+            ],
+            vec![0],
+        )?,
+    )?;
+
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    for i in 0..cfg.accounts {
+        db.insert(&mut txn, "accounts", row![i, i % cfg.branches, cfg.initial_balance])?;
+    }
+    for g in (0..cfg.churn_groups).step_by(2) {
+        db.insert(&mut txn, "items", row![g, g, 7i64])?;
+    }
+    db.commit(&mut txn)?;
+    db.checkpoint()?;
+    Ok((db, Parts { clock, disk, store }))
+}
+
+fn add_int(r: &Row, col: usize, d: i64) -> Row {
+    let mut out = r.clone();
+    let v = r.get(col).as_int().expect("INT column");
+    out.set(col, Value::Int(v + d));
+    out
+}
+
+fn do_transfer(
+    db: &Database,
+    txn: &mut txview_txn::Transaction,
+    seq: i64,
+    from: i64,
+    to: i64,
+    amount: i64,
+) -> Result<()> {
+    db.insert(txn, "ledger", row![seq, from, to, amount])?;
+    db.update_with(txn, "accounts", &[Value::Int(from)], |r| add_int(r, 2, -amount))?;
+    db.update_with(txn, "accounts", &[Value::Int(to)], |r| add_int(r, 2, amount))?;
+    Ok(())
+}
+
+fn do_toggle(db: &Database, txn: &mut txview_txn::Transaction, g: i64) -> Result<()> {
+    let pk = [Value::Int(g)];
+    match db.delete(txn, "items", &pk) {
+        Ok(()) => Ok(()),
+        Err(Error::NotFound(_)) => match db.insert(txn, "items", row![g, g, 7i64]) {
+            Ok(()) => Ok(()),
+            Err(Error::DuplicateKey(_)) => db.delete(txn, "items", &pk),
+            Err(e) => Err(e),
+        },
+        Err(e) => Err(e),
+    }
+}
+
+/// Run the deterministic single-threaded workload: two transfer
+/// transactions, then one churn transaction, repeating. Injected faults
+/// surface as errors → rollback; commits acknowledged while the clock has
+/// not fired are recorded as the durability contract.
+fn run_workload(db: &Database, cfg: &TortureConfig, clock: &FaultClock) -> WorkloadTrace {
+    let mut rng = Rng::new(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut trace = WorkloadTrace::default();
+    let mut seq = 0i64;
+    for t in 0..cfg.txns {
+        trace.attempted += 1;
+        let mut txn = db.begin(IsolationLevel::ReadCommitted);
+        let transfer = if t % 3 == 2 {
+            None
+        } else {
+            let from = rng.below(cfg.accounts as u64) as i64;
+            let mut to = rng.below(cfg.accounts as u64) as i64;
+            if to == from {
+                to = (to + 1) % cfg.accounts;
+            }
+            seq += 1;
+            Some((seq, from, to, rng.range_inclusive(1, 9)))
+        };
+        let body = match transfer {
+            Some((s, from, to, amount)) => do_transfer(db, &mut txn, s, from, to, amount),
+            None => {
+                let a = rng.below(cfg.churn_groups as u64) as i64;
+                let b = rng.below(cfg.churn_groups as u64) as i64;
+                do_toggle(db, &mut txn, a).and_then(|()| {
+                    if b != a {
+                        do_toggle(db, &mut txn, b)
+                    } else {
+                        Ok(())
+                    }
+                })
+            }
+        };
+        // Every few transactions, force the in-flight records durable (as
+        // a page steal would) so a crash in the window before the commit
+        // record lands leaves a *loser with durable work* — the case that
+        // actually exercises recovery's undo pass. A third of those then
+        // roll back at runtime, putting CLRs into the durable log too.
+        let body = body.and_then(|()| {
+            if t % 4 == 1 {
+                db.log().flush_all()?;
+            }
+            Ok(())
+        });
+        if body.is_ok() && t % 12 == 5 {
+            if db.rollback(&mut txn).is_ok() {
+                trace.rolled_back += 1;
+            } else {
+                trace.abandoned += 1;
+                std::mem::forget(txn);
+            }
+            continue;
+        }
+        match body.and_then(|()| db.commit(&mut txn).map(|_| ())) {
+            Ok(()) => {
+                if !clock.fired() {
+                    trace.acked_commits += 1;
+                    if let Some(tr) = transfer {
+                        trace.acked_transfers.push(tr);
+                    }
+                }
+            }
+            Err(_) => {
+                if txn.is_active() && db.rollback(&mut txn).is_ok() {
+                    trace.rolled_back += 1;
+                } else {
+                    // Leave it in-flight: recovery must undo it.
+                    trace.abandoned += 1;
+                    std::mem::forget(txn);
+                }
+            }
+        }
+    }
+    trace
+}
+
+/// Interrogate the oracle on a recovered database; push violations.
+fn check_oracle(
+    db: &Database,
+    cfg: &TortureConfig,
+    trace: &WorkloadTrace,
+    stage: &str,
+    violations: &mut Vec<String>,
+) {
+    for view in [BANK_VIEW, CHURN_VIEW] {
+        if let Err(e) = db.verify_view(view) {
+            violations.push(format!("[{stage}] view '{view}' != recomputation from base: {e}"));
+        }
+    }
+    let ledger = match db.dump_table("ledger") {
+        Ok(rows) => rows,
+        Err(e) => {
+            violations.push(format!("[{stage}] ledger unreadable: {e}"));
+            return;
+        }
+    };
+    let mut durable_seqs = HashSet::new();
+    let mut expected = vec![cfg.initial_balance; cfg.accounts as usize];
+    for r in &ledger {
+        let (seq, from, to, amount) = (
+            r.get(0).as_int().unwrap_or(-1),
+            r.get(1).as_int().unwrap_or(0),
+            r.get(2).as_int().unwrap_or(0),
+            r.get(3).as_int().unwrap_or(0),
+        );
+        durable_seqs.insert(seq);
+        expected[from as usize] -= amount;
+        expected[to as usize] += amount;
+    }
+    for &(seq, ..) in &trace.acked_transfers {
+        if !durable_seqs.contains(&seq) {
+            violations.push(format!(
+                "[{stage}] durability: acked transfer #{seq} missing from ledger"
+            ));
+        }
+    }
+    match db.dump_table("accounts") {
+        Ok(rows) => {
+            if rows.len() != cfg.accounts as usize {
+                violations.push(format!(
+                    "[{stage}] accounts table has {} rows, expected {}",
+                    rows.len(),
+                    cfg.accounts
+                ));
+            }
+            for r in &rows {
+                let id = r.get(0).as_int().unwrap_or(-1);
+                let bal = r.get(2).as_int().unwrap_or(i64::MIN);
+                if id < 0 || id >= cfg.accounts || bal != expected[id as usize] {
+                    violations.push(format!(
+                        "[{stage}] atomicity: account {id} balance {bal} != ledger replay {}",
+                        expected.get(id.max(0) as usize).copied().unwrap_or(i64::MIN)
+                    ));
+                }
+            }
+        }
+        Err(e) => violations.push(format!("[{stage}] accounts unreadable: {e}")),
+    }
+}
+
+/// Run one crash episode under `schedule` and interrogate the oracle.
+pub fn run_episode(cfg: &TortureConfig, schedule: &FaultSchedule) -> Result<EpisodeReport> {
+    let (db, parts) = build(cfg)?;
+    let catalog = db.export_catalog();
+    parts.clock.arm(schedule);
+    let trace = run_workload(&db, cfg, &parts.clock);
+    let fault_stats = parts.clock.stats();
+    drop(db);
+
+    // Reboot: fall back to what actually reached stable storage.
+    parts.disk.crash_restore();
+    parts.store.crash_restore();
+    parts.clock.disarm();
+    let (db, recovery) = Database::with_parts_recovered(
+        Arc::new(parts.disk.clone()),
+        Box::new(parts.store.clone()),
+        Some(&catalog),
+        cfg.pool_pages,
+        Duration::from_secs(2),
+    )?;
+
+    let mut violations = Vec::new();
+    check_oracle(&db, cfg, &trace, "recovered", &mut violations);
+
+    // Idempotence: crash again immediately (full steal so every page is
+    // durable) — redo must find nothing to do and undo no one.
+    let second_recovery = db.crash_and_recover(1.0, cfg.seed)?;
+    if second_recovery.redo_applied != 0 {
+        violations.push(format!(
+            "[second] redo not idempotent: {} records re-applied",
+            second_recovery.redo_applied
+        ));
+    }
+    if second_recovery.losers != 0 {
+        violations.push(format!(
+            "[second] first undo pass did not stick: {} losers remained",
+            second_recovery.losers
+        ));
+    }
+    check_oracle(&db, cfg, &trace, "second", &mut violations);
+
+    // Leftover ghosts (from undone inserts / churn deletes) are cleanable.
+    let ghost_cleanup = db.run_ghost_cleanup()?;
+    check_oracle(&db, cfg, &trace, "post-cleanup", &mut violations);
+
+    // The recovered database accepts new work.
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    let post = do_transfer(&db, &mut txn, i64::MAX, 0, cfg.accounts - 1, 1)
+        .and_then(|()| db.commit(&mut txn).map(|_| ()));
+    match post {
+        Ok(()) => {
+            if let Err(e) = db.verify_view(BANK_VIEW) {
+                violations.push(format!("[post-write] view diverged: {e}"));
+            }
+        }
+        Err(e) => violations.push(format!("[post-write] recovered db rejected work: {e}")),
+    }
+
+    Ok(EpisodeReport {
+        schedule: schedule.clone(),
+        crash_event: fault_stats.crash_event,
+        fault_stats,
+        trace,
+        recovery,
+        second_recovery,
+        ghost_cleanup,
+        violations,
+    })
+}
+
+/// Count the events the workload window spans when no fault fires — the
+/// sweepable crash-point horizon.
+pub fn measure_horizon(cfg: &TortureConfig) -> Result<u64> {
+    let (db, parts) = build(cfg)?;
+    let before = parts.clock.events();
+    let _ = run_workload(&db, cfg, &parts.clock);
+    Ok(parts.clock.events() - before)
+}
+
+/// Sweep crash points over the workload window: up to `max_points`
+/// episodes, evenly strided across the fault-free horizon, each crashing
+/// at a distinct event and asserting the full oracle.
+pub fn run_sweep(cfg: &TortureConfig, max_points: usize) -> Result<SweepReport> {
+    let horizon = measure_horizon(cfg)?;
+    let mut report = SweepReport { horizon, ..Default::default() };
+    if horizon == 0 || max_points == 0 {
+        return Ok(report);
+    }
+    let stride = (horizon as usize / max_points.min(horizon as usize)).max(1);
+    let mut offset = 0u64;
+    while offset < horizon && report.episodes < max_points {
+        let ep = run_episode(cfg, &FaultSchedule::crash_at(offset))?;
+        report.episodes += 1;
+        report.acked_commits += ep.trace.acked_commits;
+        report.losers_undone += ep.recovery.losers;
+        match ep.crash_event {
+            Some(ev) => report.crash_events.push(ev),
+            None => report
+                .violations
+                .push((offset, "scheduled crash never fired inside the workload".into())),
+        }
+        for v in ep.violations {
+            report.violations.push((offset, v));
+        }
+        offset += stride as u64;
+    }
+    report.crash_events.sort_unstable();
+    report.crash_events.dedup();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> TortureConfig {
+        TortureConfig { txns: 12, ..Default::default() }
+    }
+
+    #[test]
+    fn fault_free_episode_passes_oracle() {
+        // A schedule that never fires: the "crash" lands far past the end.
+        let ep = run_episode(&quick_cfg(), &FaultSchedule::crash_at(1_000_000)).unwrap();
+        assert!(ep.violations.is_empty(), "{:?}", ep.violations);
+        assert_eq!(ep.crash_event, None);
+        // 12 attempts, one deliberate runtime rollback (t == 5).
+        assert_eq!(ep.trace.acked_commits, 11);
+        assert_eq!(ep.trace.rolled_back, 1);
+        assert_eq!(ep.recovery.losers, 0);
+    }
+
+    #[test]
+    fn early_crash_loses_everything_but_stays_consistent() {
+        let ep = run_episode(&quick_cfg(), &FaultSchedule::crash_at(0)).unwrap();
+        assert!(ep.violations.is_empty(), "{:?}", ep.violations);
+        assert_eq!(ep.crash_event, Some(ep.fault_stats.crash_event.unwrap()));
+        assert!(ep.trace.acked_commits < 12);
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let cfg = quick_cfg();
+        let a = run_episode(&cfg, &FaultSchedule::crash_at(13)).unwrap();
+        let b = run_episode(&cfg, &FaultSchedule::crash_at(13)).unwrap();
+        assert_eq!(a.crash_event, b.crash_event);
+        assert_eq!(a.trace.acked_transfers, b.trace.acked_transfers);
+        assert_eq!(a.recovery.losers, b.recovery.losers);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.fault_stats.events, b.fault_stats.events);
+    }
+
+    #[test]
+    fn transient_fault_is_survivable() {
+        use txview_storage::fault::FaultKind;
+        let schedule = FaultSchedule {
+            faults: vec![(5, FaultKind::Transient), (40, FaultKind::Crash)],
+        };
+        let ep = run_episode(&quick_cfg(), &schedule).unwrap();
+        assert!(ep.violations.is_empty(), "{:?}", ep.violations);
+        assert_eq!(ep.fault_stats.transient_faults, 1);
+    }
+
+    #[test]
+    fn xlock_mode_episode_passes() {
+        let cfg = TortureConfig { mode: MaintenanceMode::XLock, txns: 12, ..Default::default() };
+        let ep = run_episode(&cfg, &FaultSchedule::crash_at(17)).unwrap();
+        assert!(ep.violations.is_empty(), "{:?}", ep.violations);
+    }
+
+    #[test]
+    fn mini_sweep_is_clean() {
+        let report = run_sweep(&quick_cfg(), 8).unwrap();
+        assert!(report.horizon > 20, "horizon {}", report.horizon);
+        assert_eq!(report.episodes, 8);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.crash_events.len() >= 7);
+    }
+}

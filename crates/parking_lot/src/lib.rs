@@ -1,0 +1,287 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no crates.io access, so this workspace-local
+//! crate provides the subset of the `parking_lot` 0.12 API the codebase
+//! uses, implemented over `std::sync`. The semantic difference that matters
+//! is *non-poisoning*: a panic while a lock is held must not poison it for
+//! other threads (the lock manager and buffer pool rely on that), so every
+//! wrapper unwraps `PoisonError` into the inner guard.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+use std::time::Instant;
+
+/// A non-poisoning mutual-exclusion lock (API subset of `parking_lot::Mutex`).
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)) }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                Some(MutexGuard { inner: Some(p.into_inner()) })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard for [`Mutex`]. The inner `Option` exists so [`Condvar::wait_until`]
+/// can temporarily hand the std guard to `std::sync::Condvar`.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+/// A non-poisoning reader-writer lock (API subset of `parking_lot::RwLock`).
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new rwlock.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock { inner: std::sync::RwLock::new(value) }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard { inner: self.inner.read().unwrap_or_else(PoisonError::into_inner) }
+    }
+
+    /// Acquire the exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard { inner: self.inner.write().unwrap_or_else(PoisonError::into_inner) }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Result of a timed condition-variable wait.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Did the wait end because the deadline passed?
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable paired with [`Mutex`] (subset of `parking_lot::Condvar`).
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    /// Block until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard present");
+        let g = self.inner.wait(g).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(g);
+    }
+
+    /// Block until notified or `deadline` passes; reports which happened.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let now = Instant::now();
+        if now >= deadline {
+            return WaitTimeoutResult { timed_out: true };
+        }
+        let g = guard.inner.take().expect("guard present");
+        let (g, res) = match self.inner.wait_timeout(g, deadline - now) {
+            Ok((g, res)) => (g, res),
+            Err(p) => {
+                let (g, res) = p.into_inner();
+                (g, res)
+            }
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult { timed_out: res.timed_out() }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_lock_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn mutex_survives_panic_without_poisoning() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 0);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(5);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 10);
+        }
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn condvar_wait_until_times_out() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(10));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn condvar_notify_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                let res = cv.wait_until(&mut done, Instant::now() + Duration::from_secs(5));
+                if res.timed_out() {
+                    break;
+                }
+            }
+            *done
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        assert!(t.join().unwrap());
+    }
+}

@@ -13,6 +13,7 @@
 //!   kind of inconsistent state ARIES recovery must repair.
 
 use crate::disk::DiskManager;
+use crate::fault::CrashProbe;
 use crate::page::{Page, PageType};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
@@ -47,6 +48,7 @@ pub struct BufferPool {
     latches: Vec<RwLock<Page>>,
     state: Mutex<PoolState>,
     wal_flush: RwLock<Option<Arc<WalFlushFn>>>,
+    crash_probe: RwLock<Option<Arc<CrashProbe>>>,
 }
 
 impl BufferPool {
@@ -64,12 +66,28 @@ impl BufferPool {
             latches,
             state: Mutex::new(PoolState { map: HashMap::new(), frames, hand: 0 }),
             wal_flush: RwLock::new(None),
+            crash_probe: RwLock::new(None),
         })
     }
 
     /// Register the WAL-before-data hook.
     pub fn set_wal_flush(&self, f: Arc<WalFlushFn>) {
         *self.wal_flush.write() = Some(f);
+    }
+
+    /// Register a crash-point probe, invoked between "WAL flushed" and
+    /// "data page written" on every dirty-page flush (eviction, flush_all,
+    /// checkpoint). The torture harness uses this to land crashes inside
+    /// the steal/no-force window.
+    pub fn set_crash_probe(&self, f: Arc<CrashProbe>) {
+        *self.crash_probe.write() = Some(f);
+    }
+
+    fn probe(&self, point: &'static str) {
+        let hook = self.crash_probe.read().clone();
+        if let Some(f) = hook {
+            f(point);
+        }
     }
 
     /// The underlying disk manager.
@@ -101,6 +119,7 @@ impl BufferPool {
         // Uncontended: pins == 0 or caller owns the only pin and no latch.
         let mut page = self.latches[idx].write();
         self.flush_wal_to(page.lsn())?;
+        self.probe("buffer.write_frame.pre_data_write");
         self.disk.write_page(pid, &mut page)?;
         st.frames[idx].dirty = false;
         st.frames[idx].rec_lsn = Lsn::NULL;

@@ -1,0 +1,489 @@
+//! Deterministic fault injection: a shared event clock, a seeded fault
+//! schedule, and a [`FaultDisk`] page store that can tear writes, return
+//! transient I/O errors, and take a hard crash.
+//!
+//! The model: every durable mutation (disk page write, log append, log
+//! sync, master-pointer update) and every named crash-point probe *ticks*
+//! the shared [`FaultClock`]. The schedule maps event numbers to faults.
+//! A `Crash` fault fires the clock; from that moment each fault-aware
+//! store snapshots its state lazily — the first mutation after the crash
+//! point freezes the pre-mutation image, and everything applied afterwards
+//! lands only in the doomed live state. `crash_restore()` swaps the frozen
+//! durable image back, exactly like a machine rebooting onto what had
+//! actually reached stable storage.
+//!
+//! Because the workload drivers are single-threaded and the schedule is a
+//! pure function of its seed, the same seed always produces the same event
+//! sequence, the same fault at the same operation, and the same post-crash
+//! durable image.
+
+use crate::page::{Page, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use txview_common::rng::Rng;
+use txview_common::{Error, PageId, Result};
+
+/// Crash-point hook: components call this with a static point name just
+/// before a durability-ordering-sensitive step (e.g. between "WAL flushed"
+/// and "data page written"). The torture harness installs a hook that
+/// ticks the [`FaultClock`] so crashes can land exactly at these seams.
+pub type CrashProbe = dyn Fn(&'static str) + Send + Sync;
+
+/// What kind of operation is ticking the clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// A data page write reaching the disk manager.
+    DiskWrite,
+    /// Bytes appended to the durable log.
+    LogAppend,
+    /// A log sync (group-flush fsync).
+    LogSync,
+    /// The master checkpoint pointer being persisted.
+    MasterWrite,
+    /// A named crash-point probe (no durable mutation of its own).
+    Probe(&'static str),
+}
+
+/// A scheduled fault, keyed by event number in [`FaultSchedule`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Hard crash: freeze the durable image before this event's mutation;
+    /// everything from here on is discarded by `crash_restore()`.
+    Crash,
+    /// Tear this write: only part of it reaches the durable image (pages
+    /// keep a garbled second half the checksum must catch; log appends
+    /// keep a prefix, the torn tail recovery must stop at).
+    TornWrite,
+    /// Fail this operation with a transient I/O error, leaving state
+    /// untouched. The caller may retry.
+    Transient,
+}
+
+/// An explicit fault schedule: (event offset, fault) pairs. Offsets are
+/// relative to the event counter at [`FaultClock::arm`] time, so a
+/// schedule describes "the Nth durable operation from now".
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// Scheduled faults by relative event number.
+    pub faults: Vec<(u64, FaultKind)>,
+}
+
+impl FaultSchedule {
+    /// Empty schedule (no faults).
+    pub fn none() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Crash at the `n`th event from now.
+    pub fn crash_at(n: u64) -> FaultSchedule {
+        FaultSchedule { faults: vec![(n, FaultKind::Crash)] }
+    }
+
+    /// Seeded random schedule over the next `horizon` events: a handful of
+    /// transient errors, possibly one torn write, and one crash. A pure
+    /// function of its arguments — the same seed yields the same schedule.
+    pub fn random(seed: u64, horizon: u64) -> FaultSchedule {
+        let mut rng = Rng::new(seed);
+        let horizon = horizon.max(2);
+        let mut faults = Vec::new();
+        let transients = rng.below(3);
+        for _ in 0..transients {
+            faults.push((rng.below(horizon), FaultKind::Transient));
+        }
+        if rng.chance(0.25) {
+            faults.push((rng.below(horizon), FaultKind::TornWrite));
+        }
+        let crash = rng.below(horizon);
+        // The crash shadows anything scheduled later (it never runs).
+        faults.retain(|&(n, _)| n < crash);
+        faults.push((crash, FaultKind::Crash));
+        faults.sort_by_key(|&(n, _)| n);
+        faults.dedup_by_key(|&mut (n, _)| n);
+        FaultSchedule { faults }
+    }
+}
+
+/// Counter snapshot for experiment reporting (same pattern as
+/// `LockStatsSnapshot`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultStatsSnapshot {
+    /// Total clock ticks (durable mutations + probes).
+    pub events: u64,
+    /// Data page writes observed.
+    pub disk_writes: u64,
+    /// Data page reads observed (not ticked; durability-neutral).
+    pub disk_reads: u64,
+    /// Log appends observed.
+    pub log_appends: u64,
+    /// Log syncs observed.
+    pub log_syncs: u64,
+    /// Master-pointer writes observed.
+    pub master_writes: u64,
+    /// Named probe ticks observed.
+    pub probes: u64,
+    /// Transient I/O errors injected.
+    pub transient_faults: u64,
+    /// Writes torn.
+    pub torn_writes: u64,
+    /// Did the armed crash fire?
+    pub crash_fired: bool,
+    /// Absolute event number the crash fired at, if it did.
+    pub crash_event: Option<u64>,
+}
+
+/// The shared fault clock: one per torture episode, cloned (via `Arc`)
+/// into every fault-aware store and probe hook.
+pub struct FaultClock {
+    events: AtomicU64,
+    fired: AtomicBool,
+    crash_event: Mutex<Option<u64>>,
+    schedule: Mutex<HashMap<u64, FaultKind>>,
+    disk_writes: AtomicU64,
+    disk_reads: AtomicU64,
+    log_appends: AtomicU64,
+    log_syncs: AtomicU64,
+    master_writes: AtomicU64,
+    probes: AtomicU64,
+    transient_faults: AtomicU64,
+    torn_writes: AtomicU64,
+}
+
+/// What the ticking operation must do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Apply the operation normally.
+    Proceed,
+    /// Fail with a transient I/O error without applying.
+    TransientError,
+    /// Apply a torn version of the write.
+    Tear,
+}
+
+impl FaultClock {
+    /// New clock with an empty schedule.
+    pub fn new() -> Arc<FaultClock> {
+        Arc::new(FaultClock {
+            events: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+            crash_event: Mutex::new(None),
+            schedule: Mutex::new(HashMap::new()),
+            disk_writes: AtomicU64::new(0),
+            disk_reads: AtomicU64::new(0),
+            log_appends: AtomicU64::new(0),
+            log_syncs: AtomicU64::new(0),
+            master_writes: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            transient_faults: AtomicU64::new(0),
+            torn_writes: AtomicU64::new(0),
+        })
+    }
+
+    /// Arm `schedule` relative to the current event count (so offset 0 is
+    /// the very next durable operation).
+    pub fn arm(&self, schedule: &FaultSchedule) {
+        let base = self.events.load(Ordering::SeqCst);
+        let mut map = self.schedule.lock();
+        for &(n, kind) in &schedule.faults {
+            map.insert(base + n, kind);
+        }
+    }
+
+    /// Clear any remaining schedule and the fired flag, so recovery can
+    /// run fault-free over the same stores. Counters are retained.
+    pub fn disarm(&self) {
+        self.schedule.lock().clear();
+        self.fired.store(false, Ordering::SeqCst);
+    }
+
+    /// Has the armed crash fired?
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    /// Total events ticked so far.
+    pub fn events(&self) -> u64 {
+        self.events.load(Ordering::SeqCst)
+    }
+
+    /// Record a durability-neutral page read (not a clock tick).
+    pub fn note_disk_read(&self) {
+        self.disk_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tick the clock for `point` and learn this operation's fate.
+    pub fn tick(&self, point: FaultPoint) -> FaultDecision {
+        let n = self.events.fetch_add(1, Ordering::SeqCst);
+        match point {
+            FaultPoint::DiskWrite => self.disk_writes.fetch_add(1, Ordering::Relaxed),
+            FaultPoint::LogAppend => self.log_appends.fetch_add(1, Ordering::Relaxed),
+            FaultPoint::LogSync => self.log_syncs.fetch_add(1, Ordering::Relaxed),
+            FaultPoint::MasterWrite => self.master_writes.fetch_add(1, Ordering::Relaxed),
+            FaultPoint::Probe(_) => self.probes.fetch_add(1, Ordering::Relaxed),
+        };
+        if self.fired.load(Ordering::SeqCst) {
+            // Post-crash: the doomed image keeps absorbing writes until
+            // the harness restores; no further faults fire.
+            return FaultDecision::Proceed;
+        }
+        match self.schedule.lock().remove(&n) {
+            Some(FaultKind::Crash) => {
+                self.fired.store(true, Ordering::SeqCst);
+                *self.crash_event.lock() = Some(n);
+                FaultDecision::Proceed
+            }
+            Some(FaultKind::TornWrite)
+                if matches!(point, FaultPoint::DiskWrite | FaultPoint::LogAppend) =>
+            {
+                self.torn_writes.fetch_add(1, Ordering::Relaxed);
+                FaultDecision::Tear
+            }
+            Some(FaultKind::TornWrite) => FaultDecision::Proceed,
+            Some(FaultKind::Transient) => {
+                self.transient_faults.fetch_add(1, Ordering::Relaxed);
+                FaultDecision::TransientError
+            }
+            None => FaultDecision::Proceed,
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> FaultStatsSnapshot {
+        FaultStatsSnapshot {
+            events: self.events.load(Ordering::SeqCst),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            disk_reads: self.disk_reads.load(Ordering::Relaxed),
+            log_appends: self.log_appends.load(Ordering::Relaxed),
+            log_syncs: self.log_syncs.load(Ordering::Relaxed),
+            master_writes: self.master_writes.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            transient_faults: self.transient_faults.load(Ordering::Relaxed),
+            torn_writes: self.torn_writes.load(Ordering::Relaxed),
+            crash_fired: self.fired(),
+            crash_event: *self.crash_event.lock(),
+        }
+    }
+}
+
+fn transient_io_error() -> Error {
+    Error::Io(std::io::Error::new(
+        std::io::ErrorKind::Interrupted,
+        "injected transient i/o fault",
+    ))
+}
+
+type Image = Box<[u8; PAGE_SIZE]>;
+
+#[derive(Clone, Default)]
+struct DiskState {
+    images: Vec<Option<Image>>,
+}
+
+struct DiskShared {
+    clock: Arc<FaultClock>,
+    live: Mutex<DiskState>,
+    frozen: Mutex<Option<DiskState>>,
+}
+
+/// A fault-injecting page store. Stores raw post-checksum page images (so
+/// a torn image survives verbatim until a read trips the checksum), and
+/// honours the shared [`FaultClock`]'s schedule. Cloning yields a handle
+/// to the same store, so the harness can keep one across a `Database`'s
+/// lifetime and call [`FaultDisk::crash_restore`] after dropping it.
+#[derive(Clone)]
+pub struct FaultDisk {
+    inner: Arc<DiskShared>,
+}
+
+impl FaultDisk {
+    /// New empty store ticking `clock`.
+    pub fn new(clock: Arc<FaultClock>) -> FaultDisk {
+        FaultDisk {
+            inner: Arc::new(DiskShared {
+                clock,
+                live: Mutex::new(DiskState::default()),
+                frozen: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &Arc<FaultClock> {
+        &self.inner.clock
+    }
+
+    /// Lazily freeze the durable image: the first mutation after the
+    /// crash fires snapshots the pre-mutation state.
+    fn maybe_freeze(&self) {
+        if self.inner.clock.fired() {
+            let mut frozen = self.inner.frozen.lock();
+            if frozen.is_none() {
+                *frozen = Some(self.inner.live.lock().clone());
+            }
+        }
+    }
+
+    /// Reboot onto the durable image: discard everything applied after
+    /// the crash point. Returns whether a frozen image existed (if not,
+    /// nothing was mutated post-crash and the live state already *is* the
+    /// durable state).
+    pub fn crash_restore(&self) -> bool {
+        match self.inner.frozen.lock().take() {
+            Some(f) => {
+                *self.inner.live.lock() = f;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl crate::disk::DiskManager for FaultDisk {
+    fn read_page(&self, pid: PageId) -> Result<Page> {
+        self.inner.clock.note_disk_read();
+        let st = self.inner.live.lock();
+        match st.images.get(pid.0 as usize) {
+            Some(Some(img)) => Page::from_disk(**img),
+            _ => Err(Error::NotFound(format!("{pid:?} never written"))),
+        }
+    }
+
+    fn write_page(&self, pid: PageId, page: &mut Page) -> Result<()> {
+        let decision = self.inner.clock.tick(FaultPoint::DiskWrite);
+        self.maybe_freeze();
+        if decision == FaultDecision::TransientError {
+            return Err(transient_io_error());
+        }
+        let mut img = Box::new(*page.to_disk());
+        if decision == FaultDecision::Tear {
+            // Only the first half reached the platter; the rest is the
+            // bit-flipped ghost of what was meant to land there. The page
+            // checksum (sealed over the whole image) must catch this.
+            for b in &mut img[PAGE_SIZE / 2..] {
+                *b ^= 0xFF;
+            }
+        }
+        let mut st = self.inner.live.lock();
+        let idx = pid.0 as usize;
+        if st.images.len() <= idx {
+            st.images.resize_with(idx + 1, || None);
+        }
+        st.images[idx] = Some(img);
+        Ok(())
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        // Allocation extends the durable address space; treat it as part
+        // of the page-write mutation stream for freeze purposes (but not
+        // as a tickable fault point — it never touches the platter).
+        self.maybe_freeze();
+        let mut st = self.inner.live.lock();
+        let pid = PageId(st.images.len() as u32);
+        st.images.push(None);
+        Ok(pid)
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.inner.live.lock().images.len() as u32
+    }
+
+    fn ensure_allocated(&self, pid: PageId) {
+        self.maybe_freeze();
+        let mut st = self.inner.live.lock();
+        if st.images.len() <= pid.0 as usize {
+            st.images.resize_with(pid.0 as usize + 1, || None);
+        }
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskManager;
+    use crate::page::PageType;
+
+    fn write_marker(disk: &FaultDisk, marker: u8) -> PageId {
+        let pid = disk.allocate().unwrap();
+        let mut p = Page::new(PageType::BTreeLeaf);
+        p.payload_mut()[0] = marker;
+        disk.write_page(pid, &mut p).unwrap();
+        pid
+    }
+
+    #[test]
+    fn no_faults_behaves_like_memdisk() {
+        let disk = FaultDisk::new(FaultClock::new());
+        let pid = write_marker(&disk, 0xAB);
+        assert_eq!(disk.read_page(pid).unwrap().payload()[0], 0xAB);
+        assert!(!disk.crash_restore());
+    }
+
+    #[test]
+    fn transient_fault_fails_once_then_retry_succeeds() {
+        let clock = FaultClock::new();
+        let disk = FaultDisk::new(Arc::clone(&clock));
+        clock.arm(&FaultSchedule { faults: vec![(0, FaultKind::Transient)] });
+        let pid = disk.allocate().unwrap();
+        let mut p = Page::new(PageType::BTreeLeaf);
+        assert!(matches!(disk.write_page(pid, &mut p), Err(Error::Io(_))));
+        disk.write_page(pid, &mut p).unwrap();
+        assert_eq!(clock.stats().transient_faults, 1);
+    }
+
+    #[test]
+    fn torn_write_is_caught_by_page_checksum() {
+        let clock = FaultClock::new();
+        let disk = FaultDisk::new(Arc::clone(&clock));
+        clock.arm(&FaultSchedule { faults: vec![(0, FaultKind::TornWrite)] });
+        let pid = disk.allocate().unwrap();
+        let mut p = Page::new(PageType::BTreeLeaf);
+        p.payload_mut()[0] = 7;
+        disk.write_page(pid, &mut p).unwrap();
+        assert!(matches!(disk.read_page(pid), Err(Error::Corruption(_))));
+        assert_eq!(clock.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn crash_freezes_prior_writes_and_discards_later_ones() {
+        let clock = FaultClock::new();
+        let disk = FaultDisk::new(Arc::clone(&clock));
+        let before = write_marker(&disk, 1);
+        // Crash at the next disk write: that write and everything after
+        // it must vanish on restore.
+        clock.arm(&FaultSchedule::crash_at(0));
+        let during = write_marker(&disk, 2);
+        let after = write_marker(&disk, 3);
+        assert!(clock.fired());
+        // The doomed live image still sees everything.
+        assert_eq!(disk.read_page(during).unwrap().payload()[0], 2);
+        assert!(disk.crash_restore());
+        assert_eq!(disk.read_page(before).unwrap().payload()[0], 1);
+        assert!(disk.read_page(during).is_err());
+        assert!(disk.read_page(after).is_err());
+        // The allocate for `during` preceded the crash tick, so its empty
+        // slot survives in the frozen image (a file extended but never
+        // written); the allocate for `after` is post-freeze and vanishes.
+        assert_eq!(disk.num_pages(), 2);
+        assert_eq!(clock.stats().crash_event, Some(1));
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        for seed in 0..50 {
+            assert_eq!(FaultSchedule::random(seed, 100), FaultSchedule::random(seed, 100));
+        }
+    }
+
+    #[test]
+    fn probe_ticks_advance_the_clock() {
+        let clock = FaultClock::new();
+        clock.tick(FaultPoint::Probe("test.point"));
+        assert_eq!(clock.events(), 1);
+        assert_eq!(clock.stats().probes, 1);
+    }
+}

@@ -16,10 +16,15 @@
 
 pub mod buffer;
 pub mod disk;
+pub mod fault;
 pub mod page;
 pub mod slotted;
 
 pub use buffer::{BufferPool, PageReadGuard, PageWriteGuard};
 pub use disk::{DiskManager, FileDisk, MemDisk};
+pub use fault::{
+    CrashProbe, FaultClock, FaultDecision, FaultDisk, FaultKind, FaultPoint, FaultSchedule,
+    FaultStatsSnapshot,
+};
 pub use page::{Page, PageType, PAGE_SIZE, PAGE_HEADER_SIZE, PAGE_PAYLOAD_SIZE};
 pub use slotted::{Slotted, SlottedRef};

@@ -1,0 +1,172 @@
+//! Fault-injecting [`LogStore`]: the WAL-side twin of
+//! `txview_storage::fault::FaultDisk`, sharing the same [`FaultClock`].
+//!
+//! Appends and syncs tick the clock; once a crash fires, the first
+//! mutation freezes the durable bytes (and master pointer) and later
+//! appends land only in the doomed live state. A torn append keeps a
+//! prefix of the group-flush buffer — the torn tail that
+//! `LogManager::read_durable_from` must stop at cleanly.
+
+use crate::log::LogStore;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use txview_common::{Error, Lsn, Result};
+use txview_storage::fault::{FaultClock, FaultDecision, FaultPoint};
+
+#[derive(Clone)]
+struct LogState {
+    bytes: Vec<u8>,
+    master: (u64, Lsn),
+}
+
+struct LogShared {
+    clock: Arc<FaultClock>,
+    live: Mutex<LogState>,
+    frozen: Mutex<Option<LogState>>,
+}
+
+/// Fault-injecting in-memory log store. Cloning yields a handle to the
+/// same store, so the torture harness keeps one across the `Database`'s
+/// lifetime and calls [`FaultLogStore::crash_restore`] after dropping it.
+#[derive(Clone)]
+pub struct FaultLogStore {
+    inner: Arc<LogShared>,
+}
+
+impl FaultLogStore {
+    /// New empty store ticking `clock`.
+    pub fn new(clock: Arc<FaultClock>) -> FaultLogStore {
+        FaultLogStore {
+            inner: Arc::new(LogShared {
+                clock,
+                live: Mutex::new(LogState { bytes: Vec::new(), master: (0, Lsn::NULL) }),
+                frozen: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &Arc<FaultClock> {
+        &self.inner.clock
+    }
+
+    fn maybe_freeze(&self) {
+        if self.inner.clock.fired() {
+            let mut frozen = self.inner.frozen.lock();
+            if frozen.is_none() {
+                *frozen = Some(self.inner.live.lock().clone());
+            }
+        }
+    }
+
+    /// Reboot onto the durable bytes: discard everything appended after
+    /// the crash point. Returns whether a frozen image existed.
+    pub fn crash_restore(&self) -> bool {
+        match self.inner.frozen.lock().take() {
+            Some(f) => {
+                *self.inner.live.lock() = f;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+fn transient_io_error() -> Error {
+    Error::Io(std::io::Error::new(
+        std::io::ErrorKind::Interrupted,
+        "injected transient i/o fault",
+    ))
+}
+
+impl LogStore for FaultLogStore {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        let decision = self.inner.clock.tick(FaultPoint::LogAppend);
+        self.maybe_freeze();
+        match decision {
+            FaultDecision::TransientError => Err(transient_io_error()),
+            FaultDecision::Tear => {
+                // Half the group-flush buffer reached the disk; the framed
+                // decoder must stop cleanly at this torn tail.
+                let keep = bytes.len() / 2;
+                self.inner.live.lock().bytes.extend_from_slice(&bytes[..keep]);
+                Ok(())
+            }
+            FaultDecision::Proceed => {
+                self.inner.live.lock().bytes.extend_from_slice(bytes);
+                Ok(())
+            }
+        }
+    }
+
+    fn sync(&self) -> Result<()> {
+        let decision = self.inner.clock.tick(FaultPoint::LogSync);
+        self.maybe_freeze();
+        if decision == FaultDecision::TransientError {
+            return Err(transient_io_error());
+        }
+        Ok(())
+    }
+
+    fn len_bytes(&self) -> Result<u64> {
+        Ok(self.inner.live.lock().bytes.len() as u64)
+    }
+
+    fn read_from(&self, offset: u64) -> Result<Vec<u8>> {
+        let st = self.inner.live.lock();
+        Ok(st.bytes[(offset as usize).min(st.bytes.len())..].to_vec())
+    }
+
+    fn set_master(&self, offset: u64, lsn: Lsn) -> Result<()> {
+        let decision = self.inner.clock.tick(FaultPoint::MasterWrite);
+        self.maybe_freeze();
+        if decision == FaultDecision::TransientError {
+            return Err(transient_io_error());
+        }
+        self.inner.live.lock().master = (offset, lsn);
+        Ok(())
+    }
+
+    fn get_master(&self) -> Result<(u64, Lsn)> {
+        Ok(self.inner.live.lock().master)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txview_storage::fault::{FaultKind, FaultSchedule};
+
+    #[test]
+    fn crash_freezes_appended_prefix() {
+        let clock = FaultClock::new();
+        let store = FaultLogStore::new(Arc::clone(&clock));
+        store.append(b"before").unwrap();
+        clock.arm(&FaultSchedule::crash_at(0));
+        store.append(b"doomed").unwrap();
+        assert_eq!(store.read_from(0).unwrap(), b"beforedoomed");
+        assert!(store.crash_restore());
+        assert_eq!(store.read_from(0).unwrap(), b"before");
+    }
+
+    #[test]
+    fn torn_append_keeps_half() {
+        let clock = FaultClock::new();
+        let store = FaultLogStore::new(Arc::clone(&clock));
+        clock.arm(&FaultSchedule { faults: vec![(0, FaultKind::TornWrite)] });
+        store.append(b"abcdef").unwrap();
+        assert_eq!(store.read_from(0).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn master_pointer_is_frozen_with_bytes() {
+        let clock = FaultClock::new();
+        let store = FaultLogStore::new(Arc::clone(&clock));
+        store.set_master(1, Lsn(1)).unwrap();
+        clock.arm(&FaultSchedule::crash_at(0));
+        store.set_master(9, Lsn(9)).unwrap();
+        assert_eq!(store.get_master().unwrap(), (9, Lsn(9)));
+        assert!(store.crash_restore());
+        assert_eq!(store.get_master().unwrap(), (1, Lsn(1)));
+    }
+}

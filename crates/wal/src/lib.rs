@@ -22,10 +22,12 @@
 //!   dirty-page table;
 //! * the classic **analysis / redo / undo** recovery driver.
 
+pub mod fault;
 pub mod log;
 pub mod record;
 pub mod recovery;
 
+pub use fault::FaultLogStore;
 pub use log::{FileLogStore, LogManager, LogStore, MemLogStore};
 pub use record::{LogRecord, RecordBody, RedoOp, TxnKind, UndoOp, ValueDelta};
 pub use recovery::{recover, RecoveryReport, UndoHandler};

@@ -8,12 +8,14 @@
 //! exactly like a real power failure.
 
 use crate::record::{LogRecord, RecordBody};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use txview_common::{Lsn, Result, TxnId};
+use txview_storage::fault::CrashProbe;
 
 /// Reserved payload-header bytes at the start of every slotted page payload
 /// (B-tree node header). Shared between the WAL redo applier and the B-tree.
@@ -165,6 +167,7 @@ pub struct LogManager {
     /// Monotone counters for experiment reporting.
     appended_records: AtomicU64,
     appended_bytes: AtomicU64,
+    crash_probe: RwLock<Option<Arc<CrashProbe>>>,
 }
 
 impl LogManager {
@@ -188,7 +191,23 @@ impl LogManager {
             next_txn: AtomicU64::new(max_txn + 1),
             appended_records: AtomicU64::new(0),
             appended_bytes: AtomicU64::new(0),
+            crash_probe: RwLock::new(None),
         })
+    }
+
+    /// Register a crash-point probe, invoked inside the group flush just
+    /// before the append and again between the append and the sync. The
+    /// torture harness uses this to land crashes at the "WAL bytes
+    /// written but not yet forced" seam.
+    pub fn set_crash_probe(&self, f: Arc<CrashProbe>) {
+        *self.crash_probe.write() = Some(f);
+    }
+
+    fn probe(&self, point: &'static str) {
+        let hook = self.crash_probe.read().clone();
+        if let Some(f) = hook {
+            f(point);
+        }
     }
 
     /// Allocate a transaction id. The log manager owns the id space so that
@@ -251,7 +270,9 @@ impl LogManager {
             buf.extend_from_slice(&p.bytes);
         }
         let last = tail.pending[split - 1].lsn;
+        self.probe("wal.flush_to.pre_append");
         self.store.append(&buf)?;
+        self.probe("wal.flush_to.pre_sync");
         self.store.sync()?;
         tail.pending.drain(..split);
         tail.pending_bytes = tail.pending.iter().map(|p| p.bytes.len()).sum();

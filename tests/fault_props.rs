@@ -1,0 +1,73 @@
+//! Property tests for the fault-injection layer: schedule generation is a
+//! pure function of the seed, and a torn page write is always detected by
+//! the page checksum on the next read, whatever the payload.
+
+use proptest::prelude::*;
+use txview_engine::torture::{run_episode, TortureConfig};
+use txview_common::Error;
+use txview_storage::fault::{FaultClock, FaultDisk, FaultKind, FaultSchedule};
+use txview_storage::{DiskManager, Page, PageType, PAGE_PAYLOAD_SIZE};
+
+proptest! {
+    /// Same seed + horizon ⇒ byte-identical fault schedule, every time.
+    #[test]
+    fn schedule_is_a_pure_function_of_the_seed(
+        seed in any::<u64>(),
+        horizon in 1u64..10_000,
+    ) {
+        let a = FaultSchedule::random(seed, horizon);
+        let b = FaultSchedule::random(seed, horizon);
+        prop_assert_eq!(&a, &b);
+        // Well-formed: sorted by event, unique events, everything inside
+        // the horizon, and nothing scheduled after the crash.
+        let events: Vec<u64> = a.faults.iter().map(|(e, _)| *e).collect();
+        let mut sorted = events.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(&events, &sorted);
+        prop_assert!(events.iter().all(|&e| e < horizon));
+        if let Some(pos) =
+            a.faults.iter().position(|(_, k)| *k == FaultKind::Crash)
+        {
+            prop_assert_eq!(pos, a.faults.len() - 1, "crash must be last");
+        }
+    }
+
+    /// A torn write is always caught by the checksum on read, for any
+    /// payload bytes written at any offset.
+    #[test]
+    fn torn_writes_never_pass_the_checksum(
+        bytes in proptest::collection::vec(any::<u8>(), 1..256),
+        offset in 0usize..PAGE_PAYLOAD_SIZE - 256,
+    ) {
+        let clock = FaultClock::new();
+        let disk = FaultDisk::new(std::sync::Arc::clone(&clock));
+        let pid = disk.allocate().unwrap();
+        let mut page = Page::new(PageType::BTreeLeaf);
+        page.payload_mut()[offset..offset + bytes.len()].copy_from_slice(&bytes);
+        // Tear the very next disk write.
+        clock.arm(&FaultSchedule { faults: vec![(0, FaultKind::TornWrite)] });
+        disk.write_page(pid, &mut page).unwrap();
+        prop_assert!(
+            matches!(disk.read_page(pid), Err(Error::Corruption(_))),
+            "torn write went undetected"
+        );
+        prop_assert_eq!(clock.stats().torn_writes, 1);
+    }
+
+    /// Torture episodes are deterministic: same seed + crash point ⇒ same
+    /// workload trace, same crash event, same oracle outcome.
+    #[test]
+    fn episodes_replay_bit_identically(seed in any::<u32>(), point in 0u64..80) {
+        let cfg = TortureConfig { txns: 8, seed: seed as u64, ..Default::default() };
+        let schedule = FaultSchedule::crash_at(point);
+        let a = run_episode(&cfg, &schedule).unwrap();
+        let b = run_episode(&cfg, &schedule).unwrap();
+        prop_assert_eq!(a.crash_event, b.crash_event);
+        prop_assert_eq!(a.trace.acked_commits, b.trace.acked_commits);
+        prop_assert_eq!(a.trace.acked_transfers, b.trace.acked_transfers);
+        prop_assert_eq!(a.fault_stats.events, b.fault_stats.events);
+        prop_assert_eq!(&a.violations, &b.violations);
+        prop_assert!(a.violations.is_empty(), "oracle violation: {:?}", a.violations);
+    }
+}
