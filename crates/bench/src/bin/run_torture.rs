@@ -3,14 +3,23 @@
 //! fault schedules, and assert the recovery oracle at every point.
 //!
 //! ```text
-//! run_torture [--quick] [--seed N] [--points N] [--txns N] [--schedules N]
+//! run_torture [--quick] [--storm] [--seed N] [--points N] [--txns N] [--schedules N]
 //! ```
 //!
 //! `--quick` is the CI budget: fixed seed, ~60 crash points per mode,
 //! bounded well under a minute. Exit status is non-zero on any oracle
 //! violation, so CI can gate on it directly.
+//!
+//! `--storm` switches to the transient-storm oracle instead: ≥ 55 distinct
+//! transient-only schedules per maintenance mode (absorbed invisibly — no
+//! lost acks, byte-identical committed state, no degradation) plus one
+//! persistent-outage episode per mode (graceful DegradedReadOnly, reads
+//! keep serving, writers rejected retryably, probe heals). Any violation
+//! prints the failing seed and full schedule for replay.
 
-use txview_engine::torture::{run_episode, run_sweep, SweepReport, TortureConfig};
+use txview_engine::torture::{
+    run_episode, run_persistent_episode, run_storm_sweep, run_sweep, SweepReport, TortureConfig,
+};
 use txview_engine::MaintenanceMode;
 use txview_storage::fault::FaultSchedule;
 
@@ -45,13 +54,89 @@ fn print_sweep(mode: MaintenanceMode, r: &SweepReport) {
     }
 }
 
+/// Transient-storm + persistent-outage oracle; returns the violation count.
+fn run_storm(seed: u64, txns: usize, per_mode: usize) -> usize {
+    println!("transient-storm sweep: seed {seed}, {per_mode} distinct schedules/mode, {txns} txns/episode");
+    let mut failures = 0usize;
+    for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+        let cfg = TortureConfig { mode, txns, seed, ..Default::default() };
+        match run_storm_sweep(&cfg, per_mode) {
+            Ok(r) => {
+                println!(
+                    "  {:<6}  horizon {:>4}  distinct schedules {:>3}  faults injected {:>4}  \
+                     io retries absorbed {:>4}  acked commits {:>5}  violations {}",
+                    mode_name(mode),
+                    r.horizon,
+                    r.episodes,
+                    r.transient_faults,
+                    r.io_retries,
+                    r.acked_commits,
+                    r.violations.len(),
+                );
+                for (storm_seed, v) in &r.violations {
+                    println!("    VIOLATION (storm seed {storm_seed}): {v}");
+                    println!(
+                        "    replay: FaultSchedule::storm({storm_seed}, {}) with cfg seed {seed}",
+                        r.horizon
+                    );
+                }
+                failures += r.violations.len();
+            }
+            Err(e) => {
+                failures += 1;
+                println!("  {:<6}  STORM SWEEP ERROR: {e}", mode_name(mode));
+            }
+        }
+    }
+    println!("persistent-outage episodes:");
+    for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+        let cfg = TortureConfig { mode, txns, seed, ..Default::default() };
+        match run_persistent_episode(&cfg, 6) {
+            Ok(r) => {
+                println!(
+                    "  {:<6}  commits before outage {:>3}  writes rejected {:>3}  \
+                     degradations {}  heals {}  violations {}",
+                    mode_name(mode),
+                    r.commits_before_outage,
+                    r.writes_rejected,
+                    r.resilience.health_counters.degradations,
+                    r.resilience.health_counters.heals,
+                    r.violations.len(),
+                );
+                for v in &r.violations {
+                    println!("    VIOLATION (outage at event 6, cfg seed {seed}): {v}");
+                }
+                failures += r.violations.len();
+            }
+            Err(e) => {
+                failures += 1;
+                println!("  {:<6}  OUTAGE EPISODE ERROR: {e}", mode_name(mode));
+            }
+        }
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let storm = args.iter().any(|a| a == "--storm");
     let seed = parse_flag(&args, "--seed").unwrap_or(42);
     let points = parse_flag(&args, "--points").unwrap_or(if quick { 60 } else { 120 }) as usize;
     let txns = parse_flag(&args, "--txns").unwrap_or(if quick { 24 } else { 36 }) as usize;
     let schedules = parse_flag(&args, "--schedules").unwrap_or(if quick { 10 } else { 40 });
+
+    if storm {
+        // ≥ 110 distinct transient schedules across the two modes by
+        // default (55 each), regardless of --quick.
+        let per_mode = parse_flag(&args, "--schedules").unwrap_or(55) as usize;
+        let failures = run_storm(seed, txns, per_mode);
+        println!("storm total: {failures} violations");
+        if failures > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
 
     println!(
         "crash-torture: seed {seed}, {points} crash points/mode, {txns} txns/episode, \

@@ -14,8 +14,14 @@ pub type Result<T> = std::result::Result<T, Error>;
 /// The workspace-wide error enum.
 #[derive(Debug)]
 pub enum Error {
-    /// Underlying file I/O failed.
+    /// Underlying file I/O failed and is not expected to succeed on retry
+    /// (missing file, permission, device gone).
     Io(std::io::Error),
+    /// Underlying file I/O failed *transiently*: the same operation may
+    /// succeed if re-issued (interrupted syscall, momentary device hiccup,
+    /// injected transient fault). Retry layers treat this as retryable;
+    /// everything in [`Error::Io`] is terminal.
+    IoTransient(std::io::Error),
     /// On-disk bytes did not decode as expected (torn page, bad magic, ...).
     Corruption(String),
     /// A page, slot, or record that should exist was not found.
@@ -56,6 +62,20 @@ pub enum Error {
         /// Why it was rolled back.
         reason: String,
     },
+    /// The engine is in the `DegradedReadOnly` health state: the durable
+    /// write path exhausted its retries, so new write work is rejected while
+    /// reads continue to be served. Retryable — the device may recover and a
+    /// health probe will restore write service.
+    Degraded {
+        /// What drove the engine into the degraded state.
+        reason: String,
+    },
+    /// The engine is fenced: an unrecoverable invariant violation (e.g.
+    /// corruption on the commit path) stopped all service. Not retryable.
+    Fenced {
+        /// What fenced the engine.
+        reason: String,
+    },
 }
 
 impl Error {
@@ -67,7 +87,17 @@ impl Error {
             Error::DeadlockVictim { .. }
                 | Error::LockTimeout { .. }
                 | Error::SerializationConflict(_)
+                | Error::IoTransient(_)
+                | Error::Degraded { .. }
         )
+    }
+
+    /// True only for transient I/O failures — the class the [`crate::retry`]
+    /// layer is allowed to absorb by re-issuing the same physical operation.
+    /// Protocol-level retryables (deadlock, timeout) are *not* transient I/O:
+    /// those must bubble up so the whole transaction restarts.
+    pub fn is_transient_io(&self) -> bool {
+        matches!(self, Error::IoTransient(_))
     }
 
     /// Shorthand constructor for corruption errors.
@@ -85,6 +115,7 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::IoTransient(e) => write!(f, "transient i/o error: {e}"),
             Error::Corruption(m) => write!(f, "corruption: {m}"),
             Error::NotFound(m) => write!(f, "not found: {m}"),
             Error::DuplicateKey(m) => write!(f, "duplicate key: {m}"),
@@ -104,6 +135,10 @@ impl fmt::Display for Error {
             Error::RolledBack { txn, reason } => {
                 write!(f, "transaction {txn} rolled back: {reason}")
             }
+            Error::Degraded { reason } => {
+                write!(f, "engine degraded to read-only: {reason}")
+            }
+            Error::Fenced { reason } => write!(f, "engine fenced: {reason}"),
         }
     }
 }
@@ -111,7 +146,7 @@ impl fmt::Display for Error {
 impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            Error::Io(e) => Some(e),
+            Error::Io(e) | Error::IoTransient(e) => Some(e),
             _ => None,
         }
     }
@@ -138,6 +173,30 @@ mod tests {
         assert!(Error::SerializationConflict("w".into()).is_retryable());
         assert!(!Error::BufferExhausted.is_retryable());
         assert!(!Error::corruption("x").is_retryable());
+    }
+
+    #[test]
+    fn io_transient_vs_permanent() {
+        let transient = Error::IoTransient(std::io::Error::other("hiccup"));
+        let permanent = Error::Io(std::io::Error::other("dead"));
+        assert!(transient.is_retryable());
+        assert!(transient.is_transient_io());
+        assert!(!permanent.is_retryable());
+        assert!(!permanent.is_transient_io());
+        // Protocol retryables are not transient I/O.
+        assert!(!Error::DeadlockVictim { txn: TxnId(1) }.is_transient_io());
+        assert!(std::error::Error::source(&transient).is_some());
+    }
+
+    #[test]
+    fn health_errors_classified() {
+        let d = Error::Degraded { reason: "log device down".into() };
+        let f = Error::Fenced { reason: "corruption".into() };
+        assert!(d.is_retryable(), "degraded is retryable (device may heal)");
+        assert!(!f.is_retryable(), "fenced is terminal");
+        assert!(!d.is_transient_io());
+        assert!(d.to_string().contains("read-only"));
+        assert!(f.to_string().contains("fenced"));
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod codec;
 pub mod error;
 pub mod ids;
 pub mod key;
+pub mod retry;
 pub mod rng;
 pub mod row;
 pub mod schema;

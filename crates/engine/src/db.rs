@@ -30,12 +30,15 @@ use crate::escrow::{
     self, agg_region_offset, apply_additive, apply_insert_merge, apply_undo_pairs,
     encode_view_row, initial_aggs, RowDelta,
 };
+use crate::health::{HealthMonitor, HealthState, HealthStatsSnapshot};
 use crate::versions::VersionStore;
 use crate::watermark::CommitWatermark;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use txview_common::retry::{RetryPolicy, RetryStatsSnapshot};
 use txview_btree::{LogCtx, OpLog, Tree};
 use txview_common::schema::Schema;
 use txview_common::value::ValueType;
@@ -57,6 +60,28 @@ pub struct DbStats {
     pub log_records: u64,
     /// Log bytes appended since open.
     pub log_bytes: u64,
+    /// I/O resilience counters (retry layers + health machine).
+    pub resilience: ResilienceStats,
+}
+
+/// Snapshot of the resilience layer: current health, health-machine
+/// counters, per-seam I/O retry counters, and `run_txn` attempt telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Current engine health state.
+    pub health: HealthState,
+    /// Degradations / rejected writes / heals / fences.
+    pub health_counters: HealthStatsSnapshot,
+    /// Buffer-pool I/O retries (page writes, resilient reads).
+    pub pool_io: RetryStatsSnapshot,
+    /// Log-manager I/O retries (appends, syncs, master writes).
+    pub log_io: RetryStatsSnapshot,
+    /// Transactions started by `run_txn` (first tries + retries).
+    pub txn_attempts: u64,
+    /// `run_txn` retries after a retryable failure.
+    pub txn_retries: u64,
+    /// Total backoff slept between `run_txn` attempts, in microseconds.
+    pub txn_backoff_micros: u64,
 }
 
 /// Result of one ghost-cleanup sweep.
@@ -101,6 +126,17 @@ pub struct Database {
     deferred_pending: Mutex<HashMap<ViewId, u64>>,
     /// Sidecar path persisting the catalog at each DDL (None = in-memory).
     catalog_path: Mutex<Option<std::path::PathBuf>>,
+    /// Health state machine (Healthy → DegradedReadOnly → Fenced).
+    health: HealthMonitor,
+    /// Backoff shape for `run_txn` retries (attempts come from the caller;
+    /// only the delay curve and jitter seed live here).
+    txn_backoff: Mutex<RetryPolicy>,
+    /// `run_txn` telemetry: transactions started.
+    txn_attempts: AtomicU64,
+    /// `run_txn` telemetry: retries after retryable failures.
+    txn_retries: AtomicU64,
+    /// `run_txn` telemetry: total backoff slept, in microseconds.
+    txn_backoff_micros: AtomicU64,
 }
 
 impl Database {
@@ -152,6 +188,11 @@ impl Database {
             ghost_queue: Mutex::new(VecDeque::new()),
             deferred_pending: Mutex::new(HashMap::new()),
             catalog_path: Mutex::new(None),
+            health: HealthMonitor::new(),
+            txn_backoff: Mutex::new(RetryPolicy::no_delay(0)),
+            txn_attempts: AtomicU64::new(0),
+            txn_retries: AtomicU64::new(0),
+            txn_backoff_micros: AtomicU64::new(0),
         }))
     }
 
@@ -251,7 +292,81 @@ impl Database {
             locks: self.locks.stats(),
             log_records: self.log.appended_records(),
             log_bytes: self.log.appended_bytes(),
+            resilience: self.resilience_stats(),
         }
+    }
+
+    // ---- resilience ------------------------------------------------------
+
+    /// The health state machine (diagnostics, tests).
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    /// Snapshot of the resilience layer across all seams.
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        ResilienceStats {
+            health: self.health.state(),
+            health_counters: self.health.stats(),
+            pool_io: self.pool.io_retry_stats(),
+            log_io: self.log.io_retry_stats(),
+            txn_attempts: self.txn_attempts.load(Ordering::Relaxed),
+            txn_retries: self.txn_retries.load(Ordering::Relaxed),
+            txn_backoff_micros: self.txn_backoff_micros.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Install one I/O retry policy on both durable seams (buffer pool
+    /// page writes and log appends/syncs/master writes).
+    pub fn set_io_retry_policy(&self, policy: RetryPolicy) {
+        self.pool.set_retry_policy(policy);
+        self.log.set_retry_policy(policy);
+    }
+
+    /// Shape the deterministic backoff `run_txn` sleeps between attempts
+    /// (the default sleeps nothing, preserving tight-loop retry).
+    pub fn set_txn_backoff(&self, policy: RetryPolicy) {
+        *self.txn_backoff.lock() = policy;
+    }
+
+    /// Classify a write-path failure: exhausted transient retries or a
+    /// permanent I/O error demote the engine to read-only service. The
+    /// caller still sees the original error (nothing was acked).
+    fn note_write_result<T>(&self, result: Result<T>, seam: &str) -> Result<T> {
+        if let Err(e) = &result {
+            if matches!(e, Error::Io(_) | Error::IoTransient(_)) {
+                self.health.degrade(&format!("{seam} failed after retries: {e}"));
+            }
+        }
+        result
+    }
+
+    /// Classify a commit/checkpoint-path failure: I/O exhaustion degrades
+    /// (as above); evidence of corruption in the durable path fences the
+    /// engine outright — serving more writes could ack onto a bad log.
+    fn note_commit_result<T>(&self, result: Result<T>, seam: &str) -> Result<T> {
+        if let Err(e) = &result {
+            if matches!(e, Error::Corruption(_)) {
+                self.health.fence(&format!("{seam} hit corruption: {e}"));
+                return result;
+            }
+        }
+        self.note_write_result(result, seam)
+    }
+
+    /// Self-heal probe: while degraded, try one end-to-end durable write
+    /// (flush the log, then every dirty page). Success proves the write
+    /// path recovered and returns the engine to `Healthy`; failure leaves
+    /// it degraded. Fenced engines stay fenced. Returns the state after
+    /// the probe.
+    pub fn probe_health(&self) -> HealthState {
+        if self.health.state() == HealthState::DegradedReadOnly {
+            let probe = self.log.flush_all().and_then(|()| self.pool.flush_all());
+            if probe.is_ok() {
+                self.health.heal();
+            }
+        }
+        self.health.state()
     }
 
     /// Register a tree for an index id (DDL paths).
@@ -397,10 +512,19 @@ impl Database {
 
     /// Commit: publishes multiversion entries of touched view rows (while
     /// locks are still held), forces the commit record, releases locks.
+    ///
+    /// Write transactions force the log (durability of the ack); pure
+    /// readers commit no-force — they have nothing to redo, so skipping
+    /// the flush is sound *and* lets reads finish while the engine is
+    /// degraded to read-only (the write path may be dead).
     pub fn commit(&self, txn: &mut Transaction) -> Result<Lsn> {
+        if self.health.state() == HealthState::Fenced {
+            return Err(Error::Fenced { reason: self.health.reason() });
+        }
         let touched: TouchedRows = self.touched.lock().remove(&txn.id).unwrap_or_default();
+        let force = txn.undo_len() > 0 || !touched.is_empty();
         let ticket = self.watermark.begin_commit(&self.log);
-        let result = self.txns.commit_with(txn, |commit_lsn| {
+        let result = self.txns.commit_with_opts(txn, force, |commit_lsn| {
             self.watermark.set_lsn(ticket, commit_lsn);
             let cat = self.catalog.read();
             for ((index, kb), touch) in &touched {
@@ -433,7 +557,7 @@ impl Database {
         if result.is_ok() {
             self.release_snapshot(txn);
         }
-        result
+        self.note_commit_result(result, "commit flush")
     }
 
     /// Roll back completely (logical undo through the engine, CLRs logged).
@@ -457,23 +581,44 @@ impl Database {
     }
 
     /// Run `body` in a fresh transaction, committing on success and rolling
-    /// back + retrying (up to `retries`) on deadlock/timeout.
+    /// back + retrying (up to `retries`) on deadlock/timeout/degradation.
     pub fn run_txn<R>(
         &self,
         isolation: IsolationLevel,
         retries: usize,
-        mut body: impl FnMut(&mut Transaction) -> Result<R>,
+        body: impl FnMut(&mut Transaction) -> Result<R>,
     ) -> Result<R> {
+        self.run_txn_traced(isolation, retries, body).map(|(r, _)| r)
+    }
+
+    /// [`Database::run_txn`] with attempt telemetry: also returns how many
+    /// transactions were started (1 = first try succeeded). Between
+    /// attempts it sleeps the deterministic backoff configured with
+    /// [`Database::set_txn_backoff`] (default: none — tight retry).
+    pub fn run_txn_traced<R>(
+        &self,
+        isolation: IsolationLevel,
+        retries: usize,
+        mut body: impl FnMut(&mut Transaction) -> Result<R>,
+    ) -> Result<(R, usize)> {
+        let backoff = *self.txn_backoff.lock();
         let mut attempt = 0;
         loop {
+            self.txn_attempts.fetch_add(1, Ordering::Relaxed);
             let mut txn = self.begin(isolation);
             match body(&mut txn).and_then(|r| self.commit(&mut txn).map(|_| r)) {
-                Ok(r) => return Ok(r),
+                Ok(r) => return Ok((r, attempt + 1)),
                 Err(e) if e.is_retryable() && attempt < retries => {
                     if txn.is_active() {
                         self.rollback(&mut txn)?;
                     }
                     attempt += 1;
+                    self.txn_retries.fetch_add(1, Ordering::Relaxed);
+                    let delay = backoff.delay_micros(attempt as u32);
+                    if delay > 0 {
+                        self.txn_backoff_micros.fetch_add(delay, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_micros(delay));
+                    }
                 }
                 Err(e) => {
                     if txn.is_active() {
@@ -485,15 +630,23 @@ impl Database {
         }
     }
 
-    /// Write a fuzzy checkpoint.
+    /// Write a fuzzy checkpoint. Checkpoint failures are classified like
+    /// commit failures: I/O exhaustion degrades, corruption fences.
     pub fn checkpoint(&self) -> Result<Lsn> {
-        self.txns.checkpoint(&self.pool)
+        let result = self.txns.checkpoint(&self.pool);
+        self.note_commit_result(result, "checkpoint")
     }
 
     // ---- DML ---------------------------------------------------------
 
     /// Insert a row.
     pub fn insert(&self, txn: &mut Transaction, table: &str, row: Row) -> Result<()> {
+        self.health.check_writable()?;
+        let result = self.insert_inner(txn, table, row);
+        self.note_write_result(result, "insert")
+    }
+
+    fn insert_inner(&self, txn: &mut Transaction, table: &str, row: Row) -> Result<()> {
         let (def, views) = self.table_and_views(table)?;
         def.schema.validate(&row)?;
         let key = Key::from_values(&def.schema.pk_values(&row));
@@ -550,6 +703,12 @@ impl Database {
 
     /// Delete a row by primary key (logical delete: ghost + cleanup later).
     pub fn delete(&self, txn: &mut Transaction, table: &str, pk: &[Value]) -> Result<()> {
+        self.health.check_writable()?;
+        let result = self.delete_inner(txn, table, pk);
+        self.note_write_result(result, "delete")
+    }
+
+    fn delete_inner(&self, txn: &mut Transaction, table: &str, pk: &[Value]) -> Result<()> {
         let (def, views) = self.table_and_views(table)?;
         let key = Key::from_values(pk);
         let tree = self.tree(def.index)?;
@@ -579,6 +738,12 @@ impl Database {
 
     /// Update a row in place (primary key must be unchanged).
     pub fn update(&self, txn: &mut Transaction, table: &str, new_row: Row) -> Result<()> {
+        self.health.check_writable()?;
+        let result = self.update_inner(txn, table, new_row);
+        self.note_write_result(result, "update")
+    }
+
+    fn update_inner(&self, txn: &mut Transaction, table: &str, new_row: Row) -> Result<()> {
         let (def, views) = self.table_and_views(table)?;
         def.schema.validate(&new_row)?;
         let key = Key::from_values(&def.schema.pk_values(&new_row));
@@ -617,6 +782,7 @@ impl Database {
         pk: &[Value],
         f: impl FnOnce(&Row) -> Row,
     ) -> Result<()> {
+        self.health.check_writable()?;
         let def = self.catalog.read().table(table)?.clone();
         let key = Key::from_values(pk);
         let tree = self.tree(def.index)?;
@@ -1223,6 +1389,7 @@ impl Database {
         self.watermark.clear_snapshots();
         self.locks.reset();
         self.txns.reset_active();
+        self.health.reset();
         recover(&self.log, &self.pool, self)
     }
 }

@@ -1,0 +1,252 @@
+//! Engine health state machine: `Healthy → DegradedReadOnly → Fenced`.
+//!
+//! The I/O resilience layer (retry policies in the buffer pool and log
+//! manager) absorbs *transient* faults below the engine. What escapes —
+//! exhausted write-path retries, i.e. a fault that persisted through the
+//! whole retry budget — lands here and transitions the engine out of
+//! `Healthy`:
+//!
+//! * **DegradedReadOnly** — the durable write path is unreliable, but
+//!   reads through the buffer pool still work (clean-victim eviction
+//!   never needs the write path). New writers are rejected with a
+//!   *retryable* [`Error::Degraded`] so application retry loops treat the
+//!   outage like a lock timeout: back off and try again. A successful
+//!   [`probe`](HealthMonitor::heal) (the database flushes log + pool
+//!   end-to-end) returns the engine to `Healthy`.
+//! * **Fenced** — evidence of corruption on the commit path. The engine
+//!   stops accepting any work ([`Error::Fenced`], not retryable); only a
+//!   restart-with-recovery may resurrect it. Fencing is sticky:
+//!   `heal` does not clear it.
+//!
+//! The state lives in a single `AtomicU8` so the hot-path check
+//! ([`HealthMonitor::check_writable`]) is one relaxed load.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use txview_common::{Error, Result};
+
+/// Engine availability state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum HealthState {
+    #[default]
+    /// Full service: reads and writes.
+    Healthy,
+    /// Durable write path failed persistently: reads only, writers get a
+    /// retryable [`Error::Degraded`].
+    DegradedReadOnly,
+    /// Corruption on the commit path: no service until restart+recovery.
+    Fenced,
+}
+
+impl HealthState {
+    fn from_u8(v: u8) -> HealthState {
+        match v {
+            0 => HealthState::Healthy,
+            1 => HealthState::DegradedReadOnly,
+            _ => HealthState::Fenced,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::DegradedReadOnly => 1,
+            HealthState::Fenced => 2,
+        }
+    }
+}
+
+/// Counters snapshot for reports and assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthStatsSnapshot {
+    /// Healthy → DegradedReadOnly transitions.
+    pub degradations: u64,
+    /// Write attempts rejected while degraded or fenced.
+    pub writes_rejected: u64,
+    /// DegradedReadOnly → Healthy transitions (successful probes).
+    pub heals: u64,
+    /// Transitions into Fenced.
+    pub fences: u64,
+}
+
+/// The health state machine. One per [`crate::Database`].
+pub struct HealthMonitor {
+    state: AtomicU8,
+    /// Human-readable reason for the last non-Healthy transition.
+    reason: Mutex<String>,
+    degradations: AtomicU64,
+    writes_rejected: AtomicU64,
+    heals: AtomicU64,
+    fences: AtomicU64,
+}
+
+impl Default for HealthMonitor {
+    fn default() -> HealthMonitor {
+        HealthMonitor::new()
+    }
+}
+
+impl HealthMonitor {
+    /// Fresh monitor in `Healthy`.
+    pub fn new() -> HealthMonitor {
+        HealthMonitor {
+            state: AtomicU8::new(HealthState::Healthy.as_u8()),
+            reason: Mutex::new(String::new()),
+            degradations: AtomicU64::new(0),
+            writes_rejected: AtomicU64::new(0),
+            heals: AtomicU64::new(0),
+            fences: AtomicU64::new(0),
+        }
+    }
+
+    /// Current state (one relaxed load).
+    pub fn state(&self) -> HealthState {
+        HealthState::from_u8(self.state.load(Ordering::Relaxed))
+    }
+
+    /// Reason for the last degradation/fence (empty while healthy).
+    pub fn reason(&self) -> String {
+        self.reason.lock().clone()
+    }
+
+    /// Gate a write entry point: `Ok(())` while healthy, a classified
+    /// error otherwise (retryable `Degraded`, terminal `Fenced`).
+    pub fn check_writable(&self) -> Result<()> {
+        match self.state() {
+            HealthState::Healthy => Ok(()),
+            HealthState::DegradedReadOnly => {
+                self.writes_rejected.fetch_add(1, Ordering::Relaxed);
+                Err(Error::Degraded { reason: self.reason() })
+            }
+            HealthState::Fenced => {
+                self.writes_rejected.fetch_add(1, Ordering::Relaxed);
+                Err(Error::Fenced { reason: self.reason() })
+            }
+        }
+    }
+
+    /// Healthy → DegradedReadOnly (no-op if already degraded or fenced).
+    pub fn degrade(&self, reason: &str) {
+        if self
+            .state
+            .compare_exchange(
+                HealthState::Healthy.as_u8(),
+                HealthState::DegradedReadOnly.as_u8(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            *self.reason.lock() = reason.to_string();
+            self.degradations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Any state → Fenced (sticky; `heal` does not clear it).
+    pub fn fence(&self, reason: &str) {
+        let prev = self.state.swap(HealthState::Fenced.as_u8(), Ordering::AcqRel);
+        if prev != HealthState::Fenced.as_u8() {
+            *self.reason.lock() = reason.to_string();
+            self.fences.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// DegradedReadOnly → Healthy after a successful end-to-end probe.
+    /// Returns whether a transition happened. Fenced stays fenced.
+    pub fn heal(&self) -> bool {
+        let ok = self
+            .state
+            .compare_exchange(
+                HealthState::DegradedReadOnly.as_u8(),
+                HealthState::Healthy.as_u8(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        if ok {
+            self.reason.lock().clear();
+            self.heals.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// Restart-with-recovery: the only exit from `Fenced`. Returns to
+    /// `Healthy` unconditionally; counters are preserved.
+    pub fn reset(&self) {
+        self.state.store(HealthState::Healthy.as_u8(), Ordering::Release);
+        self.reason.lock().clear();
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> HealthStatsSnapshot {
+        HealthStatsSnapshot {
+            degradations: self.degradations.load(Ordering::Relaxed),
+            writes_rejected: self.writes_rejected.load(Ordering::Relaxed),
+            heals: self.heals.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_healthy_and_writable() {
+        let h = HealthMonitor::new();
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert!(h.check_writable().is_ok());
+        assert_eq!(h.stats(), HealthStatsSnapshot::default());
+    }
+
+    #[test]
+    fn degrade_rejects_writers_with_retryable_error() {
+        let h = HealthMonitor::new();
+        h.degrade("log sync exhausted retries");
+        assert_eq!(h.state(), HealthState::DegradedReadOnly);
+        let err = h.check_writable().unwrap_err();
+        assert!(matches!(err, Error::Degraded { .. }));
+        assert!(err.is_retryable());
+        assert_eq!(h.reason(), "log sync exhausted retries");
+        assert_eq!(h.stats().writes_rejected, 1);
+        assert_eq!(h.stats().degradations, 1);
+    }
+
+    #[test]
+    fn heal_returns_to_healthy_once() {
+        let h = HealthMonitor::new();
+        h.degrade("outage");
+        assert!(h.heal());
+        assert_eq!(h.state(), HealthState::Healthy);
+        assert!(h.check_writable().is_ok());
+        assert!(h.reason().is_empty());
+        // Healing a healthy engine is a no-op.
+        assert!(!h.heal());
+        assert_eq!(h.stats().heals, 1);
+    }
+
+    #[test]
+    fn repeated_degrade_keeps_first_reason() {
+        let h = HealthMonitor::new();
+        h.degrade("first");
+        h.degrade("second");
+        assert_eq!(h.reason(), "first");
+        assert_eq!(h.stats().degradations, 1);
+    }
+
+    #[test]
+    fn fence_is_sticky_and_not_retryable() {
+        let h = HealthMonitor::new();
+        h.degrade("outage");
+        h.fence("commit-path corruption");
+        assert_eq!(h.state(), HealthState::Fenced);
+        let err = h.check_writable().unwrap_err();
+        assert!(matches!(err, Error::Fenced { .. }));
+        assert!(!err.is_retryable());
+        // heal() does not clear a fence.
+        assert!(!h.heal());
+        assert_eq!(h.state(), HealthState::Fenced);
+        assert_eq!(h.stats().fences, 1);
+    }
+}

@@ -28,6 +28,7 @@ pub mod catalog;
 pub mod db;
 pub mod delta;
 pub mod escrow;
+pub mod health;
 pub mod read;
 pub mod secondary;
 pub mod torture;
@@ -38,5 +39,6 @@ pub use catalog::{
     AggSpec, CmpOp, MaintenanceMode, Predicate, SecondaryIndexDef, TableDef, ViewDef, ViewSource,
     ViewSpec,
 };
-pub use db::{Database, DbStats, GhostCleanupReport};
+pub use db::{Database, DbStats, GhostCleanupReport, ResilienceStats};
+pub use health::{HealthMonitor, HealthState, HealthStatsSnapshot};
 pub use txview_txn::{IsolationLevel, Transaction};

@@ -24,10 +24,12 @@
 //! crash points, and the same pass/fail outcome.
 
 use crate::catalog::{AggSpec, MaintenanceMode, Predicate, ViewSource, ViewSpec};
-use crate::db::{Database, GhostCleanupReport};
+use crate::db::{Database, GhostCleanupReport, ResilienceStats};
+use crate::health::HealthState;
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Duration;
+use txview_common::retry::RetryPolicy;
 use txview_common::rng::Rng;
 use txview_common::schema::{Column, Schema};
 use txview_common::value::ValueType;
@@ -523,6 +525,272 @@ pub fn run_sweep(cfg: &TortureConfig, max_points: usize) -> Result<SweepReport> 
     Ok(report)
 }
 
+// ---- transient-storm mode ------------------------------------------------
+//
+// Storms are the *other* half of the resilience contract: where crash
+// episodes prove recovery repairs what a fault destroyed, storm episodes
+// prove the retry layers make transient faults **invisible** — same acks,
+// same committed bytes, no degradation — because a storm's consecutive-run
+// cap (≤ 3) sits strictly inside the retry budget (5 attempts per seam).
+
+/// Outcome of one transient-storm episode (faults, no crash, no reboot).
+#[derive(Clone, Debug)]
+pub struct StormReport {
+    /// The transient-only schedule the episode ran under.
+    pub schedule: FaultSchedule,
+    /// Clock counters at the end of the episode.
+    pub fault_stats: FaultStatsSnapshot,
+    /// What the workload observed under the storm.
+    pub trace: WorkloadTrace,
+    /// Resilience counters: retries absorbed, health transitions.
+    pub resilience: ResilienceStats,
+    /// Oracle violations; empty = the storm was fully absorbed.
+    pub violations: Vec<String>,
+}
+
+/// Outcome of a storm sweep: many distinct transient-only schedules, each
+/// checked for full absorption against one fault-free reference run.
+#[derive(Clone, Debug, Default)]
+pub struct StormSweepReport {
+    /// Fault-free event horizon storms are scattered over.
+    pub horizon: u64,
+    /// Distinct storm schedules exercised (== episodes run).
+    pub episodes: usize,
+    /// Transient faults injected across all episodes.
+    pub transient_faults: u64,
+    /// I/O retries the resilience layer absorbed across all episodes.
+    pub io_retries: u64,
+    /// Commits acknowledged across all episodes.
+    pub acked_commits: usize,
+    /// Violations, tagged with the storm seed that produced them.
+    pub violations: Vec<(u64, String)>,
+}
+
+/// Byte-exact fingerprint of the committed state: every base-table row and
+/// every visible view row, length-framed, in key order.
+fn fingerprint(db: &Database) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    let frame = |out: &mut Vec<u8>, rows: Vec<Row>| {
+        for r in rows {
+            let b = r.to_bytes();
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(&b);
+        }
+    };
+    for table in ["accounts", "items", "ledger"] {
+        out.extend_from_slice(table.as_bytes());
+        frame(&mut out, db.dump_table(table)?);
+    }
+    for view in [BANK_VIEW, CHURN_VIEW] {
+        out.extend_from_slice(view.as_bytes());
+        frame(&mut out, db.dump_view(view)?);
+    }
+    Ok(out)
+}
+
+/// The fault-free reference of a config: the trace and committed-state
+/// fingerprint of the identical workload with no schedule armed.
+fn reference_run(cfg: &TortureConfig) -> Result<(WorkloadTrace, Vec<u8>)> {
+    let (db, parts) = build(cfg)?;
+    let trace = run_workload(&db, cfg, &parts.clock);
+    Ok((trace, fingerprint(&db)?))
+}
+
+/// Run one transient-storm episode and assert the absorption oracle:
+/// zero lost acked commits, zero degradations, and a committed state
+/// byte-identical to the fault-free run of the same seed.
+pub fn run_storm_episode(cfg: &TortureConfig, schedule: &FaultSchedule) -> Result<StormReport> {
+    let (ref_trace, ref_fp) = reference_run(cfg)?;
+    storm_episode_with_reference(cfg, schedule, &ref_trace, &ref_fp)
+}
+
+fn storm_episode_with_reference(
+    cfg: &TortureConfig,
+    schedule: &FaultSchedule,
+    ref_trace: &WorkloadTrace,
+    ref_fp: &[u8],
+) -> Result<StormReport> {
+    if !schedule.is_transient_only() {
+        return Err(Error::invalid("storm episodes take transient-only schedules"));
+    }
+    let (db, parts) = build(cfg)?;
+    // No backoff sleeping inside episodes: determinism comes from the
+    // event clock, and the sweep runs hundreds of these.
+    db.set_io_retry_policy(RetryPolicy::no_delay(5));
+    parts.clock.arm(schedule);
+    let trace = run_workload(&db, cfg, &parts.clock);
+    parts.clock.disarm();
+    let fault_stats = parts.clock.stats();
+    let resilience = db.resilience_stats();
+
+    let mut violations = Vec::new();
+    if fault_stats.crash_event.is_some() {
+        violations.push("transient-only schedule fired a crash".into());
+    }
+    if resilience.health != HealthState::Healthy {
+        violations.push(format!(
+            "degraded under a transient-only storm: {:?} ({})",
+            resilience.health,
+            db.health().reason(),
+        ));
+    }
+    if trace.acked_commits != ref_trace.acked_commits {
+        violations.push(format!(
+            "acked commits diverged: {} under storm vs {} fault-free",
+            trace.acked_commits, ref_trace.acked_commits
+        ));
+    }
+    if trace.acked_transfers != ref_trace.acked_transfers {
+        violations.push("acked transfer set diverged from the fault-free run".into());
+    }
+    for view in [BANK_VIEW, CHURN_VIEW] {
+        if let Err(e) = db.verify_view(view) {
+            violations.push(format!("view '{view}' != recomputation from base: {e}"));
+        }
+    }
+    if fingerprint(&db)? != ref_fp {
+        violations.push("committed state not byte-identical to the fault-free run".into());
+    }
+    Ok(StormReport {
+        schedule: schedule.clone(),
+        fault_stats,
+        trace,
+        resilience,
+        violations,
+    })
+}
+
+/// Sweep `schedules` *distinct* storm schedules (derived seeds, deduped by
+/// fault placement; empty storms skipped) against one shared fault-free
+/// reference. Purely seed-deterministic.
+pub fn run_storm_sweep(cfg: &TortureConfig, schedules: usize) -> Result<StormSweepReport> {
+    let horizon = measure_horizon(cfg)?;
+    let (ref_trace, ref_fp) = reference_run(cfg)?;
+    let mut report = StormSweepReport { horizon, ..Default::default() };
+    let mut seen = HashSet::new();
+    let mut i = 0u64;
+    while report.episodes < schedules && i < (schedules as u64) * 3 {
+        i += 1;
+        let storm_seed = cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i);
+        let schedule = FaultSchedule::storm(storm_seed, horizon);
+        if schedule.faults.is_empty() || !seen.insert(schedule.faults.clone()) {
+            continue;
+        }
+        let ep = storm_episode_with_reference(cfg, &schedule, &ref_trace, &ref_fp)?;
+        report.episodes += 1;
+        report.transient_faults += ep.fault_stats.transient_faults;
+        report.io_retries += ep.resilience.pool_io.retries + ep.resilience.log_io.retries;
+        report.acked_commits += ep.trace.acked_commits;
+        for v in ep.violations {
+            report.violations.push((storm_seed, v));
+        }
+    }
+    Ok(report)
+}
+
+// ---- persistent-outage mode ----------------------------------------------
+
+/// Outcome of a persistent-outage episode: the write path dies for good at
+/// one event, and the engine must degrade — not corrupt, not panic.
+#[derive(Clone, Debug)]
+pub struct OutageReport {
+    /// Clock counters at the end of the episode.
+    pub fault_stats: FaultStatsSnapshot,
+    /// Resilience counters (degradations, rejected writes, heals).
+    pub resilience: ResilienceStats,
+    /// Transactions committed before the outage bit.
+    pub commits_before_outage: usize,
+    /// Writers rejected with [`Error::Degraded`] during the outage.
+    pub writes_rejected: usize,
+    /// Oracle violations; empty = degradation was graceful.
+    pub violations: Vec<String>,
+}
+
+/// Kill the write path persistently at `outage_event`, then assert the
+/// graceful-degradation contract: the engine lands in `DegradedReadOnly`
+/// (never panics, never corrupts), reads and read-only commits still
+/// succeed, writers get a *retryable* classified error, and after the
+/// medium heals one [`Database::probe_health`] restores full service.
+pub fn run_persistent_episode(cfg: &TortureConfig, outage_event: u64) -> Result<OutageReport> {
+    let (db, parts) = build(cfg)?;
+    db.set_io_retry_policy(RetryPolicy::no_delay(3));
+    parts.clock.arm(&FaultSchedule::persistent_at(outage_event));
+
+    let mut violations = Vec::new();
+    let mut commits = 0usize;
+    let mut rejected = 0usize;
+    let mut rng = Rng::new(cfg.seed ^ 0xD15E_A5ED_0DD5);
+    for seq in 1..=(cfg.txns as i64) {
+        let from = rng.below(cfg.accounts as u64) as i64;
+        let mut to = rng.below(cfg.accounts as u64) as i64;
+        if to == from {
+            to = (to + 1) % cfg.accounts;
+        }
+        let amount = rng.range_inclusive(1, 9);
+        let result = db.run_txn(IsolationLevel::ReadCommitted, 0, |txn| {
+            do_transfer(&db, txn, seq, from, to, amount)
+        });
+        match result {
+            Ok(()) => commits += 1,
+            Err(e) => {
+                if !e.is_retryable() {
+                    violations.push(format!("outage surfaced a non-retryable error: {e}"));
+                }
+                if matches!(e, Error::Degraded { .. }) {
+                    rejected += 1;
+                }
+            }
+        }
+    }
+    if db.health().state() != HealthState::DegradedReadOnly {
+        violations.push(format!(
+            "expected DegradedReadOnly after a persistent outage, got {:?}",
+            db.health().state()
+        ));
+    }
+    if rejected == 0 {
+        violations.push("no writer was rejected with Error::Degraded".into());
+    }
+    // Reads still serve while degraded, and a read-only transaction
+    // commits (no-force: nothing to redo, nothing to flush).
+    match db.dump_table("accounts") {
+        Ok(rows) if rows.len() == cfg.accounts as usize => {}
+        Ok(rows) => violations.push(format!(
+            "degraded read returned {} accounts, expected {}",
+            rows.len(),
+            cfg.accounts
+        )),
+        Err(e) => violations.push(format!("reads failed while degraded: {e}")),
+    }
+    let mut ro = db.begin(IsolationLevel::ReadCommitted);
+    if let Err(e) = db.commit(&mut ro) {
+        violations.push(format!("read-only commit failed while degraded: {e}"));
+    }
+    // The medium heals; one probe restores full service and writes flow.
+    parts.clock.heal();
+    if db.probe_health() != HealthState::Healthy {
+        violations.push("probe after heal did not restore Healthy".into());
+    }
+    let post = db.run_txn(IsolationLevel::ReadCommitted, 2, |txn| {
+        do_transfer(&db, txn, i64::MAX, 0, cfg.accounts - 1, 1)
+    });
+    if let Err(e) = post {
+        violations.push(format!("post-heal write failed: {e}"));
+    }
+    for view in [BANK_VIEW, CHURN_VIEW] {
+        if let Err(e) = db.verify_view(view) {
+            violations.push(format!("[post-heal] view '{view}' diverged: {e}"));
+        }
+    }
+    Ok(OutageReport {
+        fault_stats: parts.clock.stats(),
+        resilience: db.resilience_stats(),
+        commits_before_outage: commits,
+        writes_rejected: rejected,
+        violations,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -588,5 +856,56 @@ mod tests {
         assert_eq!(report.episodes, 8);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert!(report.crash_events.len() >= 7);
+    }
+
+    #[test]
+    fn storm_episode_is_fully_absorbed() {
+        let cfg = quick_cfg();
+        let horizon = measure_horizon(&cfg).unwrap();
+        let schedule = FaultSchedule::storm(7, horizon);
+        assert!(!schedule.faults.is_empty());
+        let ep = run_storm_episode(&cfg, &schedule).unwrap();
+        assert!(ep.violations.is_empty(), "{:?}", ep.violations);
+        assert!(ep.fault_stats.transient_faults > 0);
+        // The storm was visible to the retry layer, not to the workload.
+        let absorbed = ep.resilience.pool_io.retries + ep.resilience.log_io.retries;
+        assert!(absorbed > 0, "no retries recorded for {} faults", ep.fault_stats.transient_faults);
+        assert_eq!(ep.resilience.health, HealthState::Healthy);
+        assert_eq!(ep.trace.rolled_back, 1); // only the deliberate one
+    }
+
+    #[test]
+    fn storm_episode_rejects_crashy_schedules() {
+        let err = run_storm_episode(&quick_cfg(), &FaultSchedule::crash_at(3)).unwrap_err();
+        assert!(matches!(err, Error::InvalidOperation(_)));
+    }
+
+    #[test]
+    fn mini_storm_sweep_is_clean_and_distinct() {
+        let report = run_storm_sweep(&quick_cfg(), 6).unwrap();
+        assert_eq!(report.episodes, 6);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.transient_faults > 0);
+        assert!(report.io_retries > 0);
+    }
+
+    #[test]
+    fn persistent_outage_degrades_gracefully_and_heals() {
+        let cfg = quick_cfg();
+        let report = run_persistent_episode(&cfg, 6).unwrap();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.writes_rejected > 0);
+        assert_eq!(report.resilience.health, HealthState::Healthy); // post-heal
+        assert_eq!(report.resilience.health_counters.degradations, 1);
+        assert_eq!(report.resilience.health_counters.heals, 1);
+        assert!(report.resilience.health_counters.writes_rejected > 0);
+    }
+
+    #[test]
+    fn xlock_storm_episode_is_absorbed_too() {
+        let cfg = TortureConfig { mode: MaintenanceMode::XLock, txns: 12, ..Default::default() };
+        let horizon = measure_horizon(&cfg).unwrap();
+        let ep = run_storm_episode(&cfg, &FaultSchedule::storm(11, horizon)).unwrap();
+        assert!(ep.violations.is_empty(), "{:?}", ep.violations);
     }
 }

@@ -1,16 +1,22 @@
 //! Robustness under hostile conditions: tiny buffer pools (eviction storms
 //! exercising the WAL rule), ghost cleanup racing live writers, derived
-//! AVG reads, and repeated crash/cleanup interleavings.
+//! AVG reads, repeated crash/cleanup interleavings, and the health state
+//! machine end-to-end (degrade → read-only service → probe-heal; fence →
+//! restart-with-recovery).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use txview_common::retry::RetryPolicy;
 use txview_common::schema::{Column, Schema};
 use txview_common::value::ValueType;
-use txview_common::{row, Value};
+use txview_common::{row, Error, Value};
 use txview_engine::{
-    AggSpec, Database, IsolationLevel, MaintenanceMode, Predicate, ViewSource, ViewSpec,
+    AggSpec, Database, HealthState, IsolationLevel, MaintenanceMode, Predicate, ViewSource,
+    ViewSpec,
 };
+use txview_storage::fault::{FaultClock, FaultDisk, FaultSchedule};
+use txview_wal::FaultLogStore;
 
 fn items_schema() -> Schema {
     Schema::new(
@@ -167,6 +173,140 @@ fn cleanup_then_crash_then_cleanup() {
     db.run_ghost_cleanup().unwrap();
     db.verify_view("totals").unwrap();
     assert!(db.dump_table("items").unwrap().is_empty());
+}
+
+#[test]
+fn persistent_outage_degrades_then_probe_heals() {
+    // Engine over fault-injected parts; the write path dies for good at
+    // event 0 and the engine must degrade to read-only service.
+    let clock = FaultClock::new();
+    let disk = FaultDisk::new(Arc::clone(&clock));
+    let store = FaultLogStore::new(Arc::clone(&clock));
+    let db = Database::with_parts(
+        Arc::new(disk.clone()),
+        Box::new(store.clone()),
+        64,
+        Duration::from_secs(2),
+    )
+    .unwrap();
+    let t = db.create_table("items", items_schema()).unwrap();
+    db.create_indexed_view(ViewSpec {
+        name: "totals".into(),
+        source: ViewSource::Single { table: t, group_by: vec![1] },
+        aggs: vec![AggSpec::SumInt { col: 2 }],
+        filter: Predicate::True,
+        maintenance: MaintenanceMode::Escrow,
+        deferred: false,
+        eager_group_delete: false,
+    })
+    .unwrap();
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    for g in 0..4i64 {
+        db.insert(&mut txn, "items", row![g, g, 5i64]).unwrap();
+    }
+    db.commit(&mut txn).unwrap();
+    db.set_io_retry_policy(RetryPolicy::no_delay(3));
+
+    clock.arm(&FaultSchedule::persistent_at(0));
+    // The commit flush exhausts its retries; nothing is acked and the
+    // engine demotes itself.
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    db.insert(&mut txn, "items", row![100i64, 0i64, 1i64]).unwrap();
+    let err = db.commit(&mut txn).unwrap_err();
+    assert!(err.is_retryable(), "exhausted write should stay retryable: {err}");
+    db.rollback(&mut txn).unwrap();
+    assert_eq!(db.health().state(), HealthState::DegradedReadOnly);
+
+    // New writers are rejected up front with a classified retryable error.
+    let mut w = db.begin(IsolationLevel::ReadCommitted);
+    let err = db.insert(&mut w, "items", row![101i64, 0i64, 1i64]).unwrap_err();
+    assert!(matches!(err, Error::Degraded { .. }), "got {err}");
+    assert!(err.is_retryable());
+    db.rollback(&mut w).unwrap();
+
+    // Reads still serve, and a read-only transaction commits (no-force).
+    assert_eq!(db.dump_table("items").unwrap().len(), 4);
+    db.verify_view("totals").unwrap();
+    let mut r = db.begin(IsolationLevel::ReadCommitted);
+    db.commit(&mut r).unwrap();
+
+    // A probe against the still-dead medium leaves the engine degraded.
+    assert_eq!(db.probe_health(), HealthState::DegradedReadOnly);
+
+    // Medium recovers → one probe restores full service.
+    clock.heal();
+    assert_eq!(db.probe_health(), HealthState::Healthy);
+    db.run_txn(IsolationLevel::ReadCommitted, 2, |txn| {
+        db.insert(txn, "items", row![102i64, 0i64, 9i64])
+    })
+    .unwrap();
+    db.verify_view("totals").unwrap();
+    let stats = db.resilience_stats();
+    assert_eq!(stats.health_counters.degradations, 1);
+    assert_eq!(stats.health_counters.heals, 1);
+    assert!(stats.health_counters.writes_rejected > 0);
+}
+
+#[test]
+fn fence_is_sticky_until_crash_recovery() {
+    let db = setup_with_pool(64);
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    db.insert(&mut txn, "items", row![1i64, 1i64, 5i64]).unwrap();
+    db.commit(&mut txn).unwrap();
+
+    db.health().fence("simulated commit-path corruption");
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    let err = db.insert(&mut txn, "items", row![2i64, 1i64, 5i64]).unwrap_err();
+    assert!(matches!(err, Error::Fenced { .. }), "got {err}");
+    assert!(!err.is_retryable(), "fenced must be terminal, not retryable");
+    // Even a read-only commit is refused: a fenced engine acks nothing.
+    let err = db.commit(&mut txn).unwrap_err();
+    assert!(matches!(err, Error::Fenced { .. }));
+    // probe_health never heals a fence.
+    assert_eq!(db.probe_health(), HealthState::Fenced);
+
+    // Restart-with-recovery is the only exit.
+    db.crash_and_recover(1.0, 7).unwrap();
+    assert_eq!(db.health().state(), HealthState::Healthy);
+    db.run_txn(IsolationLevel::ReadCommitted, 0, |txn| {
+        db.insert(txn, "items", row![3i64, 1i64, 5i64])
+    })
+    .unwrap();
+    db.verify_view("totals").unwrap();
+}
+
+#[test]
+fn run_txn_retries_degraded_errors_with_backoff_telemetry() {
+    let db = setup_with_pool(64);
+    db.health().degrade("test outage");
+    db.set_txn_backoff(RetryPolicy {
+        max_attempts: 0, // unused by run_txn (attempts come from the call)
+        base_delay_micros: 10,
+        max_delay_micros: 40,
+        seed: 7,
+    });
+    let err = db
+        .run_txn(IsolationLevel::ReadCommitted, 3, |txn| {
+            db.insert(txn, "items", row![1i64, 1i64, 1i64])
+        })
+        .unwrap_err();
+    assert!(matches!(err, Error::Degraded { .. }), "got {err}");
+    let stats = db.resilience_stats();
+    assert_eq!(stats.txn_attempts, 4); // 1 try + 3 retries
+    assert_eq!(stats.txn_retries, 3);
+    assert!(stats.txn_backoff_micros > 0, "backoff was configured but never slept");
+    assert!(stats.health_counters.writes_rejected >= 4);
+
+    // After healing, the same loop goes through first try.
+    assert!(db.health().heal());
+    let ((), attempts) = db
+        .run_txn_traced(IsolationLevel::ReadCommitted, 3, |txn| {
+            db.insert(txn, "items", row![1i64, 1i64, 1i64])
+        })
+        .unwrap();
+    assert_eq!(attempts, 1);
+    assert_eq!(db.resilience_stats().health, HealthState::Healthy);
+    db.verify_view("totals").unwrap();
 }
 
 #[test]

@@ -47,7 +47,7 @@ pub enum FaultPoint {
 }
 
 /// A scheduled fault, keyed by event number in [`FaultSchedule`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Hash, PartialEq, Eq)]
 pub enum FaultKind {
     /// Hard crash: freeze the durable image before this event's mutation;
     /// everything from here on is discarded by `crash_restore()`.
@@ -59,6 +59,11 @@ pub enum FaultKind {
     /// Fail this operation with a transient I/O error, leaving state
     /// untouched. The caller may retry.
     Transient,
+    /// Enter persistent-failure mode: this operation and *every* later
+    /// durable mutation fails with a transient-classified I/O error until
+    /// [`FaultClock::heal`] is called. Models a device outage that outlasts
+    /// any bounded retry budget.
+    Persistent,
 }
 
 /// An explicit fault schedule: (event offset, fault) pairs. Offsets are
@@ -103,6 +108,53 @@ impl FaultSchedule {
         faults.dedup_by_key(|&mut (n, _)| n);
         FaultSchedule { faults }
     }
+
+    /// Seeded transient-only *storm*: bursts of consecutive transient
+    /// faults plus scattered singles over the next `horizon` events, and no
+    /// crash. Consecutive runs are capped at 3 events so a 5-attempt retry
+    /// budget always clears a burst — storms are meant to be absorbed, not
+    /// to exhaust the retry layer. Pure function of its arguments.
+    pub fn storm(seed: u64, horizon: u64) -> FaultSchedule {
+        let mut rng = Rng::new(seed ^ 0x5702_12_5702_12_57);
+        let horizon = horizon.max(8);
+        let mut events = std::collections::BTreeSet::new();
+        let bursts = 2 + rng.below(4);
+        for _ in 0..bursts {
+            let start = rng.below(horizon);
+            let len = 1 + rng.below(3);
+            for i in 0..len {
+                events.insert((start + i).min(horizon - 1));
+            }
+        }
+        for _ in 0..rng.below(6) {
+            events.insert(rng.below(horizon));
+        }
+        // Cap consecutive-event runs at 3: merged bursts could otherwise
+        // form a run longer than the default retry budget.
+        let mut faults = Vec::new();
+        let mut run = 0u32;
+        let mut prev: Option<u64> = None;
+        for &e in &events {
+            run = if prev == Some(e.wrapping_sub(1)) { run + 1 } else { 1 };
+            if run <= 3 {
+                faults.push((e, FaultKind::Transient));
+            }
+            prev = Some(e);
+        }
+        FaultSchedule { faults }
+    }
+
+    /// Persistent device outage starting at the `n`th event from now.
+    pub fn persistent_at(n: u64) -> FaultSchedule {
+        FaultSchedule { faults: vec![(n, FaultKind::Persistent)] }
+    }
+
+    /// True when the schedule injects only transient faults (no crash, no
+    /// torn write, no persistent outage) — the class the retry layer must
+    /// make semantically invisible.
+    pub fn is_transient_only(&self) -> bool {
+        self.faults.iter().all(|(_, k)| *k == FaultKind::Transient)
+    }
 }
 
 /// Counter snapshot for experiment reporting (same pattern as
@@ -125,6 +177,10 @@ pub struct FaultStatsSnapshot {
     pub probes: u64,
     /// Transient I/O errors injected.
     pub transient_faults: u64,
+    /// Failures injected by persistent-outage mode.
+    pub persistent_faults: u64,
+    /// Is the persistent outage still active (not yet healed)?
+    pub persistent_active: bool,
     /// Writes torn.
     pub torn_writes: u64,
     /// Did the armed crash fire?
@@ -138,6 +194,7 @@ pub struct FaultStatsSnapshot {
 pub struct FaultClock {
     events: AtomicU64,
     fired: AtomicBool,
+    persistent: AtomicBool,
     crash_event: Mutex<Option<u64>>,
     schedule: Mutex<HashMap<u64, FaultKind>>,
     disk_writes: AtomicU64,
@@ -147,6 +204,7 @@ pub struct FaultClock {
     master_writes: AtomicU64,
     probes: AtomicU64,
     transient_faults: AtomicU64,
+    persistent_faults: AtomicU64,
     torn_writes: AtomicU64,
 }
 
@@ -167,6 +225,7 @@ impl FaultClock {
         Arc::new(FaultClock {
             events: AtomicU64::new(0),
             fired: AtomicBool::new(false),
+            persistent: AtomicBool::new(false),
             crash_event: Mutex::new(None),
             schedule: Mutex::new(HashMap::new()),
             disk_writes: AtomicU64::new(0),
@@ -176,6 +235,7 @@ impl FaultClock {
             master_writes: AtomicU64::new(0),
             probes: AtomicU64::new(0),
             transient_faults: AtomicU64::new(0),
+            persistent_faults: AtomicU64::new(0),
             torn_writes: AtomicU64::new(0),
         })
     }
@@ -190,11 +250,25 @@ impl FaultClock {
         }
     }
 
-    /// Clear any remaining schedule and the fired flag, so recovery can
-    /// run fault-free over the same stores. Counters are retained.
+    /// Clear any remaining schedule, the fired flag, and any persistent
+    /// outage, so recovery can run fault-free over the same stores.
+    /// Counters are retained.
     pub fn disarm(&self) {
         self.schedule.lock().clear();
         self.fired.store(false, Ordering::SeqCst);
+        self.persistent.store(false, Ordering::SeqCst);
+    }
+
+    /// End a persistent outage: durable mutations succeed again. The
+    /// torture harness calls this to model the device coming back before
+    /// the engine's self-heal probe runs.
+    pub fn heal(&self) {
+        self.persistent.store(false, Ordering::SeqCst);
+    }
+
+    /// Is a persistent outage currently active?
+    pub fn persistent_active(&self) -> bool {
+        self.persistent.load(Ordering::SeqCst)
     }
 
     /// Has the armed crash fired?
@@ -227,6 +301,10 @@ impl FaultClock {
             // the harness restores; no further faults fire.
             return FaultDecision::Proceed;
         }
+        if self.persistent.load(Ordering::SeqCst) && !matches!(point, FaultPoint::Probe(_)) {
+            self.persistent_faults.fetch_add(1, Ordering::Relaxed);
+            return FaultDecision::TransientError;
+        }
         match self.schedule.lock().remove(&n) {
             Some(FaultKind::Crash) => {
                 self.fired.store(true, Ordering::SeqCst);
@@ -244,6 +322,11 @@ impl FaultClock {
                 self.transient_faults.fetch_add(1, Ordering::Relaxed);
                 FaultDecision::TransientError
             }
+            Some(FaultKind::Persistent) => {
+                self.persistent.store(true, Ordering::SeqCst);
+                self.persistent_faults.fetch_add(1, Ordering::Relaxed);
+                FaultDecision::TransientError
+            }
             None => FaultDecision::Proceed,
         }
     }
@@ -259,6 +342,8 @@ impl FaultClock {
             master_writes: self.master_writes.load(Ordering::Relaxed),
             probes: self.probes.load(Ordering::Relaxed),
             transient_faults: self.transient_faults.load(Ordering::Relaxed),
+            persistent_faults: self.persistent_faults.load(Ordering::Relaxed),
+            persistent_active: self.persistent_active(),
             torn_writes: self.torn_writes.load(Ordering::Relaxed),
             crash_fired: self.fired(),
             crash_event: *self.crash_event.lock(),
@@ -267,7 +352,7 @@ impl FaultClock {
 }
 
 fn transient_io_error() -> Error {
-    Error::Io(std::io::Error::new(
+    Error::IoTransient(std::io::Error::new(
         std::io::ErrorKind::Interrupted,
         "injected transient i/o fault",
     ))
@@ -430,9 +515,52 @@ mod tests {
         clock.arm(&FaultSchedule { faults: vec![(0, FaultKind::Transient)] });
         let pid = disk.allocate().unwrap();
         let mut p = Page::new(PageType::BTreeLeaf);
-        assert!(matches!(disk.write_page(pid, &mut p), Err(Error::Io(_))));
+        let err = disk.write_page(pid, &mut p).unwrap_err();
+        assert!(matches!(err, Error::IoTransient(_)), "got {err:?}");
+        assert!(err.is_retryable(), "injected transient faults are retryable");
         disk.write_page(pid, &mut p).unwrap();
         assert_eq!(clock.stats().transient_faults, 1);
+    }
+
+    #[test]
+    fn storm_schedules_are_pure_capped_and_transient_only() {
+        for seed in 0..200u64 {
+            let a = FaultSchedule::storm(seed, 120);
+            assert_eq!(a, FaultSchedule::storm(seed, 120), "seed {seed} not pure");
+            assert!(a.is_transient_only(), "seed {seed} not transient-only");
+            assert!(!a.faults.is_empty(), "seed {seed} produced an empty storm");
+            assert!(a.faults.iter().all(|&(e, _)| e < 120));
+            // No run of consecutive events longer than 3.
+            let mut run = 1;
+            for w in a.faults.windows(2) {
+                run = if w[1].0 == w[0].0 + 1 { run + 1 } else { 1 };
+                assert!(run <= 3, "seed {seed} has a run longer than 3: {:?}", a.faults);
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_outage_fails_everything_until_heal() {
+        let clock = FaultClock::new();
+        let disk = FaultDisk::new(Arc::clone(&clock));
+        clock.arm(&FaultSchedule::persistent_at(0));
+        let pid = disk.allocate().unwrap();
+        let mut p = Page::new(PageType::BTreeLeaf);
+        // Every attempt fails — a bounded retry budget cannot clear this.
+        for _ in 0..10 {
+            assert!(matches!(
+                disk.write_page(pid, &mut p),
+                Err(Error::IoTransient(_))
+            ));
+        }
+        assert!(clock.persistent_active());
+        assert!(clock.stats().persistent_faults >= 10);
+        // Probes still tick through (health checks must be able to observe).
+        clock.tick(FaultPoint::Probe("health.probe"));
+        clock.heal();
+        assert!(!clock.persistent_active());
+        disk.write_page(pid, &mut p).unwrap();
+        assert_eq!(disk.read_page(pid).unwrap().page_type().unwrap(), PageType::BTreeLeaf);
     }
 
     #[test]

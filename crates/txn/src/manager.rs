@@ -66,11 +66,28 @@ impl TxnManager {
         txn: &mut Transaction,
         pre_release: impl FnOnce(Lsn) -> Result<()>,
     ) -> Result<Lsn> {
+        self.commit_with_opts(txn, true, pre_release)
+    }
+
+    /// [`TxnManager::commit_with`] with an explicit log-force flag. Passing
+    /// `force = false` skips the group flush of the commit record — sound
+    /// only for transactions that wrote nothing (their commit is a pure
+    /// bookkeeping event with no durability obligation), and what keeps
+    /// read-only transactions committable while the engine is degraded to
+    /// read-only service.
+    pub fn commit_with_opts(
+        &self,
+        txn: &mut Transaction,
+        force: bool,
+        pre_release: impl FnOnce(Lsn) -> Result<()>,
+    ) -> Result<Lsn> {
         if txn.state != TxnState::Active {
             return Err(Error::invalid(format!("commit of finished {}", txn.id)));
         }
         let commit_lsn = self.log.append(txn.id, txn.last_lsn, RecordBody::Commit);
-        self.log.flush_to(commit_lsn)?;
+        if force {
+            self.log.flush_to(commit_lsn)?;
+        }
         pre_release(commit_lsn)?;
         self.locks.release_all(txn.id);
         txn.last_lsn = self.log.append(txn.id, commit_lsn, RecordBody::End);
@@ -214,6 +231,17 @@ mod tests {
         assert!(matches!(recs[1].1.body, RecordBody::Commit));
         assert_eq!(t.state, TxnState::Committed);
         assert!(mgr.active_txns().is_empty());
+    }
+
+    #[test]
+    fn no_force_commit_skips_the_log_flush() {
+        let (log, _locks, mgr) = setup();
+        let mut t = mgr.begin(IsolationLevel::Snapshot);
+        let flushed_before = log.flushed_lsn();
+        let commit_lsn = mgr.commit_with_opts(&mut t, false, |_| Ok(())).unwrap();
+        assert_eq!(t.state, TxnState::Committed);
+        assert!(commit_lsn > flushed_before);
+        assert_eq!(log.flushed_lsn(), flushed_before, "no group flush forced");
     }
 
     #[test]

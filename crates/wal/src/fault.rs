@@ -73,7 +73,7 @@ impl FaultLogStore {
 }
 
 fn transient_io_error() -> Error {
-    Error::Io(std::io::Error::new(
+    Error::IoTransient(std::io::Error::new(
         std::io::ErrorKind::Interrupted,
         "injected transient i/o fault",
     ))

@@ -14,6 +14,7 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use txview_common::retry::{RetryCounters, RetryPolicy, RetryStatsSnapshot};
 use txview_common::{Lsn, Result, TxnId};
 use txview_storage::fault::CrashProbe;
 
@@ -163,11 +164,18 @@ pub struct LogManager {
     tail: Mutex<Tail>,
     next_lsn: AtomicU64,
     flushed_lsn: AtomicU64,
+    /// Highest LSN whose bytes reached `store.append` (but are only durable
+    /// once synced). Sits between `flushed_lsn` and the pending tail so a
+    /// failed sync can be retried without re-appending (no duplicate
+    /// records) and without falsely reporting the flush complete.
+    appended_lsn: AtomicU64,
     next_txn: AtomicU64,
     /// Monotone counters for experiment reporting.
     appended_records: AtomicU64,
     appended_bytes: AtomicU64,
     crash_probe: RwLock<Option<Arc<CrashProbe>>>,
+    retry: Mutex<RetryPolicy>,
+    retry_counters: RetryCounters,
 }
 
 impl LogManager {
@@ -188,11 +196,25 @@ impl LogManager {
             tail: Mutex::new(Tail { pending: Vec::new(), pending_bytes: 0 }),
             next_lsn: AtomicU64::new(max_lsn + 1),
             flushed_lsn: AtomicU64::new(max_lsn),
+            appended_lsn: AtomicU64::new(max_lsn),
             next_txn: AtomicU64::new(max_txn + 1),
             appended_records: AtomicU64::new(0),
             appended_bytes: AtomicU64::new(0),
             crash_probe: RwLock::new(None),
+            retry: Mutex::new(RetryPolicy::default()),
+            retry_counters: RetryCounters::default(),
         })
+    }
+
+    /// Replace the transient-I/O retry policy for the append/sync/master
+    /// seams.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.lock() = policy;
+    }
+
+    /// Retry telemetry for the log-I/O seam.
+    pub fn io_retry_stats(&self) -> RetryStatsSnapshot {
+        self.retry_counters.snapshot()
     }
 
     /// Register a crash-point probe, invoked inside the group flush just
@@ -248,6 +270,16 @@ impl LogManager {
 
     /// Make every record with `lsn <= target` durable. The tail is written
     /// in order, so this flushes a prefix.
+    ///
+    /// The flush is two-phased so a transient fault leaves the buffer
+    /// consistent for retry: phase one hands pending bytes to the store
+    /// (retried under the policy; on success those records move from the
+    /// tail to the `appended_lsn` watermark, so a later sync failure never
+    /// re-appends them), phase two forces them to stable storage (also
+    /// retried; `flushed_lsn` advances only after a successful sync, so no
+    /// caller is ever acked on unsynced bytes). On error every waiter on
+    /// this group flush sees the failure, nothing is acked, and a later
+    /// `flush_to` resumes exactly where this one stopped.
     pub fn flush_to(&self, target: Lsn) -> Result<()> {
         if self.flushed_lsn() >= target {
             return Ok(());
@@ -257,26 +289,33 @@ impl LogManager {
         if self.flushed_lsn() >= target {
             return Ok(());
         }
+        let policy = *self.retry.lock();
+        // Phase 1: append the pending prefix up to `target`.
         let split = tail
             .pending
             .iter()
             .position(|p| p.lsn > target)
             .unwrap_or(tail.pending.len());
-        if split == 0 {
-            return Ok(());
+        if split > 0 {
+            let mut buf = Vec::with_capacity(tail.pending_bytes);
+            for p in &tail.pending[..split] {
+                buf.extend_from_slice(&p.bytes);
+            }
+            let last = tail.pending[split - 1].lsn;
+            self.probe("wal.flush_to.pre_append");
+            policy.run(&self.retry_counters, || self.store.append(&buf))?;
+            tail.pending.drain(..split);
+            tail.pending_bytes = tail.pending.iter().map(|p| p.bytes.len()).sum();
+            self.appended_lsn.fetch_max(last.0, Ordering::SeqCst);
         }
-        let mut buf = Vec::with_capacity(tail.pending_bytes);
-        for p in &tail.pending[..split] {
-            buf.extend_from_slice(&p.bytes);
+        // Phase 2: sync whatever has been appended but not yet forced —
+        // including leftovers from an earlier flush whose sync failed.
+        let appended = self.appended_lsn.load(Ordering::SeqCst);
+        if appended > self.flushed_lsn.load(Ordering::SeqCst) {
+            self.probe("wal.flush_to.pre_sync");
+            policy.run(&self.retry_counters, || self.store.sync())?;
+            self.flushed_lsn.fetch_max(appended, Ordering::SeqCst);
         }
-        let last = tail.pending[split - 1].lsn;
-        self.probe("wal.flush_to.pre_append");
-        self.store.append(&buf)?;
-        self.probe("wal.flush_to.pre_sync");
-        self.store.sync()?;
-        tail.pending.drain(..split);
-        tail.pending_bytes = tail.pending.iter().map(|p| p.bytes.len()).sum();
-        self.flushed_lsn.fetch_max(last.0, Ordering::SeqCst);
         Ok(())
     }
 
@@ -297,7 +336,8 @@ impl LogManager {
         let offset = self.store.len_bytes()?;
         let lsn = self.append(TxnId::NONE, Lsn::NULL, RecordBody::Checkpoint { active, dirty });
         self.flush_to(lsn)?;
-        self.store.set_master(offset, lsn)?;
+        let policy = *self.retry.lock();
+        policy.run(&self.retry_counters, || self.store.set_master(offset, lsn))?;
         Ok(lsn)
     }
 
@@ -348,6 +388,7 @@ impl LogManager {
 mod tests {
     use super::*;
     use crate::record::TxnKind;
+    use txview_common::Error;
 
     fn begin_body() -> RecordBody {
         RecordBody::Begin { kind: TxnKind::User }
@@ -441,6 +482,87 @@ mod tests {
         }
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(dir.join("test.wal.master"));
+    }
+
+    #[test]
+    fn retry_absorbs_transient_append_fault() {
+        use crate::fault::FaultLogStore;
+        use txview_storage::fault::{FaultClock, FaultKind, FaultSchedule};
+        let clock = FaultClock::new();
+        let log = LogManager::open(Box::new(FaultLogStore::new(Arc::clone(&clock)))).unwrap();
+        log.set_retry_policy(RetryPolicy::no_delay(5));
+        let a = log.append(TxnId(1), Lsn::NULL, RecordBody::Begin { kind: TxnKind::User });
+        clock.arm(&FaultSchedule { faults: vec![(0, FaultKind::Transient)] });
+        log.flush_to(a).unwrap();
+        assert_eq!(log.flushed_lsn(), a);
+        assert_eq!(log.read_durable_from(0).unwrap().len(), 1);
+        let snap = log.io_retry_stats();
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.exhausted, 0);
+    }
+
+    #[test]
+    fn exhausted_append_fails_cleanly_and_later_flush_resumes() {
+        use crate::fault::FaultLogStore;
+        use txview_storage::fault::{FaultClock, FaultKind, FaultSchedule};
+        let clock = FaultClock::new();
+        let log = LogManager::open(Box::new(FaultLogStore::new(Arc::clone(&clock)))).unwrap();
+        log.set_retry_policy(RetryPolicy::no_delay(1)); // no retry: faults surface
+        let a = log.append(TxnId(1), Lsn::NULL, RecordBody::Begin { kind: TxnKind::User });
+        let b = log.append(TxnId(1), a, RecordBody::Commit);
+        clock.arm(&FaultSchedule { faults: vec![(0, FaultKind::Transient)] });
+        // The group flush fails as a whole: nothing acked, nothing durable.
+        assert!(matches!(log.flush_to(b), Err(Error::IoTransient(_))));
+        assert_eq!(log.flushed_lsn(), Lsn::NULL);
+        assert!(log.read_durable_from(0).unwrap().is_empty());
+        assert_eq!(log.io_retry_stats().exhausted, 1);
+        // The tail was left consistent: the retried flush makes exactly the
+        // two records durable, in order, with no duplicates.
+        log.flush_to(b).unwrap();
+        assert_eq!(log.flushed_lsn(), b);
+        let recs = log.read_durable_from(0).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].1.lsn, a);
+        assert_eq!(recs[1].1.lsn, b);
+    }
+
+    #[test]
+    fn failed_sync_is_not_acked_and_retry_does_not_duplicate_records() {
+        use crate::fault::FaultLogStore;
+        use txview_storage::fault::{FaultClock, FaultKind, FaultSchedule};
+        let clock = FaultClock::new();
+        let store = FaultLogStore::new(Arc::clone(&clock));
+        let log = LogManager::open(Box::new(store)).unwrap();
+        log.set_retry_policy(RetryPolicy::no_delay(1));
+        let a = log.append(TxnId(1), Lsn::NULL, RecordBody::Begin { kind: TxnKind::User });
+        // Event 0 is the append (succeeds), event 1 the sync (fails).
+        clock.arm(&FaultSchedule { faults: vec![(1, FaultKind::Transient)] });
+        assert!(matches!(log.flush_to(a), Err(Error::IoTransient(_))));
+        // Appended but not forced: the flush must NOT be reported complete.
+        assert_eq!(log.flushed_lsn(), Lsn::NULL);
+        // Retrying completes the flush by syncing only — the record must
+        // not be appended a second time.
+        log.flush_to(a).unwrap();
+        assert_eq!(log.flushed_lsn(), a);
+        let recs = log.read_durable_from(0).unwrap();
+        assert_eq!(recs.len(), 1, "sync retry must not duplicate the append");
+        assert_eq!(recs[0].1.lsn, a);
+    }
+
+    #[test]
+    fn master_write_retries_transient_faults() {
+        use crate::fault::FaultLogStore;
+        use txview_storage::fault::{FaultClock, FaultKind, FaultSchedule};
+        let clock = FaultClock::new();
+        let log = LogManager::open(Box::new(FaultLogStore::new(Arc::clone(&clock)))).unwrap();
+        log.set_retry_policy(RetryPolicy::no_delay(5));
+        let a = log.append(TxnId(1), Lsn::NULL, RecordBody::Begin { kind: TxnKind::User });
+        // Checkpoint path: flush (append=0, sync=1), checkpoint record
+        // (append=2, sync=3), then the master write at event 4 — fault it.
+        clock.arm(&FaultSchedule { faults: vec![(4, FaultKind::Transient)] });
+        let ck = log.write_checkpoint(vec![(TxnId(1), TxnKind::User, a)], vec![]).unwrap();
+        assert_eq!(log.master().unwrap().1, ck);
+        assert!(log.io_retry_stats().retries >= 1);
     }
 
     #[test]

@@ -55,6 +55,47 @@ proptest! {
         prop_assert_eq!(clock.stats().torn_writes, 1);
     }
 
+    /// Storm schedules are pure functions of the seed and always
+    /// transient-only with bounded consecutive runs (≤ 3, strictly inside
+    /// the 5-attempt retry budget).
+    #[test]
+    fn storm_schedules_are_pure_and_transient_only(
+        seed in any::<u64>(),
+        horizon in 1u64..5_000,
+    ) {
+        let a = FaultSchedule::storm(seed, horizon);
+        let b = FaultSchedule::storm(seed, horizon);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.is_transient_only());
+        let events: Vec<u64> = a.faults.iter().map(|(e, _)| *e).collect();
+        prop_assert!(events.iter().all(|&e| e < horizon));
+        let mut run = 1u32;
+        for w in events.windows(2) {
+            run = if w[1] == w[0] + 1 { run + 1 } else { 1 };
+            prop_assert!(run <= 3, "consecutive fault run exceeds the retry budget");
+        }
+    }
+
+    /// The resilience layer is *transparent*: any transient-only schedule
+    /// leaves the committed state byte-identical to the fault-free run of
+    /// the same seed, with the same acknowledged commits and no
+    /// degradation (satellite oracle of the storm mode).
+    #[test]
+    fn transient_storms_preserve_committed_state(
+        seed in any::<u32>(),
+        storm_seed in any::<u64>(),
+    ) {
+        let cfg = TortureConfig { txns: 10, seed: seed as u64, ..Default::default() };
+        let horizon = txview_engine::torture::measure_horizon(&cfg).unwrap();
+        let schedule = FaultSchedule::storm(storm_seed, horizon);
+        // An empty storm (rare seeds) is trivially absorbed; skip it.
+        if !schedule.faults.is_empty() {
+            let ep = txview_engine::torture::run_storm_episode(&cfg, &schedule).unwrap();
+            prop_assert!(ep.violations.is_empty(), "storm not absorbed: {:?}", ep.violations);
+            prop_assert_eq!(ep.resilience.health, txview_engine::HealthState::Healthy);
+        }
+    }
+
     /// Torture episodes are deterministic: same seed + crash point ⇒ same
     /// workload trace, same crash event, same oracle outcome.
     #[test]
