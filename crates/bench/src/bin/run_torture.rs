@@ -16,7 +16,16 @@
 //! persistent-outage episode per mode (graceful DegradedReadOnly, reads
 //! keep serving, writers rejected retryably, probe heals). Any violation
 //! prints the failing seed and full schedule for replay.
+//!
+//! `--interleave` switches to the deterministic interleaving explorer:
+//! exhaustive DFS over every schedule of the five canned concurrency
+//! scenarios in both maintenance modes, plus seeded PCT sampling of the
+//! larger 3-transaction fixtures, all judged by the serializability
+//! oracle. `--quick` bounds the DFS per scenario; `--seed` seeds the PCT
+//! sampler. A violation prints its scenario and decision list and can be
+//! re-run alone with `--interleave --replay <scenario> --choices a,b,c`.
 
+use txview_engine::interleave;
 use txview_engine::torture::{
     run_episode, run_persistent_episode, run_storm_sweep, run_sweep, SweepReport, TortureConfig,
 };
@@ -117,6 +126,117 @@ fn run_storm(seed: u64, txns: usize, per_mode: usize) -> usize {
     failures
 }
 
+/// All named interleaving fixtures (both maintenance modes).
+fn interleave_fixtures() -> Vec<interleave::Scenario> {
+    let mut scenarios = Vec::new();
+    for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+        scenarios.extend(interleave::canned_scenarios(mode));
+        scenarios.push(interleave::deadlock_cycle3(mode));
+    }
+    scenarios.push(interleave::fairness_scenario());
+    scenarios
+}
+
+fn print_interleave_violations(name: &str, violations: &[(Vec<usize>, String)]) {
+    for (choices, msg) in violations {
+        println!("    VIOLATION: {msg}");
+        let list: Vec<String> = choices.iter().map(|c| c.to_string()).collect();
+        println!(
+            "    replay: run_torture --interleave --replay {name} --choices {}",
+            if list.is_empty() { "-".to_string() } else { list.join(",") }
+        );
+    }
+}
+
+/// Interleaving explorer; returns the violation count.
+fn run_interleave(quick: bool, seed: u64) -> usize {
+    let dfs_cap: u64 = if quick { 500 } else { 200_000 };
+    let pct_runs: u64 = if quick { 25 } else { 150 };
+    let mut failures = 0usize;
+    let mut schedules = 0u64;
+
+    println!(
+        "interleave explorer: DFS cap {dfs_cap}/scenario, PCT seed {seed} ({pct_runs} runs), \
+         serializability oracle on every schedule"
+    );
+    println!("exhaustive DFS (five scenarios x two maintenance modes):");
+    for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+        for sc in interleave::canned_scenarios(mode) {
+            let r = interleave::explore_dfs(&sc, dfs_cap);
+            println!(
+                "  {:<42} schedules {:>6}{}  max decisions {:>3}  deadlocked {:>5}  violations {}",
+                sc.name,
+                r.schedules,
+                if r.truncated { "+" } else { " " },
+                r.max_decisions,
+                r.aborted_schedules,
+                r.violations.len(),
+            );
+            print_interleave_violations(&sc.name, &r.violations);
+            failures += r.violations.len();
+            schedules += r.schedules;
+        }
+    }
+
+    println!("PCT sampling (3-txn fixtures, {pct_runs} seeded runs each):");
+    for sc in [
+        interleave::fairness_scenario(),
+        interleave::deadlock_cycle3(MaintenanceMode::Escrow),
+        interleave::deadlock_cycle3(MaintenanceMode::XLock),
+    ] {
+        let r = interleave::explore_pct(&sc, seed, pct_runs, 3);
+        println!(
+            "  {:<42} schedules {:>6}   max decisions {:>3}  deadlocked {:>5}  violations {}",
+            sc.name,
+            r.schedules,
+            r.max_decisions,
+            r.aborted_schedules,
+            r.violations.len(),
+        );
+        print_interleave_violations(&sc.name, &r.violations);
+        failures += r.violations.len();
+        schedules += r.schedules;
+    }
+
+    println!("interleave total: {schedules} schedules explored, {failures} violations");
+    failures
+}
+
+/// Replay one schedule by scenario name and decision list ("-" = empty).
+fn run_interleave_replay(name: &str, choices_arg: Option<&String>) -> usize {
+    let choices: Vec<usize> = match choices_arg {
+        Some(s) if s != "-" => s
+            .split(',')
+            .filter(|p| !p.is_empty())
+            .map(|p| p.parse().expect("--choices must be comma-separated integers"))
+            .collect(),
+        _ => Vec::new(),
+    };
+    let Some(sc) = interleave_fixtures().into_iter().find(|s| s.name == name) else {
+        println!("unknown scenario {name:?}; known:");
+        for s in interleave_fixtures() {
+            println!("  {}", s.name);
+        }
+        return 1;
+    };
+    let (ep, violations) = interleave::replay(&sc, &choices);
+    println!("replay {name} choices {choices:?}:");
+    println!("  decisions: {:?}", ep.decisions);
+    for ev in &ep.history {
+        println!("  seq {:>3}  w{} txn {}  {:?}", ev.seq, ev.worker, ev.txn, ev.kind);
+    }
+    for w in &ep.workers {
+        println!("  txn {} -> {:?}", w.txn, w.outcome);
+    }
+    println!("  base: {:?}", ep.base_dump);
+    println!("  view: {:?}", ep.view_dump);
+    for v in &violations {
+        println!("  VIOLATION: {v}");
+    }
+    println!("  {} violations", violations.len());
+    violations.len()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -125,6 +245,23 @@ fn main() {
     let points = parse_flag(&args, "--points").unwrap_or(if quick { 60 } else { 120 }) as usize;
     let txns = parse_flag(&args, "--txns").unwrap_or(if quick { 24 } else { 36 }) as usize;
     let schedules = parse_flag(&args, "--schedules").unwrap_or(if quick { 10 } else { 40 });
+
+    if args.iter().any(|a| a == "--interleave") {
+        let failures = if let Some(i) = args.iter().position(|a| a == "--replay") {
+            let name = args.get(i + 1).expect("--replay needs a scenario name").clone();
+            let choices = args
+                .iter()
+                .position(|a| a == "--choices")
+                .and_then(|j| args.get(j + 1));
+            run_interleave_replay(&name, choices)
+        } else {
+            run_interleave(quick, seed)
+        };
+        if failures > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if storm {
         // ≥ 110 distinct transient schedules across the two modes by

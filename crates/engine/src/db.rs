@@ -524,8 +524,17 @@ impl Database {
         let touched: TouchedRows = self.touched.lock().remove(&txn.id).unwrap_or_default();
         let force = txn.undo_len() > 0 || !touched.is_empty();
         let ticket = self.watermark.begin_commit(&self.log);
+        let tid = txn.id;
         let result = self.txns.commit_with_opts(txn, force, |commit_lsn| {
             self.watermark.set_lsn(ticket, commit_lsn);
+            // Interleaving-explorer yield: the latch-free version-store
+            // publish is a scheduling point (locks still held, commit
+            // record already appended).
+            if !touched.is_empty() {
+                if let Some(h) = self.locks.hook() {
+                    h.yield_point(tid, &txview_lock::SchedEvent::VersionPublish);
+                }
+            }
             let cat = self.catalog.read();
             for ((index, kb), touch) in &touched {
                 let view = cat

@@ -29,6 +29,7 @@ pub mod db;
 pub mod delta;
 pub mod escrow;
 pub mod health;
+pub mod interleave;
 pub mod read;
 pub mod secondary;
 pub mod torture;

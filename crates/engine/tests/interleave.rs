@@ -1,0 +1,184 @@
+//! Exhaustive interleaving exploration of the five canned scenarios, in
+//! both maintenance modes, with the serializability oracle as judge.
+
+use txview_engine::interleave::{self, explore_dfs, replay, RotationChooser};
+use txview_engine::MaintenanceMode;
+
+const CAP: u64 = 200_000;
+
+fn assert_clean(sc: &interleave::Scenario, min_schedules: u64) {
+    let report = explore_dfs(sc, CAP);
+    assert!(!report.truncated, "[{}] exploration truncated at {CAP}", sc.name);
+    assert!(
+        report.schedules >= min_schedules,
+        "[{}] only {} schedules explored; yield points missing?",
+        sc.name,
+        report.schedules
+    );
+    if let Some((choices, msg)) = report.violations.first() {
+        panic!(
+            "[{}] {} violations; first: {msg}\nreplay: interleave::replay(&sc, &{choices:?})",
+            sc.name,
+            report.violations.len()
+        );
+    }
+}
+
+#[test]
+fn escrow_vs_escrow_exhaustive() {
+    for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+        assert_clean(&interleave::escrow_vs_escrow(mode), 2);
+    }
+}
+
+#[test]
+fn escrow_vs_serializable_reader_exhaustive() {
+    for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+        assert_clean(&interleave::escrow_vs_serializable_reader(mode), 2);
+    }
+}
+
+#[test]
+fn escrow_vs_snapshot_reader_exhaustive() {
+    for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+        assert_clean(&interleave::escrow_vs_snapshot_reader(mode), 2);
+    }
+}
+
+#[test]
+fn ghost_come_and_go_exhaustive() {
+    for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+        assert_clean(&interleave::ghost_come_and_go(mode), 2);
+    }
+}
+
+#[test]
+fn deadlock_cycle_exhaustive() {
+    for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+        let sc = interleave::deadlock_cycle(mode);
+        let report = explore_dfs(&sc, CAP);
+        assert!(!report.truncated, "[{}] truncated", sc.name);
+        assert!(
+            report.violations.is_empty(),
+            "[{}] first violation: {}",
+            sc.name,
+            report.violations[0].1
+        );
+        // Non-vacuity: some interleavings must actually deadlock.
+        assert!(
+            report.aborted_schedules > 0,
+            "[{}] no schedule deadlocked — the cycle fixture is broken",
+            sc.name
+        );
+    }
+}
+
+#[test]
+fn replay_is_deterministic() {
+    let sc = interleave::escrow_vs_escrow(MaintenanceMode::Escrow);
+    // Perturbed schedule: at each decision, prefer the other worker.
+    let choices = vec![1, 1, 1, 1, 1];
+    let (a, va) = replay(&sc, &choices);
+    let (b, vb) = replay(&sc, &choices);
+    assert_eq!(va, vb);
+    assert_eq!(a.decisions, b.decisions, "same choices must reproduce the same decisions");
+    assert_eq!(a.history.len(), b.history.len());
+    for (x, y) in a.history.iter().zip(b.history.iter()) {
+        assert_eq!(x.txn, y.txn, "same choices must reproduce the same history");
+    }
+    assert_eq!(a.base_dump, b.base_dump);
+    assert_eq!(a.view_dump, b.view_dump);
+}
+
+/// Satellite: under a deterministic 3-transaction cycle, the deadlock
+/// detector must abort the transaction that closes the cycle — which, with
+/// round-robin scheduling, is the youngest (highest TxnId).
+#[test]
+fn deadlock_victim_is_youngest() {
+    let sc = interleave::deadlock_cycle3(MaintenanceMode::Escrow);
+    let ep = interleave::run_episode(&sc, Box::new(RotationChooser::new()));
+    let violations = interleave::check_episode(&sc, &ep);
+    assert!(violations.is_empty(), "first violation: {}", violations[0]);
+
+    let aborted: Vec<u64> = ep
+        .workers
+        .iter()
+        .filter(|w| matches!(w.outcome, interleave::TxnOutcome::Aborted { .. }))
+        .map(|w| w.txn)
+        .collect();
+    assert_eq!(aborted.len(), 1, "exactly one victim expected, got {aborted:?}");
+    let max_txn = ep.workers.iter().map(|w| w.txn).max().unwrap();
+    assert_eq!(
+        aborted[0], max_txn,
+        "victim must be the youngest transaction (highest TxnId)"
+    );
+    // And the victim is recorded in the history as such.
+    let victim_evs = ep
+        .history
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                interleave::EventKind::Hook(txview_lock::SchedEvent::DeadlockVictim { .. })
+            )
+        })
+        .count();
+    assert!(victim_evs >= 1, "DeadlockVictim event missing from history");
+}
+
+/// Satellite: FIFO fairness. Exhaustively explore the 3-transaction
+/// reader/writer/reader fixture; the oracle's no-overtake rule must hold
+/// in every schedule.
+#[test]
+fn fifo_fairness_exhaustive() {
+    let sc = interleave::fairness_scenario();
+    let report = explore_dfs(&sc, CAP);
+    assert!(!report.truncated, "truncated at {CAP}");
+    assert!(
+        report.violations.is_empty(),
+        "{} violations; first: {}",
+        report.violations.len(),
+        report.violations[0].1
+    );
+    assert!(report.schedules >= 10, "only {} schedules", report.schedules);
+}
+
+/// Non-vacuity for the FIFO rule: a synthetic history in which a later S
+/// request is granted while an earlier incompatible X request still waits
+/// MUST be flagged.
+#[test]
+fn fifo_rule_flags_synthetic_overtake() {
+    use interleave::{Event, EventKind};
+    use txview_common::IndexId;
+    use txview_lock::{LockMode, LockName, SchedEvent};
+
+    let name = LockName::key(IndexId(7), vec![1]);
+    let ev = |seq: u64, txn: u64, kind: SchedEvent| Event {
+        seq,
+        worker: txn as usize,
+        txn,
+        kind: EventKind::Hook(kind),
+    };
+    let history = vec![
+        // Txn 1 blocks in X.
+        ev(0, 1, SchedEvent::LockRequest { name: name.clone(), mode: LockMode::X }),
+        ev(1, 1, SchedEvent::LockBlocked { name: name.clone(), mode: LockMode::X, converting: false }),
+        // Txn 2 requests S afterwards and is granted first: overtake.
+        ev(2, 2, SchedEvent::LockRequest { name: name.clone(), mode: LockMode::S }),
+        ev(3, 2, SchedEvent::LockGranted { name: name.clone(), mode: LockMode::S, converting: false }),
+        ev(4, 1, SchedEvent::LockGranted { name: name.clone(), mode: LockMode::X, converting: false }),
+    ];
+    let v = interleave::check_fifo(&history);
+    assert_eq!(v.len(), 1, "synthetic overtake must be flagged, got {v:?}");
+    assert!(v[0].contains("FIFO violation"), "{}", v[0]);
+
+    // Control: grant order respecting the queue is clean.
+    let history_ok = vec![
+        ev(0, 1, SchedEvent::LockRequest { name: name.clone(), mode: LockMode::X }),
+        ev(1, 1, SchedEvent::LockBlocked { name: name.clone(), mode: LockMode::X, converting: false }),
+        ev(2, 2, SchedEvent::LockRequest { name: name.clone(), mode: LockMode::S }),
+        ev(3, 1, SchedEvent::LockGranted { name: name.clone(), mode: LockMode::X, converting: false }),
+        ev(4, 2, SchedEvent::LockGranted { name: name.clone(), mode: LockMode::S, converting: false }),
+    ];
+    assert!(interleave::check_fifo(&history_ok).is_empty());
+}

@@ -1,0 +1,116 @@
+//! Scheduler hooks: the seam the deterministic interleaving explorer
+//! (`txview-engine::interleave`) threads through the lock and transaction
+//! managers.
+//!
+//! Production code never installs a hook — every call site goes through
+//! [`LockManager::hook`](crate::LockManager::hook), which returns `None`
+//! and costs one uncontended read-lock probe. Under test, a cooperative
+//! virtual scheduler implements [`SchedHook`] and the lock/txn managers
+//! call back at every *scheduling-relevant* event:
+//!
+//! * [`SchedHook::yield_point`] — a true choice point: the calling worker
+//!   offers to relinquish its turn *before* performing the event (lock
+//!   acquire entry, commit start, rollback start, version publish). The
+//!   hook may park the calling thread until a scheduler grants it the
+//!   turn again.
+//! * [`SchedHook::on_block`] — the worker is about to wait on a lock; the
+//!   hook must mark it blocked and *return* (the thread then enters the
+//!   real condvar wait without holding a scheduling turn).
+//! * [`SchedHook::on_grant`] — called from the *releasing* thread's
+//!   `pump_queue` when a blocked request is granted; must not block.
+//! * [`SchedHook::on_resume`] — the formerly blocked thread woke up (grant
+//!   or timeout) and asks for a turn before continuing.
+//! * [`SchedHook::observe`] — record-only events (grants, releases,
+//!   deadlock victims, commit/rollback completion) that the history oracle
+//!   consumes but that are not scheduling choice points.
+//!
+//! All methods default to no-ops so the trait stays cheap to implement.
+
+use crate::mode::LockMode;
+use crate::name::LockName;
+use txview_common::TxnId;
+
+/// A scheduling-relevant event, as seen by a [`SchedHook`].
+#[derive(Clone, Debug)]
+pub enum SchedEvent {
+    /// A transaction is about to request `mode` on `name`.
+    LockRequest {
+        /// Resource being requested.
+        name: LockName,
+        /// Requested mode (pre-conversion).
+        mode: LockMode,
+    },
+    /// A request was granted (instantly, as a conversion, or after a wait).
+    /// `mode` is the effective held mode (post-conversion supremum).
+    LockGranted {
+        /// Resource granted.
+        name: LockName,
+        /// Effective mode now held.
+        mode: LockMode,
+        /// True if this was an in-place conversion of a held lock.
+        converting: bool,
+    },
+    /// A request could not be granted and is about to wait.
+    LockBlocked {
+        /// Resource waited on.
+        name: LockName,
+        /// Target mode of the wait (post-conversion supremum).
+        mode: LockMode,
+        /// True if this is a conversion wait (queue-jumping).
+        converting: bool,
+    },
+    /// One lock was released (individually or during `release_all`).
+    LockReleased {
+        /// Resource released.
+        name: LockName,
+    },
+    /// The requester closed a waits-for cycle and aborts.
+    DeadlockVictim {
+        /// Resource whose request closed the cycle.
+        name: LockName,
+    },
+    /// A lock wait timed out; the requester aborts.
+    LockTimeout {
+        /// Resource whose wait timed out.
+        name: LockName,
+    },
+    /// Commit processing is about to start (before the commit record).
+    CommitStart,
+    /// Commit finished: locks released, End logged. `commit_lsn` is the
+    /// version stamp snapshot readers compare against.
+    Committed {
+        /// The commit record's LSN.
+        commit_lsn: u64,
+    },
+    /// Rollback processing is about to start (before the Abort record).
+    RollbackStart,
+    /// Rollback finished: undo complete, locks released.
+    RolledBack,
+    /// The committing transaction is about to publish multiversion entries
+    /// for the view rows it touched (latch-free version-store publish).
+    VersionPublish,
+}
+
+/// Callbacks a virtual scheduler implements to serialize and record lock /
+/// transaction events. All methods are optional; see the module docs for
+/// the contract of each.
+pub trait SchedHook: Send + Sync {
+    /// A true scheduling choice point: may park the caller until it is
+    /// rescheduled. Called *before* the event is performed.
+    fn yield_point(&self, _txn: TxnId, _ev: &SchedEvent) {}
+
+    /// Record-only observation; must not park the caller.
+    fn observe(&self, _txn: TxnId, _ev: &SchedEvent) {}
+
+    /// The worker driving `txn` is about to enter a real lock wait. Must
+    /// mark it blocked, release its turn, and return without parking.
+    fn on_block(&self, _txn: TxnId, _ev: &SchedEvent) {}
+
+    /// `txn`'s pending request was granted, from the *releaser's* thread
+    /// (which holds lock-manager internals). Must not block.
+    fn on_grant(&self, _txn: TxnId, _ev: &SchedEvent) {}
+
+    /// The formerly blocked worker woke (grant or timeout) and requests a
+    /// turn before touching shared state again. May park the caller.
+    fn on_resume(&self, _txn: TxnId) {}
+}

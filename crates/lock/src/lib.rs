@@ -16,10 +16,12 @@
 //! cycle detector (requester aborts on cycle), and lock statistics that the
 //! experiment harness reports.
 
+pub mod hook;
 pub mod manager;
 pub mod mode;
 pub mod name;
 
+pub use hook::{SchedEvent, SchedHook};
 pub use manager::{LockManager, LockStats};
 pub use mode::LockMode;
 pub use name::LockName;

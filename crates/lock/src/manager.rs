@@ -9,9 +9,10 @@
 //! Lock ordering inside the manager: shard mutex → waits-for mutex →
 //! registry mutex. Wait cells are only touched outside or after those.
 
+use crate::hook::{SchedEvent, SchedHook};
 use crate::mode::LockMode;
 use crate::name::LockName;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -84,12 +85,17 @@ pub struct LockStatsSnapshot {
 /// The lock manager. Shareable via `Arc`.
 pub struct LockManager {
     shards: Box<[Mutex<Shard>]>,
-    /// txn → names it holds (for release_all).
-    registry: Mutex<HashMap<TxnId, HashSet<LockName>>>,
+    /// txn → names it holds, in acquisition order (for release_all).
+    /// A `Vec` rather than a set so release order — and therefore queue
+    /// pumping and grant order — is deterministic under the interleaving
+    /// explorer's replay.
+    registry: Mutex<HashMap<TxnId, Vec<LockName>>>,
     /// txn → txns it currently waits for.
     waits: Mutex<HashMap<TxnId, HashSet<TxnId>>>,
     timeout: Duration,
     stats: LockStats,
+    /// Scheduler hook for the interleaving explorer; `None` in production.
+    hook: RwLock<Option<Arc<dyn SchedHook>>>,
 }
 
 impl Default for LockManager {
@@ -108,7 +114,20 @@ impl LockManager {
             waits: Mutex::new(HashMap::new()),
             timeout,
             stats: LockStats::default(),
+            hook: RwLock::new(None),
         }
+    }
+
+    /// Install (or clear) the scheduler hook. Test-only seam: the
+    /// interleaving explorer installs its virtual scheduler here; the
+    /// transaction manager and engine reach it through [`LockManager::hook`].
+    pub fn set_hook(&self, hook: Option<Arc<dyn SchedHook>>) {
+        *self.hook.write() = hook;
+    }
+
+    /// The currently installed scheduler hook, if any.
+    pub fn hook(&self) -> Option<Arc<dyn SchedHook>> {
+        self.hook.read().clone()
     }
 
     fn shard_for(&self, name: &LockName) -> &Mutex<Shard> {
@@ -142,46 +161,81 @@ impl LockManager {
     /// Re-requests are absorbed (covered by the held mode) or treated as
     /// conversions (held ∨ requested), which take priority over the queue.
     pub fn acquire(&self, txn: TxnId, name: LockName, mode: LockMode) -> Result<()> {
-        let cell;
-        {
+        let hook = self.hook();
+        if let Some(h) = &hook {
+            h.yield_point(txn, &SchedEvent::LockRequest { name: name.clone(), mode });
+        }
+        /// What the shard-locked section decided; hook calls happen after.
+        enum Outcome {
+            Granted { target: LockMode, converting: bool },
+            Victim,
+            Wait { target: LockMode, converting: bool, cell: Arc<WaitCell> },
+        }
+        let outcome = {
             let mut shard = self.shard_for(&name).lock();
             let head = shard.table.entry(name.clone()).or_default();
             let held = head.holders.iter().find(|(t, _)| *t == txn).map(|&(_, m)| m);
-            if let Some(h) = held {
-                if h.covers(mode) {
-                    return Ok(());
-                }
-            }
+            let covered = held.is_some_and(|h| h.covers(mode));
             let target = held.map_or(mode, |h| h.sup(mode));
-            let converting = held.is_some();
-            if Self::grantable(head, txn, target, converting, usize::MAX) {
+            let converting = held.is_some() && !covered;
+            if covered {
+                Outcome::Granted { target, converting: false }
+            } else if Self::grantable(head, txn, target, converting, usize::MAX) {
                 Self::set_holder(head, txn, target);
                 self.note_grant(txn, &name, target);
+                Outcome::Granted { target, converting }
+            } else {
+                // Must wait. Enqueue (conversions jump the queue).
+                self.stats.waited.fetch_add(1, Ordering::Relaxed);
+                let cell =
+                    Arc::new(WaitCell { state: Mutex::new(WaitState::Waiting), cv: Condvar::new() });
+                let waiter = Waiter { txn, target, converting, cell: Arc::clone(&cell) };
+                if converting {
+                    head.queue.insert(0, waiter);
+                } else {
+                    head.queue.push(waiter);
+                }
+                // Build waits-for edges and check for a cycle.
+                let blockers = Self::blockers_of(head, txn, target, converting);
+                let mut waits = self.waits.lock();
+                waits.insert(txn, blockers);
+                if Self::has_cycle(&waits, txn) {
+                    waits.remove(&txn);
+                    drop(waits);
+                    head.queue.retain(|w| w.txn != txn);
+                    self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
+                    Outcome::Victim
+                } else {
+                    Outcome::Wait { target, converting, cell }
+                }
+            }
+        };
+
+        let (target, converting, cell) = match outcome {
+            Outcome::Granted { target, converting } => {
+                if let Some(h) = &hook {
+                    h.observe(
+                        txn,
+                        &SchedEvent::LockGranted { name: name.clone(), mode: target, converting },
+                    );
+                }
                 return Ok(());
             }
-            // Must wait. Enqueue (conversions jump the queue).
-            self.stats.waited.fetch_add(1, Ordering::Relaxed);
-            cell = Arc::new(WaitCell { state: Mutex::new(WaitState::Waiting), cv: Condvar::new() });
-            let waiter = Waiter { txn, target, converting, cell: Arc::clone(&cell) };
-            if converting {
-                head.queue.insert(0, waiter);
-            } else {
-                head.queue.push(waiter);
-            }
-            // Build waits-for edges and check for a cycle.
-            let blockers = Self::blockers_of(head, txn, target, converting);
-            let mut waits = self.waits.lock();
-            waits.insert(txn, blockers);
-            if Self::has_cycle(&waits, txn) {
-                waits.remove(&txn);
-                drop(waits);
-                head.queue.retain(|w| w.txn != txn);
-                self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
+            Outcome::Victim => {
+                if let Some(h) = &hook {
+                    h.observe(txn, &SchedEvent::DeadlockVictim { name: name.clone() });
+                }
                 return Err(Error::DeadlockVictim { txn });
             }
-        }
+            Outcome::Wait { target, converting, cell } => (target, converting, cell),
+        };
 
-        // Block outside the shard lock.
+        // Block outside the shard lock. The hook releases this worker's
+        // scheduling turn *before* the condvar wait (no lost wakeup: a
+        // grant flips the cell state under its mutex first).
+        if let Some(h) = &hook {
+            h.on_block(txn, &SchedEvent::LockBlocked { name: name.clone(), mode: target, converting });
+        }
         let deadline = std::time::Instant::now() + self.timeout;
         let mut state = cell.state.lock();
         while *state == WaitState::Waiting {
@@ -191,9 +245,13 @@ impl LockManager {
         }
         let finished = *state == WaitState::Granted;
         drop(state);
+        // Re-acquire a scheduling turn before touching shared state again.
+        if let Some(h) = &hook {
+            h.on_resume(txn);
+        }
         if finished {
             self.waits.lock().remove(&txn);
-            // Grant bookkeeping was done by the releaser.
+            // Grant bookkeeping (and the grant event) was done by the releaser.
             return Ok(());
         }
         // Timeout: remove ourselves, unless a grant raced in.
@@ -210,6 +268,9 @@ impl LockManager {
             self.waits.lock().remove(&txn);
         }
         self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+        if let Some(h) = &hook {
+            h.observe(txn, &SchedEvent::LockTimeout { name: name.clone() });
+        }
         Err(Error::LockTimeout { txn, what: name.to_string() })
     }
 
@@ -310,7 +371,11 @@ impl LockManager {
         if target == LockMode::E {
             self.stats.escrow_grants.fetch_add(1, Ordering::Relaxed);
         }
-        self.registry.lock().entry(txn).or_default().insert(name.clone());
+        let mut reg = self.registry.lock();
+        let names = reg.entry(txn).or_default();
+        if !names.contains(name) {
+            names.push(name.clone());
+        }
     }
 
     /// Grant queued requests that have become compatible; refresh the
@@ -324,6 +389,16 @@ impl LockManager {
                 Self::set_holder(head, w.txn, w.target);
                 self.note_grant(w.txn, name, w.target);
                 self.waits.lock().remove(&w.txn);
+                if let Some(h) = self.hook() {
+                    h.on_grant(
+                        w.txn,
+                        &SchedEvent::LockGranted {
+                            name: name.clone(),
+                            mode: w.target,
+                            converting: w.converting,
+                        },
+                    );
+                }
                 let mut st = w.cell.state.lock();
                 *st = WaitState::Granted;
                 w.cell.cv.notify_all();
@@ -353,6 +428,9 @@ impl LockManager {
 
     /// Release one lock held by `txn`.
     pub fn release(&self, txn: TxnId, name: &LockName) {
+        if let Some(h) = self.hook() {
+            h.observe(txn, &SchedEvent::LockReleased { name: name.clone() });
+        }
         let mut shard = self.shard_for(name).lock();
         if let Some(head) = shard.table.get_mut(name) {
             head.holders.retain(|(t, _)| *t != txn);
@@ -361,15 +439,21 @@ impl LockManager {
                 shard.table.remove(name);
             }
         }
-        if let Some(set) = self.registry.lock().get_mut(&txn) {
-            set.remove(name);
+        if let Some(names) = self.registry.lock().get_mut(&txn) {
+            names.retain(|n| n != name);
         }
     }
 
-    /// Release everything `txn` holds (commit / final rollback).
+    /// Release everything `txn` holds (commit / final rollback), in
+    /// acquisition order — deterministic, so queue pumping and grant order
+    /// replay identically under the interleaving explorer.
     pub fn release_all(&self, txn: TxnId) {
+        let hook = self.hook();
         let names = self.registry.lock().remove(&txn).unwrap_or_default();
         for name in names {
+            if let Some(h) = &hook {
+                h.observe(txn, &SchedEvent::LockReleased { name: name.clone() });
+            }
             let mut shard = self.shard_for(&name).lock();
             if let Some(head) = shard.table.get_mut(&name) {
                 head.holders.retain(|(t, _)| *t != txn);

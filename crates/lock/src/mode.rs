@@ -79,7 +79,17 @@ impl LockMode {
             /* X   */ [F, F, F, F, F, F, F],
             /* E   */ [T, T, F, F, F, F, T],
         ];
-        MATRIX[self.idx()][other.idx()]
+        let ok = MATRIX[self.idx()][other.idx()];
+        if !ok
+            && mutation::e_compatible_with_s()
+            && matches!(
+                (self, other),
+                (LockMode::E, LockMode::S) | (LockMode::S, LockMode::E)
+            )
+        {
+            return true;
+        }
+        ok
     }
 
     /// Least upper bound in the conversion lattice: the weakest single mode
@@ -126,6 +136,29 @@ impl LockMode {
     /// True iff holding `self` already implies every right `other` grants.
     pub fn covers(self, other: LockMode) -> bool {
         self.sup(other) == self
+    }
+}
+
+/// Deliberate protocol mutations used to prove the interleaving explorer's
+/// serializability oracle actually *catches* bugs (EXPERIMENTS.md E10).
+///
+/// Production code never flips these. Each mutation weakens the protocol in
+/// a way the paper forbids; the oracle must flag the resulting histories.
+/// Process-global — enable only in a dedicated test binary.
+pub mod mutation {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static E_COMPAT_S: AtomicBool = AtomicBool::new(false);
+
+    /// Mutation: make E (escrow) compatible with S, letting readers observe
+    /// rows with uncommitted increments in flight. Breaks read stability.
+    pub fn set_e_compatible_with_s(on: bool) {
+        E_COMPAT_S.store(on, Ordering::SeqCst);
+    }
+
+    /// Is the E∥S mutation currently enabled?
+    pub fn e_compatible_with_s() -> bool {
+        E_COMPAT_S.load(Ordering::Relaxed)
     }
 }
 

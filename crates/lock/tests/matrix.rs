@@ -1,0 +1,115 @@
+//! Spec-vs-impl check for the lock mode tables.
+//!
+//! The compatibility matrix and the conversion-supremum table below are
+//! transcribed **literally from the paper's protocol description** (the
+//! hierarchical matrix of Gray et al. extended with the escrow mode E:
+//! E∥E, E∥IS, E∥IX, E∦S/U/X/SIX; an incrementer that must read or
+//! overwrite converts to X). The implementation in `lock::mode` encodes
+//! the same tables in code; this test holds the two transcriptions against
+//! each other entry by entry, so neither can drift without failing.
+
+use proptest::prelude::*;
+use txview_lock::LockMode;
+use LockMode::{E, IS, IX, S, SIX, U, X};
+
+const ALL: [LockMode; 7] = [IS, IX, S, SIX, U, X, E];
+
+/// The paper's compatibility matrix, row = held, column = requested.
+/// Order: IS, IX, S, SIX, U, X, E.
+#[rustfmt::skip]
+const SPEC_COMPAT: [[bool; 7]; 7] = [
+    //           IS     IX     S      SIX    U      X      E
+    /* IS  */ [ true,  true,  true,  true,  true,  false, true  ],
+    /* IX  */ [ true,  true,  false, false, false, false, true  ],
+    /* S   */ [ true,  false, true,  false, true,  false, false ],
+    /* SIX */ [ true,  false, false, false, false, false, false ],
+    /* U   */ [ true,  false, true,  false, false, false, false ],
+    /* X   */ [ false, false, false, false, false, false, false ],
+    /* E   */ [ true,  true,  false, false, false, false, true  ],
+];
+
+/// The paper's conversion lattice: the weakest single mode granting the
+/// rights of both. Same row/column order as above.
+#[rustfmt::skip]
+const SPEC_SUP: [[LockMode; 7]; 7] = [
+    //           IS   IX   S    SIX  U    X   E
+    /* IS  */ [ IS,  IX,  S,   SIX, U,   X,  E ],
+    /* IX  */ [ IX,  IX,  SIX, SIX, SIX, X,  E ],
+    /* S   */ [ S,   SIX, S,   SIX, U,   X,  X ],
+    /* SIX */ [ SIX, SIX, SIX, SIX, SIX, X,  X ],
+    /* U   */ [ U,   SIX, U,   SIX, U,   X,  X ],
+    /* X   */ [ X,   X,   X,   X,   X,   X,  X ],
+    /* E   */ [ E,   E,   X,   X,   X,   X,  E ],
+];
+
+#[test]
+fn compat_matrix_matches_spec_entry_by_entry() {
+    for (i, &a) in ALL.iter().enumerate() {
+        for (j, &b) in ALL.iter().enumerate() {
+            assert_eq!(
+                a.compatible(b),
+                SPEC_COMPAT[i][j],
+                "compatible({a}, {b}) disagrees with the transcribed matrix"
+            );
+        }
+    }
+}
+
+#[test]
+fn sup_table_matches_spec_entry_by_entry() {
+    for (i, &a) in ALL.iter().enumerate() {
+        for (j, &b) in ALL.iter().enumerate() {
+            assert_eq!(
+                a.sup(b),
+                SPEC_SUP[i][j],
+                "sup({a}, {b}) disagrees with the transcribed table"
+            );
+        }
+    }
+}
+
+#[test]
+fn spec_matrix_is_symmetric() {
+    // The transcription itself must be sane: compatibility is symmetric.
+    for i in 0..7 {
+        for j in 0..7 {
+            assert_eq!(SPEC_COMPAT[i][j], SPEC_COMPAT[j][i], "spec matrix asymmetry at {i},{j}");
+        }
+    }
+}
+
+fn arb_mode() -> impl Strategy<Value = LockMode> {
+    prop::sample::select(ALL.to_vec())
+}
+
+proptest! {
+    /// The supremum must grant both inputs' rights: anything incompatible
+    /// with `a` or with `b` is incompatible with `sup(a, b)`.
+    #[test]
+    fn sup_upper_bound_against_spec(a in arb_mode(), b in arb_mode(), c in arb_mode()) {
+        let idx = |m: LockMode| ALL.iter().position(|&x| x == m).unwrap();
+        let s = SPEC_SUP[idx(a)][idx(b)];
+        if !SPEC_COMPAT[idx(a)][idx(c)] || !SPEC_COMPAT[idx(b)][idx(c)] {
+            prop_assert!(
+                !SPEC_COMPAT[idx(s)][idx(c)],
+                "sup({a},{b})={s} is compatible with {c}, but an input is not"
+            );
+        }
+    }
+
+    /// covers() must agree with the spec supremum: `a` covers `b` iff the
+    /// spec says their join is `a` itself.
+    #[test]
+    fn covers_agrees_with_spec(a in arb_mode(), b in arb_mode()) {
+        let idx = |m: LockMode| ALL.iter().position(|&x| x == m).unwrap();
+        prop_assert_eq!(a.covers(b), SPEC_SUP[idx(a)][idx(b)] == a);
+    }
+
+    /// E admits concurrent incrementers but no concurrent readers: for any
+    /// mode `m`, E∥m iff m is E or an intent mode.
+    #[test]
+    fn escrow_concurrency_boundary(m in arb_mode()) {
+        let expected = matches!(m, E | IS | IX);
+        prop_assert_eq!(E.compatible(m), expected, "E vs {}", m);
+    }
+}

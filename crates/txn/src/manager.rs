@@ -84,6 +84,10 @@ impl TxnManager {
         if txn.state != TxnState::Active {
             return Err(Error::invalid(format!("commit of finished {}", txn.id)));
         }
+        let hook = self.locks.hook();
+        if let Some(h) = &hook {
+            h.yield_point(txn.id, &txview_lock::SchedEvent::CommitStart);
+        }
         let commit_lsn = self.log.append(txn.id, txn.last_lsn, RecordBody::Commit);
         if force {
             self.log.flush_to(commit_lsn)?;
@@ -94,6 +98,9 @@ impl TxnManager {
         txn.state = TxnState::Committed;
         txn.undo.clear();
         self.active.lock().remove(&txn.id);
+        if let Some(h) = &hook {
+            h.observe(txn.id, &txview_lock::SchedEvent::Committed { commit_lsn: commit_lsn.0 });
+        }
         Ok(commit_lsn)
     }
 
@@ -104,12 +111,19 @@ impl TxnManager {
         if txn.state != TxnState::Active {
             return Err(Error::invalid(format!("rollback of finished {}", txn.id)));
         }
+        let hook = self.locks.hook();
+        if let Some(h) = &hook {
+            h.yield_point(txn.id, &txview_lock::SchedEvent::RollbackStart);
+        }
         txn.last_lsn = self.log.append(txn.id, txn.last_lsn, RecordBody::Abort);
         self.rollback_to(txn, 0, handler)?;
         txn.last_lsn = self.log.append(txn.id, txn.last_lsn, RecordBody::End);
         txn.state = TxnState::Aborted;
         self.locks.release_all(txn.id);
         self.active.lock().remove(&txn.id);
+        if let Some(h) = &hook {
+            h.observe(txn.id, &txview_lock::SchedEvent::RolledBack);
+        }
         Ok(())
     }
 

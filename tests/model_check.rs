@@ -202,3 +202,178 @@ proptest! {
         run_program(MaintenanceMode::Escrow, 50, ops);
     }
 }
+
+// ---- concurrent two-transaction programs through the virtual scheduler ----
+//
+// Random pairs of transaction scripts run under a *scheduled* interleaving
+// (a random decision list replayed through the deterministic scheduler),
+// judged by the serializability oracle instead of a sequential model.
+// Failures print the scripts + choice list; append them to
+// `model_check.proptest-regressions` in the `interleave:` format below and
+// `concurrent_regressions_replay` will pin them forever.
+
+use txview_repro::engine::interleave::{self as il, End, SOp, Scenario, Script};
+
+fn arb_cop() -> impl Strategy<Value = SOp> {
+    prop_oneof![
+        3 => (0i64..6, 0i64..3, 1i64..50)
+            .prop_map(|(id, grp, amount)| SOp::Insert { id, grp, amount }),
+        2 => (0i64..6, 0i64..3, 1i64..50)
+            .prop_map(|(id, grp, amount)| SOp::Update { id, grp, amount }),
+        2 => (0i64..6).prop_map(|id| SOp::Delete { id }),
+        2 => (0i64..3).prop_map(|grp| SOp::ReadGroup { grp }),
+        1 => (0i64..6).prop_map(|id| SOp::ReadRow { id }),
+    ]
+}
+
+fn arb_cscript() -> impl Strategy<Value = Script> {
+    (
+        0usize..3,
+        proptest::collection::vec(arb_cop(), 1..5),
+        0usize..4,
+    )
+        .prop_map(|(iso, mut ops, end)| {
+            let isolation = match iso {
+                0 => IsolationLevel::ReadCommitted,
+                1 => IsolationLevel::Serializable,
+                _ => IsolationLevel::Snapshot,
+            };
+            if isolation == IsolationLevel::Snapshot {
+                // Snapshot transactions are read-only in these programs.
+                for op in ops.iter_mut() {
+                    if !matches!(op, SOp::ReadGroup { .. } | SOp::ReadRow { .. }) {
+                        *op = SOp::ReadGroup { grp: 0 };
+                    }
+                }
+            }
+            // Commit three times out of four.
+            let end = if end == 0 { End::Rollback } else { End::Commit };
+            Script { isolation, ops, end }
+        })
+}
+
+fn concurrent_scenario(mode: MaintenanceMode, s1: Script, s2: Script) -> Scenario {
+    Scenario {
+        name: format!("model_check_concurrent/{mode:?}"),
+        mode,
+        initial: vec![(0, 0, 10), (3, 1, 20)],
+        scripts: vec![s1, s2],
+        groups: vec![0, 1, 2],
+    }
+}
+
+fn run_concurrent(mode: MaintenanceMode, s1: Script, s2: Script, choices: Vec<usize>) {
+    let sc = concurrent_scenario(mode, s1, s2);
+    let ep = il::run_episode(&sc, Box::new(il::ReplayChooser::new(choices.clone())));
+    let violations = il::check_episode(&sc, &ep);
+    assert!(
+        violations.is_empty(),
+        "oracle violations for scripts {:?} under choices {choices:?} \
+         (executed decisions {:?}):\n{}",
+        sc.scripts,
+        ep.decisions,
+        violations.join("\n")
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn concurrent_escrow_passes_oracle(
+        s1 in arb_cscript(),
+        s2 in arb_cscript(),
+        choices in proptest::collection::vec(0usize..2, 0..24),
+    ) {
+        run_concurrent(MaintenanceMode::Escrow, s1, s2, choices);
+    }
+
+    #[test]
+    fn concurrent_xlock_passes_oracle(
+        s1 in arb_cscript(),
+        s2 in arb_cscript(),
+        choices in proptest::collection::vec(0usize..2, 0..24),
+    ) {
+        run_concurrent(MaintenanceMode::XLock, s1, s2, choices);
+    }
+}
+
+/// Parse one script in the regression format `ISO;op,op,...;END` where an
+/// op is `I:id:grp:amt`, `U:id:grp:amt`, `D:id`, `R:grp`, or `B:id`,
+/// ISO is `RC|SR|SN`, END is `C|A`.
+fn parse_regression_script(s: &str) -> Script {
+    let parts: Vec<&str> = s.split(';').collect();
+    assert_eq!(parts.len(), 3, "bad regression script {s:?}");
+    let isolation = match parts[0] {
+        "RC" => IsolationLevel::ReadCommitted,
+        "SR" => IsolationLevel::Serializable,
+        "SN" => IsolationLevel::Snapshot,
+        other => panic!("bad isolation {other:?}"),
+    };
+    let num = |f: &str| f.parse::<i64>().expect("regression op field");
+    let ops = parts[1]
+        .split(',')
+        .filter(|o| !o.is_empty())
+        .map(|o| {
+            let f: Vec<&str> = o.split(':').collect();
+            match f[0] {
+                "I" => SOp::Insert { id: num(f[1]), grp: num(f[2]), amount: num(f[3]) },
+                "U" => SOp::Update { id: num(f[1]), grp: num(f[2]), amount: num(f[3]) },
+                "D" => SOp::Delete { id: num(f[1]) },
+                "R" => SOp::ReadGroup { grp: num(f[1]) },
+                "B" => SOp::ReadRow { id: num(f[1]) },
+                other => panic!("bad op tag {other:?}"),
+            }
+        })
+        .collect();
+    let end = match parts[2] {
+        "C" => End::Commit,
+        "A" => End::Rollback,
+        other => panic!("bad end {other:?}"),
+    };
+    Script { isolation, ops, end }
+}
+
+/// Replay every `interleave:` regression recorded in
+/// `model_check.proptest-regressions`. The shim never shrinks or persists
+/// cases itself, so failing concurrent programs are minimized by hand and
+/// committed there in the compact format parsed above.
+#[test]
+fn concurrent_regressions_replay() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/model_check.proptest-regressions");
+    let text = std::fs::read_to_string(path).expect("regressions file");
+    let mut replayed = 0usize;
+    for line in text.lines() {
+        let Some(spec) = line.strip_prefix("cc interleave: ") else { continue };
+        let mut mode = None;
+        let mut scripts = Vec::new();
+        let mut choices: Vec<usize> = Vec::new();
+        for field in spec.split_whitespace() {
+            let (key, val) = field.split_once('=').expect("key=value regression field");
+            match key {
+                "mode" => {
+                    mode = Some(match val {
+                        "escrow" => MaintenanceMode::Escrow,
+                        "xlock" => MaintenanceMode::XLock,
+                        other => panic!("bad mode {other:?}"),
+                    })
+                }
+                "t1" | "t2" => scripts.push(parse_regression_script(val)),
+                "choices" => {
+                    choices = val
+                        .split(',')
+                        .filter(|c| !c.is_empty() && *c != "-")
+                        .map(|c| c.parse().expect("choice"))
+                        .collect()
+                }
+                other => panic!("bad regression key {other:?}"),
+            }
+        }
+        assert_eq!(scripts.len(), 2, "regression needs t1 and t2: {line:?}");
+        let s2 = scripts.pop().unwrap();
+        let s1 = scripts.pop().unwrap();
+        run_concurrent(mode.expect("mode"), s1, s2, choices);
+        replayed += 1;
+    }
+    assert!(replayed > 0, "no interleave regressions found in {path}");
+}
