@@ -4,23 +4,64 @@
 //! cargo run -p txview-bench --release --bin run_experiments -- all
 //! cargo run -p txview-bench --release --bin run_experiments -- e1 e4
 //! cargo run -p txview-bench --release --bin run_experiments -- --quick all
+//! cargo run -p txview-bench --release --bin run_experiments -- --metrics e1
+//! cargo run -p txview-bench --release --bin run_experiments -- snapshot
 //! ```
+//!
+//! `snapshot` runs the E1/E2 headline cells and writes throughput +
+//! commit-latency percentiles to `BENCH_PR4.json` (override with
+//! `--out <path>`). `--metrics` additionally runs a short contended
+//! deposit cell and prints the engine's full metrics table.
 
-use txview_bench::{e1, e2, e3, e4, e5, e6, e7, e8, ExpConfig};
+use txview_bench::{e1, e11, e2, e3, e4, e5, e6, e7, e8, metrics_demo, snapshot_json, ExpConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::default() };
-    let wanted: Vec<String> = args
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let out_path = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
-        .collect();
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::default() };
+
+    // Positional selections; flag values (the path after --out) are not
+    // experiment names.
+    let mut wanted: Vec<String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--out" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        wanted.push(a.to_lowercase());
+    }
     let run_all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
 
+    if wanted.iter().any(|w| w == "snapshot") {
+        println!("writing bench snapshot (cell {:?}) to {out_path} ...", cfg.cell);
+        let t0 = std::time::Instant::now();
+        let json = snapshot_json(&cfg);
+        std::fs::write(&out_path, &json).expect("write bench snapshot");
+        print!("{json}");
+        println!("[snapshot done in {:.1}s]", t0.elapsed().as_secs_f64());
+        if metrics {
+            print!("{}", metrics_demo(&cfg));
+        }
+        return;
+    }
+
     type ExpFn = fn(&ExpConfig) -> txview_workload::report::Table;
-    let experiments: [(&str, ExpFn); 8] = [
+    let experiments: [(&str, ExpFn); 9] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -29,6 +70,7 @@ fn main() {
         ("e6", e6),
         ("e7", e7),
         ("e8", e8),
+        ("e11", e11),
     ];
 
     println!(
@@ -46,8 +88,12 @@ fn main() {
             ran += 1;
         }
     }
-    if ran == 0 {
-        eprintln!("unknown experiment selection {wanted:?}; use e1..e8 or all");
+    if ran == 0 && !metrics {
+        eprintln!("unknown experiment selection {wanted:?}; use e1..e8, e11, snapshot, or all");
         std::process::exit(2);
+    }
+    if metrics {
+        println!("\n-- engine metrics after a contended deposit cell --");
+        print!("{}", metrics_demo(&cfg));
     }
 }

@@ -3,7 +3,7 @@
 //! fault schedules, and assert the recovery oracle at every point.
 //!
 //! ```text
-//! run_torture [--quick] [--storm] [--seed N] [--points N] [--txns N] [--schedules N]
+//! run_torture [--quick] [--storm] [--metrics] [--seed N] [--points N] [--txns N] [--schedules N]
 //! ```
 //!
 //! `--quick` is the CI budget: fixed seed, ~60 crash points per mode,
@@ -17,6 +17,13 @@
 //! keep serving, writers rejected retryably, probe heals). Any violation
 //! prints the failing seed and full schedule for replay.
 //!
+//! `--metrics` switches to the metrics-determinism oracle: the fault-free
+//! torture workload runs twice with the engine's observability clock
+//! driven by the deterministic event counter, and the two
+//! `metrics_snapshot()` results must be structurally identical (plus
+//! internally consistent and non-trivial). Any divergence or validation
+//! failure exits non-zero and prints the offending snapshot section.
+//!
 //! `--interleave` switches to the deterministic interleaving explorer:
 //! exhaustive DFS over every schedule of the five canned concurrency
 //! scenarios in both maintenance modes, plus seeded PCT sampling of the
@@ -27,7 +34,8 @@
 
 use txview_engine::interleave;
 use txview_engine::torture::{
-    run_episode, run_persistent_episode, run_storm_sweep, run_sweep, SweepReport, TortureConfig,
+    run_episode, run_metrics_check, run_persistent_episode, run_storm_sweep, run_sweep,
+    SweepReport, TortureConfig,
 };
 use txview_engine::MaintenanceMode;
 use txview_storage::fault::FaultSchedule;
@@ -120,6 +128,40 @@ fn run_storm(seed: u64, txns: usize, per_mode: usize) -> usize {
             Err(e) => {
                 failures += 1;
                 println!("  {:<6}  OUTAGE EPISODE ERROR: {e}", mode_name(mode));
+            }
+        }
+    }
+    failures
+}
+
+/// Metrics-determinism oracle; returns the violation count.
+fn run_metrics(seed: u64, txns: usize) -> usize {
+    println!(
+        "metrics-determinism check: seed {seed}, {txns} txns/run, two identically-seeded runs \
+         per maintenance mode, event-tick observability clock"
+    );
+    let mut failures = 0usize;
+    for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+        let cfg = TortureConfig { mode, txns, seed, ..Default::default() };
+        match run_metrics_check(&cfg) {
+            Ok(r) => {
+                println!(
+                    "  {:<6}  commits {:>4}  lock acquisitions {:>5}  wal records {:>5}  \
+                     violations {}",
+                    mode_name(mode),
+                    r.snapshot.counter_value("txn.commits").unwrap_or(0),
+                    r.snapshot.counter_value("lock.acquired").unwrap_or(0),
+                    r.snapshot.counter_value("wal.appended_records").unwrap_or(0),
+                    r.violations.len(),
+                );
+                for v in &r.violations {
+                    println!("    VIOLATION: {v}");
+                }
+                failures += r.violations.len();
+            }
+            Err(e) => {
+                failures += 1;
+                println!("  {:<6}  METRICS CHECK ERROR: {e}", mode_name(mode));
             }
         }
     }
@@ -257,6 +299,15 @@ fn main() {
         } else {
             run_interleave(quick, seed)
         };
+        if failures > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--metrics") {
+        let failures = run_metrics(seed, txns);
+        println!("metrics total: {failures} violations");
         if failures > 0 {
             std::process::exit(1);
         }

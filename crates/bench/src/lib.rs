@@ -11,5 +11,7 @@
 //! correct.
 
 pub mod experiments;
+pub mod snapshot;
 
 pub use experiments::{e1, e2, e3, e4, e5, e6, e7, e8, ExpConfig};
+pub use snapshot::{e11, metrics_demo, snapshot_json};

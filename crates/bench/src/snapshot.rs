@@ -1,0 +1,210 @@
+//! Machine-readable bench snapshots and the E11 observability experiment.
+//!
+//! `snapshot_json` re-runs the two headline cells (E1 deposits, E2
+//! transfers) per maintenance mode and serialises throughput plus
+//! commit-latency percentiles as JSON — the driver writes it to
+//! `BENCH_PR4.json` so regressions in either metric are diffable across
+//! PRs. The JSON is hand-rolled (no serde in the workspace); the shape is
+//! fixed and flat, so a formatter plus escaping-free keys is enough.
+
+use txview_engine::{IsolationLevel, MaintenanceMode};
+use txview_workload::bank::{Bank, BankConfig};
+use txview_workload::driver::{run_for, GroupResult, WorkerSpec};
+use txview_workload::report::{f, Table};
+
+use crate::experiments::ExpConfig;
+
+fn mode_name(m: MaintenanceMode) -> &'static str {
+    match m {
+        MaintenanceMode::Escrow => "escrow",
+        MaintenanceMode::XLock => "xlock",
+    }
+}
+
+/// Format a float for JSON: finite, fixed precision, no NaN/Inf (both are
+/// invalid JSON — clamp to 0).
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "0.0".into()
+    }
+}
+
+/// One measured cell as a JSON object fragment.
+fn cell_json(extra: &str, mode: MaintenanceMode, r: &GroupResult) -> String {
+    format!(
+        "{{{extra}\"mode\": \"{}\", \"commits_per_s\": {}, \"mean_us\": {}, \
+         \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"abort_rate\": {}}}",
+        mode_name(mode),
+        jf(r.throughput()),
+        jf(r.mean_latency_us()),
+        r.latency.p50(),
+        r.latency.p95(),
+        r.latency.p99(),
+        if r.abort_rate().is_finite() { format!("{:.4}", r.abort_rate()) } else { "0.0".into() },
+    )
+}
+
+fn run_deposit_cell(cfg: &ExpConfig, mode: MaintenanceMode, threads: usize) -> GroupResult {
+    let bank = Bank::setup(BankConfig { mode, ..Default::default() }).expect("setup");
+    let specs = [WorkerSpec {
+        name: "deposit".into(),
+        threads,
+        isolation: IsolationLevel::ReadCommitted,
+        op: bank.batch_deposit_op(4),
+    }];
+    let res = run_for(&bank.db, &specs, cfg.cell);
+    bank.verify().expect("view consistent after snapshot deposit cell");
+    res.into_iter().next().unwrap()
+}
+
+fn run_transfer_cell(cfg: &ExpConfig, mode: MaintenanceMode, theta: f64) -> GroupResult {
+    let bank =
+        Bank::setup(BankConfig { mode, zipf_theta: theta, ..Default::default() }).expect("setup");
+    let specs = [WorkerSpec {
+        name: "transfer".into(),
+        threads: 8.min(cfg.max_threads),
+        isolation: IsolationLevel::ReadCommitted,
+        op: bank.transfer_op(2),
+    }];
+    let res = run_for(&bank.db, &specs, cfg.cell);
+    bank.verify().expect("view consistent after snapshot transfer cell");
+    res.into_iter().next().unwrap()
+}
+
+/// The `BENCH_PR4.json` payload: E1 (deposit thread sweep) and E2
+/// (transfer skew cell) throughput + latency percentiles per mode.
+pub fn snapshot_json(cfg: &ExpConfig) -> String {
+    let threads: Vec<usize> =
+        [1usize, 2, 4, 8, 16].into_iter().filter(|&t| t <= cfg.max_threads).collect();
+    let mut e1_cells = Vec::new();
+    for &t in &threads {
+        for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+            let r = run_deposit_cell(cfg, mode, t);
+            e1_cells.push(cell_json(&format!("\"threads\": {t}, "), mode, &r));
+        }
+    }
+    let mut e2_cells = Vec::new();
+    for theta in [0.0, 0.8, 1.2] {
+        for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+            let r = run_transfer_cell(cfg, mode, theta);
+            e2_cells.push(cell_json(&format!("\"theta\": {theta:.1}, "), mode, &r));
+        }
+    }
+    format!
+(
+        "{{\n  \"bench\": \"PR4\",\n  \"cell_ms\": {},\n  \"e1_deposit\": [\n    {}\n  ],\n  \"e2_transfer\": [\n    {}\n  ]\n}}\n",
+        cfg.cell.as_millis(),
+        e1_cells.join(",\n    "),
+        e2_cells.join(",\n    "),
+    )
+}
+
+/// E11 — observability cost and what the histograms show: escrow vs
+/// X-lock commit-latency percentiles at full contention (max threads,
+/// 8 hot view rows). Metrics are always on, so the "overhead" claim is
+/// checked against the recorded PR-3 E1 numbers in `EXPERIMENTS.md`; this
+/// table is the percentile evidence the mean in E1 hides.
+pub fn e11(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "E11: commit latency percentiles at max threads (4-update deposit txns), us",
+        &["mode", "threads", "commits/s", "mean", "p50", "p95", "p99"],
+    );
+    let t = cfg.max_threads;
+    for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+        let r = run_deposit_cell(cfg, mode, t);
+        table.row(vec![
+            mode_name(mode).into(),
+            t.to_string(),
+            f(r.throughput()),
+            f(r.mean_latency_us()),
+            r.latency.p50().to_string(),
+            r.latency.p95().to_string(),
+            r.latency.p99().to_string(),
+        ]);
+    }
+    table
+}
+
+/// Run a short contended cell and return the engine's human-readable
+/// metrics table (`Database::metrics_report`) — the `--metrics` output of
+/// `run_experiments`.
+pub fn metrics_demo(cfg: &ExpConfig) -> String {
+    let bank = Bank::setup(BankConfig::default()).expect("setup");
+    let specs = [WorkerSpec {
+        name: "deposit".into(),
+        threads: 4.min(cfg.max_threads).max(2),
+        isolation: IsolationLevel::ReadCommitted,
+        op: bank.batch_deposit_op(4),
+    }];
+    let _ = run_for(&bank.db, &specs, cfg.cell);
+    bank.verify().expect("view consistent after metrics demo cell");
+    bank.db.metrics_report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig { cell: Duration::from_millis(80), max_threads: 2 }
+    }
+
+    /// Minimal structural validator: balanced delimiters outside strings
+    /// and no NaN/Inf tokens. Good enough to catch a malformed
+    /// hand-rolled payload without a JSON parser in the workspace.
+    fn check_balanced(s: &str) {
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut prev = ' ';
+        for c in s.chars() {
+            if in_str {
+                if c == '"' && prev != '\\' {
+                    in_str = false;
+                }
+            } else {
+                match c {
+                    '"' => in_str = true,
+                    '{' | '[' => depth += 1,
+                    '}' | ']' => depth -= 1,
+                    _ => {}
+                }
+                assert!(depth >= 0, "unbalanced close in JSON");
+            }
+            prev = c;
+        }
+        assert_eq!(depth, 0, "unbalanced JSON");
+        assert!(!in_str, "unterminated string");
+        assert!(!s.contains("NaN") && !s.contains("inf"), "non-finite number leaked into JSON");
+    }
+
+    #[test]
+    fn snapshot_json_has_expected_shape() {
+        let s = snapshot_json(&tiny());
+        check_balanced(&s);
+        assert!(s.contains("\"bench\": \"PR4\""));
+        assert!(s.contains("\"e1_deposit\""));
+        assert!(s.contains("\"e2_transfer\""));
+        assert!(s.contains("\"p99_us\""));
+        // Both modes appear in both sections.
+        assert!(s.matches("\"escrow\"").count() >= 2);
+        assert!(s.matches("\"xlock\"").count() >= 2);
+    }
+
+    #[test]
+    fn e11_reports_percentiles_for_both_modes() {
+        let table = e11(&tiny());
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn metrics_demo_shows_layered_metrics() {
+        let report = metrics_demo(&tiny());
+        for name in ["txn.commits", "lock.acquired", "wal.sync_us", "pool.hits", "engine.escrow_applies"]
+        {
+            assert!(report.contains(name), "metrics report missing {name}:\n{report}");
+        }
+    }
+}

@@ -55,6 +55,16 @@ pub enum Error {
     InvalidOperation(String),
     /// Catalog-level schema error (unknown column, type mismatch, ...).
     Schema(String),
+    /// A runtime value's type does not match the declared aggregate or
+    /// column type (e.g. a float delta reaching a SUM(int) aggregate).
+    /// Unlike [`Error::Schema`], this is caught at execution time — the
+    /// statement is rejected rather than silently coercing the value.
+    TypeMismatch {
+        /// What was expected, e.g. `"SumInt delta"`.
+        expected: String,
+        /// What actually arrived, e.g. `"Float(1.5)"`.
+        got: String,
+    },
     /// The transaction was explicitly rolled back by the user or the engine.
     RolledBack {
         /// The rolled-back transaction.
@@ -109,6 +119,11 @@ impl Error {
     pub fn invalid(msg: impl Into<String>) -> Self {
         Error::InvalidOperation(msg.into())
     }
+
+    /// Shorthand constructor for runtime type-mismatch errors.
+    pub fn type_mismatch(expected: impl Into<String>, got: impl Into<String>) -> Self {
+        Error::TypeMismatch { expected: expected.into(), got: got.into() }
+    }
 }
 
 impl fmt::Display for Error {
@@ -132,6 +147,9 @@ impl fmt::Display for Error {
             }
             Error::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
             Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
             Error::RolledBack { txn, reason } => {
                 write!(f, "transaction {txn} rolled back: {reason}")
             }
@@ -197,6 +215,15 @@ mod tests {
         assert!(!d.is_transient_io());
         assert!(d.to_string().contains("read-only"));
         assert!(f.to_string().contains("fenced"));
+    }
+
+    #[test]
+    fn type_mismatch_is_terminal_and_informative() {
+        let e = Error::type_mismatch("SumInt delta", "Float(1.5)");
+        assert!(!e.is_retryable(), "a typing bug is not retryable");
+        assert!(!e.is_transient_io());
+        let s = e.to_string();
+        assert!(s.contains("SumInt delta") && s.contains("Float(1.5)"));
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   on-disk (pages, log records) is serialized with,
 //! * [`rng`] — a deterministic xorshift RNG plus a Zipf sampler used by the
 //!   workload generators and property tests,
+//! * [`obs`] — zero-dependency metrics primitives (counters, gauges,
+//!   log₂ histograms, trace ring) shared by every instrumented layer,
 //! * [`error::Error`] — the workspace-wide error enum.
 //!
 //! The crate is intentionally dependency-free so that on-disk formats are
@@ -19,6 +21,7 @@ pub mod codec;
 pub mod error;
 pub mod ids;
 pub mod key;
+pub mod obs;
 pub mod retry;
 pub mod rng;
 pub mod row;

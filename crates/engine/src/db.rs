@@ -38,6 +38,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use txview_common::obs::{ObsClock, Snapshot, StripedCounter};
 use txview_common::retry::{RetryPolicy, RetryStatsSnapshot};
 use txview_btree::{LogCtx, OpLog, Tree};
 use txview_common::schema::Schema;
@@ -137,6 +138,25 @@ pub struct Database {
     txn_retries: AtomicU64,
     /// `run_txn` telemetry: total backoff slept, in microseconds.
     txn_backoff_micros: AtomicU64,
+    /// Engine-level observability (escrow vs X-path counters, phase clock).
+    obs: EngineObs,
+}
+
+/// Engine-level observability: which maintenance path view deltas take,
+/// plus the clock the DML phase timers (acquire / maintain) read.
+#[derive(Default)]
+pub struct EngineObs {
+    /// Time source; switched to a logical tick counter in deterministic runs.
+    pub clock: ObsClock,
+    /// View deltas applied through the escrow (E-lock, in-place) path.
+    /// Striped: every update in every writer thread lands here.
+    pub escrow_applies: StripedCounter,
+    /// View deltas applied through the X-lock full-rewrite (MIN/MAX) path.
+    pub minmax_rewrites: StripedCounter,
+    /// Invisible group rows materialized by system transactions.
+    pub group_creates: StripedCounter,
+    /// Ghost rows physically removed by cleanup sweeps.
+    pub ghosts_removed: StripedCounter,
 }
 
 impl Database {
@@ -193,6 +213,7 @@ impl Database {
             txn_attempts: AtomicU64::new(0),
             txn_retries: AtomicU64::new(0),
             txn_backoff_micros: AtomicU64::new(0),
+            obs: EngineObs::default(),
         }))
     }
 
@@ -294,6 +315,52 @@ impl Database {
             log_bytes: self.log.appended_bytes(),
             resilience: self.resilience_stats(),
         }
+    }
+
+    // ---- observability ---------------------------------------------------
+
+    /// Engine-level observability handles (clock switching, direct reads).
+    pub fn obs(&self) -> &EngineObs {
+        &self.obs
+    }
+
+    /// Point-in-time metrics snapshot of the whole engine: `engine.*`
+    /// counters plus the `lock.*`, `wal.*`, `pool.*`, and `txn.*` sections
+    /// merged from each layer. Names stay sorted, so two snapshots of
+    /// identically-seeded deterministic runs compare equal structurally.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counter("engine.escrow_applies", self.obs.escrow_applies.get());
+        s.counter("engine.minmax_rewrites", self.obs.minmax_rewrites.get());
+        s.counter("engine.group_creates", self.obs.group_creates.get());
+        s.counter("engine.ghosts_removed", self.obs.ghosts_removed.get());
+        s.gauge("engine.ghost_backlog", self.ghost_queue.lock().len() as i64);
+        s.gauge(
+            "engine.deferred_pending",
+            self.deferred_pending.lock().values().map(|&v| v as i64).sum(),
+        );
+        s.merge(self.locks.obs_snapshot());
+        s.merge(self.log.obs_snapshot());
+        s.merge(self.pool.obs_snapshot());
+        s.merge(self.txns.obs_snapshot());
+        s
+    }
+
+    /// Human-readable table of [`Database::metrics_snapshot`].
+    pub fn metrics_report(&self) -> String {
+        self.metrics_snapshot().report()
+    }
+
+    /// Switch every layer's metrics clock to a shared logical tick counter
+    /// (the torture harness passes the fault clock's event counter, making
+    /// recorded "durations" deterministic event-count deltas). One-way:
+    /// the first tick source a clock sees wins.
+    pub fn set_metrics_ticks(&self, ticks: Arc<AtomicU64>) {
+        self.obs.clock.use_ticks(Arc::clone(&ticks));
+        self.locks.obs().clock.use_ticks(Arc::clone(&ticks));
+        self.log.obs().clock.use_ticks(Arc::clone(&ticks));
+        self.pool.obs().clock.use_ticks(Arc::clone(&ticks));
+        self.txns.obs().clock.use_ticks(ticks);
     }
 
     // ---- resilience ------------------------------------------------------
@@ -648,6 +715,33 @@ impl Database {
 
     // ---- DML ---------------------------------------------------------
 
+    /// Acquire a base-table lock, charging the wait to the transaction's
+    /// *acquire* phase. View-side locks taken inside `maintain` are charged
+    /// to the *maintain* phase instead (they are part of maintenance cost).
+    fn acquire_phased(&self, txn: &mut Transaction, name: LockName, mode: LockMode) -> Result<()> {
+        let t0 = self.obs.clock.now();
+        let out = self.locks.acquire(txn.id, name, mode);
+        txn.phase_acquire_us += self.obs.clock.now().saturating_sub(t0);
+        out
+    }
+
+    /// Run both maintenance passes, charging them to the *maintain* phase.
+    fn maintain_phased(
+        &self,
+        txn: &mut Transaction,
+        def: &TableDef,
+        views: &[ViewDef],
+        new: Option<&Row>,
+        old: Option<&Row>,
+    ) -> Result<()> {
+        let t0 = self.obs.clock.now();
+        let out = self
+            .maintain_secondary(txn, def, new, old)
+            .and_then(|()| self.maintain(txn, def, views, new, old));
+        txn.phase_maintain_us += self.obs.clock.now().saturating_sub(t0);
+        out
+    }
+
     /// Insert a row.
     pub fn insert(&self, txn: &mut Transaction, table: &str, row: Row) -> Result<()> {
         self.health.check_writable()?;
@@ -660,8 +754,8 @@ impl Database {
         def.schema.validate(&row)?;
         let key = Key::from_values(&def.schema.pk_values(&row));
         let tree = self.tree(def.index)?;
-        self.locks.acquire(txn.id, LockName::Object(def.id), LockMode::IX)?;
-        self.locks.acquire(txn.id, LockName::key(def.index, key.as_bytes()), LockMode::X)?;
+        self.acquire_phased(txn, LockName::Object(def.id), LockMode::IX)?;
+        self.acquire_phased(txn, LockName::key(def.index, key.as_bytes()), LockMode::X)?;
         let ghost_image = match tree.get(&key)? {
             Some((false, _)) => return Err(Error::DuplicateKey(format!("{key:?} in '{table}'"))),
             Some((true, old)) => Some(old),
@@ -670,7 +764,7 @@ impl Database {
         // Instant-duration gap lock: no serializable reader may have the
         // target range locked.
         let gap = self.gap_after(&tree, def.index, &key)?;
-        self.locks.acquire(txn.id, gap.clone(), LockMode::X)?;
+        self.acquire_phased(txn, gap.clone(), LockMode::X)?;
         let bytes = row.to_bytes();
         if let Some(old) = ghost_image {
             // Revive a ghost: two undoable steps, so rollback restores BOTH
@@ -704,8 +798,7 @@ impl Database {
             txn.push_undo(undo, prev);
         }
         self.locks.release(txn.id, &gap);
-        self.maintain_secondary(txn, &def, Some(&row), None)?;
-        self.maintain(txn, &def, &views, Some(&row), None)?;
+        self.maintain_phased(txn, &def, &views, Some(&row), None)?;
         self.txns.note_progress(txn);
         Ok(())
     }
@@ -721,8 +814,8 @@ impl Database {
         let (def, views) = self.table_and_views(table)?;
         let key = Key::from_values(pk);
         let tree = self.tree(def.index)?;
-        self.locks.acquire(txn.id, LockName::Object(def.id), LockMode::IX)?;
-        self.locks.acquire(txn.id, LockName::key(def.index, key.as_bytes()), LockMode::X)?;
+        self.acquire_phased(txn, LockName::Object(def.id), LockMode::IX)?;
+        self.acquire_phased(txn, LockName::key(def.index, key.as_bytes()), LockMode::X)?;
         let row = match tree.get(&key)? {
             Some((false, value)) => Row::from_bytes(&value)?,
             _ => return Err(Error::NotFound(format!("{key:?} in '{table}'"))),
@@ -739,8 +832,7 @@ impl Database {
         }
         txn.push_undo(undo, prev);
         self.ghost_queue.lock().push_back((def.index, key.as_bytes().to_vec()));
-        self.maintain_secondary(txn, &def, None, Some(&row))?;
-        self.maintain(txn, &def, &views, None, Some(&row))?;
+        self.maintain_phased(txn, &def, &views, None, Some(&row))?;
         self.txns.note_progress(txn);
         Ok(())
     }
@@ -757,8 +849,8 @@ impl Database {
         def.schema.validate(&new_row)?;
         let key = Key::from_values(&def.schema.pk_values(&new_row));
         let tree = self.tree(def.index)?;
-        self.locks.acquire(txn.id, LockName::Object(def.id), LockMode::IX)?;
-        self.locks.acquire(txn.id, LockName::key(def.index, key.as_bytes()), LockMode::X)?;
+        self.acquire_phased(txn, LockName::Object(def.id), LockMode::IX)?;
+        self.acquire_phased(txn, LockName::key(def.index, key.as_bytes()), LockMode::X)?;
         let old_row = match tree.get(&key)? {
             Some((false, value)) => Row::from_bytes(&value)?,
             _ => return Err(Error::NotFound(format!("{key:?} in '{table}'"))),
@@ -774,8 +866,7 @@ impl Database {
             tree.update_value(&key, &new_row.to_bytes(), &mut ctx, &OpLog::Update { undo: undo.clone() })?;
         }
         txn.push_undo(undo, prev);
-        self.maintain_secondary(txn, &def, Some(&new_row), Some(&old_row))?;
-        self.maintain(txn, &def, &views, Some(&new_row), Some(&old_row))?;
+        self.maintain_phased(txn, &def, &views, Some(&new_row), Some(&old_row))?;
         self.txns.note_progress(txn);
         Ok(())
     }
@@ -795,8 +886,8 @@ impl Database {
         let def = self.catalog.read().table(table)?.clone();
         let key = Key::from_values(pk);
         let tree = self.tree(def.index)?;
-        self.locks.acquire(txn.id, LockName::Object(def.id), LockMode::IX)?;
-        self.locks.acquire(txn.id, LockName::key(def.index, key.as_bytes()), LockMode::X)?;
+        self.acquire_phased(txn, LockName::Object(def.id), LockMode::IX)?;
+        self.acquire_phased(txn, LockName::key(def.index, key.as_bytes()), LockMode::X)?;
         let old_row = match tree.get(&key)? {
             Some((false, value)) => Row::from_bytes(&value)?,
             _ => return Err(Error::NotFound(format!("{key:?} in '{table}'"))),
@@ -843,10 +934,6 @@ impl Database {
         old: Option<&Row>,
     ) -> Result<()> {
         for view in views {
-            if view.deferred {
-                *self.deferred_pending.lock().entry(view.id).or_insert(0) += 1;
-                continue;
-            }
             let deltas: Vec<RowDelta> = match &view.source {
                 ViewSource::Single { .. } => match (old, new) {
                     (Some(o), Some(n)) => update_deltas(view, o, n)?,
@@ -868,6 +955,15 @@ impl Database {
                     out
                 }
             };
+            if view.deferred {
+                // Staleness = unapplied view-row deltas, not DML statements:
+                // a filtered-out row contributes 0, a group-moving update 2.
+                let pending = deltas.iter().filter(|d| !d.is_noop()).count() as u64;
+                if pending > 0 {
+                    *self.deferred_pending.lock().entry(view.id).or_insert(0) += pending;
+                }
+                continue;
+            }
             for delta in deltas {
                 self.apply_delta(txn, view, base, &delta)?;
             }
@@ -924,10 +1020,7 @@ impl Database {
         base: &TableDef,
         delta: &RowDelta,
     ) -> Result<()> {
-        if delta.count == 0 && delta.aggs.iter().all(|d| match d {
-            txview_wal::record::ValueDelta::Int(v) => *v == 0,
-            txview_wal::record::ValueDelta::Float(v) => *v == 0.0,
-        }) {
+        if delta.is_noop() {
             return Ok(());
         }
         let key = delta.key();
@@ -971,9 +1064,11 @@ impl Database {
             if all_sums {
                 self.apply_additive_delta(txn, view, &tree, &key, delta)?;
                 self.note_additive(txn.id, view.index, &kb, &delta.to_undo_pairs())?;
+                self.obs.escrow_applies.inc();
             } else {
                 self.apply_minmax_delta(txn, view, base, &tree, &key, &cur_value, delta)?;
                 self.note_exclusive(txn.id, view.index, &kb);
+                self.obs.minmax_rewrites.inc();
             }
             if let Some(gap) = pending_gap {
                 self.locks.release(txn.id, &gap);
@@ -990,7 +1085,10 @@ impl Database {
             let mut ctx = LogCtx { log: &self.log, txn: id, last_lsn: last };
             tree.insert(key, &bytes, &mut ctx, &OpLog::System)
         }) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.obs.group_creates.inc();
+                Ok(())
+            }
             Err(Error::DuplicateKey(_)) => Ok(()),
             Err(e) => Err(e),
         }
@@ -1121,10 +1219,10 @@ impl Database {
             // writers; deadlocks are detected and retried upstream).
             self.locks.acquire(txn.id, LockName::Object(base.id), LockMode::S)?;
             let recomputed = self.compute_view_from_base(view)?;
-            let (count, aggs) = recomputed
-                .get(&delta.group)
-                .cloned()
-                .unwrap_or_else(|| (0, initial_aggs(view, delta)));
+            let (count, aggs) = match recomputed.get(&delta.group) {
+                Some(v) => v.clone(),
+                None => (0, initial_aggs(view, delta)?),
+            };
             encode_view_row(&delta.group, count, &aggs)?
         };
         let prev = txn.last_lsn;
@@ -1169,7 +1267,7 @@ impl Database {
                         *aggs = a;
                     }
                     std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert((1, initial_aggs(view, &delta)));
+                        e.insert((1, initial_aggs(view, &delta)?));
                     }
                 }
             }
@@ -1260,30 +1358,61 @@ impl Database {
     }
 
     /// Rebuild a deferred view from base (bulk refresh). Quiesced only.
+    ///
+    /// Delete and rebuild run in *one* user transaction with logged
+    /// logical undo, so a crash anywhere inside the refresh rolls the
+    /// whole thing back — the view is never left empty-yet-"fresh" (the
+    /// old code deleted in a separate committed system transaction first).
+    /// The staleness counter is reset by subtracting the pre-refresh
+    /// value, so increments that land during the rebuild are kept.
     pub fn refresh_deferred_view(&self, view_name: &str) -> Result<usize> {
         let view = self.catalog.read().view(view_name)?.clone();
         let tree = self.tree(view.index)?;
-        // Remove current rows in a system transaction.
-        let (items, _) = tree.scan(None, None, true)?;
-        self.txns.system(|id, last| {
-            for item in &items {
-                let mut ctx = LogCtx { log: &self.log, txn: id, last_lsn: last };
-                tree.remove_record(&Key::from_bytes(item.key.clone()), &mut ctx, &OpLog::System)?;
-            }
-            Ok(())
-        })?;
-        // Rebuild.
+        let pre_refresh = *self.deferred_pending.lock().get(&view.id).unwrap_or(&0);
         let rows = self.compute_view_from_base(&view)?;
         let n = rows.len();
         let mut txn = self.begin(IsolationLevel::ReadCommitted);
-        for (group, (count, aggs)) in rows {
-            let key = Key::from_values(&group);
-            let bytes = encode_view_row(&group, count, &aggs)?;
-            let mut ctx = LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
-            tree.insert(&key, &bytes, &mut ctx, &OpLog::Update { undo: UndoOp::None })?;
+        let result = (|| -> Result<()> {
+            let (items, _) = tree.scan(None, None, true)?;
+            for item in &items {
+                let key = Key::from_bytes(item.key.clone());
+                let prev = txn.last_lsn;
+                let undo = UndoOp::IndexDelete {
+                    index: view.index,
+                    key: item.key.clone(),
+                    row: item.value.clone(),
+                };
+                {
+                    let mut ctx =
+                        LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
+                    tree.remove_record(&key, &mut ctx, &OpLog::Update { undo: undo.clone() })?;
+                }
+                txn.push_undo(undo, prev);
+            }
+            for (group, (count, aggs)) in rows {
+                let key = Key::from_values(&group);
+                let bytes = encode_view_row(&group, count, &aggs)?;
+                let prev = txn.last_lsn;
+                let undo = UndoOp::IndexInsert { index: view.index, key: key.as_bytes().to_vec() };
+                {
+                    let mut ctx =
+                        LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
+                    tree.insert(&key, &bytes, &mut ctx, &OpLog::Update { undo: undo.clone() })?;
+                }
+                txn.push_undo(undo, prev);
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            let _ = self.rollback(&mut txn);
+            return Err(e);
         }
         self.txns.commit(&mut txn)?;
-        self.deferred_pending.lock().insert(view.id, 0);
+        // Fetch-and-subtract, not zero: DML racing the rebuild keeps its
+        // staleness contribution.
+        let mut pending = self.deferred_pending.lock();
+        let slot = pending.entry(view.id).or_insert(0);
+        *slot = slot.saturating_sub(pre_refresh);
         Ok(n)
     }
 
@@ -1324,6 +1453,7 @@ impl Database {
                     tree.remove_record(&key, &mut ctx, &OpLog::System)
                 })?;
                 report.removed += 1;
+                self.obs.ghosts_removed.inc();
             } else {
                 report.skipped_live += 1;
             }

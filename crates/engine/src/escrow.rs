@@ -51,6 +51,17 @@ impl RowDelta {
         }
     }
 
+    /// True when applying this delta changes nothing: zero count delta and
+    /// every aggregate delta exactly zero. Used both to skip no-op applies
+    /// and to keep deferred-staleness accounting honest.
+    pub fn is_noop(&self) -> bool {
+        self.count == 0
+            && self.aggs.iter().all(|d| match d {
+                ValueDelta::Int(v) => *v == 0,
+                ValueDelta::Float(v) => *v == 0.0,
+            })
+    }
+
     /// Flatten into the `(region position, delta)` pairs stored in
     /// [`txview_wal::record::UndoOp::Escrow`]: position 0 is the count,
     /// positions 1.. are the aggregates.
@@ -134,6 +145,33 @@ pub fn encode_agg_region(count: i64, aggs: &[Value]) -> Vec<u8> {
     w.into_bytes()
 }
 
+/// Apply `d` to a stored aggregate value, rejecting any type-changing
+/// coercion: an `Int` delta may only reach an `Int` aggregate and a
+/// `Float` delta a `Float` aggregate. The permissive alternative —
+/// delegating straight to [`ValueDelta::apply_to`] — silently *promotes*
+/// `Int + Float` to `Float`, mutating the stored type of the aggregate
+/// column mid-flight; every escrow apply path routes through this check
+/// instead so a mistyped delta is an error, not a corruption.
+pub fn apply_delta_checked(d: ValueDelta, v: &Value) -> Result<Value> {
+    match (d, v) {
+        (ValueDelta::Int(_), Value::Int(_)) | (ValueDelta::Float(_), Value::Float(_)) => {
+            d.apply_to(v)
+        }
+        (d, v) => Err(Error::type_mismatch(
+            format!("{} delta for stored aggregate {v:?}", stored_kind(v)),
+            format!("{d:?}"),
+        )),
+    }
+}
+
+fn stored_kind(v: &Value) -> &'static str {
+    match v {
+        Value::Int(_) => "Int",
+        Value::Float(_) => "Float",
+        _ => "numeric",
+    }
+}
+
 /// Apply an *additive* delta to a region: count += delta.count and each
 /// SUM aggregate gets its delta added. Used by forward escrow maintenance
 /// and (with the inverse delta) by logical undo. MIN/MAX columns must not
@@ -149,7 +187,7 @@ pub fn apply_additive(region: &[u8], view: &ViewDef, delta: &RowDelta) -> Result
                 "additive apply on non-commutative aggregate (MIN/MAX)",
             ));
         }
-        aggs[i] = d.apply_to(&aggs[i])?;
+        aggs[i] = apply_delta_checked(*d, &aggs[i])?;
     }
     Ok(encode_agg_region(new_count, &aggs))
 }
@@ -176,7 +214,7 @@ pub fn apply_undo_pairs(region: &[u8], n_aggs: usize, pairs: &[(u16, ValueDelta)
             if i >= aggs.len() {
                 return Err(Error::corruption("escrow undo position out of range"));
             }
-            aggs[i] = inv.apply_to(&aggs[i])?;
+            aggs[i] = apply_delta_checked(inv, &aggs[i])?;
         }
     }
     Ok(encode_agg_region(count, &aggs))
@@ -203,7 +241,7 @@ pub fn apply_forward_pairs(region: &[u8], n_aggs: usize, pairs: &[(u16, ValueDel
             if i >= aggs.len() {
                 return Err(Error::corruption("escrow position out of range"));
             }
-            aggs[i] = d.apply_to(&aggs[i])?;
+            aggs[i] = apply_delta_checked(*d, &aggs[i])?;
         }
     }
     Ok(encode_agg_region(count, &aggs))
@@ -239,7 +277,7 @@ pub fn apply_insert_merge(region: &[u8], view: &ViewDef, delta: &RowDelta) -> Re
     for (i, (spec, d)) in view.aggs.iter().zip(&delta.aggs).enumerate() {
         match spec {
             AggSpec::SumInt { .. } | AggSpec::SumFloat { .. } => {
-                aggs[i] = d.apply_to(&aggs[i])?;
+                aggs[i] = apply_delta_checked(*d, &aggs[i])?;
             }
             AggSpec::Min { .. } => {
                 let v = delta_value(d);
@@ -280,20 +318,24 @@ pub fn delta_value(d: &ValueDelta) -> Value {
 }
 
 /// Initial aggregate values for a brand-new group row receiving `delta`.
-pub fn initial_aggs(view: &ViewDef, delta: &RowDelta) -> Vec<Value> {
+/// A delta whose type disagrees with the aggregate spec is rejected with
+/// [`Error::TypeMismatch`] — the old behaviour silently truncated a
+/// `Float` delta into a `SumInt` aggregate with `as i64`, losing the
+/// fractional part forever on the first row of a group.
+pub fn initial_aggs(view: &ViewDef, delta: &RowDelta) -> Result<Vec<Value>> {
     view.aggs
         .iter()
         .zip(&delta.aggs)
-        .map(|(spec, d)| match spec {
-            AggSpec::SumInt { .. } => match d {
-                ValueDelta::Int(v) => Value::Int(*v),
-                ValueDelta::Float(v) => Value::Int(*v as i64),
-            },
-            AggSpec::SumFloat { .. } => Value::Float(match d {
-                ValueDelta::Int(v) => *v as f64,
-                ValueDelta::Float(v) => *v,
-            }),
-            AggSpec::Min { .. } | AggSpec::Max { .. } => delta_value(d),
+        .map(|(spec, d)| match (spec, d) {
+            (AggSpec::SumInt { .. }, ValueDelta::Int(v)) => Ok(Value::Int(*v)),
+            (AggSpec::SumInt { .. }, ValueDelta::Float(v)) => {
+                Err(Error::type_mismatch("Int delta for SUM(int)", format!("Float({v})")))
+            }
+            (AggSpec::SumFloat { .. }, ValueDelta::Float(v)) => Ok(Value::Float(*v)),
+            (AggSpec::SumFloat { .. }, ValueDelta::Int(v)) => {
+                Err(Error::type_mismatch("Float delta for SUM(float)", format!("Int({v})")))
+            }
+            (AggSpec::Min { .. } | AggSpec::Max { .. }, d) => Ok(delta_value(d)),
         })
         .collect()
 }
@@ -414,7 +456,104 @@ mod tests {
             count: 1,
             aggs: vec![ValueDelta::Int(7), ValueDelta::Float(2.5)],
         };
-        assert_eq!(initial_aggs(&v, &delta), vec![Value::Int(7), Value::Float(2.5)]);
+        assert_eq!(
+            initial_aggs(&v, &delta).unwrap(),
+            vec![Value::Int(7), Value::Float(2.5)]
+        );
+    }
+
+    #[test]
+    fn initial_aggs_rejects_float_into_sum_int() {
+        // Regression: this used to truncate 2.5 → 2 with `as i64`.
+        let v = sum_view();
+        let delta = RowDelta {
+            group: vec![Value::Int(1)],
+            count: 1,
+            aggs: vec![ValueDelta::Float(2.5), ValueDelta::Float(0.0)],
+        };
+        match initial_aggs(&v, &delta) {
+            Err(Error::TypeMismatch { got, .. }) => assert!(got.contains("2.5")),
+            other => panic!("expected TypeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn initial_aggs_rejects_int_into_sum_float() {
+        let v = sum_view();
+        let delta = RowDelta {
+            group: vec![Value::Int(1)],
+            count: 1,
+            aggs: vec![ValueDelta::Int(7), ValueDelta::Int(3)],
+        };
+        assert!(matches!(initial_aggs(&v, &delta), Err(Error::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn additive_apply_rejects_mistyped_deltas() {
+        let v = sum_view();
+        let region = encode_agg_region(1, &[Value::Int(10), Value::Float(1.0)]);
+        // Float delta on the SUM(int) column.
+        let d1 = RowDelta {
+            group: vec![],
+            count: 1,
+            aggs: vec![ValueDelta::Float(0.5), ValueDelta::Float(0.0)],
+        };
+        assert!(matches!(apply_additive(&region, &v, &d1), Err(Error::TypeMismatch { .. })));
+        // Int delta on the SUM(float) column.
+        let d2 = RowDelta {
+            group: vec![],
+            count: 1,
+            aggs: vec![ValueDelta::Int(1), ValueDelta::Int(1)],
+        };
+        assert!(matches!(apply_additive(&region, &v, &d2), Err(Error::TypeMismatch { .. })));
+        // The region is untouched semantics: a well-typed delta still works.
+        let ok = RowDelta {
+            group: vec![],
+            count: 1,
+            aggs: vec![ValueDelta::Int(1), ValueDelta::Float(0.5)],
+        };
+        assert!(apply_additive(&region, &v, &ok).is_ok());
+    }
+
+    #[test]
+    fn forward_and_undo_pairs_reject_mistyped_deltas() {
+        let region = encode_agg_region(1, &[Value::Int(10)]);
+        // Position 1 holds an Int aggregate; a Float pair must not coerce it.
+        let bad = vec![(1u16, ValueDelta::Float(0.5))];
+        assert!(matches!(
+            apply_forward_pairs(&region, 1, &bad),
+            Err(Error::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            apply_undo_pairs(&region, 1, &bad),
+            Err(Error::TypeMismatch { .. })
+        ));
+        // Float on COUNT_BIG stays rejected (pre-existing guard).
+        let bad_count = vec![(0u16, ValueDelta::Float(1.0))];
+        assert!(apply_forward_pairs(&region, 1, &bad_count).is_err());
+        assert!(apply_undo_pairs(&region, 1, &bad_count).is_err());
+        // Int pair on a Float aggregate rejected symmetrically.
+        let fregion = encode_agg_region(1, &[Value::Float(1.5)]);
+        let bad_f = vec![(1u16, ValueDelta::Int(2))];
+        assert!(matches!(
+            apply_forward_pairs(&fregion, 1, &bad_f),
+            Err(Error::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_merge_rejects_mistyped_sum_delta() {
+        let v = sum_view();
+        let region = encode_agg_region(1, &[Value::Int(10), Value::Float(1.0)]);
+        let bad = RowDelta {
+            group: vec![],
+            count: 1,
+            aggs: vec![ValueDelta::Float(0.5), ValueDelta::Float(0.5)],
+        };
+        assert!(matches!(
+            apply_insert_merge(&region, &v, &bad),
+            Err(Error::TypeMismatch { .. })
+        ));
     }
 
     #[test]

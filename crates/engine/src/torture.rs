@@ -171,6 +171,11 @@ fn build(cfg: &TortureConfig) -> Result<(Arc<Database>, Parts)> {
         Duration::from_secs(2),
     )?;
     install_probes(&db, &clock);
+    // Metrics run on the fault clock's event counter: recorded "durations"
+    // are event-count deltas, so identically-seeded episodes produce
+    // identical snapshots. Wired before any DDL/load so no sample ever
+    // comes from wall time.
+    db.set_metrics_ticks(clock.events_handle());
 
     let accounts = db.create_table(
         "accounts",
@@ -791,6 +796,57 @@ pub fn run_persistent_episode(cfg: &TortureConfig, outage_event: u64) -> Result<
     })
 }
 
+/// Outcome of the metrics determinism/sanity check.
+#[derive(Clone, Debug)]
+pub struct MetricsCheckReport {
+    /// The snapshot of the first run (for reporting).
+    pub snapshot: txview_common::obs::Snapshot,
+    /// Violations; empty = metrics are well-formed and deterministic.
+    pub violations: Vec<String>,
+}
+
+/// Run the fault-free torture workload twice with every metrics clock on
+/// the fault clock's event counter, then assert the observability layer's
+/// own contract: snapshots are structurally valid (contiguous positive-width
+/// log₂ buckets, sums inside bucket-implied ranges) and *identical* across
+/// identically-seeded runs — any divergence means wall time or other
+/// nondeterminism leaked into a metric.
+pub fn run_metrics_check(cfg: &TortureConfig) -> Result<MetricsCheckReport> {
+    let run_once = || -> Result<txview_common::obs::Snapshot> {
+        let (db, parts) = build(cfg)?;
+        let _ = run_workload(&db, cfg, &parts.clock);
+        db.run_ghost_cleanup()?;
+        Ok(db.metrics_snapshot())
+    };
+    let a = run_once()?;
+    let b = run_once()?;
+    let mut violations = Vec::new();
+    for (name, snap) in [("first", &a), ("second", &b)] {
+        if let Err(e) = snap.validate() {
+            violations.push(format!("[{name}] malformed snapshot: {e}"));
+        }
+    }
+    if a != b {
+        violations.push("snapshot divergence between identically-seeded runs".into());
+    }
+    // Sanity: the workload must actually have exercised the instrumented
+    // paths, or the determinism check proves nothing.
+    if a.counter_value("txn.commits").unwrap_or(0) == 0 {
+        violations.push("no commits recorded — metrics not wired into the txn layer".into());
+    }
+    if a.counter_value("engine.escrow_applies").unwrap_or(0)
+        + a.counter_value("engine.minmax_rewrites").unwrap_or(0)
+        == 0
+    {
+        violations.push("no view maintenance recorded — engine counters not wired".into());
+    }
+    match a.hist_value("txn.phase.commit_us") {
+        Some(h) if h.count() > 0 => {}
+        _ => violations.push("commit-phase histogram empty — phase timers not wired".into()),
+    }
+    Ok(MetricsCheckReport { snapshot: a, violations })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -817,6 +873,17 @@ mod tests {
         assert!(ep.violations.is_empty(), "{:?}", ep.violations);
         assert_eq!(ep.crash_event, Some(ep.fault_stats.crash_event.unwrap()));
         assert!(ep.trace.acked_commits < 12);
+    }
+
+    #[test]
+    fn metrics_check_passes_and_is_deterministic() {
+        let report = run_metrics_check(&quick_cfg()).unwrap();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        // Tick-mode clocks: phase "durations" are event-count deltas, and
+        // the snapshot carries real activity from every layer.
+        assert!(report.snapshot.counter_value("txn.commits").unwrap() > 0);
+        assert!(report.snapshot.hist_value("wal.sync_us").unwrap().count() > 0);
+        assert!(report.snapshot.hist_value("lock.hold_us").unwrap().count() > 0);
     }
 
     #[test]

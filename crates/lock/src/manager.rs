@@ -19,6 +19,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use txview_common::obs::{Histogram, ObsClock, Snapshot};
 use txview_common::{Error, Result, TxnId};
 
 const SHARDS: usize = 64;
@@ -67,6 +68,39 @@ pub struct LockStats {
     pub escrow_grants: AtomicU64,
 }
 
+/// Latency/depth instrumentation of the lock protocol (the contention
+/// picture behind the E1/E2 throughput numbers): per-mode wait latency,
+/// hold time from grant to release, and queue depth observed at enqueue.
+/// All recording is relaxed-atomic; the wait histograms are touched only
+/// on the slow (blocking) path.
+#[derive(Default)]
+pub struct LockObs {
+    /// Shared observability clock (switchable to deterministic ticks).
+    pub clock: ObsClock,
+    /// Wait latency of blocked E (escrow) requests.
+    pub wait_e_us: Histogram,
+    /// Wait latency of blocked X requests.
+    pub wait_x_us: Histogram,
+    /// Wait latency of blocked requests in any other mode (S, intents).
+    pub wait_other_us: Histogram,
+    /// Grant-to-release hold time, all modes.
+    pub hold_us: Histogram,
+    /// Queue depth seen by an E request at enqueue time.
+    pub queue_depth_e: Histogram,
+    /// Queue depth seen by an X request at enqueue time.
+    pub queue_depth_x: Histogram,
+}
+
+impl LockObs {
+    fn wait_hist(&self, mode: LockMode) -> &Histogram {
+        match mode {
+            LockMode::E => &self.wait_e_us,
+            LockMode::X => &self.wait_x_us,
+            _ => &self.wait_other_us,
+        }
+    }
+}
+
 /// A point-in-time copy of [`LockStats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LockStatsSnapshot {
@@ -85,15 +119,16 @@ pub struct LockStatsSnapshot {
 /// The lock manager. Shareable via `Arc`.
 pub struct LockManager {
     shards: Box<[Mutex<Shard>]>,
-    /// txn → names it holds, in acquisition order (for release_all).
-    /// A `Vec` rather than a set so release order — and therefore queue
-    /// pumping and grant order — is deterministic under the interleaving
-    /// explorer's replay.
-    registry: Mutex<HashMap<TxnId, Vec<LockName>>>,
+    /// txn → names it holds (with grant time), in acquisition order (for
+    /// release_all). A `Vec` rather than a set so release order — and
+    /// therefore queue pumping and grant order — is deterministic under
+    /// the interleaving explorer's replay.
+    registry: Mutex<HashMap<TxnId, Vec<(LockName, u64)>>>,
     /// txn → txns it currently waits for.
     waits: Mutex<HashMap<TxnId, HashSet<TxnId>>>,
     timeout: Duration,
     stats: LockStats,
+    obs: LockObs,
     /// Scheduler hook for the interleaving explorer; `None` in production.
     hook: RwLock<Option<Arc<dyn SchedHook>>>,
 }
@@ -114,8 +149,33 @@ impl LockManager {
             waits: Mutex::new(HashMap::new()),
             timeout,
             stats: LockStats::default(),
+            obs: LockObs::default(),
             hook: RwLock::new(None),
         }
+    }
+
+    /// Latency/depth instrumentation (histograms are live; snapshot them).
+    pub fn obs(&self) -> &LockObs {
+        &self.obs
+    }
+
+    /// Named metrics snapshot of this layer (`lock.*`).
+    pub fn obs_snapshot(&self) -> Snapshot {
+        let s = self.stats();
+        let mut out = Snapshot::default();
+        out.counter("lock.acquired", s.acquired)
+            .counter("lock.waited", s.waited)
+            .counter("lock.deadlock_victims", s.deadlocks)
+            .counter("lock.timeouts", s.timeouts)
+            .counter("lock.escrow_grants", s.escrow_grants)
+            .hist("lock.wait_us.e", self.obs.wait_e_us.snapshot())
+            .hist("lock.wait_us.x", self.obs.wait_x_us.snapshot())
+            .hist("lock.wait_us.other", self.obs.wait_other_us.snapshot())
+            .hist("lock.hold_us", self.obs.hold_us.snapshot())
+            .hist("lock.queue_depth.e", self.obs.queue_depth_e.snapshot())
+            .hist("lock.queue_depth.x", self.obs.queue_depth_x.snapshot());
+        out.sort();
+        out
     }
 
     /// Install (or clear) the scheduler hook. Test-only seam: the
@@ -187,6 +247,11 @@ impl LockManager {
             } else {
                 // Must wait. Enqueue (conversions jump the queue).
                 self.stats.waited.fetch_add(1, Ordering::Relaxed);
+                match target {
+                    LockMode::E => self.obs.queue_depth_e.record(head.queue.len() as u64),
+                    LockMode::X => self.obs.queue_depth_x.record(head.queue.len() as u64),
+                    _ => {}
+                }
                 let cell =
                     Arc::new(WaitCell { state: Mutex::new(WaitState::Waiting), cv: Condvar::new() });
                 let waiter = Waiter { txn, target, converting, cell: Arc::clone(&cell) };
@@ -236,6 +301,7 @@ impl LockManager {
         if let Some(h) = &hook {
             h.on_block(txn, &SchedEvent::LockBlocked { name: name.clone(), mode: target, converting });
         }
+        let wait_t0 = self.obs.clock.now();
         let deadline = std::time::Instant::now() + self.timeout;
         let mut state = cell.state.lock();
         while *state == WaitState::Waiting {
@@ -245,6 +311,9 @@ impl LockManager {
         }
         let finished = *state == WaitState::Granted;
         drop(state);
+        self.obs
+            .wait_hist(target)
+            .record(self.obs.clock.now().saturating_sub(wait_t0));
         // Re-acquire a scheduling turn before touching shared state again.
         if let Some(h) = &hook {
             h.on_resume(txn);
@@ -371,10 +440,14 @@ impl LockManager {
         if target == LockMode::E {
             self.stats.escrow_grants.fetch_add(1, Ordering::Relaxed);
         }
+        // Read the clock before taking the registry mutex: this runs on
+        // every grant, and the vDSO call would otherwise stretch the
+        // global critical section.
+        let granted_at = self.obs.clock.now();
         let mut reg = self.registry.lock();
         let names = reg.entry(txn).or_default();
-        if !names.contains(name) {
-            names.push(name.clone());
+        if !names.iter().any(|(n, _)| n == name) {
+            names.push((name.clone(), granted_at));
         }
     }
 
@@ -439,8 +512,21 @@ impl LockManager {
                 shard.table.remove(name);
             }
         }
+        let now = self.obs.clock.now();
+        let mut released_at = None;
         if let Some(names) = self.registry.lock().get_mut(&txn) {
-            names.retain(|n| n != name);
+            names.retain(|(n, granted_at)| {
+                if n == name {
+                    released_at = Some(*granted_at);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        // Record outside the registry mutex.
+        if let Some(granted_at) = released_at {
+            self.obs.hold_us.record(now.saturating_sub(granted_at));
         }
     }
 
@@ -450,7 +536,9 @@ impl LockManager {
     pub fn release_all(&self, txn: TxnId) {
         let hook = self.hook();
         let names = self.registry.lock().remove(&txn).unwrap_or_default();
-        for name in names {
+        let now = self.obs.clock.now();
+        for (name, granted_at) in names {
+            self.obs.hold_us.record(now.saturating_sub(granted_at));
             if let Some(h) = &hook {
                 h.observe(txn, &SchedEvent::LockReleased { name: name.clone() });
             }

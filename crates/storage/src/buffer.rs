@@ -19,6 +19,7 @@ use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use txview_common::obs::{Histogram, ObsClock, Snapshot, StripedCounter};
 use txview_common::retry::{RetryCounters, RetryPolicy, RetryStatsSnapshot};
 use txview_common::rng::Rng;
 use txview_common::{Error, Lsn, PageId, Result};
@@ -53,6 +54,27 @@ pub struct BufferPool {
     crash_probe: RwLock<Option<Arc<CrashProbe>>>,
     retry: Mutex<RetryPolicy>,
     retry_counters: RetryCounters,
+    obs: PoolObs,
+}
+
+/// Buffer-pool observability: residency hit rate, how far the CLOCK hand
+/// travels per victim search, and how long dirty-page writes take (the
+/// write-retry seam the fault harness exercises).
+#[derive(Default)]
+pub struct PoolObs {
+    /// Time source; switched to a logical tick counter in deterministic runs.
+    pub clock: ObsClock,
+    /// Fetches served from a resident frame. Striped: this increment
+    /// happens inside the pool's state lock on the hottest path in the
+    /// system, so a single shared cache line would stretch the critical
+    /// section by a full coherence miss.
+    pub hits: StripedCounter,
+    /// Fetches that had to read from disk.
+    pub misses: StripedCounter,
+    /// Frames examined per CLOCK victim search (refbit decay included).
+    pub evict_scan: Histogram,
+    /// Wall time of one dirty-frame write (WAL force + retried data write).
+    pub write_us: Histogram,
 }
 
 impl BufferPool {
@@ -73,6 +95,7 @@ impl BufferPool {
             crash_probe: RwLock::new(None),
             retry: Mutex::new(RetryPolicy::default()),
             retry_counters: RetryCounters::default(),
+            obs: PoolObs::default(),
         })
     }
 
@@ -140,10 +163,12 @@ impl BufferPool {
         let pid = st.frames[idx].pid.expect("write_frame on empty frame");
         // Uncontended: pins == 0 or caller owns the only pin and no latch.
         let mut page = self.latches[idx].write();
+        let t0 = self.obs.clock.now();
         self.flush_wal_to(page.lsn())?;
         self.probe("buffer.write_frame.pre_data_write");
         let policy = *self.retry.lock();
         policy.run(&self.retry_counters, || self.disk.write_page(pid, &mut page))?;
+        self.obs.write_us.record(self.obs.clock.now().saturating_sub(t0));
         st.frames[idx].dirty = false;
         st.frames[idx].rec_lsn = Lsn::NULL;
         Ok(())
@@ -173,7 +198,7 @@ impl BufferPool {
     fn clock_sweep(&self, st: &mut PoolState, allow_dirty: bool) -> Option<usize> {
         let n = st.frames.len();
         // Two full sweeps: first clears refbits, second takes candidates.
-        for _ in 0..2 * n + 1 {
+        for step in 0..2 * n + 1 {
             let idx = st.hand;
             st.hand = (st.hand + 1) % n;
             let f = &mut st.frames[idx];
@@ -184,8 +209,10 @@ impl BufferPool {
                 f.refbit = false;
                 continue;
             }
+            self.obs.evict_scan.record(step as u64 + 1);
             return Some(idx);
         }
+        self.obs.evict_scan.record(2 * n as u64 + 1);
         None
     }
 
@@ -222,8 +249,10 @@ impl BufferPool {
             let f = &mut st.frames[idx];
             f.pins += 1;
             f.refbit = true;
+            self.obs.hits.inc();
             return Ok(PinnedPage { pool: Arc::clone(self), idx, pid });
         }
+        self.obs.misses.inc();
         let idx = self.take_victim(&mut st, pid)?;
         // Read from disk while holding the state lock: simple and safe
         // (frame is pinned so nothing else will touch it).
@@ -343,6 +372,26 @@ impl BufferPool {
         }
         st.map.clear();
         Ok(())
+    }
+
+    /// Buffer-pool observability handles (clock switching, direct reads).
+    pub fn obs(&self) -> &PoolObs {
+        &self.obs
+    }
+
+    /// Point-in-time metrics snapshot of the pool, `pool.*`-namespaced.
+    pub fn obs_snapshot(&self) -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counter("pool.hits", self.obs.hits.get());
+        s.counter("pool.misses", self.obs.misses.get());
+        let retry = self.retry_counters.snapshot();
+        s.counter("pool.io_retries", retry.retries);
+        s.counter("pool.io_exhausted", retry.exhausted);
+        s.gauge("pool.dirty_frames", self.dirty_pages().len() as i64);
+        s.hist("pool.evict_scan", self.obs.evict_scan.snapshot());
+        s.hist("pool.write_us", self.obs.write_us.snapshot());
+        s.sort();
+        s
     }
 }
 
@@ -668,6 +717,28 @@ mod tests {
         let page = p.fetch(pid).unwrap();
         assert_eq!(page.read().payload()[0], 0x77);
         assert_eq!(p.io_retry_stats().retries, 1);
+    }
+
+    #[test]
+    fn obs_snapshot_tracks_hits_misses_and_evictions() {
+        let p = pool(2);
+        let mut pids = Vec::new();
+        for _ in 0..4 {
+            let (pid, _g) = p.new_page(PageType::BTreeLeaf).unwrap();
+            pids.push(pid);
+        }
+        p.flush_all().unwrap();
+        // pids[3] is resident (hit); pids[0] was evicted (miss + disk read).
+        drop(p.fetch(pids[3]).unwrap());
+        drop(p.fetch(pids[0]).unwrap());
+        let s = p.obs_snapshot();
+        assert_eq!(s.counter_value("pool.hits"), Some(1));
+        assert_eq!(s.counter_value("pool.misses"), Some(1));
+        let scans = s.hist_value("pool.evict_scan").unwrap();
+        assert!(scans.count() >= 4, "every victim search recorded");
+        let writes = s.hist_value("pool.write_us").unwrap();
+        assert!(writes.count() >= 4, "evictions + flush_all recorded writes");
+        s.validate().unwrap();
     }
 
     #[test]

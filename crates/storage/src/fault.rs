@@ -192,7 +192,7 @@ pub struct FaultStatsSnapshot {
 /// The shared fault clock: one per torture episode, cloned (via `Arc`)
 /// into every fault-aware store and probe hook.
 pub struct FaultClock {
-    events: AtomicU64,
+    events: Arc<AtomicU64>,
     fired: AtomicBool,
     persistent: AtomicBool,
     crash_event: Mutex<Option<u64>>,
@@ -223,7 +223,7 @@ impl FaultClock {
     /// New clock with an empty schedule.
     pub fn new() -> Arc<FaultClock> {
         Arc::new(FaultClock {
-            events: AtomicU64::new(0),
+            events: Arc::new(AtomicU64::new(0)),
             fired: AtomicBool::new(false),
             persistent: AtomicBool::new(false),
             crash_event: Mutex::new(None),
@@ -279,6 +279,14 @@ impl FaultClock {
     /// Total events ticked so far.
     pub fn events(&self) -> u64 {
         self.events.load(Ordering::SeqCst)
+    }
+
+    /// Shared handle on the event counter. Deterministic runs hand this to
+    /// every layer's [`txview_common::obs::ObsClock`] so recorded "durations"
+    /// are event-count deltas — identical across identically-seeded runs —
+    /// instead of wall time.
+    pub fn events_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.events)
     }
 
     /// Record a durability-neutral page read (not a clock tick).

@@ -5,6 +5,7 @@ use crate::txn::{IsolationLevel, Transaction, TxnState};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use txview_common::obs::{Counter, Histogram, ObsClock, Snapshot};
 use txview_common::{Error, Lsn, Result, TxnId};
 use txview_lock::LockManager;
 use txview_storage::buffer::BufferPool;
@@ -18,12 +19,58 @@ pub struct TxnManager {
     locks: Arc<LockManager>,
     /// Active user transactions: id → last known LSN (for checkpoints).
     active: Mutex<HashMap<TxnId, Lsn>>,
+    obs: TxnObs,
+}
+
+/// Per-phase commit-path timing: where a transaction's life goes, split the
+/// way the paper discusses it — lock acquisition, view maintenance, the
+/// commit-record log force, and the whole commit protocol.
+#[derive(Default)]
+pub struct TxnObs {
+    /// Time source; switched to a logical tick counter in deterministic runs.
+    pub clock: ObsClock,
+    /// Transactions committed / rolled back through this manager.
+    pub commits: Counter,
+    /// Rollback counterpart of `commits`.
+    pub rollbacks: Counter,
+    /// Per-transaction accumulated lock-acquisition time (µs or ticks).
+    pub acquire_us: Histogram,
+    /// Per-transaction accumulated view-maintenance time.
+    pub maintain_us: Histogram,
+    /// Commit-record group-flush latency (the log-force wait).
+    pub log_force_us: Histogram,
+    /// Whole commit protocol: append → force → stamp → release → End.
+    pub commit_us: Histogram,
 }
 
 impl TxnManager {
     /// Create a manager over shared log and lock managers.
     pub fn new(log: Arc<LogManager>, locks: Arc<LockManager>) -> TxnManager {
-        TxnManager { log, locks, active: Mutex::new(HashMap::new()) }
+        TxnManager {
+            log,
+            locks,
+            active: Mutex::new(HashMap::new()),
+            obs: TxnObs::default(),
+        }
+    }
+
+    /// Commit-path observability handles (clock switching, direct reads).
+    pub fn obs(&self) -> &TxnObs {
+        &self.obs
+    }
+
+    /// Point-in-time metrics snapshot of the txn layer, `txn.*`-namespaced.
+    pub fn obs_snapshot(&self) -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counter("txn.commits", self.obs.commits.get());
+        s.counter("txn.rollbacks", self.obs.rollbacks.get());
+        s.gauge("txn.active", self.active.lock().len() as i64);
+        s.hist("txn.phase.acquire_us", self.obs.acquire_us.snapshot());
+        s.hist("txn.phase.maintain_us", self.obs.maintain_us.snapshot());
+        s.hist("txn.phase.log_force_us", self.obs.log_force_us.snapshot());
+        s.hist("txn.phase.commit_us", self.obs.commit_us.snapshot());
+        s.sort();
+        s
     }
 
     /// The log manager.
@@ -49,6 +96,8 @@ impl TxnManager {
             snapshot_lsn,
             state: TxnState::Active,
             undo: Vec::new(),
+            phase_acquire_us: 0,
+            phase_maintain_us: 0,
         }
     }
 
@@ -88,9 +137,12 @@ impl TxnManager {
         if let Some(h) = &hook {
             h.yield_point(txn.id, &txview_lock::SchedEvent::CommitStart);
         }
+        let commit_t0 = self.obs.clock.now();
         let commit_lsn = self.log.append(txn.id, txn.last_lsn, RecordBody::Commit);
         if force {
+            let force_t0 = self.obs.clock.now();
             self.log.flush_to(commit_lsn)?;
+            self.obs.log_force_us.record(self.obs.clock.now().saturating_sub(force_t0));
         }
         pre_release(commit_lsn)?;
         self.locks.release_all(txn.id);
@@ -98,6 +150,10 @@ impl TxnManager {
         txn.state = TxnState::Committed;
         txn.undo.clear();
         self.active.lock().remove(&txn.id);
+        self.obs.commits.inc();
+        self.obs.acquire_us.record(txn.phase_acquire_us);
+        self.obs.maintain_us.record(txn.phase_maintain_us);
+        self.obs.commit_us.record(self.obs.clock.now().saturating_sub(commit_t0));
         if let Some(h) = &hook {
             h.observe(txn.id, &txview_lock::SchedEvent::Committed { commit_lsn: commit_lsn.0 });
         }
@@ -121,6 +177,7 @@ impl TxnManager {
         txn.state = TxnState::Aborted;
         self.locks.release_all(txn.id);
         self.active.lock().remove(&txn.id);
+        self.obs.rollbacks.inc();
         if let Some(h) = &hook {
             h.observe(txn.id, &txview_lock::SchedEvent::RolledBack);
         }
@@ -331,6 +388,29 @@ mod tests {
             }
             other => panic!("expected checkpoint, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn obs_snapshot_tracks_commit_phases() {
+        let (_log, _locks, mgr) = setup();
+        let mut t = mgr.begin(IsolationLevel::ReadCommitted);
+        t.phase_acquire_us = 7;
+        t.phase_maintain_us = 11;
+        mgr.commit(&mut t).unwrap();
+        let mut t2 = mgr.begin(IsolationLevel::ReadCommitted);
+        let h = Recording(Mutex::new(Vec::new()));
+        mgr.rollback(&mut t2, &h).unwrap();
+        let s = mgr.obs_snapshot();
+        assert_eq!(s.counter_value("txn.commits"), Some(1));
+        assert_eq!(s.counter_value("txn.rollbacks"), Some(1));
+        assert_eq!(s.gauge_value("txn.active"), Some(0));
+        let acq = s.hist_value("txn.phase.acquire_us").unwrap();
+        assert_eq!((acq.count(), acq.sum), (1, 7));
+        let mnt = s.hist_value("txn.phase.maintain_us").unwrap();
+        assert_eq!((mnt.count(), mnt.sum), (1, 11));
+        assert_eq!(s.hist_value("txn.phase.log_force_us").unwrap().count(), 1);
+        assert_eq!(s.hist_value("txn.phase.commit_us").unwrap().count(), 1);
+        s.validate().unwrap();
     }
 
     #[test]

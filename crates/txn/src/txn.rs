@@ -64,6 +64,12 @@ pub struct Transaction {
     pub state: TxnState,
     /// In-memory undo list (runtime rollback); crash rollback uses the log.
     pub(crate) undo: Vec<UndoEntry>,
+    /// Accumulated lock-acquisition time (µs, or ticks in deterministic
+    /// runs). The engine adds to this around lock calls; commit folds it
+    /// into the manager's per-phase histograms.
+    pub phase_acquire_us: u64,
+    /// Accumulated view-maintenance time (µs or ticks), same protocol.
+    pub phase_maintain_us: u64,
 }
 
 impl Transaction {
@@ -105,6 +111,8 @@ mod tests {
             snapshot_lsn: Lsn::NULL,
             state: TxnState::Active,
             undo: Vec::new(),
+            phase_acquire_us: 0,
+            phase_maintain_us: 0,
         }
     }
 

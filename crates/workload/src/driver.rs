@@ -8,6 +8,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use txview_common::obs::{HistSnapshot, Histogram};
 use txview_common::rng::Rng;
 use txview_common::{Error, Result};
 use txview_engine::{Database, IsolationLevel, Transaction};
@@ -44,6 +45,9 @@ pub struct GroupResult {
     pub errors: u64,
     /// Sum of commit latencies in microseconds.
     pub latency_us_total: u64,
+    /// Commit-latency distribution (µs, log₂ buckets) — p50/p95/p99 via
+    /// [`HistSnapshot::quantile`].
+    pub latency: HistSnapshot,
     /// Measured wall-clock seconds.
     pub elapsed_s: f64,
 }
@@ -86,6 +90,7 @@ struct GroupCounters {
     timeouts: AtomicU64,
     errors: AtomicU64,
     latency_us: AtomicU64,
+    latency_hist: Histogram,
 }
 
 /// Run all worker groups concurrently for `duration`; returns one
@@ -101,6 +106,7 @@ pub fn run_for(db: &Arc<Database>, specs: &[WorkerSpec], duration: Duration) -> 
                 timeouts: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
                 latency_us: AtomicU64::new(0),
+                latency_hist: Histogram::new(),
             })
         })
         .collect();
@@ -126,9 +132,9 @@ pub fn run_for(db: &Arc<Database>, specs: &[WorkerSpec], duration: Duration) -> 
                     match result {
                         Ok(()) => {
                             counters.committed.fetch_add(1, Ordering::Relaxed);
-                            counters
-                                .latency_us
-                                .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                            let us = t0.elapsed().as_micros() as u64;
+                            counters.latency_us.fetch_add(us, Ordering::Relaxed);
+                            counters.latency_hist.record(us);
                         }
                         Err(e) => {
                             if txn.is_active() {
@@ -170,6 +176,7 @@ pub fn run_for(db: &Arc<Database>, specs: &[WorkerSpec], duration: Duration) -> 
             timeouts: c.timeouts.load(Ordering::Relaxed),
             errors: c.errors.load(Ordering::Relaxed),
             latency_us_total: c.latency_us.load(Ordering::Relaxed),
+            latency: c.latency_hist.snapshot(),
             elapsed_s: elapsed,
         })
         .collect()
@@ -204,6 +211,11 @@ mod tests {
         assert!(results[0].committed > 0);
         assert!(results[0].throughput() > 0.0);
         assert!(results[0].mean_latency_us() > 0.0);
+        // The latency histogram mirrors the counters: same count, and its
+        // percentile ladder is monotone.
+        let h = &results[0].latency;
+        assert_eq!(h.count(), results[0].committed);
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
     }
 
     #[test]
@@ -215,6 +227,7 @@ mod tests {
             timeouts: 5,
             errors: 0,
             latency_us_total: 9000,
+            latency: HistSnapshot::default(),
             elapsed_s: 2.0,
         };
         assert_eq!(g.throughput(), 45.0);

@@ -4,9 +4,17 @@
 //! commits survive, balances replay from the ledger, redo idempotent,
 //! ghosts cleanable).
 
+use std::sync::Arc;
+use std::time::Duration;
 use txview_engine::torture::{run_episode, run_sweep, TortureConfig};
-use txview_engine::MaintenanceMode;
-use txview_storage::fault::FaultSchedule;
+use txview_engine::{
+    AggSpec, Database, IsolationLevel, MaintenanceMode, Predicate, ViewSource, ViewSpec,
+};
+use txview_storage::fault::{FaultClock, FaultDisk, FaultPoint, FaultSchedule};
+use txview_common::row;
+use txview_common::schema::{Column, Schema};
+use txview_common::value::ValueType;
+use txview_wal::FaultLogStore;
 
 fn cfg(mode: MaintenanceMode) -> TortureConfig {
     TortureConfig { mode, txns: 12, seed: 7, ..Default::default() }
@@ -49,6 +57,158 @@ fn crash_points_inside_the_steal_window_are_covered() {
         );
         assert!(ep.crash_event.is_some(), "crash at offset {offset} never fired");
     }
+}
+
+// ---- deferred-refresh crash window -----------------------------------
+//
+// `refresh_deferred_view` deletes every stored view row and rebuilds from
+// base in ONE logged user transaction. A crash anywhere inside that window
+// must roll the whole refresh back: after recovery the view is either the
+// complete pre-refresh contents or the complete post-refresh contents —
+// never empty, never a partial mix. (The old code committed the delete in
+// a separate system transaction first, so a crash between the two left an
+// empty-yet-"fresh" view.)
+
+struct DeferredParts {
+    clock: Arc<FaultClock>,
+    disk: FaultDisk,
+    store: FaultLogStore,
+}
+
+const DEFERRED_VIEW: &str = "sales_by_product";
+
+/// Fault-injected db with a populated-but-stale deferred view: batch A is
+/// refreshed into the view, batch B is pending. Checkpointed so every
+/// episode starts from the same durable image.
+fn build_deferred(seed_rows: i64) -> (Arc<Database>, DeferredParts) {
+    let clock = FaultClock::new();
+    let disk = FaultDisk::new(Arc::clone(&clock));
+    let store = FaultLogStore::new(Arc::clone(&clock));
+    let db = Database::with_parts(
+        Arc::new(disk.clone()),
+        Box::new(store.clone()),
+        256,
+        Duration::from_secs(2),
+    )
+    .unwrap();
+    let c = Arc::clone(&clock);
+    db.pool().set_crash_probe(Arc::new(move |p| {
+        c.tick(FaultPoint::Probe(p));
+    }));
+    let c = Arc::clone(&clock);
+    db.log().set_crash_probe(Arc::new(move |p| {
+        c.tick(FaultPoint::Probe(p));
+    }));
+
+    let sales = db
+        .create_table(
+            "sales",
+            Schema::new(
+                vec![
+                    Column::new("id", ValueType::Int),
+                    Column::new("product", ValueType::Int),
+                    Column::new("amount", ValueType::Int),
+                ],
+                vec![0],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    db.create_indexed_view(ViewSpec {
+        name: DEFERRED_VIEW.into(),
+        source: ViewSource::Single { table: sales, group_by: vec![1] },
+        aggs: vec![AggSpec::SumInt { col: 2 }],
+        filter: Predicate::True,
+        maintenance: MaintenanceMode::Escrow,
+        deferred: true,
+        eager_group_delete: false,
+    })
+    .unwrap();
+
+    // Batch A → refresh: the view now holds real pre-refresh contents.
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    for i in 0..seed_rows {
+        db.insert(&mut txn, "sales", row![i, i % 4, 10i64]).unwrap();
+    }
+    db.commit(&mut txn).unwrap();
+    db.refresh_deferred_view(DEFERRED_VIEW).unwrap();
+    // Batch B: new products, so the refreshed view differs from the stale
+    // one in both group count and sums.
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    for i in 0..seed_rows {
+        db.insert(&mut txn, "sales", row![seed_rows + i, 4 + i % 3, 5i64]).unwrap();
+    }
+    db.commit(&mut txn).unwrap();
+    db.checkpoint().unwrap();
+    (db, DeferredParts { clock, disk, store })
+}
+
+/// One crash episode at `offset` events into the refresh. Returns whether
+/// the scheduled crash fired (false = the refresh finished first).
+fn deferred_refresh_episode(offset: u64) -> bool {
+    let (db, parts) = build_deferred(12);
+    let catalog = db.export_catalog();
+    let stale = db.dump_view(DEFERRED_VIEW).unwrap();
+    assert!(!stale.is_empty(), "pre-refresh view must have contents");
+
+    parts.clock.arm(&FaultSchedule::crash_at(offset));
+    let refresh = db.refresh_deferred_view(DEFERRED_VIEW);
+    let fired = parts.clock.fired();
+    drop(db);
+
+    parts.disk.crash_restore();
+    parts.store.crash_restore();
+    parts.clock.disarm();
+    let (db, _recovery) = Database::with_parts_recovered(
+        Arc::new(parts.disk.clone()),
+        Box::new(parts.store.clone()),
+        Some(&catalog),
+        256,
+        Duration::from_secs(2),
+    )
+    .unwrap();
+    let _ = db.run_ghost_cleanup().unwrap();
+
+    let stored = db.dump_view(DEFERRED_VIEW).unwrap();
+    assert!(
+        !stored.is_empty(),
+        "crash at offset {offset}: view empty after recovery (refresh not atomic; \
+         refresh result was {refresh:?})"
+    );
+    // All-or-nothing: the recovered view is the stale contents (refresh
+    // undone) or exactly matches recomputation from base (refresh
+    // committed). A partial mix matches neither.
+    let fresh_ok = db.verify_view(DEFERRED_VIEW).is_ok();
+    let stale_ok = stored == stale;
+    assert!(
+        fresh_ok || stale_ok,
+        "crash at offset {offset}: recovered view is neither the pre-refresh \
+         contents nor a full refresh (refresh result {refresh:?}, {} rows)",
+        stored.len()
+    );
+    if refresh.is_ok() && !fired {
+        assert!(fresh_ok, "acked refresh must survive the crash (offset {offset})");
+    }
+    fired
+}
+
+#[test]
+fn deferred_refresh_crash_window_is_all_or_nothing() {
+    // Sweep the entire refresh window: offset 0 (first durable event of
+    // the refresh) until the schedule no longer fires inside it.
+    let mut fired_any = false;
+    let mut offset = 0u64;
+    loop {
+        let fired = deferred_refresh_episode(offset);
+        fired_any |= fired;
+        if !fired {
+            break;
+        }
+        offset += 2;
+        assert!(offset < 10_000, "refresh window unexpectedly unbounded");
+    }
+    assert!(fired_any, "sweep never landed a crash inside the refresh");
+    assert!(offset >= 2, "refresh window too small to be swept");
 }
 
 #[test]
