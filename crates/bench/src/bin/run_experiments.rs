@@ -9,22 +9,31 @@
 //! ```
 //!
 //! `snapshot` runs the E1/E2 headline cells and writes throughput +
-//! commit-latency percentiles to `BENCH_PR4.json` (override with
+//! commit-latency percentiles to `BENCH_PR5.json` (override with
 //! `--out <path>`). `--metrics` additionally runs a short contended
 //! deposit cell and prints the engine's full metrics table.
 
-use txview_bench::{e1, e11, e2, e3, e4, e5, e6, e7, e8, metrics_demo, snapshot_json, ExpConfig};
+use txview_bench::{
+    e1, e11, e12, e2, e3, e4, e5, e6, e7, e8, metrics_demo, smoke_scale, snapshot_json, ExpConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let metrics = args.iter().any(|a| a == "--metrics");
+    if args.iter().any(|a| a == "--smoke-scale") {
+        // CI scaling gate: see `smoke_scale` for what is enforced where.
+        let cfg = if quick { ExpConfig::quick() } else { ExpConfig::default() };
+        let (report, pass) = smoke_scale(&cfg);
+        print!("{report}");
+        std::process::exit(if pass { 0 } else { 1 });
+    }
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
     let cfg = if quick { ExpConfig::quick() } else { ExpConfig::default() };
 
     // Positional selections; flag values (the path after --out) are not
@@ -61,7 +70,7 @@ fn main() {
     }
 
     type ExpFn = fn(&ExpConfig) -> txview_workload::report::Table;
-    let experiments: [(&str, ExpFn); 9] = [
+    let experiments: [(&str, ExpFn); 10] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -71,6 +80,7 @@ fn main() {
         ("e7", e7),
         ("e8", e8),
         ("e11", e11),
+        ("e12", e12),
     ];
 
     println!(
@@ -89,7 +99,7 @@ fn main() {
         }
     }
     if ran == 0 && !metrics {
-        eprintln!("unknown experiment selection {wanted:?}; use e1..e8, e11, snapshot, or all");
+        eprintln!("unknown experiment selection {wanted:?}; use e1..e8, e11, e12, snapshot, or all");
         std::process::exit(2);
     }
     if metrics {

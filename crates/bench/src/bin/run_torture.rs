@@ -201,6 +201,14 @@ fn run_interleave(quick: bool, seed: u64) -> usize {
         "interleave explorer: DFS cap {dfs_cap}/scenario, PCT seed {seed} ({pct_runs} runs), \
          serializability oracle on every schedule"
     );
+    // Admitted-schedule counts on the hot-group fixture are a determinism
+    // canary: the yield-point set and lock admission order fully determine
+    // them, so any drift means the explored protocol changed (a new yield
+    // point, a lost one, or different lock scheduling) and the oracle's
+    // coverage claims need re-review. Exact values, asserted in full mode.
+    let expected_schedules: &[(&str, u64)] =
+        &[("escrow_vs_escrow/Escrow", 12_870), ("escrow_vs_escrow/XLock", 5_082)];
+
     println!("exhaustive DFS (five scenarios x two maintenance modes):");
     for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
         for sc in interleave::canned_scenarios(mode) {
@@ -217,6 +225,19 @@ fn run_interleave(quick: bool, seed: u64) -> usize {
             print_interleave_violations(&sc.name, &r.violations);
             failures += r.violations.len();
             schedules += r.schedules;
+            if !quick {
+                if let Some(&(_, want)) =
+                    expected_schedules.iter().find(|(name, _)| *name == sc.name)
+                {
+                    if r.schedules != want {
+                        println!(
+                            "  DRIFT: {} admitted {} schedules, expected {want}",
+                            sc.name, r.schedules
+                        );
+                        failures += 1;
+                    }
+                }
+            }
         }
     }
 

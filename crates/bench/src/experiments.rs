@@ -415,6 +415,117 @@ pub fn bench_insert_sale(sales: &Sales, seq: i64) {
     .expect("bench insert");
 }
 
+/// One deposit cell's throughput (commits/s) — the E1/E12 workload: 8 hot
+/// view rows, 4-update transactions. `branches` sets the contention level
+/// (the smoke gate narrows to 4 to sharpen the escrow/xlock separation).
+fn deposit_tput(cfg: &ExpConfig, mode: MaintenanceMode, threads: usize, branches: i64) -> f64 {
+    let bank = Bank::setup(BankConfig { mode, branches, ..Default::default() }).expect("setup");
+    let specs = [WorkerSpec {
+        name: "deposit".into(),
+        threads,
+        isolation: IsolationLevel::ReadCommitted,
+        op: bank.batch_deposit_op(4),
+    }];
+    let res = run_for(&bank.db, &specs, cfg.cell);
+    bank.verify().expect("view consistent after deposit cell");
+    res[0].throughput()
+}
+
+/// E12 — scaling profile of the sharded hot path (PR 5): the E1 workload,
+/// but reporting each mode's *self-speedup* over its own 1-thread cell
+/// next to the escrow/xlock ratio. With the version store, txn/touched
+/// registries, ghost queue, and buffer-pool state all sharded, escrow's
+/// remaining serialization points are the WAL tail and the hot view rows
+/// themselves — so on a multicore host the escrow column should now rise
+/// with threads instead of flatlining at the registry mutexes.
+pub fn e12(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "E12: sharded hot path — deposit commits/s and speedup vs 1 thread",
+        &["threads", "escrow", "escrow vs 1t", "xlock", "xlock vs 1t", "escrow/xlock"],
+    );
+    let threads: Vec<usize> =
+        [1usize, 2, 4, 8, 16].into_iter().filter(|&t| t <= cfg.max_threads).collect();
+    let mut base = [1.0f64; 2];
+    for &t in &threads {
+        let mut tput = [0.0f64; 2];
+        for (i, mode) in [MaintenanceMode::Escrow, MaintenanceMode::XLock].into_iter().enumerate() {
+            tput[i] = deposit_tput(cfg, mode, t, 8);
+        }
+        if t == 1 {
+            base = [tput[0].max(1e-9), tput[1].max(1e-9)];
+        }
+        table.row(vec![
+            t.to_string(),
+            f(tput[0]),
+            format!("{:.2}x", tput[0] / base[0]),
+            f(tput[1]),
+            format!("{:.2}x", tput[1] / base[1]),
+            f(tput[0] / tput[1].max(1e-9)),
+        ]);
+    }
+    table
+}
+
+/// The `--smoke-scale` CI gate: cheap evidence that the sharded hot path
+/// actually scales, without running the full evaluation. Two checks:
+///
+/// * **self-scaling** — escrow at 8 threads must beat escrow at 1 thread
+///   by ≥ 1.3x. Only enforced when the host has ≥ 4 hardware threads: on
+///   a 1–2 core box extra writer threads cannot add throughput no matter
+///   how well the engine shards, so the check would measure the machine,
+///   not the code (it is still printed for the record).
+/// * **escrow/xlock gap** — escrow must beat the X-lock baseline by ≥ 2x
+///   at 8 threads. This holds even single-core (the gap comes from lock
+///   conflicts and deadlock aborts, not parallelism), so it is always
+///   enforced. The gate runs the 4-branch cell rather than E1's 8: halving
+///   the hot rows roughly doubles the X-lock conflict rate while leaving
+///   escrow untouched (its locks commute), pushing the true ratio to ~3x
+///   (cf. E3) so short noisy cells still clear 2x with margin.
+///
+/// Returns `(report, pass)`; the binary exits nonzero on `!pass`.
+pub fn smoke_scale(cfg: &ExpConfig) -> (String, bool) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hi = 8.min(cfg.max_threads);
+    // Best-of-3 per cell: a single short cell is dominated by scheduler
+    // noise (especially on small hosts); the max across repeats is the
+    // standard way to measure capability rather than interference.
+    let best = |mode, threads| {
+        (0..3).map(|_| deposit_tput(cfg, mode, threads, 4)).fold(f64::MIN, f64::max)
+    };
+    let escrow1 = best(MaintenanceMode::Escrow, 1);
+    let escrow8 = best(MaintenanceMode::Escrow, hi);
+    let xlock8 = best(MaintenanceMode::XLock, hi);
+    let self_scale = escrow8 / escrow1.max(1e-9);
+    let gap = escrow8 / xlock8.max(1e-9);
+
+    let scale_enforced = cores >= 4;
+    let scale_ok = self_scale >= 1.3;
+    let gap_ok = gap >= 2.0;
+    let pass = gap_ok && (scale_ok || !scale_enforced);
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "smoke-scale gate (cell {:?}, {cores} hardware threads):\n",
+        cfg.cell
+    ));
+    report.push_str(&format!(
+        "  escrow {hi}t / escrow 1t  = {escrow8:>9.0} / {escrow1:>9.0} = {self_scale:.2}x \
+         (need >= 1.30x, {})\n",
+        if scale_enforced {
+            if scale_ok { "PASS" } else { "FAIL" }
+        } else {
+            "informational: < 4 cores"
+        }
+    ));
+    report.push_str(&format!(
+        "  escrow {hi}t / xlock {hi}t  = {escrow8:>9.0} / {xlock8:>9.0} = {gap:.2}x \
+         (need >= 2.00x, {})\n",
+        if gap_ok { "PASS" } else { "FAIL" }
+    ));
+    report.push_str(if pass { "smoke-scale: PASS\n" } else { "smoke-scale: FAIL\n" });
+    (report, pass)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

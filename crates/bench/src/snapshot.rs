@@ -3,7 +3,7 @@
 //! `snapshot_json` re-runs the two headline cells (E1 deposits, E2
 //! transfers) per maintenance mode and serialises throughput plus
 //! commit-latency percentiles as JSON — the driver writes it to
-//! `BENCH_PR4.json` so regressions in either metric are diffable across
+//! `BENCH_PR5.json` so regressions in either metric are diffable across
 //! PRs. The JSON is hand-rolled (no serde in the workspace); the shape is
 //! fixed and flat, so a formatter plus escaping-free keys is enough.
 
@@ -73,7 +73,7 @@ fn run_transfer_cell(cfg: &ExpConfig, mode: MaintenanceMode, theta: f64) -> Grou
     res.into_iter().next().unwrap()
 }
 
-/// The `BENCH_PR4.json` payload: E1 (deposit thread sweep) and E2
+/// The `BENCH_PR5.json` payload: E1 (deposit thread sweep) and E2
 /// (transfer skew cell) throughput + latency percentiles per mode.
 pub fn snapshot_json(cfg: &ExpConfig) -> String {
     let threads: Vec<usize> =
@@ -94,7 +94,7 @@ pub fn snapshot_json(cfg: &ExpConfig) -> String {
     }
     format!
 (
-        "{{\n  \"bench\": \"PR4\",\n  \"cell_ms\": {},\n  \"e1_deposit\": [\n    {}\n  ],\n  \"e2_transfer\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"PR5\",\n  \"cell_ms\": {},\n  \"e1_deposit\": [\n    {}\n  ],\n  \"e2_transfer\": [\n    {}\n  ]\n}}\n",
         cfg.cell.as_millis(),
         e1_cells.join(",\n    "),
         e2_cells.join(",\n    "),
@@ -184,7 +184,7 @@ mod tests {
     fn snapshot_json_has_expected_shape() {
         let s = snapshot_json(&tiny());
         check_balanced(&s);
-        assert!(s.contains("\"bench\": \"PR4\""));
+        assert!(s.contains("\"bench\": \"PR5\""));
         assert!(s.contains("\"e1_deposit\""));
         assert!(s.contains("\"e2_transfer\""));
         assert!(s.contains("\"p99_us\""));

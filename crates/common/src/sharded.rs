@@ -1,0 +1,269 @@
+//! A hash-sharded map: the workspace's answer to "this `Mutex<HashMap>` is
+//! a global point of serialization on the write path".
+//!
+//! [`ShardMap`] partitions keys over `N` independently locked `HashMap`
+//! shards (the same idiom the lock manager uses for its lock table), so
+//! writers touching different keys proceed in parallel. Aggregates that a
+//! single map would answer under one lock (`len`, a minimum over values,
+//! a full snapshot) are folded shard-by-shard on demand — each shard is
+//! internally consistent, and callers that need a point-in-time view of
+//! *one key* get exactly that; cross-shard aggregates are fuzzy in the
+//! same way a fuzzy checkpoint is, which every current caller tolerates.
+//!
+//! The shard count is fixed at construction and rounded up to a power of
+//! two so shard selection is a mask, not a division.
+
+use crate::obs::Gauge;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock a shard, shrugging off poisoning: a panicked holder leaves the map
+/// in a consistent-enough state for the crash/torture paths that keep
+/// running after `catch_unwind` (same policy as the workspace's
+/// `parking_lot` shim, duplicated here so `txview-common` stays
+/// dependency-free).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Default shard count for registries keyed by transaction id or chain key.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A concurrent map sharded by key hash.
+pub struct ShardMap<K, V> {
+    shards: Box<[Mutex<HashMap<K, V>>]>,
+    mask: usize,
+    /// Approximate entry count, maintained on insert/remove so `len` does
+    /// not need to take every shard lock.
+    count: Gauge,
+}
+
+impl<K: Hash + Eq, V> ShardMap<K, V> {
+    /// Map with `shards` shards (rounded up to the next power of two).
+    pub fn new(shards: usize) -> ShardMap<K, V> {
+        let n = shards.max(1).next_power_of_two();
+        ShardMap {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect::<Vec<_>>().into_boxed_slice(),
+            mask: n - 1,
+            count: Gauge::default(),
+        }
+    }
+
+    /// Map with [`DEFAULT_SHARDS`] shards.
+    pub fn with_default_shards() -> ShardMap<K, V> {
+        ShardMap::new(DEFAULT_SHARDS)
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & self.mask]
+    }
+
+    /// Insert, returning the previous value if any.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let prev = lock(self.shard(&key)).insert(key, value);
+        if prev.is_none() {
+            self.count.add(1);
+        }
+        prev
+    }
+
+    /// Remove, returning the value if present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let prev = lock(self.shard(key)).remove(key);
+        if prev.is_some() {
+            self.count.add(-1);
+        }
+        prev
+    }
+
+    /// True if the key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        lock(self.shard(key)).contains_key(key)
+    }
+
+    /// Clone out the value for a key.
+    pub fn get_cloned(&self, key: &K) -> Option<V>
+    where
+        V: Clone,
+    {
+        lock(self.shard(key)).get(key).cloned()
+    }
+
+    /// Run `f` on the value slot for `key` (present or not) under the
+    /// shard lock. The single-key equivalent of `map.get_mut(&key)`.
+    pub fn update<R>(&self, key: &K, f: impl FnOnce(Option<&mut V>) -> R) -> R {
+        f(lock(self.shard(key)).get_mut(key))
+    }
+
+    /// Run `f` on the entry for `key`, default-inserting it first if
+    /// absent (the `entry().or_default()` idiom under one shard lock).
+    pub fn with_entry<R>(&self, key: K, f: impl FnOnce(&mut V) -> R) -> R
+    where
+        V: Default,
+    {
+        let mut guard = lock(self.shard(&key));
+        let len_before = guard.len();
+        let out = f(guard.entry(key).or_default());
+        if guard.len() > len_before {
+            self.count.add(1);
+        }
+        out
+    }
+
+    /// Entry count (maintained atomically; exact whenever no insert/remove
+    /// is mid-flight).
+    pub fn len(&self) -> usize {
+        self.count.get().max(0) as usize
+    }
+
+    /// True if no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove everything.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            let mut guard = lock(shard);
+            self.count.add(-(guard.len() as i64));
+            guard.clear();
+        }
+    }
+
+    /// Fold over every entry, locking one shard at a time in fixed shard
+    /// order. The result is a fuzzy aggregate: each shard is consistent,
+    /// the whole is not a single atomic snapshot.
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, &K, &V) -> A) -> A {
+        let mut acc = init;
+        for shard in self.shards.iter() {
+            let guard = lock(shard);
+            for (k, v) in guard.iter() {
+                acc = f(acc, k, v);
+            }
+        }
+        acc
+    }
+
+    /// All keys, shard by shard (order is shard order then map order —
+    /// callers needing determinism must sort).
+    pub fn keys(&self) -> Vec<K>
+    where
+        K: Clone,
+    {
+        self.fold(Vec::new(), |mut acc, k, _| {
+            acc.push(k.clone());
+            acc
+        })
+    }
+
+    /// Clone out every entry, shard by shard.
+    pub fn snapshot(&self) -> Vec<(K, V)>
+    where
+        K: Clone,
+        V: Clone,
+    {
+        self.fold(Vec::new(), |mut acc, k, v| {
+            acc.push((k.clone(), v.clone()));
+            acc
+        })
+    }
+}
+
+impl<K: Hash + Eq, V> Default for ShardMap<K, V> {
+    fn default() -> ShardMap<K, V> {
+        ShardMap::with_default_shards()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_len_roundtrip() {
+        let m: ShardMap<u64, u32> = ShardMap::new(4);
+        assert!(m.is_empty());
+        for i in 0..100u64 {
+            assert!(m.insert(i, i as u32).is_none());
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.insert(7, 99), Some(7));
+        assert_eq!(m.len(), 100, "overwrite does not change the count");
+        assert_eq!(m.get_cloned(&7), Some(99));
+        assert_eq!(m.remove(&7), Some(99));
+        assert_eq!(m.remove(&7), None);
+        assert_eq!(m.len(), 99);
+    }
+
+    #[test]
+    fn with_entry_defaults_and_counts_once() {
+        let m: ShardMap<u32, Vec<u8>> = ShardMap::new(2);
+        m.with_entry(1, |v| v.push(b'a'));
+        m.with_entry(1, |v| v.push(b'b'));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get_cloned(&1), Some(vec![b'a', b'b']));
+    }
+
+    #[test]
+    fn update_sees_missing_and_present() {
+        let m: ShardMap<u32, u32> = ShardMap::new(2);
+        assert!(!m.update(&5, |slot| slot.is_some()));
+        m.insert(5, 10);
+        m.update(&5, |slot| *slot.unwrap() += 1);
+        assert_eq!(m.get_cloned(&5), Some(11));
+    }
+
+    #[test]
+    fn fold_and_clear_cover_all_shards() {
+        let m: ShardMap<u64, u64> = ShardMap::new(8);
+        for i in 0..64 {
+            m.insert(i, i * 2);
+        }
+        let sum = m.fold(0u64, |a, _, v| a + v);
+        assert_eq!(sum, (0..64).map(|i| i * 2).sum::<u64>());
+        let mut keys = m.keys();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..64).collect::<Vec<_>>());
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.fold(0u64, |a, _, _| a + 1), 0);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardMap::<u8, u8>::new(3).shard_count(), 4);
+        assert_eq!(ShardMap::<u8, u8>::new(1).shard_count(), 1);
+        assert_eq!(ShardMap::<u8, u8>::new(0).shard_count(), 1);
+        assert_eq!(ShardMap::<u8, u8>::new(16).shard_count(), 16);
+    }
+
+    #[test]
+    fn concurrent_inserts_land_exactly_once() {
+        use std::sync::Arc;
+        let m: Arc<ShardMap<u64, u64>> = Arc::new(ShardMap::new(8));
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        m.insert(t * 1000 + i, i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.fold(0usize, |a, _, _| a + 1), 1000);
+    }
+}

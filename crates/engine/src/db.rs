@@ -30,16 +30,18 @@ use crate::escrow::{
     self, agg_region_offset, apply_additive, apply_insert_merge, apply_undo_pairs,
     encode_view_row, initial_aggs, RowDelta,
 };
+use crate::ghosts::GhostQueue;
 use crate::health::{HealthMonitor, HealthState, HealthStatsSnapshot};
 use crate::versions::VersionStore;
 use crate::watermark::CommitWatermark;
 use parking_lot::{Mutex, RwLock};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use txview_common::obs::{ObsClock, Snapshot, StripedCounter};
 use txview_common::retry::{RetryPolicy, RetryStatsSnapshot};
+use txview_common::sharded::ShardMap;
 use txview_btree::{LogCtx, OpLog, Tree};
 use txview_common::schema::Schema;
 use txview_common::value::ValueType;
@@ -119,10 +121,12 @@ pub struct Database {
     trees: RwLock<HashMap<IndexId, Arc<Tree>>>,
     pub(crate) versions: VersionStore,
     watermark: CommitWatermark,
-    /// View rows touched per transaction (for version publication at commit).
-    touched: Mutex<HashMap<TxnId, TouchedRows>>,
-    /// Ghost-cleanup work queue: (index, key bytes).
-    ghost_queue: Mutex<VecDeque<(IndexId, Vec<u8>)>>,
+    /// View rows touched per transaction (for version publication at
+    /// commit), sharded by txn id: every DML statement records touches
+    /// here, so a single registry mutex would re-serialize the escrow path.
+    touched: ShardMap<TxnId, TouchedRows>,
+    /// Ghost-cleanup work queue, striped by key hash with enqueue dedup.
+    ghost_queue: GhostQueue,
     /// Pending-delta counters of deferred views (E6 staleness metric).
     deferred_pending: Mutex<HashMap<ViewId, u64>>,
     /// Sidecar path persisting the catalog at each DDL (None = in-memory).
@@ -204,8 +208,8 @@ impl Database {
             trees: RwLock::new(HashMap::new()),
             versions: VersionStore::new(),
             watermark: CommitWatermark::new(),
-            touched: Mutex::new(HashMap::new()),
-            ghost_queue: Mutex::new(VecDeque::new()),
+            touched: ShardMap::with_default_shards(),
+            ghost_queue: GhostQueue::new(),
             deferred_pending: Mutex::new(HashMap::new()),
             catalog_path: Mutex::new(None),
             health: HealthMonitor::new(),
@@ -334,7 +338,7 @@ impl Database {
         s.counter("engine.minmax_rewrites", self.obs.minmax_rewrites.get());
         s.counter("engine.group_creates", self.obs.group_creates.get());
         s.counter("engine.ghosts_removed", self.obs.ghosts_removed.get());
-        s.gauge("engine.ghost_backlog", self.ghost_queue.lock().len() as i64);
+        s.gauge("engine.ghost_backlog", self.ghost_queue.len() as i64);
         s.gauge(
             "engine.deferred_pending",
             self.deferred_pending.lock().values().map(|&v| v as i64).sum(),
@@ -446,9 +450,10 @@ impl Database {
         self.persist_catalog()
     }
 
-    /// Queue an entry for ghost cleanup.
+    /// Queue an entry for ghost cleanup (deduped: a key already pending
+    /// is not queued twice).
     pub(crate) fn enqueue_ghost(&self, index: IndexId, kb: Vec<u8>) {
-        self.ghost_queue.lock().push_back((index, kb));
+        self.ghost_queue.enqueue(index, kb);
     }
 
     pub(crate) fn tree(&self, index: IndexId) -> Result<Arc<Tree>> {
@@ -588,7 +593,7 @@ impl Database {
         if self.health.state() == HealthState::Fenced {
             return Err(Error::Fenced { reason: self.health.reason() });
         }
-        let touched: TouchedRows = self.touched.lock().remove(&txn.id).unwrap_or_default();
+        let touched: TouchedRows = self.touched.remove(&txn.id).unwrap_or_default();
         let force = txn.undo_len() > 0 || !touched.is_empty();
         let ticket = self.watermark.begin_commit(&self.log);
         let tid = txn.id;
@@ -638,7 +643,7 @@ impl Database {
 
     /// Roll back completely (logical undo through the engine, CLRs logged).
     pub fn rollback(&self, txn: &mut Transaction) -> Result<()> {
-        self.touched.lock().remove(&txn.id);
+        self.touched.remove(&txn.id);
         let result = self.txns.rollback(txn, self);
         if result.is_ok() {
             self.release_snapshot(txn);
@@ -831,7 +836,7 @@ impl Database {
             tree.set_ghost(&key, true, &mut ctx, &OpLog::Update { undo: undo.clone() })?;
         }
         txn.push_undo(undo, prev);
-        self.ghost_queue.lock().push_back((def.index, key.as_bytes().to_vec()));
+        self.enqueue_ghost(def.index, key.as_bytes().to_vec());
         self.maintain_phased(txn, &def, &views, None, Some(&row))?;
         self.txns.note_progress(txn);
         Ok(())
@@ -1110,26 +1115,22 @@ impl Database {
 
     /// Accumulate this transaction's net commutative delta for a view row.
     fn note_additive(&self, txn: TxnId, index: IndexId, kb: &[u8], pairs: &[(u16, txview_wal::record::ValueDelta)]) -> Result<()> {
-        let mut touched = self.touched.lock();
-        let entry = touched
-            .entry(txn)
-            .or_default()
-            .entry((index, kb.to_vec()))
-            .or_insert_with(|| Touch::Additive(Vec::new()));
-        match entry {
-            Touch::Additive(acc) => escrow::merge_pairs(acc, pairs)?,
-            Touch::Exclusive => {} // exclusive image already covers it
-        }
-        Ok(())
+        self.touched.with_entry(txn, |rows| {
+            let entry = rows
+                .entry((index, kb.to_vec()))
+                .or_insert_with(|| Touch::Additive(Vec::new()));
+            match entry {
+                Touch::Additive(acc) => escrow::merge_pairs(acc, pairs),
+                Touch::Exclusive => Ok(()), // exclusive image already covers it
+            }
+        })
     }
 
     /// Mark a view row as exclusively rewritten by this transaction.
     fn note_exclusive(&self, txn: TxnId, index: IndexId, kb: &[u8]) {
-        self.touched
-            .lock()
-            .entry(txn)
-            .or_default()
-            .insert((index, kb.to_vec()), Touch::Exclusive);
+        self.touched.with_entry(txn, |rows| {
+            rows.insert((index, kb.to_vec()), Touch::Exclusive);
+        });
     }
 
     /// Escrow-capable path: in-place commutative region patch.
@@ -1168,7 +1169,7 @@ impl Database {
             if view.eager_group_delete {
                 self.eager_delete_group(txn, view, tree, key)?;
             } else {
-                self.ghost_queue.lock().push_back((view.index, key.as_bytes().to_vec()));
+                self.enqueue_ghost(view.index, key.as_bytes().to_vec());
             }
         }
         Ok(())
@@ -1238,7 +1239,7 @@ impl Database {
         txn.push_undo(undo, prev);
         let count = escrow::decode_agg_region(&new_value[region_off..], view.aggs.len())?.0;
         if count == 0 {
-            self.ghost_queue.lock().push_back((view.index, key.as_bytes().to_vec()));
+            self.enqueue_ghost(view.index, key.as_bytes().to_vec());
         }
         Ok(())
     }
@@ -1422,11 +1423,9 @@ impl Database {
     /// whose keys can be X-locked instantly, each in its own system
     /// transaction.
     pub fn run_ghost_cleanup(&self) -> Result<GhostCleanupReport> {
-        let work: Vec<(IndexId, Vec<u8>)> = {
-            let mut q = self.ghost_queue.lock();
-            let mut seen = HashSet::new();
-            q.drain(..).filter(|e| seen.insert(e.clone())).collect()
-        };
+        // Enqueue-time dedup guarantees the drained batch has no
+        // duplicates already.
+        let work = self.ghost_queue.drain();
         let mut report = GhostCleanupReport::default();
         for (index, kb) in work {
             let key = Key::from_bytes(kb.clone());
@@ -1435,7 +1434,7 @@ impl Database {
             let name = LockName::key(index, kb.clone());
             if !self.locks.try_acquire(cleaner, name.clone(), LockMode::X)? {
                 report.skipped_locked += 1;
-                self.ghost_queue.lock().push_back((index, kb));
+                self.ghost_queue.enqueue(index, kb);
                 continue;
             }
             let removable = match tree.get(&key)? {
@@ -1464,7 +1463,7 @@ impl Database {
 
     /// Number of entries waiting for ghost cleanup.
     pub fn ghost_backlog(&self) -> usize {
-        self.ghost_queue.lock().len()
+        self.ghost_queue.len()
     }
 
     /// Debug: dump the version chain of a view row (tests/diagnostics).
@@ -1523,8 +1522,8 @@ impl Database {
         self.pool.simulate_crash(steal_probability, &mut rng)?;
         self.log.simulate_crash();
         self.versions.clear();
-        self.touched.lock().clear();
-        self.ghost_queue.lock().clear();
+        self.touched.clear();
+        self.ghost_queue.clear();
         self.watermark.clear_snapshots();
         self.locks.reset();
         self.txns.reset_active();
@@ -1573,7 +1572,7 @@ impl UndoHandler for Database {
                 let k = Key::from_bytes(key.clone());
                 let mut ctx = LogCtx { log: &self.log, txn, last_lsn: last };
                 tree.set_ghost(&k, true, &mut ctx, &how)?;
-                self.ghost_queue.lock().push_back((*index, key.clone()));
+                self.enqueue_ghost(*index, key.clone());
             }
             UndoOp::IndexDelete { index, key, row } => {
                 // Undo a base-row delete: resurrect the ghost.
@@ -1621,18 +1620,20 @@ impl UndoHandler for Database {
                     &how,
                 )?;
                 if new_count == 0 {
-                    self.ghost_queue.lock().push_back((*index, key.clone()));
+                    self.enqueue_ghost(*index, key.clone());
                 }
                 // Keep the version-publication accumulator in sync with a
                 // partial (savepoint) rollback: subtract the undone pairs.
                 let inverse: Vec<(u16, txview_wal::record::ValueDelta)> =
                     deltas.iter().map(|(p, d)| (*p, d.inverse())).collect();
-                let mut touched = self.touched.lock();
-                if let Some(rows) = touched.get_mut(&txn) {
-                    if let Some(Touch::Additive(acc)) = rows.get_mut(&(*index, key.clone())) {
-                        escrow::merge_pairs(acc, &inverse)?;
+                self.touched.update(&txn, |slot| -> Result<()> {
+                    if let Some(rows) = slot {
+                        if let Some(Touch::Additive(acc)) = rows.get_mut(&(*index, key.clone())) {
+                            escrow::merge_pairs(acc, &inverse)?;
+                        }
                     }
-                }
+                    Ok(())
+                })?;
             }
             UndoOp::None | UndoOp::Page { .. } => {}
         }

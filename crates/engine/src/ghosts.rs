@@ -1,0 +1,165 @@
+//! The ghost-cleanup work queue: group rows whose count dropped to zero
+//! are unlinked lazily by [`crate::Database::run_ghost_cleanup`], and DML
+//! paths enqueue candidates here at delete/undo time.
+//!
+//! Two properties matter on the hot path:
+//!
+//! * **No global serialization** — the queue is striped by key hash, so
+//!   concurrent deleters touching different groups enqueue without
+//!   contending on one mutex.
+//! * **Dedup at enqueue** — the same `(IndexId, key)` ghosted twice before
+//!   a cleanup sweep runs used to queue double work (and the backlog gauge
+//!   double-counted it). Each stripe keeps a membership set; a key already
+//!   queued is not queued again. Membership is dropped at drain time, so a
+//!   key re-ghosted *after* a sweep picked it up is — correctly — queued
+//!   again, and the cleanup pass re-enqueueing a skipped locked group goes
+//!   through the same dedup.
+
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use txview_common::IndexId;
+
+/// A ghost-cleanup candidate: index and group key.
+pub type GhostKey = (IndexId, Vec<u8>);
+
+/// Stripe count (power of two; selection is a mask).
+const STRIPES: usize = 16;
+
+#[derive(Default)]
+struct Stripe {
+    /// FIFO of pending candidates within this stripe.
+    queue: VecDeque<GhostKey>,
+    /// Keys currently sitting in `queue` (the dedup membership set).
+    queued: HashSet<GhostKey>,
+}
+
+/// Striped, deduplicating queue of ghost-cleanup candidates.
+pub struct GhostQueue {
+    stripes: Box<[Mutex<Stripe>]>,
+}
+
+impl Default for GhostQueue {
+    fn default() -> GhostQueue {
+        GhostQueue {
+            stripes: (0..STRIPES)
+                .map(|_| Mutex::new(Stripe::default()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+}
+
+impl GhostQueue {
+    /// Empty queue.
+    pub fn new() -> GhostQueue {
+        GhostQueue::default()
+    }
+
+    fn stripe(&self, key: &GhostKey) -> &Mutex<Stripe> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.stripes[(h.finish() as usize) & (STRIPES - 1)]
+    }
+
+    /// Enqueue a candidate. Returns `false` (and queues nothing) if the
+    /// key is already pending.
+    pub fn enqueue(&self, index: IndexId, key: Vec<u8>) -> bool {
+        let gk = (index, key);
+        let mut stripe = self.stripe(&gk).lock();
+        if stripe.queued.insert(gk.clone()) {
+            stripe.queue.push_back(gk);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drain every pending candidate, stripe by stripe in fixed order
+    /// (FIFO within a stripe). Drained keys lose their membership, so a
+    /// subsequent ghosting of the same key queues fresh work.
+    pub fn drain(&self) -> Vec<GhostKey> {
+        let mut out = Vec::new();
+        for stripe in self.stripes.iter() {
+            let mut s = stripe.lock();
+            s.queued.clear();
+            out.extend(s.queue.drain(..));
+        }
+        out
+    }
+
+    /// Pending candidate count (the `engine.ghost_backlog` gauge). Exact
+    /// whenever no enqueue/drain is mid-flight.
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().queue.len()).sum()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop everything (crash simulation: the queue is volatile; recovery
+    /// re-derives cleanable ghosts from the recovered trees).
+    pub fn clear(&self) {
+        for stripe in self.stripes.iter() {
+            let mut s = stripe.lock();
+            s.queue.clear();
+            s.queued.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IDX: IndexId = IndexId(3);
+
+    #[test]
+    fn enqueue_dedups_until_drained() {
+        let q = GhostQueue::new();
+        assert!(q.enqueue(IDX, b"g1".to_vec()));
+        assert!(!q.enqueue(IDX, b"g1".to_vec()), "duplicate rejected");
+        assert!(q.enqueue(IDX, b"g2".to_vec()));
+        assert_eq!(q.len(), 2);
+        let drained = q.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(q.is_empty());
+        // After a drain the key may be ghosted anew.
+        assert!(q.enqueue(IDX, b"g1".to_vec()));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn distinct_indexes_are_distinct_keys() {
+        let q = GhostQueue::new();
+        assert!(q.enqueue(IndexId(1), b"g".to_vec()));
+        assert!(q.enqueue(IndexId(2), b"g".to_vec()));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drain_returns_every_stripe_exactly_once() {
+        let q = GhostQueue::new();
+        for i in 0..100u64 {
+            assert!(q.enqueue(IDX, i.to_be_bytes().to_vec()));
+        }
+        assert_eq!(q.len(), 100);
+        let mut drained = q.drain();
+        drained.sort();
+        drained.dedup();
+        assert_eq!(drained.len(), 100);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue_and_membership() {
+        let q = GhostQueue::new();
+        q.enqueue(IDX, b"g".to_vec());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.enqueue(IDX, b"g".to_vec()), "membership cleared too");
+    }
+}

@@ -28,6 +28,7 @@ pub mod catalog;
 pub mod db;
 pub mod delta;
 pub mod escrow;
+pub mod ghosts;
 pub mod health;
 pub mod interleave;
 pub mod read;

@@ -15,12 +15,20 @@
 //! is agnostic to row encoding.
 
 use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use txview_common::{IndexId, Lsn, Result};
 use txview_wal::record::ValueDelta;
 
 /// Fold the chain once it exceeds this many entries.
 pub const MAX_CHAIN: usize = 16;
+
+/// Shard count for the chain map (power of two; selection is a mask).
+/// Chains are independent — every operation touches exactly one key — so
+/// partitioning them by key hash removes the store-wide serialization
+/// point without changing any per-chain semantics.
+const VS_SHARDS: usize = 32;
 
 /// Version stamp of the pre-modification base image.
 pub const BASE_VERSION: Lsn = Lsn(1);
@@ -50,10 +58,22 @@ pub type Materializer<'a> =
 
 type ChainKey = (IndexId, Vec<u8>);
 
-/// The version store.
-#[derive(Default)]
+/// The version store, sharded by chain-key hash. Each shard owns a
+/// disjoint subset of the chains behind its own mutex; GC (folding and
+/// full-image pruning) happens per chain under the owning shard's lock.
 pub struct VersionStore {
-    chains: Mutex<HashMap<ChainKey, Vec<VersionEntry>>>,
+    shards: Box<[Mutex<HashMap<ChainKey, Vec<VersionEntry>>>]>,
+}
+
+impl Default for VersionStore {
+    fn default() -> VersionStore {
+        VersionStore {
+            shards: (0..VS_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
 }
 
 impl VersionStore {
@@ -62,9 +82,16 @@ impl VersionStore {
         VersionStore::default()
     }
 
+    /// The shard owning `(index, key)`.
+    fn shard(&self, index: IndexId, key: &[u8]) -> &Mutex<HashMap<ChainKey, Vec<VersionEntry>>> {
+        let mut h = DefaultHasher::new();
+        (index, key).hash(&mut h);
+        &self.shards[(h.finish() as usize) & (VS_SHARDS - 1)]
+    }
+
     /// True if the row already has a chain (its base image is safeguarded).
     pub fn has_chain(&self, index: IndexId, key: &[u8]) -> bool {
-        self.chains.lock().contains_key(&(index, key.to_vec()))
+        self.shard(index, key).lock().contains_key(&(index, key.to_vec()))
     }
 
     /// Record the pre-modification image of a row, computing it *inside*
@@ -75,7 +102,7 @@ impl VersionStore {
     where
         F: FnOnce() -> Result<Option<Vec<u8>>>,
     {
-        let mut chains = self.chains.lock();
+        let mut chains = self.shard(index, key).lock();
         if let std::collections::hash_map::Entry::Vacant(e) = chains.entry((index, key.to_vec())) {
             let value = read()?;
             e.insert(vec![VersionEntry { commit_lsn: BASE_VERSION, payload: Payload::Full(value) }]);
@@ -86,7 +113,7 @@ impl VersionStore {
     /// Convenience base recording when the caller already has the clean
     /// image (row-creation path: the row did not exist).
     pub fn ensure_base(&self, index: IndexId, key: &[u8], value: Option<Vec<u8>>) {
-        let mut chains = self.chains.lock();
+        let mut chains = self.shard(index, key).lock();
         chains.entry((index, key.to_vec())).or_insert_with(|| {
             vec![VersionEntry { commit_lsn: BASE_VERSION, payload: Payload::Full(value) }]
         });
@@ -120,7 +147,7 @@ impl VersionStore {
         horizon: Lsn,
         materialize: &Materializer<'_>,
     ) -> Result<()> {
-        let mut chains = self.chains.lock();
+        let mut chains = self.shard(index, key).lock();
         let chain = chains.entry((index, key.to_vec())).or_default();
         Self::insert_sorted(chain, VersionEntry { commit_lsn, payload: Payload::Delta(pairs) });
         if chain.len() > MAX_CHAIN {
@@ -138,7 +165,7 @@ impl VersionStore {
         value: Option<Vec<u8>>,
         horizon: Lsn,
     ) {
-        let mut chains = self.chains.lock();
+        let mut chains = self.shard(index, key).lock();
         let chain = chains.entry((index, key.to_vec())).or_default();
         Self::insert_sorted(chain, VersionEntry { commit_lsn, payload: Payload::Full(value) });
         // Full images supersede everything before them with smaller LSNs;
@@ -190,7 +217,7 @@ impl VersionStore {
         s: Lsn,
         materialize: &Materializer<'_>,
     ) -> Result<Option<Option<Vec<u8>>>> {
-        let chains = self.chains.lock();
+        let chains = self.shard(index, key).lock();
         let Some(chain) = chains.get(&(index, key.to_vec())) else {
             return Ok(None);
         };
@@ -222,25 +249,33 @@ impl VersionStore {
     }
 
     /// All keys with chains for one index (snapshot scans union these with
-    /// the live tree keys).
+    /// the live tree keys). The scan visits shards one at a time in fixed
+    /// order — snapshot-consistent per shard, fuzzy across shards, which is
+    /// sound for recomputation reads because every returned key is
+    /// re-resolved through [`VersionStore::read_at`] at the reader's
+    /// snapshot LSN, and chains are never removed while readers exist.
     pub fn keys_for(&self, index: IndexId) -> Vec<Vec<u8>> {
-        self.chains
-            .lock()
-            .keys()
-            .filter(|(i, _)| *i == index)
-            .map(|(_, k)| k.clone())
-            .collect()
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let chains = shard.lock();
+            out.extend(
+                chains.keys().filter(|(i, _)| *i == index).map(|(_, k)| k.clone()),
+            );
+        }
+        out
     }
 
     /// Drop everything (crash simulation: versions are volatile state).
     pub fn clear(&self) {
-        self.chains.lock().clear();
+        for shard in self.shards.iter() {
+            shard.lock().clear();
+        }
     }
 
     /// Debug dump of a chain: (commit_lsn, is_full, delta-pairs-if-any).
     #[doc(hidden)]
     pub fn debug_chain(&self, index: IndexId, key: &[u8]) -> Vec<(u64, bool, Option<DeltaPairs>)> {
-        self.chains
+        self.shard(index, key)
             .lock()
             .get(&(index, key.to_vec()))
             .map(|chain| {
@@ -257,7 +292,7 @@ impl VersionStore {
 
     #[cfg(test)]
     fn chain_len(&self, index: IndexId, key: &[u8]) -> usize {
-        self.chains
+        self.shard(index, key)
             .lock()
             .get(&(index, key.to_vec()))
             .map_or(0, |c| c.len())
@@ -406,5 +441,32 @@ mod tests {
         vs.ensure_base(IDX, b"a", None);
         vs.ensure_base(IndexId(2), b"b", None);
         assert_eq!(vs.keys_for(IDX), vec![b"a".to_vec()]);
+    }
+
+    /// Many keys necessarily land on different shards; the cross-shard
+    /// scan must still return every one exactly once, and per-key reads
+    /// must be unaffected by which shard a neighbor lives on.
+    #[test]
+    fn chains_span_shards_without_loss() {
+        let vs = VersionStore::new();
+        for i in 0..200u64 {
+            let key = i.to_be_bytes();
+            vs.ensure_base(IDX, &key, Some(0i64.to_le_bytes().to_vec()));
+            vs.publish_delta(IDX, &key, Lsn(10 + i), delta(i as i64), Lsn(u64::MAX), &mat)
+                .unwrap();
+        }
+        let mut keys = vs.keys_for(IDX);
+        keys.sort();
+        assert_eq!(keys.len(), 200);
+        keys.dedup();
+        assert_eq!(keys.len(), 200, "no key listed twice across shards");
+        for i in 0..200u64 {
+            let got = vs
+                .read_at(IDX, &i.to_be_bytes(), Lsn(10 + i), &mat)
+                .unwrap()
+                .unwrap()
+                .map(|b| i64::from_le_bytes(b[..8].try_into().unwrap()));
+            assert_eq!(got, Some(i as i64));
+        }
     }
 }

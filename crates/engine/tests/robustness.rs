@@ -336,3 +336,106 @@ fn many_groups_split_view_tree_under_concurrency() {
     db.verify_view("totals").unwrap();
     assert_eq!(db.dump_view("totals").unwrap().len(), 1600);
 }
+
+#[test]
+fn ghost_enqueue_dedups_and_backlog_drains_to_zero() {
+    let db = setup_with_pool(256);
+    // Churn one group through empty→refill→empty before any sweep: the
+    // same view key is ghosted twice, but the backlog must count it once.
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    db.insert(&mut txn, "items", row![1i64, 7i64, 5i64]).unwrap();
+    db.commit(&mut txn).unwrap();
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    db.delete(&mut txn, "items", &[Value::Int(1)]).unwrap();
+    db.commit(&mut txn).unwrap();
+    // One base-row ghost (pk 1) + one view-group ghost (group 7).
+    let b1 = db.ghost_backlog();
+    assert_eq!(b1, 2, "base row + emptied group queued");
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    db.insert(&mut txn, "items", row![2i64, 7i64, 5i64]).unwrap();
+    db.delete(&mut txn, "items", &[Value::Int(2)]).unwrap();
+    db.commit(&mut txn).unwrap();
+    // The pk-2 base ghost is a new key; the group-7 view ghost is a
+    // duplicate and must NOT be queued again (without dedup: b1 + 2).
+    assert_eq!(db.ghost_backlog(), b1 + 1, "re-ghosting the same view key dedups");
+
+    // Heavier churn across many groups, then a sweep: the backlog gauge
+    // (both the direct accessor and the metrics snapshot) returns to 0.
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    for g in 100..140i64 {
+        db.insert(&mut txn, "items", row![g, g, 1i64]).unwrap();
+    }
+    db.commit(&mut txn).unwrap();
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    for g in 100..140i64 {
+        db.delete(&mut txn, "items", &[Value::Int(g)]).unwrap();
+    }
+    db.commit(&mut txn).unwrap();
+    assert!(db.ghost_backlog() >= 80, "40 base rows + 40 emptied groups");
+    let report = db.run_ghost_cleanup().unwrap();
+    assert!(report.removed >= 40);
+    assert_eq!(db.ghost_backlog(), 0, "sweep drains the backlog");
+    let snap = db.metrics_snapshot();
+    assert_eq!(snap.gauge_value("engine.ghost_backlog"), Some(0));
+    db.verify_view("totals").unwrap();
+    // After a drain the key may legitimately be queued again.
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    db.insert(&mut txn, "items", row![3i64, 7i64, 5i64]).unwrap();
+    db.delete(&mut txn, "items", &[Value::Int(3)]).unwrap();
+    db.commit(&mut txn).unwrap();
+    assert_eq!(db.ghost_backlog(), b1, "post-drain re-ghosting queues fresh work");
+}
+
+#[test]
+fn concurrent_backoff_txns_do_not_serialize() {
+    use std::sync::Barrier;
+    use std::time::Instant;
+    // Each transaction copies the backoff policy at entry, so one thread
+    // sleeping its backoff must not hold anything another thread's retry
+    // loop needs. Two threads that each back off ~d concurrently should
+    // finish in ~d wall time, not ~2d.
+    let db = setup_with_pool(256);
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        base_delay_micros: 200_000,
+        max_delay_micros: 200_000,
+        seed: 1,
+    };
+    let d = Duration::from_micros(policy.delay_micros(1));
+    assert!(d >= Duration::from_millis(100), "jitter floor is half the cap");
+    db.set_txn_backoff(policy);
+    let barrier = Arc::new(Barrier::new(2));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..2)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut first = true;
+                let (_, attempts) = db
+                    .run_txn_traced(IsolationLevel::ReadCommitted, 3, |txn| {
+                        if first {
+                            first = false;
+                            return Err(Error::SerializationConflict("induced".into()));
+                        }
+                        db.insert(txn, "items", row![t as i64, t as i64, 1i64])
+                    })
+                    .unwrap();
+                attempts
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 2, "exactly one induced retry each");
+    }
+    let wall = start.elapsed();
+    // Both threads slept the same deterministic backoff d. Serialized
+    // backoffs would take >= 2d; concurrent ones ~d plus scheduling slack.
+    assert!(wall >= d, "each thread really backed off ({wall:?} < {d:?})");
+    assert!(
+        wall < 2 * d,
+        "backoffs serialized: wall {wall:?} vs per-txn backoff {d:?}"
+    );
+    db.verify_view("totals").unwrap();
+}

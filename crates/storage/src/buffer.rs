@@ -39,17 +39,29 @@ struct FrameState {
     refbit: bool,
 }
 
+/// Frame bookkeeping of one sub-pool. `map` values and `hand` are *local*
+/// frame indexes (0..frames.len() within this sub-pool); the matching page
+/// latch lives at `SubPool::base + local` in the pool-wide latch array.
 struct PoolState {
     map: HashMap<PageId, usize>,
     frames: Vec<FrameState>,
     hand: usize,
 }
 
+/// One independently locked slice of the pool: its own residency map,
+/// frame states, and CLOCK hand. Pages are routed to sub-pools by
+/// `pid % n`, so concurrent fetches of different pages rarely contend.
+struct SubPool {
+    /// Offset of this sub-pool's first frame in the shared latch array.
+    base: usize,
+    state: Mutex<PoolState>,
+}
+
 /// The buffer pool. Cheap to share: wrap in `Arc`.
 pub struct BufferPool {
     disk: Arc<dyn DiskManager>,
     latches: Vec<RwLock<Page>>,
-    state: Mutex<PoolState>,
+    subs: Box<[SubPool]>,
     wal_flush: RwLock<Option<Arc<WalFlushFn>>>,
     crash_probe: RwLock<Option<Arc<CrashProbe>>>,
     retry: Mutex<RetryPolicy>,
@@ -78,25 +90,59 @@ pub struct PoolObs {
 }
 
 impl BufferPool {
-    /// Create a pool with `capacity` frames over `disk`.
+    /// Create a pool with `capacity` frames over `disk`. The frame state is
+    /// split into `min(8, capacity / 64)` sub-pools (at least one), so small
+    /// pools — including every fault-injection test that counts on exact
+    /// single-CLOCK eviction order — keep the unsharded behavior, while the
+    /// benchmark-sized pools stop serializing every fetch on one mutex.
     pub fn new(disk: Arc<dyn DiskManager>, capacity: usize) -> Arc<BufferPool> {
         assert!(capacity > 0);
         let latches = (0..capacity)
             .map(|_| RwLock::new(Page::new(PageType::Free)))
             .collect();
-        let frames = (0..capacity)
-            .map(|_| FrameState { pid: None, dirty: false, rec_lsn: Lsn::NULL, pins: 0, refbit: false })
-            .collect();
+        let n_subs = (capacity / 64).clamp(1, 8);
+        let mut subs = Vec::with_capacity(n_subs);
+        let mut base = 0;
+        for i in 0..n_subs {
+            let size = capacity / n_subs + usize::from(i < capacity % n_subs);
+            let frames = (0..size)
+                .map(|_| FrameState {
+                    pid: None,
+                    dirty: false,
+                    rec_lsn: Lsn::NULL,
+                    pins: 0,
+                    refbit: false,
+                })
+                .collect();
+            subs.push(SubPool {
+                base,
+                state: Mutex::new(PoolState { map: HashMap::new(), frames, hand: 0 }),
+            });
+            base += size;
+        }
+        debug_assert_eq!(base, capacity);
         Arc::new(BufferPool {
             disk,
             latches,
-            state: Mutex::new(PoolState { map: HashMap::new(), frames, hand: 0 }),
+            subs: subs.into_boxed_slice(),
             wal_flush: RwLock::new(None),
             crash_probe: RwLock::new(None),
             retry: Mutex::new(RetryPolicy::default()),
             retry_counters: RetryCounters::default(),
             obs: PoolObs::default(),
         })
+    }
+
+    /// The sub-pool a page is routed to. Round-robin on the raw page id:
+    /// B-tree pages are allocated sequentially, so a hot working set spreads
+    /// evenly across sub-pools.
+    fn sub_of(&self, pid: PageId) -> usize {
+        pid.0 as usize % self.subs.len()
+    }
+
+    /// Number of sub-pools (exposed for tests and observability).
+    pub fn sub_pool_count(&self) -> usize {
+        self.subs.len()
     }
 
     /// Replace the transient-I/O retry policy (e.g. the torture harness
@@ -157,12 +203,13 @@ impl BufferPool {
     /// [`RetryPolicy`]; on failure the frame keeps its `dirty` flag and
     /// `rec_lsn` (set *after* a successful write only), so no update is
     /// silently lost — the next eviction or flush simply tries again.
-    /// Caller holds the state mutex; the frame must be unpinned or the
-    /// caller must otherwise guarantee latch availability.
-    fn write_frame(&self, idx: usize, st: &mut PoolState) -> Result<()> {
+    /// Caller holds the owning sub-pool's state mutex (`base` is that
+    /// sub-pool's latch offset, `idx` the local frame index); the frame must
+    /// be unpinned or the caller must otherwise guarantee latch availability.
+    fn write_frame(&self, base: usize, idx: usize, st: &mut PoolState) -> Result<()> {
         let pid = st.frames[idx].pid.expect("write_frame on empty frame");
         // Uncontended: pins == 0 or caller owns the only pin and no latch.
-        let mut page = self.latches[idx].write();
+        let mut page = self.latches[base + idx].write();
         let t0 = self.obs.clock.now();
         self.flush_wal_to(page.lsn())?;
         self.probe("buffer.write_frame.pre_data_write");
@@ -216,18 +263,18 @@ impl BufferPool {
         None
     }
 
-    /// Find a victim frame with CLOCK, flushing it if dirty. Clean frames
-    /// are preferred: evicting one needs no disk write, which both avoids
-    /// an unnecessary flush and keeps the read path alive when the write
-    /// path is failing. Returns the frame index with its state cleared and
-    /// pinned once for the caller.
-    fn take_victim(&self, st: &mut PoolState, for_pid: PageId) -> Result<usize> {
+    /// Find a victim frame with CLOCK within one sub-pool, flushing it if
+    /// dirty. Clean frames are preferred: evicting one needs no disk write,
+    /// which both avoids an unnecessary flush and keeps the read path alive
+    /// when the write path is failing. Returns the local frame index with
+    /// its state cleared and pinned once for the caller.
+    fn take_victim(&self, base: usize, st: &mut PoolState, for_pid: PageId) -> Result<usize> {
         let idx = match self.clock_sweep(st, false) {
             Some(idx) => idx,
             None => self.clock_sweep(st, true).ok_or(Error::BufferExhausted)?,
         };
         if st.frames[idx].dirty {
-            self.write_frame(idx, st)?;
+            self.write_frame(base, idx, st)?;
         }
         let f = &mut st.frames[idx];
         if let Some(old) = f.pid.take() {
@@ -244,22 +291,25 @@ impl BufferPool {
 
     /// Fetch `pid` into the pool, pinning it.
     pub fn fetch(self: &Arc<Self>, pid: PageId) -> Result<PinnedPage> {
-        let mut st = self.state.lock();
+        let sub = self.sub_of(pid);
+        let base = self.subs[sub].base;
+        let mut st = self.subs[sub].state.lock();
         if let Some(&idx) = st.map.get(&pid) {
             let f = &mut st.frames[idx];
             f.pins += 1;
             f.refbit = true;
             self.obs.hits.inc();
-            return Ok(PinnedPage { pool: Arc::clone(self), idx, pid });
+            return Ok(PinnedPage { pool: Arc::clone(self), sub, local: idx, pid });
         }
         self.obs.misses.inc();
-        let idx = self.take_victim(&mut st, pid)?;
-        // Read from disk while holding the state lock: simple and safe
-        // (frame is pinned so nothing else will touch it).
+        let idx = self.take_victim(base, &mut st, pid)?;
+        // Read from disk while holding the sub-pool's state lock: simple and
+        // safe (frame is pinned so nothing else will touch it), and fetches
+        // routed to other sub-pools proceed in parallel.
         match self.read_page_resilient(pid) {
             Ok(page) => {
-                *self.latches[idx].write() = page;
-                Ok(PinnedPage { pool: Arc::clone(self), idx, pid })
+                *self.latches[base + idx].write() = page;
+                Ok(PinnedPage { pool: Arc::clone(self), sub, local: idx, pid })
             }
             Err(e) => {
                 // Back out the reservation.
@@ -275,32 +325,36 @@ impl BufferPool {
     /// Allocate a fresh page of type `ty`, pinned and dirty.
     pub fn new_page(self: &Arc<Self>, ty: PageType) -> Result<(PageId, PinnedPage)> {
         let pid = self.disk.allocate()?;
-        let mut st = self.state.lock();
-        let idx = self.take_victim(&mut st, pid)?;
+        let sub = self.sub_of(pid);
+        let base = self.subs[sub].base;
+        let mut st = self.subs[sub].state.lock();
+        let idx = self.take_victim(base, &mut st, pid)?;
         st.frames[idx].dirty = true;
         st.frames[idx].rec_lsn = Lsn::NULL;
-        *self.latches[idx].write() = Page::new(ty);
-        Ok((pid, PinnedPage { pool: Arc::clone(self), idx, pid }))
+        *self.latches[base + idx].write() = Page::new(ty);
+        Ok((pid, PinnedPage { pool: Arc::clone(self), sub, local: idx, pid }))
     }
 
     /// Re-create page `pid` in the pool with a fresh image (recovery redo of
     /// a page-format record for a page the disk never saw). Pinned + dirty.
     pub fn recreate_page(self: &Arc<Self>, pid: PageId, ty: PageType) -> Result<PinnedPage> {
         self.disk.ensure_allocated(pid);
-        let mut st = self.state.lock();
+        let sub = self.sub_of(pid);
+        let base = self.subs[sub].base;
+        let mut st = self.subs[sub].state.lock();
         if let Some(&idx) = st.map.get(&pid) {
             let f = &mut st.frames[idx];
             f.pins += 1;
             f.dirty = true;
             f.rec_lsn = Lsn::NULL;
-            *self.latches[idx].write() = Page::new(ty);
-            return Ok(PinnedPage { pool: Arc::clone(self), idx, pid });
+            *self.latches[base + idx].write() = Page::new(ty);
+            return Ok(PinnedPage { pool: Arc::clone(self), sub, local: idx, pid });
         }
-        let idx = self.take_victim(&mut st, pid)?;
+        let idx = self.take_victim(base, &mut st, pid)?;
         st.frames[idx].dirty = true;
         st.frames[idx].rec_lsn = Lsn::NULL;
-        *self.latches[idx].write() = Page::new(ty);
-        Ok(PinnedPage { pool: Arc::clone(self), idx, pid })
+        *self.latches[base + idx].write() = Page::new(ty);
+        Ok(PinnedPage { pool: Arc::clone(self), sub, local: idx, pid })
     }
 
     /// Fetch `pid`, creating a fresh image if the disk has never stored it.
@@ -318,21 +372,27 @@ impl BufferPool {
 
     /// Flush a single page if resident and dirty.
     pub fn flush_page(&self, pid: PageId) -> Result<()> {
-        let mut st = self.state.lock();
+        let sub = &self.subs[self.sub_of(pid)];
+        let mut st = sub.state.lock();
         if let Some(&idx) = st.map.get(&pid) {
             if st.frames[idx].dirty {
-                self.write_frame(idx, &mut st)?;
+                self.write_frame(sub.base, idx, &mut st)?;
             }
         }
         Ok(())
     }
 
-    /// Flush every dirty resident page (checkpoint helper).
+    /// Flush every dirty resident page (checkpoint helper). Sub-pools are
+    /// visited in fixed order; this is fuzzy across sub-pools in exactly the
+    /// way a checkpoint is fuzzy across pages — each write individually
+    /// honours WAL-before-data, which is all recovery needs.
     pub fn flush_all(&self) -> Result<()> {
-        let mut st = self.state.lock();
-        for idx in 0..st.frames.len() {
-            if st.frames[idx].pid.is_some() && st.frames[idx].dirty {
-                self.write_frame(idx, &mut st)?;
+        for sub in self.subs.iter() {
+            let mut st = sub.state.lock();
+            for idx in 0..st.frames.len() {
+                if st.frames[idx].pid.is_some() && st.frames[idx].dirty {
+                    self.write_frame(sub.base, idx, &mut st)?;
+                }
             }
         }
         self.disk.sync()
@@ -340,13 +400,17 @@ impl BufferPool {
 
     /// (page, recLSN) of currently dirty resident pages — the dirty-page
     /// table a fuzzy checkpoint records. The recLSN is where redo for that
-    /// page must start.
+    /// page must start. Sub-pools are scanned in fixed order; the result is
+    /// conservative in the usual fuzzy-checkpoint sense (a page flushed
+    /// concurrently may still be listed, which only moves redo earlier).
     pub fn dirty_pages(&self) -> Vec<(PageId, Lsn)> {
-        let st = self.state.lock();
         let mut out = Vec::new();
-        for f in st.frames.iter() {
-            if let (Some(pid), true) = (f.pid, f.dirty) {
-                out.push((pid, f.rec_lsn));
+        for sub in self.subs.iter() {
+            let st = sub.state.lock();
+            for f in st.frames.iter() {
+                if let (Some(pid), true) = (f.pid, f.dirty) {
+                    out.push((pid, f.rec_lsn));
+                }
             }
         }
         out
@@ -354,23 +418,27 @@ impl BufferPool {
 
     /// Crash simulation: flush each dirty page with probability
     /// `steal_probability` (modelling evictions that already happened),
-    /// then forget all frames. Requires no outstanding pins.
+    /// then forget all frames. Requires no outstanding pins. Frames are
+    /// visited sub-pool-major in fixed order, so a given seed still yields
+    /// a deterministic steal set.
     pub fn simulate_crash(&self, steal_probability: f64, rng: &mut Rng) -> Result<()> {
-        let mut st = self.state.lock();
-        for idx in 0..st.frames.len() {
-            let f = &st.frames[idx];
-            assert_eq!(f.pins, 0, "simulate_crash with pinned pages");
-            if f.pid.is_some() && f.dirty && rng.chance(steal_probability) {
-                self.write_frame(idx, &mut st)?;
+        for sub in self.subs.iter() {
+            let mut st = sub.state.lock();
+            for idx in 0..st.frames.len() {
+                let f = &st.frames[idx];
+                assert_eq!(f.pins, 0, "simulate_crash with pinned pages");
+                if f.pid.is_some() && f.dirty && rng.chance(steal_probability) {
+                    self.write_frame(sub.base, idx, &mut st)?;
+                }
             }
+            for f in st.frames.iter_mut() {
+                f.pid = None;
+                f.dirty = false;
+                f.rec_lsn = Lsn::NULL;
+                f.refbit = false;
+            }
+            st.map.clear();
         }
-        for f in st.frames.iter_mut() {
-            f.pid = None;
-            f.dirty = false;
-            f.rec_lsn = Lsn::NULL;
-            f.refbit = false;
-        }
-        st.map.clear();
         Ok(())
     }
 
@@ -403,7 +471,10 @@ pub type PageWriteGuard<'a> = RwLockWriteGuard<'a, Page>;
 /// A pinned page. Dropping unpins. `read()`/`write()` take the page latch.
 pub struct PinnedPage {
     pool: Arc<BufferPool>,
-    idx: usize,
+    /// Index of the owning sub-pool.
+    sub: usize,
+    /// Frame index local to that sub-pool.
+    local: usize,
     pid: PageId,
 }
 
@@ -413,9 +484,13 @@ impl PinnedPage {
         self.pid
     }
 
+    fn latch(&self) -> &RwLock<Page> {
+        &self.pool.latches[self.pool.subs[self.sub].base + self.local]
+    }
+
     /// Take the shared (read) latch.
     pub fn read(&self) -> PageReadGuard<'_> {
-        self.pool.latches[self.idx].read()
+        self.latch().read()
     }
 
     /// Take the exclusive (write) latch and mark the frame dirty, recording
@@ -423,10 +498,10 @@ impl PinnedPage {
     /// transition. Latch-then-state order is safe: state→latch paths only
     /// touch unpinned frames, and this frame is pinned.
     pub fn write(&self) -> PageWriteGuard<'_> {
-        let guard = self.pool.latches[self.idx].write();
+        let guard = self.latch().write();
         {
-            let mut st = self.pool.state.lock();
-            let f = &mut st.frames[self.idx];
+            let mut st = self.pool.subs[self.sub].state.lock();
+            let f = &mut st.frames[self.local];
             if !f.dirty {
                 f.dirty = true;
                 f.rec_lsn = guard.lsn();
@@ -438,8 +513,8 @@ impl PinnedPage {
 
 impl Drop for PinnedPage {
     fn drop(&mut self) {
-        let mut st = self.pool.state.lock();
-        let f = &mut st.frames[self.idx];
+        let mut st = self.pool.subs[self.sub].state.lock();
+        let f = &mut st.frames[self.local];
         debug_assert!(f.pins > 0);
         f.pins -= 1;
     }
@@ -447,9 +522,9 @@ impl Drop for PinnedPage {
 
 impl Clone for PinnedPage {
     fn clone(&self) -> Self {
-        let mut st = self.pool.state.lock();
-        st.frames[self.idx].pins += 1;
-        PinnedPage { pool: Arc::clone(&self.pool), idx: self.idx, pid: self.pid }
+        let mut st = self.pool.subs[self.sub].state.lock();
+        st.frames[self.local].pins += 1;
+        PinnedPage { pool: Arc::clone(&self.pool), sub: self.sub, local: self.local, pid: self.pid }
     }
 }
 
@@ -739,6 +814,39 @@ mod tests {
         let writes = s.hist_value("pool.write_us").unwrap();
         assert!(writes.count() >= 4, "evictions + flush_all recorded writes");
         s.validate().unwrap();
+    }
+
+    #[test]
+    fn sub_pools_scale_with_capacity_and_preserve_contents() {
+        // Small pools keep the single-CLOCK layout; big ones split.
+        assert_eq!(pool(8).sub_pool_count(), 1);
+        assert_eq!(pool(63).sub_pool_count(), 1);
+        assert_eq!(pool(128).sub_pool_count(), 2);
+        assert_eq!(pool(4096).sub_pool_count(), 8);
+
+        // A 130-frame pool (2 sub-pools, uneven split 65/65) round-trips
+        // pages routed to both sub-pools, reports dirty pages across both,
+        // and survives a full-steal crash.
+        let disk = Arc::new(MemDisk::new());
+        let p = BufferPool::new(Arc::clone(&disk) as Arc<dyn DiskManager>, 130);
+        assert_eq!(p.sub_pool_count(), 2);
+        let mut pids = Vec::new();
+        for i in 0..40u8 {
+            let (pid, page) = p.new_page(PageType::BTreeLeaf).unwrap();
+            {
+                let mut g = page.write();
+                g.payload_mut()[0] = i;
+                g.set_lsn(Lsn(i as u64 + 1));
+            }
+            pids.push(pid);
+        }
+        assert_eq!(p.dirty_pages().len(), 40, "dirty across both sub-pools");
+        let mut rng = Rng::new(7);
+        p.simulate_crash(1.0, &mut rng).unwrap();
+        for (i, pid) in pids.iter().enumerate() {
+            let page = p.fetch(*pid).unwrap();
+            assert_eq!(page.read().payload()[0], i as u8);
+        }
     }
 
     #[test]

@@ -2,10 +2,9 @@
 //! system transactions / checkpoint.
 
 use crate::txn::{IsolationLevel, Transaction, TxnState};
-use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::Arc;
 use txview_common::obs::{Counter, Histogram, ObsClock, Snapshot};
+use txview_common::sharded::ShardMap;
 use txview_common::{Error, Lsn, Result, TxnId};
 use txview_lock::LockManager;
 use txview_storage::buffer::BufferPool;
@@ -13,12 +12,26 @@ use txview_wal::record::{RecordBody, TxnKind};
 use txview_wal::recovery::UndoHandler;
 use txview_wal::LogManager;
 
+/// Checkpoint-relevant state of one active user transaction.
+#[derive(Clone, Copy, Debug)]
+struct ActiveTxn {
+    /// LSN of the Begin record — fixed for the transaction's lifetime,
+    /// and what `oldest_active_lsn` aggregates over.
+    begin_lsn: Lsn,
+    /// Last known LSN (advanced by `note_progress`; checkpoint anchor).
+    last_lsn: Lsn,
+}
+
 /// Coordinates transactions over the log and lock managers.
 pub struct TxnManager {
     log: Arc<LogManager>,
     locks: Arc<LockManager>,
-    /// Active user transactions: id → last known LSN (for checkpoints).
-    active: Mutex<HashMap<TxnId, Lsn>>,
+    /// Active user transactions, sharded by txn id so begin/commit from
+    /// concurrent workers don't serialize on one registry mutex. The
+    /// `oldest_active_lsn` aggregate is folded from per-shard minima on
+    /// demand — active sets are small, and the fold takes each shard
+    /// lock only briefly.
+    active: ShardMap<TxnId, ActiveTxn>,
     obs: TxnObs,
 }
 
@@ -49,7 +62,7 @@ impl TxnManager {
         TxnManager {
             log,
             locks,
-            active: Mutex::new(HashMap::new()),
+            active: ShardMap::with_default_shards(),
             obs: TxnObs::default(),
         }
     }
@@ -64,7 +77,7 @@ impl TxnManager {
         let mut s = Snapshot::default();
         s.counter("txn.commits", self.obs.commits.get());
         s.counter("txn.rollbacks", self.obs.rollbacks.get());
-        s.gauge("txn.active", self.active.lock().len() as i64);
+        s.gauge("txn.active", self.active.len() as i64);
         s.hist("txn.phase.acquire_us", self.obs.acquire_us.snapshot());
         s.hist("txn.phase.maintain_us", self.obs.maintain_us.snapshot());
         s.hist("txn.phase.log_force_us", self.obs.log_force_us.snapshot());
@@ -88,7 +101,7 @@ impl TxnManager {
         let id = self.log.alloc_txn_id();
         let snapshot_lsn = self.log.last_allocated_lsn();
         let last_lsn = self.log.append(id, Lsn::NULL, RecordBody::Begin { kind: TxnKind::User });
-        self.active.lock().insert(id, last_lsn);
+        self.active.insert(id, ActiveTxn { begin_lsn: last_lsn, last_lsn });
         Transaction {
             id,
             isolation,
@@ -149,7 +162,7 @@ impl TxnManager {
         txn.last_lsn = self.log.append(txn.id, commit_lsn, RecordBody::End);
         txn.state = TxnState::Committed;
         txn.undo.clear();
-        self.active.lock().remove(&txn.id);
+        self.active.remove(&txn.id);
         self.obs.commits.inc();
         self.obs.acquire_us.record(txn.phase_acquire_us);
         self.obs.maintain_us.record(txn.phase_maintain_us);
@@ -176,7 +189,7 @@ impl TxnManager {
         txn.last_lsn = self.log.append(txn.id, txn.last_lsn, RecordBody::End);
         txn.state = TxnState::Aborted;
         self.locks.release_all(txn.id);
-        self.active.lock().remove(&txn.id);
+        self.active.remove(&txn.id);
         self.obs.rollbacks.inc();
         if let Some(h) = &hook {
             h.observe(txn.id, &txview_lock::SchedEvent::RolledBack);
@@ -227,14 +240,18 @@ impl TxnManager {
         Ok(out)
     }
 
-    /// Write a fuzzy checkpoint: active transactions + dirty pages.
+    /// Write a fuzzy checkpoint: active transactions + dirty pages. The
+    /// active list is folded shard by shard (sorted by txn id so the
+    /// record is deterministic) — fuzzy across shards, exactly the
+    /// guarantee fuzzy checkpoints already live with.
     pub fn checkpoint(&self, pool: &Arc<BufferPool>) -> Result<Lsn> {
-        let active: Vec<_> = self
+        let mut active = self
             .active
-            .lock()
-            .iter()
-            .map(|(&t, &l)| (t, TxnKind::User, l))
-            .collect();
+            .fold(Vec::new(), |mut acc, &t, a| {
+                acc.push((t, TxnKind::User, a.last_lsn));
+                acc
+            });
+        active.sort_by_key(|(t, _, _)| *t);
         let dirty = pool.dirty_pages();
         self.log.write_checkpoint(active, dirty)
     }
@@ -242,27 +259,42 @@ impl TxnManager {
     /// Forget all active-transaction bookkeeping (volatile state lost in a
     /// crash; recovery rebuilds what matters from the log).
     pub fn reset_active(&self) {
-        self.active.lock().clear();
+        self.active.clear();
     }
 
-    /// Ids of currently active transactions (diagnostics).
+    /// Ids of currently active transactions (diagnostics), sorted.
     pub fn active_txns(&self) -> Vec<TxnId> {
-        self.active.lock().keys().copied().collect()
+        let mut ids = self.active.keys();
+        ids.sort();
+        ids
+    }
+
+    /// The Begin LSN of the oldest active transaction, or `None` when
+    /// idle — the log-truncation bound. Computed as a fold of per-shard
+    /// minima on demand rather than under one global registry lock.
+    pub fn oldest_active_lsn(&self) -> Option<Lsn> {
+        self.active.fold(None, |acc: Option<Lsn>, _, a| match acc {
+            Some(l) if l <= a.begin_lsn => Some(l),
+            _ => Some(a.begin_lsn),
+        })
     }
 
     /// Update the checkpoint-visible last LSN of an active transaction.
     /// The engine calls this after each operation so fuzzy checkpoints
     /// carry usable back-chain anchors.
     pub fn note_progress(&self, txn: &Transaction) {
-        if let Some(slot) = self.active.lock().get_mut(&txn.id) {
-            *slot = txn.last_lsn;
-        }
+        self.active.update(&txn.id, |slot| {
+            if let Some(a) = slot {
+                a.last_lsn = txn.last_lsn;
+            }
+        });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
     use std::time::Duration;
     use txview_common::IndexId;
     use txview_lock::{LockMode, LockName};
@@ -411,6 +443,28 @@ mod tests {
         assert_eq!(s.hist_value("txn.phase.log_force_us").unwrap().count(), 1);
         assert_eq!(s.hist_value("txn.phase.commit_us").unwrap().count(), 1);
         s.validate().unwrap();
+    }
+
+    /// `oldest_active_lsn` must track the *Begin* LSN of the oldest live
+    /// transaction — unmoved by later progress — and retreat to the next
+    /// oldest when that transaction finishes.
+    #[test]
+    fn oldest_active_lsn_follows_begin_records() {
+        let (_log, _locks, mgr) = setup();
+        assert_eq!(mgr.oldest_active_lsn(), None, "idle manager has no bound");
+        let mut t1 = mgr.begin(IsolationLevel::ReadCommitted);
+        let t1_begin = t1.last_lsn;
+        let mut t2 = mgr.begin(IsolationLevel::ReadCommitted);
+        assert_eq!(mgr.oldest_active_lsn(), Some(t1_begin));
+        // Progress on t1 advances its checkpoint anchor but not the bound.
+        t1.last_lsn = Lsn(t1.last_lsn.0 + 100);
+        mgr.note_progress(&t1);
+        assert_eq!(mgr.oldest_active_lsn(), Some(t1_begin));
+        mgr.commit(&mut t1).unwrap();
+        let t2_begin = mgr.oldest_active_lsn().expect("t2 still active");
+        assert!(t2_begin > t1_begin);
+        mgr.commit(&mut t2).unwrap();
+        assert_eq!(mgr.oldest_active_lsn(), None);
     }
 
     #[test]

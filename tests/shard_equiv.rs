@@ -1,0 +1,447 @@
+//! Differential equivalence battery for the sharded hot-path structures
+//! (PR 5). Each sharded implementation is driven op-for-op against a
+//! single-map, single-mutex reference model implementing the *pre-sharding*
+//! semantics, over randomized programs that exercise the interesting
+//! interleavings sequentially:
+//!
+//! * **publish-at-commit orderings** — version-chain entries arrive with
+//!   out-of-order commit LSNs (concurrent committers publish in
+//!   nondeterministic order), so `insert_sorted` placement and
+//!   base-selection logic are stressed;
+//! * **GC past the watermark** — fold/prune horizons strictly below the
+//!   newest commit LSN, so chains are compacted while "active snapshots"
+//!   still need the tail, and reads at every LSN in a grid must agree;
+//! * **registry churn** — interleaved insert/remove/update/with_entry on
+//!   the txn/touched-style [`ShardMap`], with the O(1) length gauge checked
+//!   against the reference after every op;
+//! * **ghost churn** — enqueue/drain/clear with duplicate keys, checking
+//!   dedup decisions, backlog, and drained *sets* (drain order across
+//!   stripes is not part of the contract; set-equality and no-duplicates
+//!   are).
+//!
+//! Sharding is a pure partitioning of the key space: every one of these
+//! properties must hold exactly, not approximately.
+
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet, VecDeque};
+use txview_repro::common::sharded::ShardMap;
+use txview_repro::common::{IndexId, Lsn};
+use txview_repro::engine::ghosts::GhostQueue;
+use txview_repro::engine::versions::{DeltaPairs, VersionStore, MAX_CHAIN};
+use txview_repro::wal::record::ValueDelta;
+
+// ---- reference model for the version store ------------------------------
+//
+// A faithful reimplementation of the pre-sharding store: one HashMap, same
+// chain representation, same fold/prune rules. Kept deliberately close to
+// the production code so any divergence is a sharding bug, not a model bug.
+
+#[derive(Clone, Debug)]
+enum RefPayload {
+    Full(Option<Vec<u8>>),
+    Delta(DeltaPairs),
+}
+
+#[derive(Clone, Debug)]
+struct RefEntry {
+    commit_lsn: Lsn,
+    payload: RefPayload,
+}
+
+const BASE_VERSION: Lsn = Lsn(1);
+
+#[derive(Default)]
+struct RefVersionStore {
+    chains: HashMap<(IndexId, Vec<u8>), Vec<RefEntry>>,
+}
+
+fn materialize(cur: Option<Vec<u8>>, pairs: &[(u16, ValueDelta)]) -> txview_repro::common::Result<Option<Vec<u8>>> {
+    let mut v = cur
+        .map(|b| i64::from_be_bytes(b.as_slice().try_into().expect("8-byte row")))
+        .unwrap_or(0);
+    for (_, d) in pairs {
+        match d {
+            ValueDelta::Int(x) => v += x,
+            ValueDelta::Float(_) => unreachable!("test generates Int deltas only"),
+        }
+    }
+    Ok(Some(v.to_be_bytes().to_vec()))
+}
+
+impl RefVersionStore {
+    fn insert_sorted(chain: &mut Vec<RefEntry>, entry: RefEntry) {
+        let pos = chain
+            .iter()
+            .rposition(|e| e.commit_lsn <= entry.commit_lsn)
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        chain.insert(pos, entry);
+    }
+
+    fn ensure_base(&mut self, index: IndexId, key: &[u8], value: Option<Vec<u8>>) {
+        self.chains.entry((index, key.to_vec())).or_insert_with(|| {
+            vec![RefEntry { commit_lsn: BASE_VERSION, payload: RefPayload::Full(value) }]
+        });
+    }
+
+    fn publish_delta(&mut self, index: IndexId, key: &[u8], commit_lsn: Lsn, pairs: DeltaPairs, horizon: Lsn) {
+        let chain = self.chains.entry((index, key.to_vec())).or_default();
+        Self::insert_sorted(chain, RefEntry { commit_lsn, payload: RefPayload::Delta(pairs) });
+        if chain.len() > MAX_CHAIN {
+            Self::fold(chain, horizon);
+        }
+    }
+
+    fn publish_full(&mut self, index: IndexId, key: &[u8], commit_lsn: Lsn, value: Option<Vec<u8>>, horizon: Lsn) {
+        let chain = self.chains.entry((index, key.to_vec())).or_default();
+        Self::insert_sorted(chain, RefEntry { commit_lsn, payload: RefPayload::Full(value) });
+        if chain.len() > MAX_CHAIN {
+            if let Some(pos) = chain.iter().rposition(|e| matches!(e.payload, RefPayload::Full(_))) {
+                let cutoff = chain[pos].commit_lsn;
+                if cutoff <= horizon && chain[..pos].iter().all(|e| e.commit_lsn <= cutoff) {
+                    chain.drain(..pos);
+                }
+            }
+        }
+    }
+
+    fn fold(chain: &mut Vec<RefEntry>, horizon: Lsn) {
+        while chain.len() > MAX_CHAIN && chain.len() > 1 && chain[1].commit_lsn <= horizon {
+            let second = chain.remove(1);
+            let base = &mut chain[0];
+            match second.payload {
+                RefPayload::Full(v) => base.payload = RefPayload::Full(v),
+                RefPayload::Delta(pairs) => {
+                    let cur = match &base.payload {
+                        RefPayload::Full(v) => v.clone(),
+                        RefPayload::Delta(_) => unreachable!("chain head is always Full"),
+                    };
+                    base.payload = RefPayload::Full(materialize(cur, &pairs).unwrap());
+                }
+            }
+            base.commit_lsn = base.commit_lsn.max(second.commit_lsn);
+        }
+    }
+
+    fn read_at(&self, index: IndexId, key: &[u8], s: Lsn) -> Option<Option<Vec<u8>>> {
+        let chain = self.chains.get(&(index, key.to_vec()))?;
+        let mut base: Option<(Lsn, Option<Vec<u8>>)> = None;
+        for e in chain {
+            if e.commit_lsn <= s {
+                if let RefPayload::Full(v) = &e.payload {
+                    if base.as_ref().is_none_or(|(l, _)| e.commit_lsn >= *l) {
+                        base = Some((e.commit_lsn, v.clone()));
+                    }
+                }
+            }
+        }
+        let Some((base_lsn, mut value)) = base else {
+            return Some(None);
+        };
+        for e in chain {
+            if e.commit_lsn > base_lsn && e.commit_lsn <= s {
+                if let RefPayload::Delta(pairs) = &e.payload {
+                    value = materialize(value, pairs).unwrap();
+                }
+            }
+        }
+        Some(value)
+    }
+
+    fn keys_for(&self, index: IndexId) -> Vec<Vec<u8>> {
+        self.chains.keys().filter(|(i, _)| *i == index).map(|(_, k)| k.clone()).collect()
+    }
+}
+
+#[derive(Clone, Debug)]
+enum VsOp {
+    /// `ensure_base` with a clean pre-image (row-creation path).
+    Base { idx: u8, key: u8, value: Option<i64> },
+    /// Publish a committed escrow delta. `lsn_jitter`/`hor_lag` are turned
+    /// into an actual commit LSN / horizon by the executor, which models
+    /// the commit-watermark protocol (see below).
+    Delta { idx: u8, key: u8, lsn_jitter: u64, delta: i64, hor_lag: u64 },
+    /// Publish a committed full image (X-lock path; `None` = removed).
+    Full { idx: u8, key: u8, lsn_jitter: u64, value: Option<i64>, hor_lag: u64 },
+}
+
+fn arb_vs_op() -> impl Strategy<Value = VsOp> {
+    // 2 indexes x 4 keys concentrates ops so chains exceed MAX_CHAIN and
+    // fold/prune paths actually run.
+    prop_oneof![
+        1 => (0u8..2, 0u8..4, prop_oneof![Just(None), (0i64..100).prop_map(Some)])
+            .prop_map(|(idx, key, value)| VsOp::Base { idx, key, value }),
+        6 => (0u8..2, 0u8..4, 0u64..8, -50i64..50, 0u64..8)
+            .prop_map(|(idx, key, lsn_jitter, delta, hor_lag)| VsOp::Delta {
+                idx, key, lsn_jitter, delta, hor_lag,
+            }),
+        2 => (0u8..2, 0u8..4, 0u64..8, prop_oneof![Just(None), (0i64..100).prop_map(Some)], 0u64..8)
+            .prop_map(|(idx, key, lsn_jitter, value, hor_lag)| VsOp::Full {
+                idx, key, lsn_jitter, value, hor_lag,
+            }),
+    ]
+}
+
+/// Models the commit-watermark protocol governing publish-at-commit: commit
+/// LSNs may be published out of order (concurrent committers), but the fold
+/// horizon is monotone and every *future* commit LSN is strictly above any
+/// horizon already used — the engine's ticket protocol guarantees exactly
+/// this, and the store's fold invariant ("a folded base never out-sorts a
+/// later publish") depends on it.
+struct WatermarkModel {
+    /// Highest horizon handed to any fold/prune so far.
+    hwm: u64,
+}
+
+impl WatermarkModel {
+    fn stamp(&mut self, lsn_jitter: u64, hor_lag: u64) -> (Lsn, Lsn) {
+        // Jitter makes consecutive publishes non-monotone (out-of-order
+        // commit ordering) while staying strictly above the watermark.
+        let commit_lsn = self.hwm + 1 + lsn_jitter;
+        // Horizon trails the commit LSN (active snapshots lag), never
+        // regresses, and never reaches the new commit.
+        let horizon = (commit_lsn - 1 - hor_lag.min(commit_lsn - 1 - self.hwm)).max(self.hwm);
+        self.hwm = horizon;
+        (Lsn(commit_lsn), Lsn(horizon))
+    }
+}
+
+fn enc(v: Option<i64>) -> Option<Vec<u8>> {
+    v.map(|x| x.to_be_bytes().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The sharded version store and the single-map reference agree on
+    /// every read at every snapshot LSN after every program, including
+    /// programs that fold and prune chains past a lagging watermark.
+    #[test]
+    fn version_store_matches_single_map_reference(ops in prop::collection::vec(arb_vs_op(), 1..300)) {
+        let sharded = VersionStore::new();
+        let mut reference = RefVersionStore::default();
+        let mut wm = WatermarkModel { hwm: 1 };
+        // Snapshot LSNs worth probing: every boundary the program created.
+        let mut grid: std::collections::BTreeSet<u64> = [0, 1, 2].into();
+        for op in &ops {
+            match op {
+                VsOp::Base { idx, key, value } => {
+                    let (i, k) = (IndexId(*idx as u32), [*key]);
+                    sharded.ensure_base(i, &k, enc(*value));
+                    reference.ensure_base(i, &k, enc(*value));
+                }
+                VsOp::Delta { idx, key, lsn_jitter, delta, hor_lag } => {
+                    let (i, k) = (IndexId(*idx as u32), [*key]);
+                    // Engine protocol: the chain is seeded with the
+                    // pre-modification image before any publish (the fold
+                    // invariant "chain head is Full" depends on it).
+                    sharded.ensure_base(i, &k, None);
+                    reference.ensure_base(i, &k, None);
+                    let (commit_lsn, horizon) = wm.stamp(*lsn_jitter, *hor_lag);
+                    grid.extend([commit_lsn.0.saturating_sub(1), commit_lsn.0, commit_lsn.0 + 1, horizon.0]);
+                    let pairs: DeltaPairs = vec![(0, ValueDelta::Int(*delta))];
+                    sharded
+                        .publish_delta(i, &k, commit_lsn, pairs.clone(), horizon, &materialize)
+                        .unwrap();
+                    reference.publish_delta(i, &k, commit_lsn, pairs, horizon);
+                }
+                VsOp::Full { idx, key, lsn_jitter, value, hor_lag } => {
+                    let (i, k) = (IndexId(*idx as u32), [*key]);
+                    sharded.ensure_base(i, &k, None);
+                    reference.ensure_base(i, &k, None);
+                    let (commit_lsn, horizon) = wm.stamp(*lsn_jitter, *hor_lag);
+                    grid.extend([commit_lsn.0.saturating_sub(1), commit_lsn.0, commit_lsn.0 + 1, horizon.0]);
+                    sharded.publish_full(i, &k, commit_lsn, enc(*value), horizon);
+                    reference.publish_full(i, &k, commit_lsn, enc(*value), horizon);
+                }
+            }
+        }
+        grid.insert(wm.hwm + 10);
+        // Key sets per index agree (order is not part of the contract).
+        for idx in 0..2u32 {
+            let mut a = sharded.keys_for(IndexId(idx));
+            let mut b = reference.keys_for(IndexId(idx));
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "keys_for({}) diverged", idx);
+        }
+        // Every (index, key) read over a full LSN grid agrees — including
+        // s = 0 (predates the base) and s past every published LSN.
+        for idx in 0..2u32 {
+            for key in 0..4u8 {
+                let (i, k) = (IndexId(idx), [key]);
+                prop_assert_eq!(sharded.has_chain(i, &k), reference.chains.contains_key(&(i, k.to_vec())));
+                for &s in &grid {
+                    let got = sharded.read_at(i, &k, Lsn(s), &materialize).unwrap();
+                    let want = reference.read_at(i, &k, Lsn(s));
+                    prop_assert_eq!(
+                        got, want,
+                        "read_at(idx={}, key={}, s={}) diverged", idx, key, s
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---- ShardMap vs HashMap -------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum MapOp {
+    Insert(i64, i64),
+    Remove(i64),
+    /// `update`: add to the value if present (touched-registry idiom).
+    Update(i64, i64),
+    /// `with_entry`: or-default then add (note_additive idiom).
+    WithEntry(i64, i64),
+    Clear,
+}
+
+fn arb_map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        4 => (0i64..24, -100i64..100).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        3 => (0i64..24).prop_map(MapOp::Remove),
+        3 => (0i64..24, -100i64..100).prop_map(|(k, v)| MapOp::Update(k, v)),
+        3 => (0i64..24, -100i64..100).prop_map(|(k, v)| MapOp::WithEntry(k, v)),
+        1 => Just(MapOp::Clear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The sharded registry map agrees with a plain HashMap op-for-op,
+    /// including every return value and the O(1) length gauge.
+    #[test]
+    fn shard_map_matches_hash_map(ops in prop::collection::vec(arb_map_op(), 1..200)) {
+        let sharded: ShardMap<i64, i64> = ShardMap::new(8);
+        let mut reference: HashMap<i64, i64> = HashMap::new();
+        for op in &ops {
+            match *op {
+                MapOp::Insert(k, v) => {
+                    prop_assert_eq!(sharded.insert(k, v), reference.insert(k, v));
+                }
+                MapOp::Remove(k) => {
+                    prop_assert_eq!(sharded.remove(&k), reference.remove(&k));
+                }
+                MapOp::Update(k, v) => {
+                    let got = sharded.update(&k, |slot| {
+                        slot.map(|x| {
+                            *x += v;
+                            *x
+                        })
+                    });
+                    let want = reference.get_mut(&k).map(|x| {
+                        *x += v;
+                        *x
+                    });
+                    prop_assert_eq!(got, want);
+                }
+                MapOp::WithEntry(k, v) => {
+                    let got = sharded.with_entry(k, |x| {
+                        *x += v;
+                        *x
+                    });
+                    let e = reference.entry(k).or_default();
+                    *e += v;
+                    prop_assert_eq!(got, *e);
+                }
+                MapOp::Clear => {
+                    sharded.clear();
+                    reference.clear();
+                }
+            }
+            prop_assert_eq!(sharded.len(), reference.len(), "length gauge drifted");
+            prop_assert_eq!(sharded.is_empty(), reference.is_empty());
+        }
+        let mut got = sharded.snapshot();
+        let mut want: Vec<(i64, i64)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want, "final contents diverged");
+        let sum = sharded.fold(0i64, |acc, _, v| acc + v);
+        prop_assert_eq!(sum, reference.values().sum::<i64>());
+    }
+}
+
+// ---- GhostQueue vs reference dedup model ---------------------------------
+
+#[derive(Default)]
+struct RefGhostQueue {
+    queue: VecDeque<(IndexId, Vec<u8>)>,
+    queued: HashSet<(IndexId, Vec<u8>)>,
+}
+
+impl RefGhostQueue {
+    fn enqueue(&mut self, index: IndexId, key: Vec<u8>) -> bool {
+        let gk = (index, key);
+        if self.queued.insert(gk.clone()) {
+            self.queue.push_back(gk);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn drain(&mut self) -> Vec<(IndexId, Vec<u8>)> {
+        self.queued.clear();
+        self.queue.drain(..).collect()
+    }
+}
+
+#[derive(Clone, Debug)]
+enum GhostOp {
+    Enqueue(u8, u8),
+    Drain,
+    Clear,
+}
+
+fn arb_ghost_op() -> impl Strategy<Value = GhostOp> {
+    prop_oneof![
+        8 => (0u8..3, 0u8..12).prop_map(|(i, k)| GhostOp::Enqueue(i, k)),
+        1 => Just(GhostOp::Drain),
+        1 => Just(GhostOp::Clear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The striped ghost queue makes the same dedup decisions, reports the
+    /// same backlog, and drains the same key sets as the single-mutex
+    /// reference (drain order across stripes is not part of the contract).
+    #[test]
+    fn ghost_queue_matches_reference(ops in prop::collection::vec(arb_ghost_op(), 1..200)) {
+        let striped = GhostQueue::new();
+        let mut reference = RefGhostQueue::default();
+        for op in &ops {
+            match *op {
+                GhostOp::Enqueue(i, k) => {
+                    let (index, key) = (IndexId(i as u32), vec![k]);
+                    prop_assert_eq!(
+                        striped.enqueue(index, key.clone()),
+                        reference.enqueue(index, key),
+                        "dedup decision diverged"
+                    );
+                }
+                GhostOp::Drain => {
+                    let mut got = striped.drain();
+                    let mut want = reference.drain();
+                    let n = got.len();
+                    got.sort();
+                    got.dedup();
+                    prop_assert_eq!(got.len(), n, "striped drain yielded duplicates");
+                    want.sort();
+                    prop_assert_eq!(got, want, "drained sets diverged");
+                }
+                GhostOp::Clear => {
+                    striped.clear();
+                    reference.queue.clear();
+                    reference.queued.clear();
+                }
+            }
+            prop_assert_eq!(striped.len(), reference.queue.len(), "backlog gauge diverged");
+            prop_assert_eq!(striped.is_empty(), reference.queue.is_empty());
+        }
+    }
+}
