@@ -10,11 +10,14 @@
 //!
 //! `snapshot` runs the E1/E2 headline cells and writes throughput +
 //! commit-latency percentiles to `BENCH_PR5.json` (override with
-//! `--out <path>`). `--metrics` additionally runs a short contended
+//! `--out <path>`). `snapshot-pr6` additionally sweeps the group-commit
+//! pipeline (serial vs pipelined vs pipelined+ELR) and writes
+//! `BENCH_PR6.json`. `--metrics` additionally runs a short contended
 //! deposit cell and prints the engine's full metrics table.
 
 use txview_bench::{
-    e1, e11, e12, e2, e3, e4, e5, e6, e7, e8, metrics_demo, smoke_scale, snapshot_json, ExpConfig,
+    e1, e11, e12, e13, e2, e3, e4, e5, e6, e7, e8, metrics_demo, smoke_scale, snapshot_json,
+    snapshot_pr6_json, ExpConfig,
 };
 
 fn main() {
@@ -28,12 +31,15 @@ fn main() {
         print!("{report}");
         std::process::exit(if pass { 0 } else { 1 });
     }
+    let want_pr6 = args.iter().any(|a| a == "snapshot-pr6");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+        .unwrap_or_else(|| {
+            if want_pr6 { "BENCH_PR6.json".to_string() } else { "BENCH_PR5.json".to_string() }
+        });
     let cfg = if quick { ExpConfig::quick() } else { ExpConfig::default() };
 
     // Positional selections; flag values (the path after --out) are not
@@ -56,10 +62,10 @@ fn main() {
     }
     let run_all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
 
-    if wanted.iter().any(|w| w == "snapshot") {
+    if wanted.iter().any(|w| w == "snapshot" || w == "snapshot-pr6") {
         println!("writing bench snapshot (cell {:?}) to {out_path} ...", cfg.cell);
         let t0 = std::time::Instant::now();
-        let json = snapshot_json(&cfg);
+        let json = if want_pr6 { snapshot_pr6_json(&cfg) } else { snapshot_json(&cfg) };
         std::fs::write(&out_path, &json).expect("write bench snapshot");
         print!("{json}");
         println!("[snapshot done in {:.1}s]", t0.elapsed().as_secs_f64());
@@ -70,7 +76,7 @@ fn main() {
     }
 
     type ExpFn = fn(&ExpConfig) -> txview_workload::report::Table;
-    let experiments: [(&str, ExpFn); 10] = [
+    let experiments: [(&str, ExpFn); 11] = [
         ("e1", e1),
         ("e2", e2),
         ("e3", e3),
@@ -81,6 +87,7 @@ fn main() {
         ("e8", e8),
         ("e11", e11),
         ("e12", e12),
+        ("e13", e13),
     ];
 
     println!(
@@ -99,7 +106,10 @@ fn main() {
         }
     }
     if ran == 0 && !metrics {
-        eprintln!("unknown experiment selection {wanted:?}; use e1..e8, e11, e12, snapshot, or all");
+        eprintln!(
+            "unknown experiment selection {wanted:?}; use e1..e8, e11, e12, e13, snapshot, \
+             snapshot-pr6, or all"
+        );
         std::process::exit(2);
     }
     if metrics {

@@ -141,17 +141,41 @@ fn run_metrics(seed: u64, txns: usize) -> usize {
          per maintenance mode, event-tick observability clock"
     );
     let mut failures = 0usize;
-    for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
-        let cfg = TortureConfig { mode, txns, seed, ..Default::default() };
+    let mut configs: Vec<(String, TortureConfig)> = [MaintenanceMode::Escrow, MaintenanceMode::XLock]
+        .into_iter()
+        .map(|mode| {
+            (mode_name(mode).to_string(), TortureConfig { mode, txns, seed, ..Default::default() })
+        })
+        .collect();
+    // The group-commit pipeline (and ELR) must not leak wall time into any
+    // metric either — its batch/park instruments ride the same tick clock.
+    for elr in [false, true] {
+        configs.push((
+            if elr { "pipe+elr".into() } else { "pipe".into() },
+            TortureConfig {
+                mode: MaintenanceMode::Escrow,
+                txns,
+                seed,
+                pipeline: true,
+                elr,
+                ..Default::default()
+            },
+        ));
+    }
+    for (label, cfg) in configs {
         match run_metrics_check(&cfg) {
             Ok(r) => {
                 println!(
-                    "  {:<6}  commits {:>4}  lock acquisitions {:>5}  wal records {:>5}  \
-                     violations {}",
-                    mode_name(mode),
+                    "  {:<8}  commits {:>4}  lock acquisitions {:>5}  wal records {:>5}  \
+                     pipeline batches {:>4}  violations {}",
+                    label,
                     r.snapshot.counter_value("txn.commits").unwrap_or(0),
                     r.snapshot.counter_value("lock.acquired").unwrap_or(0),
                     r.snapshot.counter_value("wal.appended_records").unwrap_or(0),
+                    r.snapshot
+                        .hist_value("txn.pipeline.batch_commits")
+                        .map(|h| h.count())
+                        .unwrap_or(0),
                     r.violations.len(),
                 );
                 for v in &r.violations {
@@ -161,7 +185,7 @@ fn run_metrics(seed: u64, txns: usize) -> usize {
             }
             Err(e) => {
                 failures += 1;
-                println!("  {:<6}  METRICS CHECK ERROR: {e}", mode_name(mode));
+                println!("  {:<8}  METRICS CHECK ERROR: {e}", label);
             }
         }
     }
@@ -176,6 +200,7 @@ fn interleave_fixtures() -> Vec<interleave::Scenario> {
         scenarios.push(interleave::deadlock_cycle3(mode));
     }
     scenarios.push(interleave::fairness_scenario());
+    scenarios.extend(interleave::pipeline_scenarios());
     scenarios
 }
 
@@ -206,8 +231,17 @@ fn run_interleave(quick: bool, seed: u64) -> usize {
     // them, so any drift means the explored protocol changed (a new yield
     // point, a lost one, or different lock scheduling) and the oracle's
     // coverage claims need re-review. Exact values, asserted in full mode.
-    let expected_schedules: &[(&str, u64)] =
-        &[("escrow_vs_escrow/Escrow", 12_870), ("escrow_vs_escrow/XLock", 5_082)];
+    let expected_schedules: &[(&str, u64)] = &[
+        ("escrow_vs_escrow/Escrow", 12_870),
+        ("escrow_vs_escrow/XLock", 5_082),
+        // Pipeline fixtures (group commit + ELR). The two writers of
+        // two_batch_overlap touch disjoint groups, so its elr flag cannot
+        // change the tree — identical counts are themselves a canary.
+        ("two_batch_overlap/Escrow/pipeline", 167_596),
+        ("two_batch_overlap/Escrow/elr", 167_596),
+        ("elr_read_dependency/Escrow/pipeline", 556),
+        ("elr_read_dependency/Escrow/elr", 1_141),
+    ];
 
     println!("exhaustive DFS (five scenarios x two maintenance modes):");
     for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
@@ -241,11 +275,63 @@ fn run_interleave(quick: bool, seed: u64) -> usize {
         }
     }
 
+    println!("exhaustive DFS (pipeline/ELR fixtures, elr off and on):");
+    for sc in interleave::pipeline_scenarios() {
+        // The 3-committer handoff race has an astronomically large tree;
+        // explore a deterministic prefix. The 2-txn fixtures run to
+        // completion and are gated exactly above.
+        let cap = if sc.name.starts_with("leader_handoff_race") {
+            if quick { 500 } else { 20_000 }
+        } else {
+            dfs_cap
+        };
+        let r = interleave::explore_dfs(&sc, cap);
+        println!(
+            "  {:<42} schedules {:>6}{}  max decisions {:>3}  followers {:>6}  deps {:>5}  violations {}",
+            sc.name,
+            r.schedules,
+            if r.truncated { "+" } else { " " },
+            r.max_decisions,
+            r.follower_wait_schedules,
+            r.dep_schedules,
+            r.violations.len(),
+        );
+        print_interleave_violations(&sc.name, &r.violations);
+        failures += r.violations.len();
+        schedules += r.schedules;
+        if !quick {
+            if let Some(&(_, want)) =
+                expected_schedules.iter().find(|(name, _)| *name == sc.name)
+            {
+                if r.schedules != want {
+                    println!(
+                        "  DRIFT: {} admitted {} schedules, expected {want}",
+                        sc.name, r.schedules
+                    );
+                    failures += 1;
+                }
+            }
+            // Non-vacuity: the pipeline fixtures must actually exercise
+            // the seams they were built for.
+            let wants_followers = !sc.name.starts_with("elr_read_dependency");
+            if wants_followers && r.follower_wait_schedules == 0 {
+                println!("  VACUOUS: {} explored no follower parks", sc.name);
+                failures += 1;
+            }
+            if sc.name == "elr_read_dependency/Escrow/elr" && r.dep_schedules == 0 {
+                println!("  VACUOUS: {} recorded no ELR dependency edges", sc.name);
+                failures += 1;
+            }
+        }
+    }
+
     println!("PCT sampling (3-txn fixtures, {pct_runs} seeded runs each):");
     for sc in [
         interleave::fairness_scenario(),
         interleave::deadlock_cycle3(MaintenanceMode::Escrow),
         interleave::deadlock_cycle3(MaintenanceMode::XLock),
+        interleave::leader_handoff_race(false),
+        interleave::leader_handoff_race(true),
     ] {
         let r = interleave::explore_pct(&sc, seed, pct_runs, 3);
         println!(

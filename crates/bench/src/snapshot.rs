@@ -46,8 +46,8 @@ fn cell_json(extra: &str, mode: MaintenanceMode, r: &GroupResult) -> String {
     )
 }
 
-fn run_deposit_cell(cfg: &ExpConfig, mode: MaintenanceMode, threads: usize) -> GroupResult {
-    let bank = Bank::setup(BankConfig { mode, ..Default::default() }).expect("setup");
+fn run_deposit_cell_with(cfg: &ExpConfig, bank_cfg: BankConfig, threads: usize) -> GroupResult {
+    let bank = Bank::setup(bank_cfg).expect("setup");
     let specs = [WorkerSpec {
         name: "deposit".into(),
         threads,
@@ -57,6 +57,10 @@ fn run_deposit_cell(cfg: &ExpConfig, mode: MaintenanceMode, threads: usize) -> G
     let res = run_for(&bank.db, &specs, cfg.cell);
     bank.verify().expect("view consistent after snapshot deposit cell");
     res.into_iter().next().unwrap()
+}
+
+fn run_deposit_cell(cfg: &ExpConfig, mode: MaintenanceMode, threads: usize) -> GroupResult {
+    run_deposit_cell_with(cfg, BankConfig { mode, ..Default::default() }, threads)
 }
 
 fn run_transfer_cell(cfg: &ExpConfig, mode: MaintenanceMode, theta: f64) -> GroupResult {
@@ -98,6 +102,51 @@ pub fn snapshot_json(cfg: &ExpConfig) -> String {
         cfg.cell.as_millis(),
         e1_cells.join(",\n    "),
         e2_cells.join(",\n    "),
+    )
+}
+
+/// The `BENCH_PR6.json` payload: the PR5-shaped E1 deposit sweep for
+/// continuity, plus an `e13_pipeline` sweep comparing the three commit
+/// paths under escrow maintenance — serial (per-commit `flush_to`),
+/// leader-based group commit (`pipeline`), and group commit with early
+/// escrow lock release (`pipeline+elr`) — at each thread count.
+pub fn snapshot_pr6_json(cfg: &ExpConfig) -> String {
+    let threads: Vec<usize> =
+        [1usize, 2, 4, 8, 16].into_iter().filter(|&t| t <= cfg.max_threads).collect();
+    let mut e1_cells = Vec::new();
+    for &t in &threads {
+        for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+            let r = run_deposit_cell(cfg, mode, t);
+            e1_cells.push(cell_json(&format!("\"threads\": {t}, "), mode, &r));
+        }
+    }
+    let paths: [(&str, bool, bool); 3] =
+        [("serial", false, false), ("pipeline", true, false), ("pipeline+elr", true, true)];
+    let mut e13_cells = Vec::new();
+    for &t in &threads {
+        for (path, pipeline, elr) in paths {
+            let r = run_deposit_cell_with(
+                cfg,
+                BankConfig {
+                    mode: MaintenanceMode::Escrow,
+                    pipeline,
+                    elr,
+                    ..Default::default()
+                },
+                t,
+            );
+            e13_cells.push(cell_json(
+                &format!("\"threads\": {t}, \"path\": \"{path}\", "),
+                MaintenanceMode::Escrow,
+                &r,
+            ));
+        }
+    }
+    format!(
+        "{{\n  \"bench\": \"PR6\",\n  \"cell_ms\": {},\n  \"e1_deposit\": [\n    {}\n  ],\n  \"e13_pipeline\": [\n    {}\n  ]\n}}\n",
+        cfg.cell.as_millis(),
+        e1_cells.join(",\n    "),
+        e13_cells.join(",\n    "),
     )
 }
 
@@ -191,6 +240,18 @@ mod tests {
         // Both modes appear in both sections.
         assert!(s.matches("\"escrow\"").count() >= 2);
         assert!(s.matches("\"xlock\"").count() >= 2);
+    }
+
+    #[test]
+    fn snapshot_pr6_json_has_expected_shape() {
+        let s = snapshot_pr6_json(&tiny());
+        check_balanced(&s);
+        assert!(s.contains("\"bench\": \"PR6\""));
+        assert!(s.contains("\"e1_deposit\""));
+        assert!(s.contains("\"e13_pipeline\""));
+        for path in ["\"serial\"", "\"pipeline\"", "\"pipeline+elr\""] {
+            assert!(s.contains(path), "missing commit path {path}");
+        }
     }
 
     #[test]

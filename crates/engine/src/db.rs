@@ -133,6 +133,9 @@ pub struct Database {
     catalog_path: Mutex<Option<std::path::PathBuf>>,
     /// Health state machine (Healthy → DegradedReadOnly → Fenced).
     health: HealthMonitor,
+    /// Tick source installed by [`Database::set_metrics_ticks`], kept so a
+    /// commit pipeline enabled later still joins the deterministic clock.
+    metrics_ticks: Mutex<Option<Arc<AtomicU64>>>,
     /// Backoff shape for `run_txn` retries (attempts come from the caller;
     /// only the delay curve and jitter seed live here).
     txn_backoff: Mutex<RetryPolicy>,
@@ -213,6 +216,7 @@ impl Database {
             deferred_pending: Mutex::new(HashMap::new()),
             catalog_path: Mutex::new(None),
             health: HealthMonitor::new(),
+            metrics_ticks: Mutex::new(None),
             txn_backoff: Mutex::new(RetryPolicy::no_delay(0)),
             txn_attempts: AtomicU64::new(0),
             txn_retries: AtomicU64::new(0),
@@ -364,7 +368,38 @@ impl Database {
         self.locks.obs().clock.use_ticks(Arc::clone(&ticks));
         self.log.obs().clock.use_ticks(Arc::clone(&ticks));
         self.pool.obs().clock.use_ticks(Arc::clone(&ticks));
-        self.txns.obs().clock.use_ticks(ticks);
+        self.txns.obs().clock.use_ticks(Arc::clone(&ticks));
+        if let Some(p) = self.txns.pipeline() {
+            p.use_ticks(Arc::clone(&ticks));
+        }
+        *self.metrics_ticks.lock() = Some(ticks);
+    }
+
+    // ---- group commit ----------------------------------------------------
+
+    /// Install the leader-based group-commit pipeline on the commit path.
+    /// With `elr = true`, escrow locks additionally release at log-append
+    /// time, with commit-dependency tracking protecting readers of
+    /// not-yet-durable escrow values.
+    pub fn enable_commit_pipeline(&self, elr: bool) {
+        self.txns.enable_pipeline(elr);
+        if let Some(ticks) = self.metrics_ticks.lock().clone() {
+            if let Some(p) = self.txns.pipeline() {
+                p.use_ticks(ticks);
+            }
+        }
+    }
+
+    /// The installed commit pipeline, if any (diagnostics, tests).
+    pub fn commit_pipeline(&self) -> Option<Arc<txview_txn::CommitPipeline>> {
+        self.txns.pipeline()
+    }
+
+    /// Recorded ELR dependency edges `(dependent, pred, pred commit LSN)`
+    /// — evidence the torture recovery oracle checks durable commit order
+    /// against. Empty without an ELR pipeline.
+    pub fn dep_edges(&self) -> Vec<(TxnId, TxnId, Lsn)> {
+        self.txns.pipeline().map(|p| p.deps.edges()).unwrap_or_default()
     }
 
     // ---- resilience ------------------------------------------------------
@@ -1061,7 +1096,13 @@ impl Database {
                 continue;
             }
             let mode = if view.is_escrow() && all_sums { LockMode::E } else { LockMode::X };
-            self.locks.acquire(txn.id, LockName::key(view.index, kb.clone()), mode)?;
+            let row_name = LockName::key(view.index, kb.clone());
+            self.locks.acquire(txn.id, row_name.clone(), mode)?;
+            if mode == LockMode::X {
+                // The X path reads the current row image — under ELR it may
+                // observe a predecessor's not-yet-durable escrow value.
+                self.txns.note_read_dependency(txn, &row_name);
+            }
             // Re-check under the lock (ghost cleanup may have removed it).
             let current = tree.get(&key)?;
             let Some((_, cur_value)) = current else { continue };
@@ -1180,7 +1221,9 @@ impl Database {
     /// this experiment measures — and re-checking the count under it.
     fn eager_delete_group(&self, txn: &mut Transaction, view: &ViewDef, tree: &Tree, key: &Key) -> Result<()> {
         let kb = key.as_bytes().to_vec();
-        self.locks.acquire(txn.id, LockName::key(view.index, kb.clone()), LockMode::X)?;
+        let row_name = LockName::key(view.index, kb.clone());
+        self.locks.acquire(txn.id, row_name.clone(), LockMode::X)?;
+        self.txns.note_read_dependency(txn, &row_name);
         let Some((_, value)) = tree.get(key)? else { return Ok(()) };
         if self.view_row_visible(view.index, &value)? {
             return Ok(()); // somebody legitimately resurrected it before our X
@@ -1527,6 +1570,9 @@ impl Database {
         self.watermark.clear_snapshots();
         self.locks.reset();
         self.txns.reset_active();
+        if let Some(p) = self.txns.pipeline() {
+            p.deps.clear();
+        }
         self.health.reset();
         recover(&self.log, &self.pool, self)
     }

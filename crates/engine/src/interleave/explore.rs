@@ -26,6 +26,13 @@ pub struct ExploreReport {
     pub aborted_schedules: u64,
     /// Longest decision list seen.
     pub max_decisions: usize,
+    /// Episodes in which some committer parked behind a group-commit
+    /// leader (a `LogForceWait` in the history) — non-vacuity evidence for
+    /// the pipeline fixtures.
+    pub follower_wait_schedules: u64,
+    /// Episodes that recorded at least one ELR commit-dependency edge —
+    /// non-vacuity evidence for the ELR fixtures.
+    pub dep_schedules: u64,
 }
 
 fn executed_choices(ep: &Episode) -> Vec<usize> {
@@ -35,6 +42,17 @@ fn executed_choices(ep: &Episode) -> Vec<usize> {
 fn scan_episode(report: &mut ExploreReport, sc: &Scenario, ep: &Episode, choices: &[usize]) {
     report.schedules += 1;
     report.max_decisions = report.max_decisions.max(ep.decisions.len());
+    if ep.history.iter().any(|e| {
+        matches!(
+            e.kind,
+            super::sched::EventKind::Hook(txview_lock::SchedEvent::LogForceWait { .. })
+        )
+    }) {
+        report.follower_wait_schedules += 1;
+    }
+    if !ep.dep_edges.is_empty() {
+        report.dep_schedules += 1;
+    }
     if ep.workers.iter().any(|w| {
         matches!(&w.outcome, super::script::TxnOutcome::Aborted { reason }
             if reason.contains("deadlock") || reason.contains("timeout"))

@@ -56,6 +56,8 @@ pub fn escrow_vs_escrow(mode: MaintenanceMode) -> Scenario {
             rc(vec![SOp::Insert { id: 3, grp: 1, amount: 7 }], End::Commit),
         ],
         groups: vec![1],
+        pipeline: false,
+        elr: false,
     }
 }
 
@@ -76,6 +78,8 @@ pub fn escrow_vs_serializable_reader(mode: MaintenanceMode) -> Scenario {
             },
         ],
         groups: vec![1],
+        pipeline: false,
+        elr: false,
     }
 }
 
@@ -95,6 +99,8 @@ pub fn escrow_vs_snapshot_reader(mode: MaintenanceMode) -> Scenario {
             },
         ],
         groups: vec![1],
+        pipeline: false,
+        elr: false,
     }
 }
 
@@ -111,6 +117,8 @@ pub fn ghost_come_and_go(mode: MaintenanceMode) -> Scenario {
             rc(vec![SOp::Insert { id: 2, grp: 1, amount: 7 }], End::Commit),
         ],
         groups: vec![1],
+        pipeline: false,
+        elr: false,
     }
 }
 
@@ -140,6 +148,8 @@ pub fn deadlock_cycle(mode: MaintenanceMode) -> Scenario {
             ),
         ],
         groups: vec![1],
+        pipeline: false,
+        elr: false,
     }
 }
 
@@ -173,7 +183,89 @@ pub fn fairness_scenario() -> Scenario {
             rc(vec![SOp::ReadGroup { grp: 1 }], End::Commit),
         ],
         groups: vec![1],
+        pipeline: false,
+        elr: false,
     }
+}
+
+/// Pipeline scenario A — leader handoff race: three escrow incrementers on
+/// the same hot group, every one committing through the pipeline. Whichever
+/// committer arrives first leads; the others either join its batch or are
+/// promoted by the mid-round handoff / end-of-round promotion, in every
+/// possible order. All three must ack durable and sum their deltas.
+pub fn leader_handoff_race(elr: bool) -> Scenario {
+    escrow_vs_escrow_3().with_pipeline(elr)
+}
+
+fn escrow_vs_escrow_3() -> Scenario {
+    Scenario {
+        name: "leader_handoff_race/Escrow".into(),
+        mode: MaintenanceMode::Escrow,
+        initial: vec![(1, 1, 10)],
+        scripts: vec![
+            rc(vec![SOp::Insert { id: 2, grp: 1, amount: 5 }], End::Commit),
+            rc(vec![SOp::Insert { id: 3, grp: 1, amount: 7 }], End::Commit),
+            rc(vec![SOp::Insert { id: 4, grp: 1, amount: 9 }], End::Commit),
+        ],
+        groups: vec![1],
+        pipeline: false,
+        elr: false,
+    }
+}
+
+/// Pipeline scenario B — two-batch overlap: two writers on *disjoint*
+/// groups, so the commit pipeline is their only interaction. Schedules
+/// where the second commit enqueues between the first leader's append and
+/// its sync exercise the two-deep pipeline (batch N+1 forms and appends
+/// while batch N's sync is in flight).
+pub fn two_batch_overlap(elr: bool) -> Scenario {
+    Scenario {
+        name: "two_batch_overlap/Escrow".into(),
+        mode: MaintenanceMode::Escrow,
+        initial: vec![(1, 1, 10), (2, 2, 20)],
+        scripts: vec![
+            rc(vec![SOp::Insert { id: 3, grp: 1, amount: 5 }], End::Commit),
+            rc(vec![SOp::Insert { id: 4, grp: 2, amount: 7 }], End::Commit),
+        ],
+        groups: vec![1, 2],
+        pipeline: false,
+        elr: false,
+    }
+    .with_pipeline(elr)
+}
+
+/// Pipeline scenario C — ELR read dependency: an escrow incrementer and an
+/// RC reader of the same group. With `elr`, schedules exist where the
+/// writer's escrow lock is released at log-append time and the reader
+/// observes the not-yet-durable increment; the reader's commit must then
+/// wait for (or abort with) the writer. The oracle treats the writer's
+/// `CommitPending` event as its visibility point.
+pub fn elr_read_dependency(elr: bool) -> Scenario {
+    Scenario {
+        name: "elr_read_dependency/Escrow".into(),
+        mode: MaintenanceMode::Escrow,
+        initial: vec![(1, 1, 10)],
+        scripts: vec![
+            rc(vec![SOp::Insert { id: 2, grp: 1, amount: 5 }], End::Commit),
+            rc(vec![SOp::ReadGroup { grp: 1 }, SOp::ReadGroup { grp: 1 }], End::Commit),
+        ],
+        groups: vec![1],
+        pipeline: false,
+        elr: false,
+    }
+    .with_pipeline(elr)
+}
+
+/// The six pipeline fixtures: the three pipeline scenarios, each in
+/// `elr = false` and `elr = true` mode.
+pub fn pipeline_scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for elr in [false, true] {
+        out.push(leader_handoff_race(elr));
+        out.push(two_batch_overlap(elr));
+        out.push(elr_read_dependency(elr));
+    }
+    out
 }
 
 /// Three-transaction deadlock cycle over base rows 1→2→3→1 (same-value
@@ -194,5 +286,7 @@ pub fn deadlock_cycle3(mode: MaintenanceMode) -> Scenario {
             rc(vec![upd(3), upd(1)], End::Commit),
         ],
         groups: vec![1],
+        pipeline: false,
+        elr: false,
     }
 }

@@ -249,6 +249,16 @@ impl VirtualScheduler {
     fn park(&self, i: usize) {
         let mut g = self.inner.lock();
         if g.turn == Some(i) {
+            if g.status[i] == Status::Ready {
+                // A resuming worker the chooser already picked while its
+                // thread was still racing from the real condvar wake
+                // toward this park: take the granted turn as-is. Clearing
+                // it and re-deciding here would record an extra decision
+                // whose presence depends on who won that race, making the
+                // schedule tree timing-dependent.
+                g.status[i] = Status::Running;
+                return;
+            }
             g.turn = None;
         }
         g.status[i] = Status::Ready;

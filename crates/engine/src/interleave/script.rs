@@ -80,6 +80,23 @@ pub struct Scenario {
     pub scripts: Vec<Script>,
     /// Universe of group keys the scenario can touch (for scan modeling).
     pub groups: Vec<i64>,
+    /// Route commits through the leader-based group-commit pipeline.
+    pub pipeline: bool,
+    /// With the pipeline: early escrow-lock release at log-append time.
+    pub elr: bool,
+}
+
+impl Scenario {
+    /// The same scenario with commits routed through the group-commit
+    /// pipeline (and, with `elr`, early escrow-lock release). The name
+    /// gains a `/pipeline` or `/elr` suffix so reports and replay commands
+    /// stay unambiguous.
+    pub fn with_pipeline(mut self, elr: bool) -> Scenario {
+        self.pipeline = true;
+        self.elr = elr;
+        self.name = format!("{}/{}", self.name, if elr { "elr" } else { "pipeline" });
+        self
+    }
 }
 
 /// Script-level action recorded into the history.
@@ -168,6 +185,9 @@ pub struct Episode {
     pub view_dump: BTreeMap<i64, (i64, i64)>,
     /// `verify_view` error text, if the engine's own invariant failed.
     pub verify_error: Option<String>,
+    /// ELR commit-dependency edges `(dependent, predecessor)` recorded
+    /// during the episode (empty without an ELR pipeline).
+    pub dep_edges: Vec<(u64, u64)>,
 }
 
 fn schema() -> Schema {
@@ -187,6 +207,9 @@ fn build_db(sc: &Scenario) -> Arc<Database> {
     // scheduler ever wedges (oracle reports it), blocked workers time out
     // and the episode still terminates.
     let db = Database::new_in_memory_with(256, Duration::from_secs(2));
+    if sc.pipeline {
+        db.enable_commit_pipeline(sc.elr);
+    }
     let t = db.create_table("items", schema()).expect("create table");
     db.create_indexed_view(ViewSpec {
         name: "v".into(),
@@ -447,6 +470,8 @@ pub fn run_episode(scenario: &Scenario, chooser: Box<dyn Chooser>) -> Episode {
         view_dump.insert(grp, (count, sum));
     }
 
+    let dep_edges = db.dep_edges().iter().map(|&(d, p, _)| (d.0, p.0)).collect();
+
     Episode {
         decisions,
         history,
@@ -456,5 +481,6 @@ pub fn run_episode(scenario: &Scenario, chooser: Box<dyn Chooser>) -> Episode {
         base_dump,
         view_dump,
         verify_error,
+        dep_edges,
     }
 }

@@ -37,6 +37,7 @@ impl Database {
 
         let name = LockName::key(view.index, kb.clone());
         self.locks.acquire(txn.id, name.clone(), LockMode::S)?;
+        self.txns.note_read_dependency(txn, &name);
         let out = match tree.get(&key)? {
             Some((false, bytes)) if self.view_row_visible(view.index, &bytes)? => {
                 Some(Row::from_bytes(&bytes)?)
@@ -107,6 +108,7 @@ impl Database {
         for item in items {
             let name = LockName::key(view.index, item.key.clone());
             self.locks.acquire(txn.id, name.clone(), LockMode::S)?;
+            self.txns.note_read_dependency(txn, &name);
             if serializable {
                 self.locks
                     .acquire(txn.id, LockName::gap(view.index, item.key.clone()), LockMode::S)?;
@@ -233,8 +235,9 @@ impl Database {
     ) -> Result<Option<Row>> {
         let view = self.catalog.read().view(view_name)?.clone();
         let key = Key::from_values(group);
-        self.locks
-            .acquire(txn.id, LockName::key(view.index, key.as_bytes()), LockMode::X)?;
+        let name = LockName::key(view.index, key.as_bytes());
+        self.locks.acquire(txn.id, name.clone(), LockMode::X)?;
+        self.txns.note_read_dependency(txn, &name);
         let tree = self.tree(view.index)?;
         match tree.get(&key)? {
             Some((false, bytes)) if self.view_row_visible(view.index, &bytes)? => {

@@ -67,6 +67,11 @@ pub struct TortureConfig {
     pub pool_pages: usize,
     /// Workload RNG seed; with the schedule, fully determines an episode.
     pub seed: u64,
+    /// Route commits through the leader-based group-commit pipeline.
+    pub pipeline: bool,
+    /// With the pipeline: release escrow locks at log-append time (early
+    /// lock release), tracked by commit dependencies.
+    pub elr: bool,
 }
 
 impl Default for TortureConfig {
@@ -80,6 +85,8 @@ impl Default for TortureConfig {
             mode: MaintenanceMode::Escrow,
             pool_pages: 64,
             seed: 1,
+            pipeline: false,
+            elr: false,
         }
     }
 }
@@ -176,6 +183,9 @@ fn build(cfg: &TortureConfig) -> Result<(Arc<Database>, Parts)> {
     // identical snapshots. Wired before any DDL/load so no sample ever
     // comes from wall time.
     db.set_metrics_ticks(clock.events_handle());
+    if cfg.pipeline {
+        db.enable_commit_pipeline(cfg.elr);
+    }
 
     let accounts = db.create_table(
         "accounts",
@@ -419,6 +429,51 @@ fn check_oracle(
     }
 }
 
+/// ELR durable-ordering oracle: a transaction that read a predecessor's
+/// not-yet-durable escrow value (a recorded dependency edge) may itself be
+/// cleanly durable-committed only if that predecessor is too. "Cleanly
+/// committed" = a Commit record in the durable log and no Abort — a failed
+/// group flush can leave a retracted Commit record behind, and a dependent
+/// acked on top of it would be durability out of order.
+fn check_elr_ordering(
+    db: &Database,
+    edges: &[(txview_common::TxnId, txview_common::TxnId, txview_common::Lsn)],
+    violations: &mut Vec<String>,
+) {
+    if edges.is_empty() {
+        return;
+    }
+    let records = match db.log().read_durable_from(0) {
+        Ok(r) => r,
+        Err(e) => {
+            violations.push(format!("[elr] durable log unreadable: {e}"));
+            return;
+        }
+    };
+    let mut committed = HashSet::new();
+    let mut aborted = HashSet::new();
+    for (_, rec) in &records {
+        match rec.body {
+            txview_wal::RecordBody::Commit => {
+                committed.insert(rec.txn);
+            }
+            txview_wal::RecordBody::Abort => {
+                aborted.insert(rec.txn);
+            }
+            _ => {}
+        }
+    }
+    let clean = |t: &txview_common::TxnId| committed.contains(t) && !aborted.contains(t);
+    for (dependent, pred, lsn) in edges {
+        if clean(dependent) && !clean(pred) {
+            violations.push(format!(
+                "[elr] durability out of order: {dependent:?} committed durably but its \
+                 escrow predecessor {pred:?} (commit {lsn:?}) did not"
+            ));
+        }
+    }
+}
+
 /// Run one crash episode under `schedule` and interrogate the oracle.
 pub fn run_episode(cfg: &TortureConfig, schedule: &FaultSchedule) -> Result<EpisodeReport> {
     let (db, parts) = build(cfg)?;
@@ -426,6 +481,7 @@ pub fn run_episode(cfg: &TortureConfig, schedule: &FaultSchedule) -> Result<Epis
     parts.clock.arm(schedule);
     let trace = run_workload(&db, cfg, &parts.clock);
     let fault_stats = parts.clock.stats();
+    let elr_edges = db.dep_edges();
     drop(db);
 
     // Reboot: fall back to what actually reached stable storage.
@@ -442,6 +498,7 @@ pub fn run_episode(cfg: &TortureConfig, schedule: &FaultSchedule) -> Result<Epis
 
     let mut violations = Vec::new();
     check_oracle(&db, cfg, &trace, "recovered", &mut violations);
+    check_elr_ordering(&db, &elr_edges, &mut violations);
 
     // Idempotence: crash again immediately (full steal so every page is
     // durable) — redo must find nothing to do and undo no one.
@@ -527,6 +584,96 @@ pub fn run_sweep(cfg: &TortureConfig, max_points: usize) -> Result<SweepReport> 
     }
     report.crash_events.sort_unstable();
     report.crash_events.dedup();
+    Ok(report)
+}
+
+// ---- pipeline-seam sweep -------------------------------------------------
+
+/// The group-commit pipeline's crash seams: mid-batch (commit records
+/// appended for some batch members but not all), post-append (the whole
+/// batch handed to the store, nothing synced, followers not yet woken),
+/// and pre-sync (the leader about to fsync — with ELR, escrow locks are
+/// already released here).
+pub const PIPELINE_PROBES: [&str; 3] = [
+    "wal.pipeline.mid_batch",
+    "wal.pipeline.post_append_pre_wake",
+    "wal.pipeline.pre_leader_sync",
+];
+
+/// Replay the fault-free workload once, recording the relative event
+/// offset of every occurrence of each named probe. Offsets are relative to
+/// the post-build event count — the same base [`FaultClock::arm`] uses in
+/// [`run_episode`] — so `crash_at(offset)` lands the crash exactly on that
+/// probe tick.
+fn measure_probe_offsets(
+    cfg: &TortureConfig,
+    names: &'static [&'static str],
+) -> Result<Vec<(&'static str, u64)>> {
+    let (db, parts) = build(cfg)?;
+    let base = parts.clock.events();
+    let hits: Arc<parking_lot::Mutex<Vec<(&'static str, u64)>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let c = Arc::clone(&parts.clock);
+    let h = Arc::clone(&hits);
+    // Replace the log's probe hook with one that still ticks the clock
+    // identically but also records where the pipeline seams fall.
+    db.log().set_crash_probe(Arc::new(move |p| {
+        if names.contains(&p) {
+            h.lock().push((p, c.events()));
+        }
+        c.tick(FaultPoint::Probe(p));
+    }));
+    let _ = run_workload(&db, cfg, &parts.clock);
+    let out = hits.lock().iter().map(|&(n, abs)| (n, abs - base)).collect();
+    Ok(out)
+}
+
+/// Outcome of a pipeline-seam sweep: one crash episode per sampled
+/// occurrence of each pipeline probe.
+#[derive(Clone, Debug, Default)]
+pub struct ProbeSweepReport {
+    /// Episodes run per probe name.
+    pub per_probe: Vec<(&'static str, usize)>,
+    /// Episodes run in total.
+    pub episodes: usize,
+    /// Violations, tagged with the crash offset that produced them.
+    pub violations: Vec<(u64, String)>,
+    /// Total acknowledged commits across episodes.
+    pub acked_commits: usize,
+}
+
+/// Crash exactly at the pipeline's seams: sample up to `per_probe`
+/// occurrences of each probe in [`PIPELINE_PROBES`], run one crash episode
+/// per sampled offset, and assert the full oracle (including the ELR
+/// durable-ordering check) on each. Requires `cfg.pipeline`; without it the
+/// probes never fire and the sweep reports zero episodes.
+pub fn run_pipeline_probe_sweep(
+    cfg: &TortureConfig,
+    per_probe: usize,
+) -> Result<ProbeSweepReport> {
+    let offsets = measure_probe_offsets(cfg, &PIPELINE_PROBES)?;
+    let mut report = ProbeSweepReport::default();
+    for name in PIPELINE_PROBES {
+        let occurrences: Vec<u64> =
+            offsets.iter().filter(|(n, _)| *n == name).map(|&(_, o)| o).collect();
+        let stride = (occurrences.len() / per_probe.max(1)).max(1);
+        let mut ran = 0usize;
+        for &offset in occurrences.iter().step_by(stride).take(per_probe) {
+            let ep = run_episode(cfg, &FaultSchedule::crash_at(offset))?;
+            report.episodes += 1;
+            ran += 1;
+            report.acked_commits += ep.trace.acked_commits;
+            if ep.crash_event.is_none() {
+                report
+                    .violations
+                    .push((offset, format!("crash scheduled at {name} never fired")));
+            }
+            for v in ep.violations {
+                report.violations.push((offset, v));
+            }
+        }
+        report.per_probe.push((name, ran));
+    }
     Ok(report)
 }
 
@@ -966,6 +1113,67 @@ mod tests {
         assert_eq!(report.resilience.health_counters.degradations, 1);
         assert_eq!(report.resilience.health_counters.heals, 1);
         assert!(report.resilience.health_counters.writes_rejected > 0);
+    }
+
+    fn pipeline_cfg(elr: bool) -> TortureConfig {
+        TortureConfig { txns: 12, pipeline: true, elr, ..Default::default() }
+    }
+
+    #[test]
+    fn pipelined_fault_free_episode_passes_oracle() {
+        let ep = run_episode(&pipeline_cfg(false), &FaultSchedule::crash_at(1_000_000)).unwrap();
+        assert!(ep.violations.is_empty(), "{:?}", ep.violations);
+        assert_eq!(ep.trace.acked_commits, 11);
+        assert_eq!(ep.recovery.losers, 0);
+    }
+
+    #[test]
+    fn elr_fault_free_episode_passes_oracle() {
+        let ep = run_episode(&pipeline_cfg(true), &FaultSchedule::crash_at(1_000_000)).unwrap();
+        assert!(ep.violations.is_empty(), "{:?}", ep.violations);
+        assert_eq!(ep.trace.acked_commits, 11);
+    }
+
+    #[test]
+    fn pipelined_mini_sweep_is_clean() {
+        let report = run_sweep(&pipeline_cfg(false), 6).unwrap();
+        assert_eq!(report.episodes, 6);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn elr_mini_sweep_is_clean() {
+        let report = run_sweep(&pipeline_cfg(true), 6).unwrap();
+        assert_eq!(report.episodes, 6);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn pipeline_probe_sweep_covers_all_three_seams() {
+        for elr in [false, true] {
+            let report = run_pipeline_probe_sweep(&pipeline_cfg(elr), 3).unwrap();
+            assert!(report.violations.is_empty(), "elr={elr}: {:?}", report.violations);
+            assert_eq!(report.per_probe.len(), 3);
+            for &(name, ran) in &report.per_probe {
+                assert!(ran >= 1, "elr={elr}: probe {name} never got a crash episode");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_storm_episode_is_absorbed() {
+        let cfg = pipeline_cfg(true);
+        let horizon = measure_horizon(&cfg).unwrap();
+        let ep = run_storm_episode(&cfg, &FaultSchedule::storm(9, horizon)).unwrap();
+        assert!(ep.violations.is_empty(), "{:?}", ep.violations);
+        assert!(ep.fault_stats.transient_faults > 0);
+    }
+
+    #[test]
+    fn pipelined_metrics_check_is_deterministic() {
+        let report = run_metrics_check(&pipeline_cfg(true)).unwrap();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.snapshot.counter_value("txn.pipeline.leader_syncs").unwrap_or(0) > 0);
     }
 
     #[test]

@@ -143,6 +143,83 @@ fn fifo_fairness_exhaustive() {
     assert!(report.schedules >= 10, "only {} schedules", report.schedules);
 }
 
+/// Pipeline fixture: ELR read dependency, exhaustively explored in both
+/// elr modes with exact admitted-schedule drift gates (the same canary
+/// idea as the `escrow_vs_escrow` gates in `run_torture --interleave`:
+/// any drift means the yield-point set or the pipeline protocol changed).
+#[test]
+fn pipeline_elr_read_dependency_exhaustive() {
+    // elr=false: escrow locks are held to durability, so the reader can
+    // never observe a not-yet-durable increment — no dependency edges.
+    let sc = interleave::elr_read_dependency(false);
+    let r = explore_dfs(&sc, CAP);
+    assert!(!r.truncated, "[{}] truncated", sc.name);
+    assert!(r.violations.is_empty(), "[{}] first: {}", sc.name, r.violations[0].1);
+    assert_eq!(r.schedules, 556, "[{}] schedule-count drift", sc.name);
+    assert_eq!(r.dep_schedules, 0, "[{}] dep edges without ELR", sc.name);
+
+    // elr=true: schedules exist where the reader sees the writer's value
+    // before the writer is durable and must record a commit dependency.
+    let sc = interleave::elr_read_dependency(true);
+    let r = explore_dfs(&sc, CAP);
+    assert!(!r.truncated, "[{}] truncated", sc.name);
+    assert!(r.violations.is_empty(), "[{}] first: {}", sc.name, r.violations[0].1);
+    assert_eq!(r.schedules, 1_141, "[{}] schedule-count drift", sc.name);
+    assert_eq!(r.dep_schedules, 675, "[{}] dep-schedule drift", sc.name);
+}
+
+/// Pipeline fixture: two-batch overlap (disjoint groups, the pipeline is
+/// the only interaction). The full tree is 167,596 schedules — gated
+/// exactly in `run_torture --interleave` full mode; here a deterministic
+/// 4,000-schedule DFS prefix runs with its own drift gate.
+#[test]
+fn pipeline_two_batch_overlap_capped() {
+    for elr in [false, true] {
+        let sc = interleave::two_batch_overlap(elr);
+        let r = explore_dfs(&sc, 4_000);
+        assert!(r.truncated, "[{}] tree shrank below the cap", sc.name);
+        assert!(r.violations.is_empty(), "[{}] first: {}", sc.name, r.violations[0].1);
+        // Non-vacuity + drift gate: schedules where a committer parks
+        // behind an active leader must exist, in a deterministic count.
+        assert_eq!(r.follower_wait_schedules, 735, "[{}] follower drift", sc.name);
+    }
+}
+
+/// Pipeline fixture: 3-committer leader handoff race. The full tree is
+/// astronomically large; a deterministic DFS prefix plus PCT sampling
+/// cover it, with a follower-count drift gate on the prefix.
+#[test]
+fn pipeline_leader_handoff_race_capped() {
+    for elr in [false, true] {
+        let sc = interleave::leader_handoff_race(elr);
+        let r = explore_dfs(&sc, 1_500);
+        assert!(r.truncated, "[{}] tree shrank below the cap", sc.name);
+        assert!(r.violations.is_empty(), "[{}] first: {}", sc.name, r.violations[0].1);
+        assert_eq!(r.follower_wait_schedules, 165, "[{}] follower drift", sc.name);
+
+        let p = interleave::explore_pct(&sc, 0xC0FFEE, 50, 3);
+        assert!(p.violations.is_empty(), "[{}] PCT first: {}", sc.name, p.violations[0].1);
+        assert!(p.follower_wait_schedules > 0, "[{}] PCT saw no followers", sc.name);
+    }
+}
+
+/// Replay determinism through the pipeline code path: same choices must
+/// reproduce the same decisions, history, and state with group commit and
+/// ELR enabled.
+#[test]
+fn pipeline_replay_is_deterministic() {
+    let sc = interleave::elr_read_dependency(true);
+    let choices = vec![1, 1, 0, 1, 0, 1, 1, 0];
+    let (a, va) = replay(&sc, &choices);
+    let (b, vb) = replay(&sc, &choices);
+    assert_eq!(va, vb);
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.history.len(), b.history.len());
+    assert_eq!(a.dep_edges, b.dep_edges);
+    assert_eq!(a.base_dump, b.base_dump);
+    assert_eq!(a.view_dump, b.view_dump);
+}
+
 /// Non-vacuity for the FIFO rule: a synthetic history in which a later S
 /// request is granted while an earlier incompatible X request still waits
 /// MUST be flagged.

@@ -89,6 +89,57 @@ pub enum SchedEvent {
     /// The committing transaction is about to publish multiversion entries
     /// for the view rows it touched (latch-free version-store publish).
     VersionPublish,
+    /// A commit record reached the log with its escrow locks released
+    /// early (ELR, pipeline mode). Durability is still pending, but the
+    /// transaction's effects are visible to later lockers from this point
+    /// — for the serializability oracle this, not the later
+    /// [`SchedEvent::Committed`], is the serialization point.
+    CommitPending {
+        /// The commit record's LSN.
+        commit_lsn: u64,
+    },
+    /// A committer enqueued its commit LSN on the group-commit pipeline
+    /// and is about to park until the batch outcome resolves it
+    /// (`on_block` event, mirroring [`SchedEvent::LockBlocked`]).
+    LogForceWait {
+        /// The parked commit record's LSN.
+        commit_lsn: u64,
+    },
+    /// The pipeline resolved a parked committer from the leader's thread
+    /// (`on_grant` event): its batch flushed, failed, or it was promoted
+    /// to lead the next batch.
+    LogForceGrant {
+        /// The resolved commit record's LSN.
+        commit_lsn: u64,
+    },
+    /// The group-commit leader finished appending its batch and is about
+    /// to sync (yield point). This is the pipelined handoff seam: the
+    /// next batch may form and append here while this sync is in flight.
+    LeaderSync {
+        /// Highest LSN the in-flight sync will cover.
+        upto: u64,
+    },
+    /// The group-commit leader drained its batch and is about to append
+    /// it (yield point). While the leader sits here, `leader_active` is
+    /// still true — committers arriving in this window park as followers
+    /// and are resolved (or promoted) by this leader's round.
+    LeaderAppend {
+        /// Highest LSN the batch append will cover.
+        upto: u64,
+    },
+    /// An ELR reader depends on a predecessor whose commit record is not
+    /// yet durable and is about to park until the predecessor's fate is
+    /// known (`on_block` event).
+    DepWait {
+        /// The predecessor's commit record LSN.
+        commit_lsn: u64,
+    },
+    /// A parked ELR dependent was released from the predecessor's thread
+    /// (`on_grant` event): the predecessor became durable or failed.
+    DepGrant {
+        /// The predecessor's commit record LSN.
+        commit_lsn: u64,
+    },
 }
 
 /// Callbacks a virtual scheduler implements to serialize and record lock /

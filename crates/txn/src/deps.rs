@@ -1,0 +1,314 @@
+//! Commit-dependency tracking for early escrow-lock release (ELR).
+//!
+//! When the commit pipeline runs with `elr = true`, a committing
+//! transaction drops its E (escrow) locks at log-append time — before its
+//! commit record is durable. Any transaction that then acquires an S/X/U
+//! lock on one of those *stained* names has read (or is about to
+//! overwrite) state whose durability is still pending: it records a
+//! **commit dependency** on the predecessor and may only acknowledge its
+//! own commit once every predecessor's outcome is definite.
+//!
+//! Why this is safe at all is the paper's escrow argument: increments
+//! commute and carry logical undo, so a predecessor whose group flush
+//! fails can retract its delta *under no locks* — the dependency table is
+//! only needed to stop a dependent from acking state that is being
+//! retracted. E-E interactions deliberately record nothing: two escrow
+//! writers never read each other's values, which is the entire point of
+//! early release.
+//!
+//! Outcome tracking is per predecessor, not per LSN: a predecessor whose
+//! flush failed rolls back (retracting its delta) even though a *later*
+//! flush retry may make its commit record durable bytes-wise. A dependent
+//! that only compared `flushed_lsn >= dep_lsn` would then ack having read
+//! retracted data — hence [`PredState`] keeps the failed verdict until
+//! every dependent has resolved against it.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use txview_common::obs::Counter;
+use txview_common::{Lsn, TxnId};
+use txview_lock::{LockName, SchedEvent, SchedHook};
+
+/// Definite fate of an ELR predecessor's commit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PredOutcome {
+    /// Group flush still in flight.
+    Pending,
+    /// Commit record durable and acknowledged; dependents are free.
+    Durable,
+    /// Group flush failed; the predecessor is retracting its deltas and
+    /// every dependent must abort.
+    Failed,
+}
+
+struct PredInner {
+    outcome: PredOutcome,
+    /// Dependents currently parked in [`PredState::wait_outcome`].
+    waiters: Vec<TxnId>,
+}
+
+/// Shared, waitable outcome slot of one ELR predecessor. Created at stain
+/// time; dependents hold an `Arc` to it for as long as they exist, so the
+/// failed verdict outlives the stain-table entry.
+pub struct PredState {
+    /// The predecessor transaction.
+    pub txn: TxnId,
+    /// Its commit record's LSN.
+    pub commit_lsn: Lsn,
+    inner: Mutex<PredInner>,
+    cv: Condvar,
+}
+
+impl PredState {
+    fn new(txn: TxnId, commit_lsn: Lsn) -> Arc<PredState> {
+        Arc::new(PredState {
+            txn,
+            commit_lsn,
+            inner: Mutex::new(PredInner { outcome: PredOutcome::Pending, waiters: Vec::new() }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Current outcome (non-blocking).
+    pub fn outcome(&self) -> PredOutcome {
+        self.inner.lock().outcome
+    }
+
+    /// Fix the outcome and wake every parked dependent. Idempotent for
+    /// repeated identical verdicts; the first verdict wins otherwise.
+    pub fn set_outcome(&self, outcome: PredOutcome, hook: Option<&Arc<dyn SchedHook>>) {
+        debug_assert_ne!(outcome, PredOutcome::Pending);
+        let waiters = {
+            let mut g = self.inner.lock();
+            if g.outcome != PredOutcome::Pending {
+                return;
+            }
+            g.outcome = outcome;
+            std::mem::take(&mut g.waiters)
+        };
+        for w in &waiters {
+            if let Some(h) = hook {
+                h.on_grant(*w, &SchedEvent::DepGrant { commit_lsn: self.commit_lsn.0 });
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Park `me` until the outcome is definite. Uses the same
+    /// block/grant/resume protocol as a lock wait so the interleaving
+    /// explorer stays deterministic: the predecessor's thread resolves us
+    /// via `on_grant` from [`PredState::set_outcome`].
+    pub fn wait_outcome(&self, me: TxnId, hook: Option<&Arc<dyn SchedHook>>) -> PredOutcome {
+        {
+            let mut g = self.inner.lock();
+            if g.outcome != PredOutcome::Pending {
+                return g.outcome;
+            }
+            g.waiters.push(me);
+        }
+        if let Some(h) = hook {
+            h.on_block(me, &SchedEvent::DepWait { commit_lsn: self.commit_lsn.0 });
+        }
+        let out = {
+            let mut g = self.inner.lock();
+            while g.outcome == PredOutcome::Pending {
+                self.cv.wait(&mut g);
+            }
+            g.outcome
+        };
+        if let Some(h) = hook {
+            h.on_resume(me);
+        }
+        out
+    }
+}
+
+/// One recorded dependency edge of a dependent transaction.
+#[derive(Clone)]
+pub struct Dep {
+    /// The predecessor.
+    pub pred: TxnId,
+    /// The predecessor's commit LSN (prefix-flush bound).
+    pub lsn: Lsn,
+    /// Its waitable outcome.
+    pub state: Arc<PredState>,
+}
+
+/// Cap on the recorded dependency-edge log (torture-oracle evidence; the
+/// protocol itself never reads it back).
+const EDGE_LOG_CAP: usize = 65_536;
+
+/// The commit-dependency table: stained lock names → the not-yet-resolved
+/// ELR predecessors that released them.
+///
+/// A name may carry *several* live predecessors: E locks are shared, so
+/// two escrow writers can both ELR-release the same view row while both
+/// are still pending. A reader granted after those releases depends on
+/// every one of them.
+#[derive(Default)]
+pub struct DepTable {
+    stains: Mutex<HashMap<LockName, Vec<Arc<PredState>>>>,
+    /// Bounded evidence log of recorded edges `(dependent, pred, pred
+    /// commit LSN)` for the torture recovery oracle.
+    edges: Mutex<Vec<(TxnId, TxnId, Lsn)>>,
+    /// Dependency edges recorded (acquires that hit a pending stain).
+    pub dep_recorded: Counter,
+    /// Dependents that parked waiting for a predecessor's outcome.
+    pub dep_waits: Counter,
+    /// Dependents aborted because a predecessor failed.
+    pub dep_aborts: Counter,
+}
+
+impl DepTable {
+    /// New empty table.
+    pub fn new() -> DepTable {
+        DepTable::default()
+    }
+
+    /// Stain `names` as released-early by `pred` at `commit_lsn`. Called
+    /// *before* the E locks are actually released, so any reader the
+    /// release unblocks already sees the stain. Returns the predecessor's
+    /// outcome slot for the committer to resolve.
+    pub fn stain(&self, pred: TxnId, commit_lsn: Lsn, names: &[LockName]) -> Arc<PredState> {
+        let state = PredState::new(pred, commit_lsn);
+        let mut stains = self.stains.lock();
+        for name in names {
+            let entry = stains.entry(name.clone()).or_default();
+            // Drop entries that are already durably resolved; failed ones
+            // stay until their rollback retracts the delta.
+            entry.retain(|p| p.outcome() != PredOutcome::Durable);
+            entry.push(Arc::clone(&state));
+        }
+        state
+    }
+
+    /// The live (non-durable) predecessors staining `name`, recorded as
+    /// dependencies of `dependent`. Returns an empty vec for clean names.
+    pub fn deps_for(&self, dependent: TxnId, name: &LockName) -> Vec<Dep> {
+        let mut stains = self.stains.lock();
+        let Some(entry) = stains.get_mut(name) else {
+            return Vec::new();
+        };
+        entry.retain(|p| p.outcome() != PredOutcome::Durable);
+        if entry.is_empty() {
+            stains.remove(name);
+            return Vec::new();
+        }
+        let deps: Vec<Dep> = entry
+            .iter()
+            .filter(|p| p.txn != dependent)
+            .map(|p| Dep { pred: p.txn, lsn: p.commit_lsn, state: Arc::clone(p) })
+            .collect();
+        if !deps.is_empty() {
+            self.dep_recorded.add(deps.len() as u64);
+            let mut edges = self.edges.lock();
+            for d in &deps {
+                if edges.len() < EDGE_LOG_CAP {
+                    edges.push((dependent, d.pred, d.lsn));
+                }
+            }
+        }
+        deps
+    }
+
+    /// Remove every stain belonging to `txn`. Called when its commit is
+    /// acknowledged (names are clean) or when its rollback *completes*
+    /// (deltas retracted — until then the failed stain must keep newly
+    /// granted readers on the dependency hook).
+    pub fn remove_stains(&self, txn: TxnId) {
+        let mut stains = self.stains.lock();
+        stains.retain(|_, entry| {
+            entry.retain(|p| p.txn != txn);
+            !entry.is_empty()
+        });
+    }
+
+    /// True if any stain is currently live (diagnostics).
+    pub fn is_empty(&self) -> bool {
+        self.stains.lock().is_empty()
+    }
+
+    /// Snapshot of the recorded dependency edges `(dependent, pred, pred
+    /// commit LSN)` — evidence for the torture recovery oracle.
+    pub fn edges(&self) -> Vec<(TxnId, TxnId, Lsn)> {
+        self.edges.lock().clone()
+    }
+
+    /// Forget everything (crash simulation; volatile state).
+    pub fn clear(&self) {
+        self.stains.lock().clear();
+        self.edges.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txview_common::IndexId;
+
+    fn name(n: u8) -> LockName {
+        LockName::key(IndexId(1), vec![n])
+    }
+
+    #[test]
+    fn stain_then_deps_for_records_edge() {
+        let t = DepTable::new();
+        let p = t.stain(TxnId(1), Lsn(10), &[name(1), name(2)]);
+        assert_eq!(p.outcome(), PredOutcome::Pending);
+        let deps = t.deps_for(TxnId(2), &name(1));
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].pred, TxnId(1));
+        assert_eq!(deps[0].lsn, Lsn(10));
+        assert!(t.deps_for(TxnId(2), &name(3)).is_empty(), "clean name");
+        assert_eq!(t.edges(), vec![(TxnId(2), TxnId(1), Lsn(10))]);
+        assert_eq!(t.dep_recorded.get(), 1);
+    }
+
+    #[test]
+    fn own_stain_is_not_a_dependency() {
+        let t = DepTable::new();
+        t.stain(TxnId(1), Lsn(10), &[name(1)]);
+        assert!(t.deps_for(TxnId(1), &name(1)).is_empty());
+    }
+
+    #[test]
+    fn durable_predecessors_are_pruned_failed_ones_linger() {
+        let t = DepTable::new();
+        let ok = t.stain(TxnId(1), Lsn(10), &[name(1)]);
+        let bad = t.stain(TxnId(2), Lsn(11), &[name(1)]);
+        ok.set_outcome(PredOutcome::Durable, None);
+        bad.set_outcome(PredOutcome::Failed, None);
+        let deps = t.deps_for(TxnId(3), &name(1));
+        assert_eq!(deps.len(), 1, "durable pruned, failed kept");
+        assert_eq!(deps[0].pred, TxnId(2));
+        // The failed stain disappears only when the rollback completes.
+        t.remove_stains(TxnId(2));
+        assert!(t.deps_for(TxnId(3), &name(1)).is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn shared_escrow_name_accumulates_both_predecessors() {
+        let t = DepTable::new();
+        t.stain(TxnId(1), Lsn(10), &[name(1)]);
+        t.stain(TxnId(2), Lsn(12), &[name(1)]);
+        let deps = t.deps_for(TxnId(3), &name(1));
+        let preds: Vec<TxnId> = deps.iter().map(|d| d.pred).collect();
+        assert_eq!(preds, vec![TxnId(1), TxnId(2)]);
+    }
+
+    #[test]
+    fn wait_outcome_blocks_until_set() {
+        let t = DepTable::new();
+        let p = t.stain(TxnId(1), Lsn(10), &[name(1)]);
+        let p2 = Arc::clone(&p);
+        let h = std::thread::spawn(move || p2.wait_outcome(TxnId(2), None));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        p.set_outcome(PredOutcome::Failed, None);
+        assert_eq!(h.join().unwrap(), PredOutcome::Failed);
+        // First verdict wins.
+        p.set_outcome(PredOutcome::Durable, None);
+        assert_eq!(p.outcome(), PredOutcome::Failed);
+    }
+}

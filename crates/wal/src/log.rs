@@ -163,6 +163,10 @@ struct Tail {
 pub struct LogManager {
     store: Box<dyn LogStore>,
     tail: Mutex<Tail>,
+    /// Serializes phase-2 syncs independently of the tail mutex, so the
+    /// next group-commit batch can form and append while the previous
+    /// batch's sync is still in flight (the pipelined handoff seam).
+    sync_lock: Mutex<()>,
     next_lsn: AtomicU64,
     flushed_lsn: AtomicU64,
     /// Highest LSN whose bytes reached `store.append` (but are only durable
@@ -211,6 +215,7 @@ impl LogManager {
         Ok(LogManager {
             store,
             tail: Mutex::new(Tail { pending: Vec::new(), pending_bytes: 0 }),
+            sync_lock: Mutex::new(()),
             next_lsn: AtomicU64::new(max_lsn + 1),
             flushed_lsn: AtomicU64::new(max_lsn),
             appended_lsn: AtomicU64::new(max_lsn),
@@ -250,6 +255,13 @@ impl LogManager {
         }
     }
 
+    /// Fire the registered crash probe at `point`. Public so the commit
+    /// pipeline's seams (`wal.pipeline.*`) land in the same torture sweep
+    /// as the flush-internal probes.
+    pub fn probe_point(&self, point: &'static str) {
+        self.probe(point);
+    }
+
     /// Allocate a transaction id. The log manager owns the id space so that
     /// user transactions, system transactions, and post-recovery work never
     /// collide (ids restart above everything seen in the durable log).
@@ -280,6 +292,12 @@ impl LogManager {
         Lsn(self.flushed_lsn.load(Ordering::SeqCst))
     }
 
+    /// Highest LSN whose bytes reached the store's append (durable only
+    /// after a subsequent successful sync).
+    pub fn appended_lsn(&self) -> Lsn {
+        Lsn(self.appended_lsn.load(Ordering::SeqCst))
+    }
+
     /// Highest LSN allocated so far (flushed or not). Used as the snapshot
     /// point of snapshot-isolation readers.
     pub fn last_allocated_lsn(&self) -> Lsn {
@@ -302,13 +320,22 @@ impl LogManager {
         if self.flushed_lsn() >= target {
             return Ok(());
         }
-        let mut tail = self.tail.lock();
-        // Re-check under the lock (another thread may have flushed).
-        if self.flushed_lsn() >= target {
+        self.append_upto(target)?;
+        self.sync_appended()
+    }
+
+    /// Phase 1 of a flush: hand every pending record with `lsn <= target`
+    /// to the store, advancing the `appended_lsn` watermark. The bytes are
+    /// *not* durable until a subsequent [`LogManager::sync_appended`]. The
+    /// tail mutex is released before any sync, which is what lets a
+    /// group-commit leader append the next batch while the previous
+    /// batch's sync is still in flight.
+    pub fn append_upto(&self, target: Lsn) -> Result<()> {
+        if self.appended_lsn() >= target {
             return Ok(());
         }
+        let mut tail = self.tail.lock();
         let policy = *self.retry.lock();
-        // Phase 1: append the pending prefix up to `target`.
         let split = tail
             .pending
             .iter()
@@ -329,10 +356,21 @@ impl LogManager {
             tail.pending_bytes = tail.pending.iter().map(|p| p.bytes.len()).sum();
             self.appended_lsn.fetch_max(last.0, Ordering::SeqCst);
         }
-        // Phase 2: sync whatever has been appended but not yet forced —
-        // including leftovers from an earlier flush whose sync failed.
+        Ok(())
+    }
+
+    /// Phase 2 of a flush: force everything appended-but-unsynced to
+    /// stable storage — including leftovers from an earlier flush whose
+    /// sync failed. The `appended_lsn` watermark is read *after* taking
+    /// the sync mutex, so a sync always covers every byte appended before
+    /// it and concurrent flushers stay idempotent: whichever sync runs
+    /// first advances `flushed_lsn` over all of them, and the others
+    /// become no-ops.
+    pub fn sync_appended(&self) -> Result<()> {
+        let _sync = self.sync_lock.lock();
         let appended = self.appended_lsn.load(Ordering::SeqCst);
         if appended > self.flushed_lsn.load(Ordering::SeqCst) {
+            let policy = *self.retry.lock();
             self.probe("wal.flush_to.pre_sync");
             let t0 = self.obs.clock.now();
             policy.run(&self.retry_counters, || self.store.sync())?;
@@ -342,9 +380,15 @@ impl LogManager {
         Ok(())
     }
 
-    /// Flush the entire tail.
+    /// Flush the entire tail. The target watermark is taken under the tail
+    /// mutex: `append` allocates LSNs under the same mutex, so the target
+    /// is exactly "everything buffered when the flush started" and a
+    /// pipelined appender racing in cannot extend it mid-flush.
     pub fn flush_all(&self) -> Result<()> {
-        let target = Lsn(self.next_lsn.load(Ordering::SeqCst).saturating_sub(1));
+        let target = {
+            let _tail = self.tail.lock();
+            Lsn(self.next_lsn.load(Ordering::SeqCst).saturating_sub(1))
+        };
         self.flush_to(target)
     }
 
@@ -625,6 +669,55 @@ mod tests {
         let ck = log.write_checkpoint(vec![(TxnId(1), TxnKind::User, a)], vec![]).unwrap();
         assert_eq!(log.master().unwrap().1, ck);
         assert!(log.io_retry_stats().retries >= 1);
+    }
+
+    #[test]
+    fn append_upto_is_not_durable_until_sync_appended() {
+        let log = LogManager::in_memory();
+        let a = log.append(TxnId(1), Lsn::NULL, begin_body());
+        let b = log.append(TxnId(1), a, RecordBody::Commit);
+        log.append_upto(b).unwrap();
+        assert_eq!(log.appended_lsn(), b, "phase 1 advances the appended watermark");
+        assert_eq!(log.flushed_lsn(), Lsn::NULL, "nothing acked before the sync");
+        log.sync_appended().unwrap();
+        assert_eq!(log.flushed_lsn(), b);
+        // Idempotent: a second sync with nothing outstanding records nothing.
+        log.sync_appended().unwrap();
+        assert_eq!(log.obs_snapshot().hist_value("wal.sync_us").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn one_sync_covers_all_previously_appended_batches() {
+        // Two pipelined batches appended back to back; a single sync makes
+        // both durable (the watermark is read under the sync lock).
+        let log = LogManager::in_memory();
+        let a = log.append(TxnId(1), Lsn::NULL, RecordBody::Commit);
+        log.append_upto(a).unwrap();
+        let b = log.append(TxnId(2), Lsn::NULL, RecordBody::Commit);
+        log.append_upto(b).unwrap();
+        log.sync_appended().unwrap();
+        assert_eq!(log.flushed_lsn(), b);
+        let recs = log.read_durable_from(0).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].1.lsn < recs[1].1.lsn);
+    }
+
+    #[test]
+    fn failed_sync_appended_retries_without_duplicating() {
+        use crate::fault::FaultLogStore;
+        use txview_storage::fault::{FaultClock, FaultKind, FaultSchedule};
+        let clock = FaultClock::new();
+        let log = LogManager::open(Box::new(FaultLogStore::new(Arc::clone(&clock)))).unwrap();
+        log.set_retry_policy(RetryPolicy::no_delay(1));
+        let a = log.append(TxnId(1), Lsn::NULL, begin_body());
+        log.append_upto(a).unwrap();
+        // The next I/O event after the already-performed append is the sync.
+        clock.arm(&FaultSchedule { faults: vec![(0, FaultKind::Transient)] });
+        assert!(matches!(log.sync_appended(), Err(Error::IoTransient(_))));
+        assert_eq!(log.flushed_lsn(), Lsn::NULL, "failed sync acks nothing");
+        log.sync_appended().unwrap();
+        assert_eq!(log.flushed_lsn(), a);
+        assert_eq!(log.read_durable_from(0).unwrap().len(), 1);
     }
 
     #[test]

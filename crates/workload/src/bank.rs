@@ -40,6 +40,11 @@ pub struct BankConfig {
     pub pool_pages: usize,
     /// Lock-wait timeout.
     pub lock_timeout: Duration,
+    /// Commit through the leader-based group-commit pipeline.
+    pub pipeline: bool,
+    /// With `pipeline`, additionally release escrow locks at log-append
+    /// time (early lock release with commit-dependency tracking).
+    pub elr: bool,
 }
 
 impl Default for BankConfig {
@@ -52,6 +57,8 @@ impl Default for BankConfig {
             zipf_theta: 0.0,
             pool_pages: 4096,
             lock_timeout: Duration::from_secs(5),
+            pipeline: false,
+            elr: false,
         }
     }
 }
@@ -71,6 +78,9 @@ impl Bank {
         use txview_common::schema::{Column, Schema};
         use txview_common::value::ValueType;
         let db = Database::new_in_memory_with(cfg.pool_pages, cfg.lock_timeout);
+        if cfg.pipeline {
+            db.enable_commit_pipeline(cfg.elr);
+        }
         let t = db.create_table(
             "accounts",
             Schema::new(

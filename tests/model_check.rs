@@ -259,6 +259,8 @@ fn concurrent_scenario(mode: MaintenanceMode, s1: Script, s2: Script) -> Scenari
         initial: vec![(0, 0, 10), (3, 1, 20)],
         scripts: vec![s1, s2],
         groups: vec![0, 1, 2],
+        pipeline: false,
+        elr: false,
     }
 }
 
