@@ -12,12 +12,15 @@
 //! commit-latency percentiles to `BENCH_PR5.json` (override with
 //! `--out <path>`). `snapshot-pr6` additionally sweeps the group-commit
 //! pipeline (serial vs pipelined vs pipelined+ELR) and writes
-//! `BENCH_PR6.json`. `--metrics` additionally runs a short contended
-//! deposit cell and prints the engine's full metrics table.
+//! `BENCH_PR6.json`. `snapshot-pr7` measures the replication stack —
+//! follower read throughput vs held lag and promotion time vs shipped
+//! prefix — and writes `BENCH_PR7.json`. `--metrics` additionally runs a
+//! short contended deposit cell and prints the engine's full metrics
+//! table.
 
 use txview_bench::{
     e1, e11, e12, e13, e2, e3, e4, e5, e6, e7, e8, metrics_demo, smoke_scale, snapshot_json,
-    snapshot_pr6_json, ExpConfig,
+    snapshot_pr6_json, snapshot_pr7_json, ExpConfig,
 };
 
 fn main() {
@@ -32,13 +35,20 @@ fn main() {
         std::process::exit(if pass { 0 } else { 1 });
     }
     let want_pr6 = args.iter().any(|a| a == "snapshot-pr6");
+    let want_pr7 = args.iter().any(|a| a == "snapshot-pr7");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| {
-            if want_pr6 { "BENCH_PR6.json".to_string() } else { "BENCH_PR5.json".to_string() }
+            if want_pr7 {
+                "BENCH_PR7.json".to_string()
+            } else if want_pr6 {
+                "BENCH_PR6.json".to_string()
+            } else {
+                "BENCH_PR5.json".to_string()
+            }
         });
     let cfg = if quick { ExpConfig::quick() } else { ExpConfig::default() };
 
@@ -62,10 +72,16 @@ fn main() {
     }
     let run_all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
 
-    if wanted.iter().any(|w| w == "snapshot" || w == "snapshot-pr6") {
+    if wanted.iter().any(|w| w == "snapshot" || w == "snapshot-pr6" || w == "snapshot-pr7") {
         println!("writing bench snapshot (cell {:?}) to {out_path} ...", cfg.cell);
         let t0 = std::time::Instant::now();
-        let json = if want_pr6 { snapshot_pr6_json(&cfg) } else { snapshot_json(&cfg) };
+        let json = if want_pr7 {
+            snapshot_pr7_json(&cfg)
+        } else if want_pr6 {
+            snapshot_pr6_json(&cfg)
+        } else {
+            snapshot_json(&cfg)
+        };
         std::fs::write(&out_path, &json).expect("write bench snapshot");
         print!("{json}");
         println!("[snapshot done in {:.1}s]", t0.elapsed().as_secs_f64());
@@ -108,7 +124,7 @@ fn main() {
     if ran == 0 && !metrics {
         eprintln!(
             "unknown experiment selection {wanted:?}; use e1..e8, e11, e12, e13, snapshot, \
-             snapshot-pr6, or all"
+             snapshot-pr6, snapshot-pr7, or all"
         );
         std::process::exit(2);
     }

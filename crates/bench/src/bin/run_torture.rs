@@ -3,7 +3,7 @@
 //! fault schedules, and assert the recovery oracle at every point.
 //!
 //! ```text
-//! run_torture [--quick] [--storm] [--metrics] [--seed N] [--points N] [--txns N] [--schedules N]
+//! run_torture [--quick] [--storm] [--metrics] [--replication] [--seed N] [--points N] [--txns N] [--schedules N]
 //! ```
 //!
 //! `--quick` is the CI budget: fixed seed, ~60 crash points per mode,
@@ -24,6 +24,15 @@
 //! internally consistent and non-trivial). Any divergence or validation
 //! failure exits non-zero and prints the offending snapshot section.
 //!
+//! `--replication` switches to the WAL-shipping replication sweep: leader
+//! crashes (with promotion + stale-leader fencing/rejoin drills), follower
+//! crashes mid-replay, partition/lag storms, and mid-batch group-commit
+//! leader deaths, each judged by the replication oracle (historical-state
+//! equality at the watermark, sync-acked durability across failover,
+//! promotion == recovery of exactly the shipped prefix, byte-identical
+//! convergence). Full mode must sweep ≥ 100 distinct points; `--quick` is
+//! the bounded CI smoke.
+//!
 //! `--interleave` switches to the deterministic interleaving explorer:
 //! exhaustive DFS over every schedule of the five canned concurrency
 //! scenarios in both maintenance modes, plus seeded PCT sampling of the
@@ -33,6 +42,7 @@
 //! re-run alone with `--interleave --replay <scenario> --choices a,b,c`.
 
 use txview_engine::interleave;
+use txview_engine::repl::{run_repl_metrics_check, run_replication_sweep};
 use txview_engine::torture::{
     run_episode, run_metrics_check, run_persistent_episode, run_storm_sweep, run_sweep,
     SweepReport, TortureConfig,
@@ -162,6 +172,31 @@ fn run_metrics(seed: u64, txns: usize) -> usize {
             },
         ));
     }
+    // Replication metrics ride the same determinism contract: the merged
+    // repl.* snapshot (leader stream + follower + channel) must be
+    // byte-identical across identically-seeded runs.
+    match run_repl_metrics_check(&TortureConfig { txns, seed, ..Default::default() }) {
+        Ok(r) => {
+            println!(
+                "  {:<8}  frames shipped {:>4}  records applied {:>5}  acks {:>4}  \
+                 lag at convergence {:>2}  violations {}",
+                "repl",
+                r.snapshot.counter_value("repl.leader.frames_shipped").unwrap_or(0),
+                r.snapshot.counter_value("repl.follower.records_applied").unwrap_or(0),
+                r.snapshot.counter_value("repl.follower.acks_sent").unwrap_or(0),
+                r.snapshot.gauge_value("repl.leader.lag_lsns").unwrap_or(-1),
+                r.violations.len(),
+            );
+            for v in &r.violations {
+                println!("    VIOLATION: {v}");
+            }
+            failures += r.violations.len();
+        }
+        Err(e) => {
+            failures += 1;
+            println!("  {:<8}  REPL METRICS CHECK ERROR: {e}", "repl");
+        }
+    }
     for (label, cfg) in configs {
         match run_metrics_check(&cfg) {
             Ok(r) => {
@@ -187,6 +222,78 @@ fn run_metrics(seed: u64, txns: usize) -> usize {
                 failures += 1;
                 println!("  {:<8}  METRICS CHECK ERROR: {e}", label);
             }
+        }
+    }
+    failures
+}
+
+/// WAL-shipping replication sweep: leader/follower crashes, partitions,
+/// and mid-batch pipeline deaths; returns the violation count. `floor` is
+/// the minimum distinct crash/partition points the sweep must cover.
+fn run_replication(seed: u64, txns: usize, points: usize, floor: usize) -> usize {
+    println!(
+        "replication sweep: seed {seed}, {txns} txns/episode, budget {points} points \
+         (leader crashes + follower crashes + partitions + mid-batch pipeline deaths)"
+    );
+    let cfg = TortureConfig { txns, seed, ..Default::default() };
+    let mut failures = 0usize;
+    match run_replication_sweep(&cfg, points) {
+        Ok(r) => {
+            println!(
+                "  horizons: leader {:>4} events, follower {:>4} events",
+                r.horizon, r.follower_horizon
+            );
+            println!(
+                "  episodes {:>3}  distinct points {:>3} (leader {:>3}, follower {:>3}, \
+                 partition {:>2}, mid-batch {:>2})",
+                r.episodes,
+                r.distinct_points,
+                r.leader_crash_points,
+                r.follower_crash_points,
+                r.partition_points,
+                r.mid_batch_points,
+            );
+            println!(
+                "  promotions {:>3}  fences {:>2}  reconnects {:>3}  snapshot fallbacks {:>2}  \
+                 sync-acked commits {:>4}  mid-batch acked served {:>3}  violations {}",
+                r.promotions,
+                r.fences,
+                r.reconnects,
+                r.snapshot_fallbacks,
+                r.repl_acked_commits,
+                r.mid_batch_acked_survived,
+                r.violations.len(),
+            );
+            for (label, v) in &r.violations {
+                println!("    VIOLATION ({label}): {v}");
+            }
+            failures += r.violations.len();
+            if r.distinct_points < floor {
+                println!(
+                    "  COVERAGE: only {} distinct points, floor is {floor}",
+                    r.distinct_points
+                );
+                failures += 1;
+            }
+            if r.mid_batch_points == 0 {
+                println!("  COVERAGE: no mid-batch pipeline leader death exercised");
+                failures += 1;
+            }
+            if r.mid_batch_acked_survived == 0 {
+                println!(
+                    "  COVERAGE: no mid-batch episode served its sync-acked commits \
+                     after promotion"
+                );
+                failures += 1;
+            }
+            if r.fences == 0 {
+                println!("  COVERAGE: no stale leader was fenced by a rejoin drill");
+                failures += 1;
+            }
+        }
+        Err(e) => {
+            failures += 1;
+            println!("  REPLICATION SWEEP ERROR: {e}");
         }
     }
     failures
@@ -406,6 +513,20 @@ fn main() {
         } else {
             run_interleave(quick, seed)
         };
+        if failures > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--replication") {
+        // Full mode must clear the 100-distinct-point acceptance floor;
+        // quick mode is the bounded CI smoke with a proportional floor.
+        let budget = parse_flag(&args, "--points")
+            .unwrap_or(if quick { 48 } else { 130 }) as usize;
+        let floor = if quick { 32 } else { 100 };
+        let failures = run_replication(seed, txns, budget, floor);
+        println!("replication total: {failures} violations");
         if failures > 0 {
             std::process::exit(1);
         }

@@ -150,6 +150,216 @@ pub fn snapshot_pr6_json(cfg: &ExpConfig) -> String {
     )
 }
 
+mod pr7 {
+    //! The `BENCH_PR7.json` cells: follower read throughput as a function
+    //! of replication lag, and promotion (failover) time as a function of
+    //! the shipped-prefix size.
+
+    use super::*;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use txview_engine::repl::{Follower, ReplChannel, ReplConfig, ReplicationStream, ShipMode};
+    use txview_engine::{AggSpec, Database, Predicate, ViewSource, ViewSpec};
+    use txview_common::schema::{Column, Schema};
+    use txview_common::value::ValueType;
+    use txview_common::{row, Value};
+    use txview_storage::fault::{FaultClock, FaultDisk};
+    use txview_wal::FaultLogStore;
+
+    pub const VIEW: &str = "branch_balance";
+    const ACCOUNTS: i64 = 512;
+    const BRANCHES: i64 = 8;
+
+    /// A leader whose WAL lives in a (fault-free) `FaultLogStore`, so a
+    /// replication stream can be cut from it. Same shape as the bank's E1
+    /// schema: accounts + a per-branch SUM view.
+    pub struct Leader {
+        pub db: Arc<Database>,
+        pub store: FaultLogStore,
+        pub catalog: Vec<u8>,
+    }
+
+    pub fn build_leader() -> Leader {
+        let clock = FaultClock::new();
+        let disk = FaultDisk::new(Arc::clone(&clock));
+        let store = FaultLogStore::new(clock);
+        let db = Database::with_parts(
+            Arc::new(disk),
+            Box::new(store.clone()),
+            256,
+            Duration::from_secs(5),
+        )
+        .expect("leader open");
+        let t = db
+            .create_table(
+                "accounts",
+                Schema::new(
+                    vec![
+                        Column::new("id", ValueType::Int),
+                        Column::new("branch", ValueType::Int),
+                        Column::new("balance", ValueType::Int),
+                    ],
+                    vec![0],
+                )
+                .expect("schema"),
+            )
+            .expect("create table");
+        db.create_indexed_view(ViewSpec {
+            name: VIEW.into(),
+            source: ViewSource::Single { table: t, group_by: vec![1] },
+            aggs: vec![AggSpec::SumInt { col: 2 }],
+            filter: Predicate::True,
+            maintenance: MaintenanceMode::Escrow,
+            deferred: false,
+            eager_group_delete: false,
+        })
+        .expect("create view");
+        let mut txn = db.begin(IsolationLevel::ReadCommitted);
+        for id in 0..ACCOUNTS {
+            db.insert(&mut txn, "accounts", row![id, id % BRANCHES, 100i64]).expect("load");
+        }
+        db.commit(&mut txn).expect("load commit");
+        db.checkpoint().expect("checkpoint");
+        let catalog = db.export_catalog();
+        Leader { db, store, catalog }
+    }
+
+    /// One leader deposit transaction (single-account, one view row).
+    pub fn deposit(db: &Database, seq: i64) {
+        let id = seq.rem_euclid(ACCOUNTS);
+        db.run_txn(IsolationLevel::ReadCommitted, 5, |txn| {
+            db.update_with(txn, "accounts", &[Value::Int(id)], |r| {
+                let mut out = r.clone();
+                out.set(2, Value::Int(r.get(2).as_int().unwrap() + 1));
+                out
+            })
+        })
+        .expect("deposit");
+    }
+
+    pub struct Link {
+        pub leader: Leader,
+        pub stream: ReplicationStream,
+        pub channel: ReplChannel,
+        pub follower: Follower,
+    }
+
+    pub fn build_link() -> Link {
+        let leader = build_leader();
+        let mut rcfg = ReplConfig::default();
+        rcfg.ship_mode = ShipMode::Async;
+        let follower = Follower::new(rcfg.clone(), leader.catalog.clone()).expect("follower");
+        let channel = ReplChannel::new(rcfg.faults, 7);
+        let stream = ReplicationStream::new(Arc::clone(&leader.db), leader.store.clone(), rcfg);
+        Link { leader, stream, channel, follower }
+    }
+
+    impl Link {
+        pub fn tick(&mut self) {
+            self.follower.drain(&self.channel).expect("drain");
+            self.stream.drain_control(&self.channel).expect("control");
+            self.stream.pump(&self.channel).expect("pump");
+        }
+
+        /// Tick until the follower fully covers the leader's durable log.
+        pub fn converge(&mut self) {
+            for _ in 0..10_000 {
+                if self.follower.watermark() >= self.leader.db.log().flushed_lsn()
+                    && self.stream.lag_lsns() == 0
+                {
+                    return;
+                }
+                self.tick();
+            }
+            panic!("pr7 link failed to converge");
+        }
+    }
+
+    /// Follower read throughput while the link holds a target lag: run
+    /// leader deposits, shipping only when lag exceeds the target, then
+    /// time read-only view scans against the follower at that lag.
+    pub fn follower_read_cell(cfg: &ExpConfig, target_lag_lsns: u64) -> (u64, f64, usize) {
+        let mut link = build_link();
+        link.converge();
+        for seq in 0..600i64 {
+            deposit(&link.leader.db, seq);
+            while link.stream.lag_lsns() > target_lag_lsns {
+                link.tick();
+            }
+        }
+        link.leader.db.log().flush_all().expect("flush");
+        if target_lag_lsns == 0 {
+            link.converge();
+        }
+        let lag = link.stream.lag_lsns();
+        let deadline = Instant::now() + cfg.cell;
+        let mut scans = 0u64;
+        let mut rows = 0usize;
+        while Instant::now() < deadline {
+            let db = link.follower.db();
+            let mut txn = db.begin(IsolationLevel::ReadCommitted);
+            let got = db.view_scan(&mut txn, VIEW, None, None).expect("scan");
+            db.commit(&mut txn).expect("read commit");
+            rows = got.len();
+            scans += 1;
+        }
+        (lag, scans as f64 / cfg.cell.as_secs_f64(), rows)
+    }
+
+    /// Promotion time for a shipped prefix of `txns` deposits: converge,
+    /// cut the leader loose, and time `Follower::promote` (full ARIES
+    /// recovery over the shipped prefix plus the epoch bump).
+    pub fn promotion_cell(txns: i64) -> (usize, f64, u64) {
+        let mut link = build_link();
+        link.converge();
+        for seq in 0..txns {
+            deposit(&link.leader.db, seq);
+            link.tick();
+        }
+        link.leader.db.log().flush_all().expect("flush");
+        link.converge();
+        let Link { leader, stream, mut follower, .. } = link;
+        drop(stream);
+        drop(leader);
+        let shipped = follower.store().durable_bytes().len();
+        let t0 = Instant::now();
+        let report = follower.promote().expect("promote");
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        (shipped, elapsed_ms, report.losers)
+    }
+}
+
+/// The `BENCH_PR7.json` payload: follower read throughput vs replication
+/// lag (read-only view scans against the follower while the leader runs
+/// ahead by a held lag target), and promotion time vs shipped-prefix size
+/// (wall time of the failover recovery pass).
+pub fn snapshot_pr7_json(cfg: &ExpConfig) -> String {
+    let mut read_cells = Vec::new();
+    for target in [0u64, 32, 128] {
+        let (lag, scans_per_s, rows) = pr7::follower_read_cell(cfg, target);
+        read_cells.push(format!(
+            "{{\"target_lag_lsns\": {target}, \"lag_lsns\": {lag}, \"scans_per_s\": {}, \
+             \"rows_per_scan\": {rows}}}",
+            jf(scans_per_s),
+        ));
+    }
+    let mut promo_cells = Vec::new();
+    for txns in [100i64, 400, 1600] {
+        let (shipped, ms, losers) = pr7::promotion_cell(txns);
+        promo_cells.push(format!(
+            "{{\"txns\": {txns}, \"shipped_bytes\": {shipped}, \"promote_ms\": {}, \
+             \"losers\": {losers}}}",
+            jf(ms),
+        ));
+    }
+    format!(
+        "{{\n  \"bench\": \"PR7\",\n  \"cell_ms\": {},\n  \"follower_reads\": [\n    {}\n  ],\n  \"promotion\": [\n    {}\n  ]\n}}\n",
+        cfg.cell.as_millis(),
+        read_cells.join(",\n    "),
+        promo_cells.join(",\n    "),
+    )
+}
+
 /// E11 — observability cost and what the histograms show: escrow vs
 /// X-lock commit-latency percentiles at full contention (max threads,
 /// 8 hot view rows). Metrics are always on, so the "overhead" claim is
@@ -252,6 +462,18 @@ mod tests {
         for path in ["\"serial\"", "\"pipeline\"", "\"pipeline+elr\""] {
             assert!(s.contains(path), "missing commit path {path}");
         }
+    }
+
+    #[test]
+    fn snapshot_pr7_json_has_expected_shape() {
+        let s = snapshot_pr7_json(&tiny());
+        check_balanced(&s);
+        assert!(s.contains("\"bench\": \"PR7\""));
+        assert!(s.contains("\"follower_reads\""));
+        assert!(s.contains("\"promotion\""));
+        assert!(s.contains("\"scans_per_s\""));
+        assert!(s.contains("\"promote_ms\""));
+        assert!(s.contains("\"shipped_bytes\""));
     }
 
     #[test]

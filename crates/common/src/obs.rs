@@ -398,6 +398,11 @@ pub struct Snapshot {
     pub gauges: Vec<(String, i64)>,
     /// `(name, histogram)` latency/size distributions, sorted by name.
     pub hists: Vec<(String, HistSnapshot)>,
+    /// `(name, text)` labels — low-cardinality strings like a health-state
+    /// name or a fence reason, sorted by name. Labels carry diagnostic
+    /// text, not measurements; determinism checks compare them exactly
+    /// like the numeric sections.
+    pub labels: Vec<(String, String)>,
 }
 
 impl Snapshot {
@@ -419,11 +424,18 @@ impl Snapshot {
         self
     }
 
+    /// Record a text label under `name`.
+    pub fn label(&mut self, name: impl Into<String>, v: impl Into<String>) -> &mut Self {
+        self.labels.push((name.into(), v.into()));
+        self
+    }
+
     /// Absorb another snapshot's metrics and re-sort.
     pub fn merge(&mut self, other: Snapshot) {
         self.counters.extend(other.counters);
         self.gauges.extend(other.gauges);
         self.hists.extend(other.hists);
+        self.labels.extend(other.labels);
         self.sort();
     }
 
@@ -432,6 +444,7 @@ impl Snapshot {
         self.counters.sort_by(|a, b| a.0.cmp(&b.0));
         self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
         self.hists.sort_by(|a, b| a.0.cmp(&b.0));
+        self.labels.sort_by(|a, b| a.0.cmp(&b.0));
     }
 
     /// Look up a counter by exact name.
@@ -447,6 +460,11 @@ impl Snapshot {
     /// Look up a histogram by exact name.
     pub fn hist_value(&self, name: &str) -> Option<&HistSnapshot> {
         self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Look up a label by exact name.
+    pub fn label_value(&self, name: &str) -> Option<&str> {
+        self.labels.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
     /// Structural sanity check: bucket bounds must be positive-width and
@@ -496,15 +514,19 @@ impl Snapshot {
             .map(|(n, _)| n.len())
             .chain(self.gauges.iter().map(|(n, _)| n.len()))
             .chain(self.hists.iter().map(|(n, _)| n.len()))
+            .chain(self.labels.iter().map(|(n, _)| n.len()))
             .max()
             .unwrap_or(0);
-        if !self.counters.is_empty() || !self.gauges.is_empty() {
+        if !self.counters.is_empty() || !self.gauges.is_empty() || !self.labels.is_empty() {
             let _ = writeln!(out, "-- counters / gauges --");
             for (n, v) in &self.counters {
                 let _ = writeln!(out, "{n:<width$}  {v}");
             }
             for (n, v) in &self.gauges {
                 let _ = writeln!(out, "{n:<width$}  {v} (gauge)");
+            }
+            for (n, v) in &self.labels {
+                let _ = writeln!(out, "{n:<width$}  {v:?} (label)");
             }
         }
         if !self.hists.is_empty() {

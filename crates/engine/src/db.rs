@@ -189,6 +189,24 @@ impl Database {
         .expect("in-memory open cannot fail")
     }
 
+    /// Fully in-memory database whose log store spins for a seeded
+    /// per-sync latency (`base_us` plus jitter in `[0, jitter_us]`
+    /// microseconds) — a deterministic stand-in for a real device fsync,
+    /// making commit-path batching (group commit, ELR) measurable in
+    /// benches without touching a filesystem.
+    pub fn new_in_memory_slow_sync(
+        pool_pages: usize,
+        lock_timeout: Duration,
+        base_us: u64,
+        jitter_us: u64,
+        seed: u64,
+    ) -> Arc<Database> {
+        let store = txview_wal::FaultLogStore::new(txview_storage::fault::FaultClock::new());
+        store.set_sync_latency(base_us, jitter_us, seed);
+        Database::with_parts(Arc::new(MemDisk::new()), Box::new(store), pool_pages, lock_timeout)
+            .expect("in-memory open cannot fail")
+    }
+
     /// Assemble a database over arbitrary storage parts.
     pub fn with_parts(
         disk: Arc<dyn DiskManager>,
@@ -245,8 +263,10 @@ impl Database {
         Ok((db, report))
     }
 
-    /// Install a previously-exported catalog and attach its trees.
-    fn load_catalog(&self, bytes: &[u8]) -> Result<()> {
+    /// Install a previously-exported catalog and attach its trees. Also
+    /// used by the replication follower, whose database is built from parts
+    /// and given the leader's exported catalog before replay starts.
+    pub(crate) fn load_catalog(&self, bytes: &[u8]) -> Result<()> {
         let cat = Catalog::decode(bytes)?;
         let mut trees = self.trees.write();
         for t in cat.tables() {
@@ -347,6 +367,16 @@ impl Database {
             "engine.deferred_pending",
             self.deferred_pending.lock().values().map(|&v| v as i64).sum(),
         );
+        // Health surface: torture oracles and the server layer assert on
+        // these instead of reaching into engine internals.
+        let hs = self.health.stats();
+        s.gauge("engine.health_state", self.health.state().level());
+        s.label("engine.health_state_name", self.health.state().name());
+        s.label("engine.health_reason", self.health.reason());
+        s.counter("engine.health_degradations", hs.degradations);
+        s.counter("engine.health_writes_rejected", hs.writes_rejected);
+        s.counter("engine.health_heals", hs.heals);
+        s.counter("engine.health_fences", hs.fences);
         s.merge(self.locks.obs_snapshot());
         s.merge(self.log.obs_snapshot());
         s.merge(self.pool.obs_snapshot());

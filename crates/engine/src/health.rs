@@ -54,6 +54,20 @@ impl HealthState {
             HealthState::Fenced => 2,
         }
     }
+
+    /// Numeric level for gauges: 0 healthy, 1 degraded, 2 fenced.
+    pub fn level(self) -> i64 {
+        self.as_u8() as i64
+    }
+
+    /// Stable lowercase name for labels and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::DegradedReadOnly => "degraded_read_only",
+            HealthState::Fenced => "fenced",
+        }
+    }
 }
 
 /// Counters snapshot for reports and assertions.

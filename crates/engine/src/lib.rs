@@ -32,6 +32,7 @@ pub mod ghosts;
 pub mod health;
 pub mod interleave;
 pub mod read;
+pub mod repl;
 pub mod secondary;
 pub mod torture;
 pub mod versions;

@@ -1,0 +1,136 @@
+//! Wire messages for the replication link.
+
+use txview_common::codec::checksum64;
+use txview_common::Lsn;
+
+/// One shipped run of consecutive framed log records. `payload` is the
+/// records' durable byte encoding verbatim — the follower appends it
+/// unchanged, which is what keeps its log a byte-identical prefix of the
+/// leader's.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Leader term; the follower rejects frames older than its own.
+    pub epoch: u64,
+    /// Byte offset of the first record in the leader's log. Equal to the
+    /// follower's durable length when the frame is the next expected one.
+    pub start_offset: u64,
+    /// LSN of the first record in the payload.
+    pub first_lsn: Lsn,
+    /// LSN of the last record in the payload.
+    pub end_lsn: Lsn,
+    /// Concatenated framed record encodings.
+    pub payload: Vec<u8>,
+    /// Checksum over the payload and header fields; a torn frame fails it.
+    pub checksum: u64,
+}
+
+impl Frame {
+    /// Seal a frame over `payload`.
+    pub fn new(
+        epoch: u64,
+        start_offset: u64,
+        first_lsn: Lsn,
+        end_lsn: Lsn,
+        payload: Vec<u8>,
+    ) -> Frame {
+        let checksum = Frame::compute_checksum(epoch, start_offset, first_lsn, end_lsn, &payload);
+        Frame { epoch, start_offset, first_lsn, end_lsn, payload, checksum }
+    }
+
+    fn compute_checksum(
+        epoch: u64,
+        start_offset: u64,
+        first_lsn: Lsn,
+        end_lsn: Lsn,
+        payload: &[u8],
+    ) -> u64 {
+        let mut buf = Vec::with_capacity(payload.len() + 32);
+        buf.extend_from_slice(&epoch.to_le_bytes());
+        buf.extend_from_slice(&start_offset.to_le_bytes());
+        buf.extend_from_slice(&first_lsn.0.to_le_bytes());
+        buf.extend_from_slice(&end_lsn.0.to_le_bytes());
+        buf.extend_from_slice(payload);
+        checksum64(&buf)
+    }
+
+    /// Does the sealed checksum still match the contents?
+    pub fn verify(&self) -> bool {
+        Frame::compute_checksum(
+            self.epoch,
+            self.start_offset,
+            self.first_lsn,
+            self.end_lsn,
+            &self.payload,
+        ) == self.checksum
+    }
+}
+
+/// Everything that can travel over the replication channel, both
+/// directions. Frames and snapshots flow leader → follower on the data
+/// lane; the rest flows follower → leader on the control lane.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// A run of log records (leader → follower).
+    Frame(Frame),
+    /// Full-state fallback when the follower's log diverged: the leader's
+    /// whole durable log, master pointer, epoch, and catalog
+    /// (leader → follower). Modelled as a reliable bulk transfer — the
+    /// per-frame fault plan does not apply, though a partition still
+    /// blocks it.
+    Snapshot {
+        /// Leader term at ship time.
+        epoch: u64,
+        /// The leader's entire durable log.
+        log_bytes: Vec<u8>,
+        /// The leader's persisted master pointer.
+        master: (u64, Lsn),
+        /// The leader's exported catalog.
+        catalog: Vec<u8>,
+    },
+    /// Catch-up negotiation after (re)connect (follower → leader): the
+    /// leader resumes at `durable_len` iff `log_checksum` matches its own
+    /// prefix of that length, else it ships a snapshot.
+    Hello {
+        /// The follower's replay watermark.
+        watermark: Lsn,
+        /// The follower's durable log length in bytes.
+        durable_len: u64,
+        /// Checksum of the follower's entire durable log.
+        log_checksum: u64,
+    },
+    /// Durability acknowledgement (follower → leader).
+    Ack {
+        /// The follower's replay watermark.
+        watermark: Lsn,
+        /// The follower's durable log length in bytes.
+        durable_len: u64,
+    },
+    /// The follower saw a frame with a stale epoch (follower → leader):
+    /// the sending leader has been superseded and must fence itself.
+    StaleEpoch {
+        /// The frame's (stale) epoch.
+        got: u64,
+        /// The follower's current epoch.
+        current: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_checksum_catches_payload_corruption() {
+        let mut f = Frame::new(1, 0, Lsn(1), Lsn(3), vec![1, 2, 3, 4]);
+        assert!(f.verify());
+        f.payload[2] ^= 0x40;
+        assert!(!f.verify());
+    }
+
+    #[test]
+    fn frame_checksum_covers_header_fields() {
+        let mut f = Frame::new(1, 0, Lsn(1), Lsn(3), vec![1, 2, 3, 4]);
+        f.end_lsn = Lsn(9);
+        assert!(!f.verify());
+    }
+}

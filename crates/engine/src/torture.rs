@@ -147,13 +147,13 @@ pub struct SweepReport {
     pub losers_undone: u64,
 }
 
-struct Parts {
-    clock: Arc<FaultClock>,
-    disk: FaultDisk,
-    store: FaultLogStore,
+pub(crate) struct Parts {
+    pub(crate) clock: Arc<FaultClock>,
+    pub(crate) disk: FaultDisk,
+    pub(crate) store: FaultLogStore,
 }
 
-fn install_probes(db: &Database, clock: &Arc<FaultClock>) {
+pub(crate) fn install_probes(db: &Database, clock: &Arc<FaultClock>) {
     let c = Arc::clone(clock);
     db.pool().set_crash_probe(Arc::new(move |p| {
         c.tick(FaultPoint::Probe(p));
@@ -167,7 +167,7 @@ fn install_probes(db: &Database, clock: &Arc<FaultClock>) {
 /// Build the fault-injected database and load the initial state: bank
 /// accounts, pre-populated even churn groups, an empty ledger, and a
 /// checkpoint so every episode starts from the same durable image.
-fn build(cfg: &TortureConfig) -> Result<(Arc<Database>, Parts)> {
+pub(crate) fn build(cfg: &TortureConfig) -> Result<(Arc<Database>, Parts)> {
     let clock = FaultClock::new();
     let disk = FaultDisk::new(Arc::clone(&clock));
     let store = FaultLogStore::new(Arc::clone(&clock));
@@ -252,14 +252,14 @@ fn build(cfg: &TortureConfig) -> Result<(Arc<Database>, Parts)> {
     Ok((db, Parts { clock, disk, store }))
 }
 
-fn add_int(r: &Row, col: usize, d: i64) -> Row {
+pub(crate) fn add_int(r: &Row, col: usize, d: i64) -> Row {
     let mut out = r.clone();
     let v = r.get(col).as_int().expect("INT column");
     out.set(col, Value::Int(v + d));
     out
 }
 
-fn do_transfer(
+pub(crate) fn do_transfer(
     db: &Database,
     txn: &mut txview_txn::Transaction,
     seq: i64,
@@ -273,7 +273,7 @@ fn do_transfer(
     Ok(())
 }
 
-fn do_toggle(db: &Database, txn: &mut txview_txn::Transaction, g: i64) -> Result<()> {
+pub(crate) fn do_toggle(db: &Database, txn: &mut txview_txn::Transaction, g: i64) -> Result<()> {
     let pk = [Value::Int(g)];
     match db.delete(txn, "items", &pk) {
         Ok(()) => Ok(()),
@@ -290,7 +290,7 @@ fn do_toggle(db: &Database, txn: &mut txview_txn::Transaction, g: i64) -> Result
 /// transactions, then one churn transaction, repeating. Injected faults
 /// surface as errors → rollback; commits acknowledged while the clock has
 /// not fired are recorded as the durability contract.
-fn run_workload(db: &Database, cfg: &TortureConfig, clock: &FaultClock) -> WorkloadTrace {
+pub(crate) fn run_workload(db: &Database, cfg: &TortureConfig, clock: &FaultClock) -> WorkloadTrace {
     let mut rng = Rng::new(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
     let mut trace = WorkloadTrace::default();
     let mut seq = 0i64;
@@ -366,7 +366,7 @@ fn run_workload(db: &Database, cfg: &TortureConfig, clock: &FaultClock) -> Workl
 }
 
 /// Interrogate the oracle on a recovered database; push violations.
-fn check_oracle(
+pub(crate) fn check_oracle(
     db: &Database,
     cfg: &TortureConfig,
     trace: &WorkloadTrace,
@@ -605,7 +605,7 @@ pub const PIPELINE_PROBES: [&str; 3] = [
 /// the post-build event count — the same base [`FaultClock::arm`] uses in
 /// [`run_episode`] — so `crash_at(offset)` lands the crash exactly on that
 /// probe tick.
-fn measure_probe_offsets(
+pub(crate) fn measure_probe_offsets(
     cfg: &TortureConfig,
     names: &'static [&'static str],
 ) -> Result<Vec<(&'static str, u64)>> {
@@ -720,7 +720,7 @@ pub struct StormSweepReport {
 
 /// Byte-exact fingerprint of the committed state: every base-table row and
 /// every visible view row, length-framed, in key order.
-fn fingerprint(db: &Database) -> Result<Vec<u8>> {
+pub(crate) fn fingerprint(db: &Database) -> Result<Vec<u8>> {
     let mut out = Vec::new();
     let frame = |out: &mut Vec<u8>, rows: Vec<Row>| {
         for r in rows {
@@ -742,7 +742,7 @@ fn fingerprint(db: &Database) -> Result<Vec<u8>> {
 
 /// The fault-free reference of a config: the trace and committed-state
 /// fingerprint of the identical workload with no schedule armed.
-fn reference_run(cfg: &TortureConfig) -> Result<(WorkloadTrace, Vec<u8>)> {
+pub(crate) fn reference_run(cfg: &TortureConfig) -> Result<(WorkloadTrace, Vec<u8>)> {
     let (db, parts) = build(cfg)?;
     let trace = run_workload(&db, cfg, &parts.clock);
     Ok((trace, fingerprint(&db)?))

@@ -430,6 +430,15 @@ impl FaultDisk {
             None => false,
         }
     }
+
+    /// Wipe every page image (and any frozen crash image). Snapshot
+    /// install on a diverged follower starts from an empty disk: stale
+    /// pages from the divergent history carry pageLSNs that would wrongly
+    /// make redo skip the freshly installed log's records.
+    pub fn reset(&self) {
+        *self.inner.frozen.lock() = None;
+        self.inner.live.lock().images.clear();
+    }
 }
 
 impl crate::disk::DiskManager for FaultDisk {

@@ -30,4 +30,4 @@ pub mod recovery;
 pub use fault::FaultLogStore;
 pub use log::{FileLogStore, LogManager, LogStore, MemLogStore};
 pub use record::{LogRecord, RecordBody, RedoOp, TxnKind, UndoOp, ValueDelta};
-pub use recovery::{recover, RecoveryReport, UndoHandler};
+pub use recovery::{recover, redo_record, RecoveryReport, UndoHandler};

@@ -38,6 +38,16 @@ pub trait LogStore: Send + Sync {
     fn set_master(&self, offset: u64, lsn: Lsn) -> Result<()>;
     /// Read the master checkpoint pointer.
     fn get_master(&self) -> Result<(u64, Lsn)>;
+    /// Persist the replication epoch (term number). A store that predates
+    /// replication keeps the default epoch 0, so non-replicated databases
+    /// never pay for this.
+    fn set_epoch(&self, _epoch: u64) -> Result<()> {
+        Ok(())
+    }
+    /// Read the replication epoch (0 when never set).
+    fn get_epoch(&self) -> Result<u64> {
+        Ok(0)
+    }
 }
 
 /// In-memory log store (tests, crash simulation).
@@ -45,6 +55,7 @@ pub trait LogStore: Send + Sync {
 pub struct MemLogStore {
     durable: Mutex<Vec<u8>>,
     master: Mutex<(u64, Lsn)>,
+    epoch: AtomicU64,
 }
 
 impl MemLogStore {
@@ -80,6 +91,15 @@ impl LogStore for MemLogStore {
 
     fn get_master(&self) -> Result<(u64, Lsn)> {
         Ok(*self.master.lock())
+    }
+
+    fn set_epoch(&self, epoch: u64) -> Result<()> {
+        self.epoch.store(epoch, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn get_epoch(&self) -> Result<u64> {
+        Ok(self.epoch.load(Ordering::SeqCst))
     }
 }
 
@@ -130,21 +150,44 @@ impl LogStore for FileLogStore {
     }
 
     fn set_master(&self, offset: u64, lsn: Lsn) -> Result<()> {
-        let mut bytes = Vec::with_capacity(16);
+        let epoch = self.get_epoch()?;
+        let mut bytes = Vec::with_capacity(24);
         bytes.extend_from_slice(&offset.to_le_bytes());
         bytes.extend_from_slice(&lsn.0.to_le_bytes());
+        bytes.extend_from_slice(&epoch.to_le_bytes());
         std::fs::write(&self.master_path, bytes)?;
         Ok(())
     }
 
     fn get_master(&self) -> Result<(u64, Lsn)> {
+        // Accept both the legacy 16-byte (offset, lsn) record and the
+        // 24-byte (offset, lsn, epoch) record introduced with replication.
         match std::fs::read(&self.master_path) {
-            Ok(bytes) if bytes.len() == 16 => {
+            Ok(bytes) if bytes.len() == 16 || bytes.len() == 24 => {
                 let offset = u64::from_le_bytes(bytes[..8].try_into().unwrap());
-                let lsn = Lsn(u64::from_le_bytes(bytes[8..].try_into().unwrap()));
+                let lsn = Lsn(u64::from_le_bytes(bytes[8..16].try_into().unwrap()));
                 Ok((offset, lsn))
             }
             _ => Ok((0, Lsn::NULL)),
+        }
+    }
+
+    fn set_epoch(&self, epoch: u64) -> Result<()> {
+        let (offset, lsn) = self.get_master()?;
+        let mut bytes = Vec::with_capacity(24);
+        bytes.extend_from_slice(&offset.to_le_bytes());
+        bytes.extend_from_slice(&lsn.0.to_le_bytes());
+        bytes.extend_from_slice(&epoch.to_le_bytes());
+        std::fs::write(&self.master_path, bytes)?;
+        Ok(())
+    }
+
+    fn get_epoch(&self) -> Result<u64> {
+        match std::fs::read(&self.master_path) {
+            Ok(bytes) if bytes.len() == 24 => {
+                Ok(u64::from_le_bytes(bytes[16..24].try_into().unwrap()))
+            }
+            _ => Ok(0),
         }
     }
 }
@@ -411,6 +454,45 @@ impl LogManager {
     /// The persisted master checkpoint pointer (byte offset, LSN).
     pub fn master(&self) -> Result<(u64, Lsn)> {
         self.store.get_master()
+    }
+
+    /// Persist the replication epoch (term number) in the master record.
+    pub fn set_epoch(&self, epoch: u64) -> Result<()> {
+        self.store.set_epoch(epoch)
+    }
+
+    /// The persisted replication epoch (0 when never set).
+    pub fn epoch(&self) -> Result<u64> {
+        self.store.get_epoch()
+    }
+
+    /// Persist the master checkpoint pointer directly (follower replay:
+    /// the follower mirrors the leader's checkpoint at its own byte
+    /// offset after flushing all pages, without appending a new record).
+    pub fn set_master_raw(&self, offset: u64, lsn: Lsn) -> Result<()> {
+        let policy = *self.retry.lock();
+        policy.run(&self.retry_counters, || self.store.set_master(offset, lsn))
+    }
+
+    /// Durably append pre-encoded record bytes, bypassing the in-memory
+    /// tail, and sync. Follower replay uses this to keep its log a
+    /// byte-identical prefix of the leader's: frames carry the leader's
+    /// framed encoding and must land verbatim (appending through the tail
+    /// would re-frame and could interleave with local records).
+    pub fn append_raw_durable(&self, bytes: &[u8]) -> Result<()> {
+        let _tail = self.tail.lock();
+        self.store.append(bytes)?;
+        self.store.sync()
+    }
+
+    /// Advance the LSN watermarks to cover records that reached the store
+    /// through [`LogManager::append_raw_durable`] rather than the tail, so
+    /// follower snapshot reads (which pin `last_allocated_lsn`) see the
+    /// ingested prefix as durable.
+    pub fn note_external_advance(&self, lsn: Lsn) {
+        self.next_lsn.fetch_max(lsn.0 + 1, Ordering::SeqCst);
+        self.appended_lsn.fetch_max(lsn.0, Ordering::SeqCst);
+        self.flushed_lsn.fetch_max(lsn.0, Ordering::SeqCst);
     }
 
     /// Snapshot of all durable records from byte `offset`, with the byte

@@ -69,6 +69,30 @@ pub struct RecoveryReport {
     pub undo_us: u64,
 }
 
+/// Re-apply one logged page operation with the standard ARIES pageLSN
+/// test: the redo is applied iff the target page's LSN is older than the
+/// record's. Returns whether the redo was applied (false: skipped as
+/// already reflected). Shared by the recovery redo pass and the follower
+/// replay loop, which applies shipped frames through exactly this path so
+/// replication inherits redo's idempotence.
+pub fn redo_record(pool: &Arc<BufferPool>, rec: &LogRecord) -> Result<bool> {
+    let (page_id, redo) = match &rec.body {
+        RecordBody::Update { page, redo, .. } => (*page, redo),
+        RecordBody::Clr { page, redo, .. } => (*page, redo),
+        _ => return Ok(false),
+    };
+    let ty = redo.format_type().unwrap_or(PageType::Free);
+    let page = pool.fetch_or_recreate(page_id, ty)?;
+    let mut guard = page.write();
+    if guard.lsn() < rec.lsn {
+        redo.apply(guard.payload_mut(), PAYLOAD_HEADER_LEN)?;
+        guard.set_lsn(rec.lsn);
+        Ok(true)
+    } else {
+        Ok(false)
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum TxnStatus {
     Active,
@@ -182,13 +206,8 @@ pub fn recover(
                     continue;
                 }
             };
-            let _ = rec_lsn;
-            let ty = redo.format_type().unwrap_or(PageType::Free);
-            let page = pool.fetch_or_recreate(page_id, ty)?;
-            let mut guard = page.write();
-            if guard.lsn() < rec.lsn {
-                redo.apply(guard.payload_mut(), PAYLOAD_HEADER_LEN)?;
-                guard.set_lsn(rec.lsn);
+            let _ = (rec_lsn, redo);
+            if redo_record(pool, rec)? {
                 report.redo_applied += 1;
             } else {
                 report.redo_skipped += 1;

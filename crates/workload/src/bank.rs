@@ -45,6 +45,11 @@ pub struct BankConfig {
     /// With `pipeline`, additionally release escrow locks at log-append
     /// time (early lock release with commit-dependency tracking).
     pub elr: bool,
+    /// Per-sync log-device latency in microseconds (0 = off). Injected
+    /// through the fault log store's seeded latency model, so the WAL
+    /// behaves like a device with a real fsync cost and commit-path
+    /// batching becomes measurable.
+    pub sync_latency_us: u64,
 }
 
 impl Default for BankConfig {
@@ -59,6 +64,7 @@ impl Default for BankConfig {
             lock_timeout: Duration::from_secs(5),
             pipeline: false,
             elr: false,
+            sync_latency_us: 0,
         }
     }
 }
@@ -77,7 +83,17 @@ impl Bank {
     pub fn setup(cfg: BankConfig) -> Result<Bank> {
         use txview_common::schema::{Column, Schema};
         use txview_common::value::ValueType;
-        let db = Database::new_in_memory_with(cfg.pool_pages, cfg.lock_timeout);
+        let db = if cfg.sync_latency_us > 0 {
+            Database::new_in_memory_slow_sync(
+                cfg.pool_pages,
+                cfg.lock_timeout,
+                cfg.sync_latency_us,
+                cfg.sync_latency_us / 4,
+                42,
+            )
+        } else {
+            Database::new_in_memory_with(cfg.pool_pages, cfg.lock_timeout)
+        };
         if cfg.pipeline {
             db.enable_commit_pipeline(cfg.elr);
         }

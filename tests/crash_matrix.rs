@@ -221,3 +221,71 @@ fn sweep_is_reproducible_for_a_fixed_seed() {
     assert_eq!(a.losers_undone, b.losers_undone);
     assert_eq!(a.violations.len(), b.violations.len());
 }
+
+// ---- replication crash matrix ----------------------------------------
+//
+// The WAL-shipping layer gets the same treatment as the single-node
+// engine: sweep hard crashes over follower replay and over the leader
+// while the follower is only partially caught up, and assert the
+// replication oracles (reopen recovers to the follower's own durable
+// prefix and never beyond; promotion recovers exactly the shipped durable
+// prefix; every sync-acked commit survives) at every point.
+
+use txview_engine::repl::{
+    measure_follower_horizon, run_follower_crash_episode, run_leader_crash_episode,
+    ChannelFaults, ReplConfig, ShipMode,
+};
+use txview_engine::torture::measure_horizon;
+
+fn repl_cfg() -> TortureConfig {
+    TortureConfig { txns: 12, seed: 7, ..Default::default() }
+}
+
+#[test]
+fn follower_crash_mid_replay_recovers_to_its_durable_prefix() {
+    // The episode's built-in oracle checks that after the crash the
+    // follower's reopened log is a byte prefix of the leader's (never
+    // beyond what was durably shipped), that redo-only reopen lands on the
+    // reference replay fingerprint for that prefix, and that catch-up then
+    // reconverges byte-identically.
+    let cfg = repl_cfg();
+    let rcfg = ReplConfig::default();
+    let horizon = measure_follower_horizon(&cfg, &rcfg).unwrap();
+    assert!(horizon > 4, "follower horizon {horizon} too small to sweep");
+    for offset in [1, horizon / 4, horizon / 2, horizon - 1] {
+        let ep = run_follower_crash_episode(&cfg, &rcfg, offset).unwrap();
+        assert!(
+            ep.violations.is_empty(),
+            "follower crash at offset {offset}: {:#?}",
+            ep.violations
+        );
+        assert!(ep.crash_event.is_some(), "follower crash at offset {offset} never fired");
+    }
+}
+
+#[test]
+fn promotion_after_partial_catch_up_serves_exactly_the_shipped_prefix() {
+    // Async shipping plus duplicate/reorder channel faults keeps the
+    // follower genuinely behind the leader's durable tail, so these crash
+    // points kill the leader mid-catch-up. The episode oracle requires the
+    // promoted follower to equal a reference recovery over exactly the
+    // shipped durable prefix — nothing invented past it — while still
+    // serving every commit whose log records made it into that prefix.
+    let cfg = repl_cfg();
+    let rcfg = ReplConfig {
+        ship_mode: ShipMode::Async,
+        faults: ChannelFaults { dup_p: 0.2, reorder_p: 0.2, ..ChannelFaults::default() },
+        ..ReplConfig::default()
+    };
+    let horizon = measure_horizon(&cfg).unwrap();
+    assert!(horizon > 8, "leader horizon {horizon} too small to sweep");
+    for offset in [0, horizon / 5, horizon / 3, horizon / 2, horizon - 2] {
+        let ep = run_leader_crash_episode(&cfg, &rcfg, offset, false).unwrap();
+        assert!(
+            ep.violations.is_empty(),
+            "leader crash at offset {offset}: {:#?}",
+            ep.violations
+        );
+        assert!(ep.crash_event.is_some(), "leader crash at offset {offset} never fired");
+    }
+}
