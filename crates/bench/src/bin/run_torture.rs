@@ -8,7 +8,13 @@
 //!
 //! `--quick` is the CI budget: fixed seed, ~60 crash points per mode,
 //! bounded well under a minute. Exit status is non-zero on any oracle
-//! violation, so CI can gate on it directly.
+//! violation, so CI can gate on it directly. The default sweep also runs
+//! the derived-view chain scenarios: a depth-2 chain crash sweep per
+//! maintenance mode, targeted crashes between cascade levels of a depth-4
+//! chain (the `view.cascade.level` probe), and chain-bearing random fault
+//! schedules — all judged by the chain oracle (each level equals both a
+//! recomputation from base and a fold of its immediate parent; the
+//! terminal rollup conserves total balance).
 //!
 //! `--storm` switches to the transient-storm oracle instead: ≥ 55 distinct
 //! transient-only schedules per maintenance mode (absorbed invisibly — no
@@ -44,8 +50,8 @@
 use txview_engine::interleave;
 use txview_engine::repl::{run_repl_metrics_check, run_replication_sweep};
 use txview_engine::torture::{
-    run_episode, run_metrics_check, run_persistent_episode, run_storm_sweep, run_sweep,
-    SweepReport, TortureConfig,
+    run_cascade_probe_sweep, run_episode, run_metrics_check, run_persistent_episode,
+    run_storm_sweep, run_sweep, SweepReport, TortureConfig,
 };
 use txview_engine::MaintenanceMode;
 use txview_storage::fault::FaultSchedule;
@@ -172,6 +178,18 @@ fn run_metrics(seed: u64, txns: usize) -> usize {
             },
         ));
     }
+    // The derived-view chain must surface (deterministic) view.graph.*
+    // instruments: enqueue/coalesce/refresh counters and flush histograms.
+    configs.push((
+        "chain".into(),
+        TortureConfig {
+            mode: MaintenanceMode::Escrow,
+            txns,
+            seed,
+            chain_depth: 2,
+            ..Default::default()
+        },
+    ));
     // Replication metrics ride the same determinism contract: the merged
     // repl.* snapshot (leader stream + follower + channel) must be
     // byte-identical across identically-seeded runs.
@@ -217,6 +235,24 @@ fn run_metrics(seed: u64, txns: usize) -> usize {
                     println!("    VIOLATION: {v}");
                 }
                 failures += r.violations.len();
+                if label == "chain" {
+                    let refreshes =
+                        r.snapshot.counter_value("view.graph.refreshes").unwrap_or(0);
+                    let enqueues = r.snapshot.counter_value("view.graph.enqueues").unwrap_or(0);
+                    println!(
+                        "  {:<8}  view.graph: enqueues {:>4}  coalesce hits {:>4}  \
+                         refreshes {:>4}  max depth {:>2}",
+                        "",
+                        enqueues,
+                        r.snapshot.counter_value("view.graph.coalesce_hits").unwrap_or(0),
+                        refreshes,
+                        r.snapshot.gauge_value("view.graph.max_depth").unwrap_or(-1),
+                    );
+                    if refreshes == 0 || enqueues == 0 {
+                        println!("    VIOLATION: chain run surfaced no view.graph.* activity");
+                        failures += 1;
+                    }
+                }
             }
             Err(e) => {
                 failures += 1;
@@ -308,6 +344,7 @@ fn interleave_fixtures() -> Vec<interleave::Scenario> {
     }
     scenarios.push(interleave::fairness_scenario());
     scenarios.extend(interleave::pipeline_scenarios());
+    scenarios.extend(interleave::chain_scenarios());
     scenarios
 }
 
@@ -348,6 +385,9 @@ fn run_interleave(quick: bool, seed: u64) -> usize {
         ("two_batch_overlap/Escrow/elr", 167_596),
         ("elr_read_dependency/Escrow/pipeline", 556),
         ("elr_read_dependency/Escrow/elr", 1_141),
+        // Derived-chain fixture: reader of the mid-chain view vs an
+        // in-flight cascade, with the pipeline and ELR on.
+        ("cascade_elr/Escrow/elr", 4_420),
     ];
 
     println!("exhaustive DFS (five scenarios x two maintenance modes):");
@@ -427,6 +467,62 @@ fn run_interleave(quick: bool, seed: u64) -> usize {
             }
             if sc.name == "elr_read_dependency/Escrow/elr" && r.dep_schedules == 0 {
                 println!("  VACUOUS: {} recorded no ELR dependency edges", sc.name);
+                failures += 1;
+            }
+        }
+    }
+
+    println!("exhaustive DFS (derived-chain fixtures):");
+    for sc in interleave::chain_scenarios() {
+        // The depth-race tree is enormous (each commit's cascade flush
+        // adds escrow acquires at every chain level): explore a
+        // deterministic prefix. The ELR reader fixture runs to completion
+        // and is gated exactly above.
+        let cap = if sc.name.starts_with("chain_commit_race") {
+            if quick { 500 } else { 4_000 }
+        } else {
+            dfs_cap
+        };
+        let r = interleave::explore_dfs(&sc, cap);
+        println!(
+            "  {:<42} schedules {:>6}{}  max decisions {:>3}  flushes {:>6}  deps {:>5}  violations {}",
+            sc.name,
+            r.schedules,
+            if r.truncated { "+" } else { " " },
+            r.max_decisions,
+            r.cascade_flush_schedules,
+            r.dep_schedules,
+            r.violations.len(),
+        );
+        print_interleave_violations(&sc.name, &r.violations);
+        failures += r.violations.len();
+        schedules += r.schedules;
+        // Non-vacuity: both transactions write through the chain, so every
+        // committing schedule must flush a non-empty cascade queue.
+        if r.cascade_flush_schedules != r.schedules {
+            println!(
+                "  VACUOUS: {} flushed cascades in only {} of {} schedules",
+                sc.name, r.cascade_flush_schedules, r.schedules
+            );
+            failures += 1;
+        }
+        if !quick {
+            if let Some(&(_, want)) =
+                expected_schedules.iter().find(|(name, _)| *name == sc.name)
+            {
+                if r.schedules != want {
+                    println!(
+                        "  DRIFT: {} admitted {} schedules, expected {want}",
+                        sc.name, r.schedules
+                    );
+                    failures += 1;
+                }
+            }
+            if sc.name == "cascade_elr/Escrow/elr" && r.dep_schedules != 2_181 {
+                println!(
+                    "  DRIFT: {} recorded ELR dependencies in {} schedules, expected 2181",
+                    sc.name, r.dep_schedules
+                );
                 failures += 1;
             }
         }
@@ -579,13 +675,72 @@ fn main() {
         }
     }
 
-    // Part 2: seeded random schedules (transients + torn writes + crash),
+    // Part 2: derived-chain cascade torture — the same crash-point sweep
+    // with a view chain (bank_balance → identity level → global rollup)
+    // stacked on the bank view, judged by the chain oracle (every level
+    // equals recomputation from base *and* a fold of its immediate parent,
+    // and the terminal rollup conserves total balance). Then targeted
+    // crashes exactly between cascade levels via the mid-flush probe.
+    println!("derived-chain sweep (chain depth 2):");
+    let chain_points = points / 2;
+    for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+        let cfg = TortureConfig { mode, txns, seed, chain_depth: 2, ..Default::default() };
+        match run_sweep(&cfg, chain_points) {
+            Ok(r) => {
+                failures += r.violations.len();
+                total_points += r.crash_events.len();
+                print_sweep(mode, &r);
+            }
+            Err(e) => {
+                failures += 1;
+                println!("  {:<6}  CHAIN SWEEP ERROR: {e}", mode_name(mode));
+            }
+        }
+    }
+    println!("mid-cascade crash probes (chain depth 4):");
+    {
+        let per_probe = if quick { 6 } else { 16 };
+        let cfg = TortureConfig { txns, seed, chain_depth: 4, ..Default::default() };
+        match run_cascade_probe_sweep(&cfg, per_probe) {
+            Ok(r) => {
+                for (name, ran) in &r.per_probe {
+                    println!("  {:<20} {:>3} episodes", name, ran);
+                }
+                println!(
+                    "  {} episodes crashed between cascade levels, acked commits {}, \
+                     violations {}",
+                    r.episodes,
+                    r.acked_commits,
+                    r.violations.len()
+                );
+                for (offset, v) in &r.violations {
+                    println!("    VIOLATION at crash offset {offset}: {v}");
+                }
+                failures += r.violations.len();
+                if r.episodes == 0 {
+                    println!("  COVERAGE: mid-cascade probe never fired");
+                    failures += 1;
+                }
+                total_points += r.episodes;
+            }
+            Err(e) => {
+                failures += 1;
+                println!("  CASCADE PROBE SWEEP ERROR: {e}");
+            }
+        }
+    }
+
+    // Part 3: seeded random schedules (transients + torn writes + crash),
     // escrow mode, one derived seed per schedule.
     println!("random fault schedules:");
     let mut sched_violations = 0usize;
     let mut crashes_fired = 0usize;
     for i in 0..schedules {
-        let cfg = TortureConfig { txns, seed: seed ^ (i + 1), ..Default::default() };
+        // Every third schedule carries the depth-2 chain so random fault
+        // storms also hit the cascade path.
+        let chain_depth = if i % 3 == 0 { 2 } else { 0 };
+        let cfg =
+            TortureConfig { txns, seed: seed ^ (i + 1), chain_depth, ..Default::default() };
         let schedule = FaultSchedule::random(seed.wrapping_mul(31).wrapping_add(i), 120);
         match run_episode(&cfg, &schedule) {
             Ok(ep) => {

@@ -14,4 +14,6 @@ pub mod experiments;
 pub mod snapshot;
 
 pub use experiments::{e1, e12, e13, e2, e3, e4, e5, e6, e7, e8, smoke_scale, ExpConfig};
-pub use snapshot::{e11, metrics_demo, snapshot_json, snapshot_pr6_json, snapshot_pr7_json};
+pub use snapshot::{
+    e11, metrics_demo, snapshot_json, snapshot_pr6_json, snapshot_pr7_json, snapshot_pr8_json,
+};

@@ -360,6 +360,49 @@ pub fn snapshot_pr7_json(cfg: &ExpConfig) -> String {
     )
 }
 
+/// The `BENCH_PR8.json` payload: commit throughput of batched deposits as
+/// a function of the derived-chain depth stacked on the bank view
+/// (depth 1 = just the global rollup; depth 4 = three identity levels
+/// plus the rollup), comparing the commit-time coalescing queue against
+/// naive eager propagation (`set_cascade_eager`: every base delta walks
+/// the whole chain immediately). Coalescing folds a transaction's deltas
+/// per (view, group) before they cascade, so its advantage grows with
+/// depth and with the number of updates per transaction.
+pub fn snapshot_pr8_json(cfg: &ExpConfig) -> String {
+    let threads = 4.min(cfg.max_threads).max(1);
+    let mut cells = Vec::new();
+    for depth in [1usize, 2, 4] {
+        for (strategy, eager) in [("coalesced", false), ("eager", true)] {
+            let bank = Bank::setup(BankConfig {
+                mode: MaintenanceMode::Escrow,
+                chain_depth: depth,
+                ..Default::default()
+            })
+            .expect("setup");
+            bank.db.set_cascade_eager(eager);
+            let specs = [WorkerSpec {
+                name: "deposit".into(),
+                threads,
+                isolation: IsolationLevel::ReadCommitted,
+                op: bank.batch_deposit_op(4),
+            }];
+            let res = run_for(&bank.db, &specs, cfg.cell);
+            bank.verify().expect("chain consistent after pr8 cell");
+            let r = res.into_iter().next().unwrap();
+            cells.push(cell_json(
+                &format!("\"depth\": {depth}, \"strategy\": \"{strategy}\", "),
+                MaintenanceMode::Escrow,
+                &r,
+            ));
+        }
+    }
+    format!(
+        "{{\n  \"bench\": \"PR8\",\n  \"cell_ms\": {},\n  \"threads\": {threads},\n  \"e15_chain\": [\n    {}\n  ]\n}}\n",
+        cfg.cell.as_millis(),
+        cells.join(",\n    "),
+    )
+}
+
 /// E11 — observability cost and what the histograms show: escrow vs
 /// X-lock commit-latency percentiles at full contention (max threads,
 /// 8 hot view rows). Metrics are always on, so the "overhead" claim is
@@ -474,6 +517,19 @@ mod tests {
         assert!(s.contains("\"scans_per_s\""));
         assert!(s.contains("\"promote_ms\""));
         assert!(s.contains("\"shipped_bytes\""));
+    }
+
+    #[test]
+    fn snapshot_pr8_json_has_expected_shape() {
+        let s = snapshot_pr8_json(&tiny());
+        check_balanced(&s);
+        assert!(s.contains("\"bench\": \"PR8\""));
+        assert!(s.contains("\"e15_chain\""));
+        for depth in ["\"depth\": 1", "\"depth\": 2", "\"depth\": 4"] {
+            assert!(s.contains(depth), "missing {depth}");
+        }
+        assert_eq!(s.matches("\"coalesced\"").count(), 3);
+        assert_eq!(s.matches("\"eager\"").count(), 3);
     }
 
     #[test]

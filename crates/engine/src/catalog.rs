@@ -164,6 +164,22 @@ pub enum ViewSource {
         /// Group-by columns of the **dim** table.
         dim_group_by: Vec<usize>,
     },
+    /// A view over another view: re-aggregates the parent's stored rows.
+    /// `SELECT pg..., COUNT_BIG := SUM(parent.count), aggs := SUM(parent
+    /// columns) FROM parent GROUP BY pg...` — COUNT_BIG transitively counts
+    /// *base* rows (the sum of parent counts), so the ghost invariant
+    /// (count 0 ⇒ all sums zero) holds at every level and maintenance stays
+    /// linear in the parent's deltas. Maintained by the cascade queue, not
+    /// by base DML.
+    Derived {
+        /// The parent view.
+        parent: ViewId,
+        /// Group-by positions **into the parent's group columns**. Empty
+        /// means a global rollup — stored under one synthetic constant
+        /// `Int(0)` group column (the empty key is reserved as the B-tree's
+        /// leftmost fence and cannot name a row).
+        group_by: Vec<usize>,
+    },
 }
 
 /// What a user supplies to `create_indexed_view`.
@@ -377,7 +393,24 @@ impl Catalog {
             .filter(|v| match &v.source {
                 ViewSource::Single { table: t, .. } => *t == table,
                 ViewSource::Join { fact, .. } => *fact == table,
+                ViewSource::Derived { .. } => false,
             })
+            .collect()
+    }
+
+    /// Look up a view by id.
+    pub fn view_by_id(&self, id: ViewId) -> Result<&ViewDef> {
+        self.views
+            .values()
+            .find(|v| v.id == id)
+            .ok_or_else(|| Error::Schema(format!("unknown view id {id:?}")))
+    }
+
+    /// All derived views whose parent is `parent` (the DAG's child edges).
+    pub fn views_deriving(&self, parent: ViewId) -> Vec<&ViewDef> {
+        self.views
+            .values()
+            .filter(|v| matches!(&v.source, ViewSource::Derived { parent: p, .. } if *p == parent))
             .collect()
     }
 
@@ -520,6 +553,12 @@ impl Catalog {
                         w.u16(g as u16);
                     }
                 }
+                ViewSource::Derived { parent, group_by } => {
+                    w.u8(2).u32(parent.0).u16(group_by.len() as u16);
+                    for &g in group_by {
+                        w.u16(g as u16);
+                    }
+                }
             }
             w.u16(v.aggs.len() as u16);
             for a in &v.aggs {
@@ -592,6 +631,15 @@ impl Catalog {
                         dim_group_by.push(r.u16()? as usize);
                     }
                     ViewSource::Join { fact, fact_fk_col, dim, dim_group_by }
+                }
+                2 => {
+                    let parent = ViewId(r.u32()?);
+                    let n = r.u16()? as usize;
+                    let mut group_by = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        group_by.push(r.u16()? as usize);
+                    }
+                    ViewSource::Derived { parent, group_by }
                 }
                 t => return Err(Error::corruption(format!("bad view source tag {t}"))),
             };
@@ -762,5 +810,67 @@ mod tests {
         assert_eq!(c.views_on(t1).len(), 2);
         assert_eq!(c.views_on(t2).len(), 0);
         assert_eq!(c.views_with_dim(t2).len(), 1);
+    }
+
+    #[test]
+    fn derived_views_roundtrip_and_resolve() {
+        let mut c = Catalog::new();
+        let t1 = c.alloc_object();
+        let index = c.alloc_index();
+        c.add_table(TableDef {
+            id: t1,
+            name: "t".into(),
+            schema: base_schema(),
+            index,
+            root: PageId(1),
+        })
+        .unwrap();
+        let parent = ViewDef {
+            id: c.alloc_view(),
+            object: c.alloc_object(),
+            name: "v".into(),
+            source: ViewSource::Single { table: t1, group_by: vec![1] },
+            aggs: vec![AggSpec::SumInt { col: 2 }],
+            filter: Predicate::True,
+            maintenance: MaintenanceMode::Escrow,
+            deferred: false,
+            eager_group_delete: false,
+            index: c.alloc_index(),
+            root: PageId(2),
+            group_types: vec![ValueType::Int],
+        };
+        let pid = parent.id;
+        let child = ViewDef {
+            id: c.alloc_view(),
+            object: c.alloc_object(),
+            name: "rollup".into(),
+            source: ViewSource::Derived { parent: pid, group_by: vec![] },
+            aggs: vec![AggSpec::SumInt { col: 2 }],
+            filter: Predicate::True,
+            maintenance: MaintenanceMode::Escrow,
+            deferred: false,
+            eager_group_delete: false,
+            index: c.alloc_index(),
+            root: PageId(3),
+            group_types: vec![ValueType::Int],
+        };
+        let cid = child.id;
+        c.add_view(parent).unwrap();
+        c.add_view(child).unwrap();
+        // Derived views are not maintained by base DML.
+        assert_eq!(c.views_on(t1).len(), 1);
+        assert_eq!(c.views_deriving(pid).len(), 1);
+        assert_eq!(c.views_deriving(cid).len(), 0);
+        assert_eq!(c.view_by_id(cid).unwrap().name, "rollup");
+        // Persistence: tag-2 sources survive the sidecar roundtrip.
+        let decoded = Catalog::decode(&c.encode()).unwrap();
+        match &decoded.view("rollup").unwrap().source {
+            ViewSource::Derived { parent, group_by } => {
+                assert_eq!(*parent, pid);
+                assert!(group_by.is_empty());
+            }
+            other => panic!("expected Derived source, got {other:?}"),
+        }
+        assert_eq!(decoded.views_deriving(pid).len(), 1);
     }
 }

@@ -25,7 +25,7 @@
 use crate::catalog::{
     AggSpec, Catalog, MaintenanceMode, TableDef, ViewDef, ViewSource, ViewSpec,
 };
-use crate::delta::{join_delta, single_table_delta, update_deltas};
+use crate::delta::{derived_delta, fold_derived, join_delta, single_table_delta, update_deltas};
 use crate::escrow::{
     self, agg_region_offset, apply_additive, apply_insert_merge, apply_undo_pairs,
     encode_view_row, initial_aggs, RowDelta,
@@ -39,7 +39,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use txview_common::obs::{ObsClock, Snapshot, StripedCounter};
+use txview_common::obs::{Histogram, ObsClock, Snapshot, StripedCounter};
 use txview_common::retry::{RetryPolicy, RetryStatsSnapshot};
 use txview_common::sharded::ShardMap;
 use txview_btree::{LogCtx, OpLog, Tree};
@@ -50,7 +50,8 @@ use txview_lock::{LockManager, LockMode, LockName};
 use txview_storage::buffer::BufferPool;
 use txview_storage::disk::{DiskManager, MemDisk};
 use txview_txn::{IsolationLevel, Transaction, TxnManager};
-use txview_wal::record::UndoOp;
+use txview_view::{CascadeQueue, PendingDelta, ViewGraph};
+use txview_wal::record::{UndoOp, ValueDelta};
 use txview_wal::recovery::{recover, RecoveryReport, UndoHandler};
 use txview_wal::{LogManager, MemLogStore};
 
@@ -127,6 +128,18 @@ pub struct Database {
     touched: ShardMap<TxnId, TouchedRows>,
     /// Ghost-cleanup work queue, striped by key hash with enqueue dedup.
     ghost_queue: GhostQueue,
+    /// View-dependency DAG: base views at depth 0, derived (view-over-view)
+    /// children below, cycle-rejected at registration.
+    graph: RwLock<ViewGraph>,
+    /// Per-transaction coalescing queues of pending derived-view deltas,
+    /// drained in dependency order by the commit flush.
+    cascades: ShardMap<TxnId, CascadeQueue>,
+    /// Ablation: propagate each parent delta to children immediately (one
+    /// refresh per DML) instead of coalescing to one per (view, group, txn).
+    cascade_eager: std::sync::atomic::AtomicBool,
+    /// Test probe: when armed, every applied cascade refresh records
+    /// `(txn, view, group-key)` — the exactly-once oracle reads this.
+    cascade_trace: Mutex<Option<Vec<(TxnId, ViewId, Vec<u8>)>>>,
     /// Pending-delta counters of deferred views (E6 staleness metric).
     deferred_pending: Mutex<HashMap<ViewId, u64>>,
     /// Sidecar path persisting the catalog at each DDL (None = in-memory).
@@ -164,6 +177,17 @@ pub struct EngineObs {
     pub group_creates: StripedCounter,
     /// Ghost rows physically removed by cleanup sweeps.
     pub ghosts_removed: StripedCounter,
+    /// Child deltas projected into per-transaction cascade queues.
+    pub cascade_enqueues: StripedCounter,
+    /// Enqueues that merged into an existing (view, group) entry — the
+    /// work coalescing saved versus eager propagation.
+    pub cascade_coalesce_hits: StripedCounter,
+    /// Derived-view refreshes actually applied (flush drains + eager mode).
+    pub cascade_refreshes: StripedCounter,
+    /// Coalesced entries drained per commit flush (flushes with work only).
+    pub cascade_flush_entries: Histogram,
+    /// Deepest DAG level reached per commit flush.
+    pub cascade_flush_depth: Histogram,
 }
 
 impl Database {
@@ -231,6 +255,10 @@ impl Database {
             watermark: CommitWatermark::new(),
             touched: ShardMap::with_default_shards(),
             ghost_queue: GhostQueue::new(),
+            graph: RwLock::new(ViewGraph::new()),
+            cascades: ShardMap::with_default_shards(),
+            cascade_eager: std::sync::atomic::AtomicBool::new(false),
+            cascade_trace: Mutex::new(None),
             deferred_pending: Mutex::new(HashMap::new()),
             catalog_path: Mutex::new(None),
             health: HealthMonitor::new(),
@@ -279,6 +307,21 @@ impl Database {
             trees.insert(i.index, Arc::new(Tree::open(&self.pool, i.index, i.root)));
         }
         drop(trees);
+        // Rebuild the dependency DAG. View ids are allocated in DDL order,
+        // so registering ascending guarantees each parent precedes its
+        // children (DDL rejects forward references).
+        let mut graph = ViewGraph::new();
+        let mut views: Vec<&ViewDef> = cat.views().collect();
+        views.sort_by_key(|v| v.id);
+        for v in views {
+            match &v.source {
+                ViewSource::Derived { parent, .. } => {
+                    graph.register_derived(v.id, *parent)?;
+                }
+                _ => graph.register_base(v.id)?,
+            }
+        }
+        *self.graph.write() = graph;
         *self.catalog.write() = cat;
         Ok(())
     }
@@ -367,6 +410,17 @@ impl Database {
             "engine.deferred_pending",
             self.deferred_pending.lock().values().map(|&v| v as i64).sum(),
         );
+        // Cascade (derived-view DAG) surface.
+        {
+            let g = self.graph.read();
+            s.gauge("view.graph.views", g.len() as i64);
+            s.gauge("view.graph.max_depth", g.max_depth() as i64);
+        }
+        s.counter("view.graph.enqueues", self.obs.cascade_enqueues.get());
+        s.counter("view.graph.coalesce_hits", self.obs.cascade_coalesce_hits.get());
+        s.counter("view.graph.refreshes", self.obs.cascade_refreshes.get());
+        s.hist("view.graph.flush_entries", self.obs.cascade_flush_entries.snapshot());
+        s.hist("view.graph.flush_depth", self.obs.cascade_flush_depth.snapshot());
         // Health surface: torture oracles and the server layer assert on
         // these instead of reaching into engine internals.
         let hs = self.health.stats();
@@ -573,6 +627,11 @@ impl Database {
                     let types = dim_group_by.iter().map(|&c| d.schema.columns()[c].ty).collect();
                     (types, f.schema.clone())
                 }
+                ViewSource::Derived { .. } => {
+                    return Err(Error::Schema(
+                        "derived views go through create_derived_view".into(),
+                    ));
+                }
             };
             for agg in &spec.aggs {
                 agg.stored_type(&base_schema)?;
@@ -609,6 +668,7 @@ impl Database {
             cat.add_view(def.clone())?;
             def
         };
+        self.graph.write().register_base(def.id)?;
         // Populate from existing base rows.
         let rows = self.compute_view_from_base(&def)?;
         if !rows.is_empty() {
@@ -625,6 +685,167 @@ impl Database {
         self.checkpoint()?;
         self.persist_catalog()?;
         Ok(def.id)
+    }
+
+    /// Create a **derived** indexed view — a view over another view — and
+    /// populate it from the parent's current contents. Derived views are
+    /// maintained by the cascade queue at commit (never by base DML
+    /// directly): each parent delta projects linearly onto the child, and
+    /// the per-transaction queue coalesces everything to one refresh per
+    /// `(view, group)` flushed in dependency order before the commit
+    /// record.
+    ///
+    /// The child's COUNT_BIG tracks the **sum of parent counts** (base
+    /// rows, transitively), which keeps propagation linear and preserves
+    /// the ghost invariant (count 0 ⇒ sums 0) at every level. `group_by`
+    /// and aggregate columns index the parent's *stored row layout*
+    /// `[group cols | COUNT_BIG | agg cols]`; an empty `group_by` is a
+    /// global rollup under one synthetic `Int(0)` group column. Parents
+    /// must be non-deferred and all-SUM (MIN/MAX deltas are not linear).
+    /// DDL is quiesced, as elsewhere, and followed by a checkpoint.
+    pub fn create_derived_view(
+        &self,
+        name: &str,
+        parent_name: &str,
+        group_by: Vec<usize>,
+        aggs: Vec<AggSpec>,
+        maintenance: MaintenanceMode,
+    ) -> Result<ViewId> {
+        let def = {
+            let mut cat = self.catalog.write();
+            let parent = cat.view(parent_name)?.clone();
+            if parent.deferred {
+                return Err(Error::Schema(format!(
+                    "derived view '{name}': parent '{parent_name}' is deferred \
+                     (no per-statement deltas to cascade)"
+                )));
+            }
+            if !parent.aggs.iter().all(AggSpec::is_escrow_capable) {
+                return Err(Error::Schema(format!(
+                    "derived view '{name}': parent '{parent_name}' has MIN/MAX \
+                     aggregates (non-linear, cannot cascade)"
+                )));
+            }
+            let pngroup = parent.group_types.len();
+            for &c in &group_by {
+                if c >= pngroup {
+                    return Err(Error::Schema(format!(
+                        "derived view '{name}': group column {c} outside the \
+                         parent's group region (0..{pngroup})"
+                    )));
+                }
+            }
+            for spec in &aggs {
+                if !spec.is_escrow_capable() {
+                    return Err(Error::Schema(format!(
+                        "derived view '{name}': MIN/MAX is unsupported on derived views"
+                    )));
+                }
+                let col = spec.col();
+                if col == pngroup {
+                    if !matches!(spec, AggSpec::SumInt { .. }) {
+                        return Err(Error::Schema(format!(
+                            "derived view '{name}': the parent COUNT_BIG column \
+                             must be summed as SumInt"
+                        )));
+                    }
+                } else if col > pngroup && col < pngroup + 1 + parent.aggs.len() {
+                    let ok = matches!(
+                        (spec, &parent.aggs[col - pngroup - 1]),
+                        (AggSpec::SumInt { .. }, AggSpec::SumInt { .. })
+                            | (AggSpec::SumFloat { .. }, AggSpec::SumFloat { .. })
+                    );
+                    if !ok {
+                        return Err(Error::Schema(format!(
+                            "derived view '{name}': aggregate column {col} type \
+                             mismatch with the parent aggregate"
+                        )));
+                    }
+                } else {
+                    return Err(Error::Schema(format!(
+                        "derived view '{name}': aggregate column {col} outside \
+                         the parent's stored aggregate region"
+                    )));
+                }
+            }
+            let group_types: Vec<ValueType> = if group_by.is_empty() {
+                vec![ValueType::Int] // synthetic constant Int(0) group
+            } else {
+                group_by.iter().map(|&c| parent.group_types[c]).collect()
+            };
+            let id = cat.alloc_view();
+            let object = cat.alloc_object();
+            let index = cat.alloc_index();
+            let tree = Tree::create(&self.pool, &self.log, index)?;
+            let root = tree.root();
+            self.trees.write().insert(index, Arc::new(tree));
+            let def = ViewDef {
+                id,
+                object,
+                name: name.to_string(),
+                source: ViewSource::Derived { parent: parent.id, group_by },
+                aggs,
+                filter: crate::catalog::Predicate::True,
+                maintenance,
+                deferred: false,
+                eager_group_delete: false,
+                index,
+                root,
+                group_types,
+            };
+            cat.add_view(def.clone())?;
+            def
+        };
+        let parent_id = match &def.source {
+            ViewSource::Derived { parent, .. } => *parent,
+            _ => unreachable!("just built as Derived"),
+        };
+        self.graph.write().register_derived(def.id, parent_id)?;
+        // Populate from the parent's current contents (recomputed from
+        // base, so a stale parent can never seed a fresh child).
+        let rows = self.compute_view_from_base(&def)?;
+        if !rows.is_empty() {
+            let mut txn = self.begin(IsolationLevel::ReadCommitted);
+            let tree = self.tree(def.index)?;
+            for (group, (count, aggs)) in rows {
+                let key = Key::from_values(&group);
+                let bytes = encode_view_row(&group, count, &aggs)?;
+                let mut ctx = LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
+                tree.insert(&key, &bytes, &mut ctx, &OpLog::Update { undo: UndoOp::None })?;
+            }
+            self.txns.commit(&mut txn)?;
+        }
+        self.checkpoint()?;
+        self.persist_catalog()?;
+        Ok(def.id)
+    }
+
+    /// Registered depth of a view in the dependency DAG (0 = base view).
+    pub fn view_depth(&self, view_name: &str) -> Result<u32> {
+        let id = self.catalog.read().view(view_name)?.id;
+        self.graph
+            .read()
+            .depth(id)
+            .ok_or_else(|| Error::NotFound(format!("view '{view_name}' not in the graph")))
+    }
+
+    /// Ablation toggle: `true` propagates every parent delta to children
+    /// immediately (one refresh per DML — the naive baseline BENCH_PR8
+    /// measures); `false` (default) coalesces per (view, group, txn) and
+    /// flushes once at commit.
+    pub fn set_cascade_eager(&self, eager: bool) {
+        self.cascade_eager.store(eager, Ordering::Relaxed);
+    }
+
+    /// Arm the cascade trace: subsequent refreshes record
+    /// `(txn, view, group-key)` until [`Database::take_cascade_trace`].
+    pub fn enable_cascade_trace(&self) {
+        *self.cascade_trace.lock() = Some(Vec::new());
+    }
+
+    /// Drain the armed cascade trace (empty if never armed).
+    pub fn take_cascade_trace(&self) -> Vec<(TxnId, ViewId, Vec<u8>)> {
+        self.cascade_trace.lock().as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     // ---- transactions ----------------------------------------------------
@@ -658,11 +879,30 @@ impl Database {
         if self.health.state() == HealthState::Fenced {
             return Err(Error::Fenced { reason: self.health.reason() });
         }
-        let touched: TouchedRows = self.touched.remove(&txn.id).unwrap_or_default();
-        let force = txn.undo_len() > 0 || !touched.is_empty();
         let ticket = self.watermark.begin_commit(&self.log);
         let tid = txn.id;
-        let result = self.txns.commit_with_opts(txn, force, |commit_lsn| {
+        // Touched rows move out in the pre-append hook (after the cascade
+        // flush, which itself *adds* touches) and are read back in the
+        // pre-release hook; the RefCell bridges the two closures.
+        let touched_cell: std::cell::RefCell<TouchedRows> = std::cell::RefCell::new(HashMap::new());
+        let result = self.txns.commit_with_hooks(
+            txn,
+            |txn| {
+                // Flush coalesced derived-view deltas in dependency order
+                // *before* the commit record: the cascade's log records sit
+                // ahead of the Commit, so recovery and replication replay
+                // see them as ordinary redo — and under ELR they complete
+                // before any escrow lock drops.
+                self.flush_cascades(txn)?;
+                let touched = self.touched.remove(&txn.id).unwrap_or_default();
+                // Force is computed after the flush so cascade work
+                // upgrades an otherwise no-force commit.
+                let force = txn.undo_len() > 0 || !touched.is_empty();
+                *touched_cell.borrow_mut() = touched;
+                Ok(force)
+            },
+            |commit_lsn| {
+            let touched = touched_cell.borrow();
             self.watermark.set_lsn(ticket, commit_lsn);
             // Interleaving-explorer yield: the latch-free version-store
             // publish is a scheduling point (locks still held, commit
@@ -673,7 +913,7 @@ impl Database {
                 }
             }
             let cat = self.catalog.read();
-            for ((index, kb), touch) in &touched {
+            for ((index, kb), touch) in touched.iter() {
                 let view = cat
                     .views()
                     .find(|v| v.index == *index)
@@ -698,7 +938,8 @@ impl Database {
                 }
             }
             Ok(())
-        });
+            },
+        );
         self.watermark.end_commit(ticket);
         if result.is_ok() {
             self.release_snapshot(txn);
@@ -709,6 +950,10 @@ impl Database {
     /// Roll back completely (logical undo through the engine, CLRs logged).
     pub fn rollback(&self, txn: &mut Transaction) -> Result<()> {
         self.touched.remove(&txn.id);
+        // Pending cascade work dies with the transaction: nothing was
+        // applied, so there is nothing to undo. (Removed *before* the undo
+        // walk so per-op retraction finds an empty queue and no-ops.)
+        self.cascades.remove(&txn.id);
         let result = self.txns.rollback(txn, self);
         if result.is_ok() {
             self.release_snapshot(txn);
@@ -1024,6 +1269,14 @@ impl Database {
                     }
                     out
                 }
+                ViewSource::Derived { .. } => {
+                    // `views_on` never returns derived views; they are
+                    // maintained only through the cascade queue.
+                    return Err(Error::invalid(format!(
+                        "derived view '{}' cannot be maintained by base DML",
+                        view.name
+                    )));
+                }
             };
             if view.deferred {
                 // Staleness = unapplied view-row deltas, not DML statements:
@@ -1035,7 +1288,7 @@ impl Database {
                 continue;
             }
             for delta in deltas {
-                self.apply_delta(txn, view, base, &delta)?;
+                self.apply_delta(txn, view, Some(base), &delta)?;
             }
         }
         Ok(())
@@ -1083,11 +1336,14 @@ impl Database {
     }
 
     /// Apply one [`RowDelta`] to a view — the heart of the protocol.
+    /// `base` is `None` for derived views (cascade applies): they are
+    /// all-SUM by construction, so the MIN/MAX recompute path that needs
+    /// the base table is unreachable.
     fn apply_delta(
         &self,
         txn: &mut Transaction,
         view: &ViewDef,
-        base: &TableDef,
+        base: Option<&TableDef>,
         delta: &RowDelta,
     ) -> Result<()> {
         if delta.is_noop() {
@@ -1142,6 +1398,12 @@ impl Database {
                 self.note_additive(txn.id, view.index, &kb, &delta.to_undo_pairs())?;
                 self.obs.escrow_applies.inc();
             } else {
+                let base = base.ok_or_else(|| {
+                    Error::invalid(format!(
+                        "MIN/MAX maintenance of '{}' needs a base table",
+                        view.name
+                    ))
+                })?;
                 self.apply_minmax_delta(txn, view, base, &tree, &key, &cur_value, delta)?;
                 self.note_exclusive(txn.id, view.index, &kb);
                 self.obs.minmax_rewrites.inc();
@@ -1149,8 +1411,123 @@ impl Database {
             if let Some(gap) = pending_gap {
                 self.locks.release(txn.id, &gap);
             }
+            // Propagate to children: project this delta onto each derived
+            // view and enqueue (coalescing) or, in eager mode, apply now.
+            self.cascade_children(txn, view, delta)?;
             return Ok(());
         }
+    }
+
+    /// Project an applied delta onto the view's children. Coalesced mode
+    /// enqueues into the transaction's cascade queue (merged per
+    /// `(view, group)`, drained at commit); eager mode recurses through
+    /// [`Database::apply_delta`] immediately — the naive baseline.
+    fn cascade_children(
+        &self,
+        txn: &mut Transaction,
+        view: &ViewDef,
+        delta: &RowDelta,
+    ) -> Result<()> {
+        let children: Vec<ViewId> = {
+            let g = self.graph.read();
+            g.children(view.id).to_vec()
+        };
+        if children.is_empty() {
+            return Ok(());
+        }
+        let eager = self.cascade_eager.load(Ordering::Relaxed);
+        for child_id in children {
+            let child = self.catalog.read().view_by_id(child_id)?.clone();
+            let projected = derived_delta(&child, view, delta)?;
+            if projected.is_noop() {
+                continue;
+            }
+            if eager {
+                self.apply_delta(txn, &child, None, &projected)?;
+                self.obs.cascade_refreshes.inc();
+                if let Some(trace) = self.cascade_trace.lock().as_mut() {
+                    trace.push((txn.id, child_id, projected.key().as_bytes().to_vec()));
+                }
+                continue;
+            }
+            let depth = self
+                .graph
+                .read()
+                .depth(child_id)
+                .ok_or_else(|| Error::NotFound(format!("view {} not in graph", child_id.0)))?;
+            let kb = projected.key().as_bytes().to_vec();
+            let pending = PendingDelta {
+                group: projected.group.clone(),
+                count: projected.count,
+                aggs: projected.aggs.clone(),
+            };
+            let outcome = self
+                .cascades
+                .with_entry(txn.id, |q| q.enqueue(depth, child_id, kb, pending))?;
+            self.obs.cascade_enqueues.inc();
+            if outcome == txview_view::EnqueueOutcome::Coalesced {
+                self.obs.cascade_coalesce_hits.inc();
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain the transaction's cascade queue in dependency order: ascending
+    /// `(depth, view, group)` — applying a level-*d* entry enqueues its own
+    /// children at depth > *d*, which this same drain consumes. Runs in the
+    /// pre-append commit hook, so every cascade log record precedes the
+    /// commit record (ordinary redo for recovery and replication) and, under
+    /// ELR, completes before any escrow lock drops.
+    fn flush_cascades(&self, txn: &mut Transaction) -> Result<()> {
+        let entries = self.cascades.update(&txn.id, |slot| {
+            slot.map(|q| q.len()).unwrap_or(0)
+        });
+        if entries == 0 {
+            return Ok(());
+        }
+        // Yield point, guarded on a non-empty queue so cascade-free
+        // scenarios keep their exact schedule counts.
+        if let Some(h) = self.locks.hook() {
+            h.yield_point(
+                txn.id,
+                &txview_lock::SchedEvent::CascadeFlush { entries: entries as u64 },
+            );
+        }
+        let mut refreshed = 0u64;
+        let mut last_depth: Option<u32> = None;
+        loop {
+            // Pop through the live map entry (not a drained snapshot):
+            // applying an entry re-enters `cascade_children`, which must
+            // land grandchildren in this same queue.
+            let popped = self.cascades.update(&txn.id, |slot| {
+                slot.and_then(|q| q.pop_first())
+            });
+            let Some((depth, view_id, kb, pending)) = popped else { break };
+            if last_depth.is_some_and(|d| depth > d) {
+                // Named crash point between DAG levels: the torture
+                // probe sweep crashes here to prove mid-cascade atomicity.
+                self.log.probe_point("view.cascade.level");
+            }
+            last_depth = Some(depth);
+            if pending.is_noop() {
+                continue; // retracted down to nothing by a savepoint undo
+            }
+            let view = self.catalog.read().view_by_id(view_id)?.clone();
+            let delta =
+                RowDelta { group: pending.group, count: pending.count, aggs: pending.aggs };
+            self.apply_delta(txn, &view, None, &delta)?;
+            self.obs.cascade_refreshes.inc();
+            refreshed += 1;
+            if let Some(trace) = self.cascade_trace.lock().as_mut() {
+                trace.push((txn.id, view_id, kb));
+            }
+        }
+        self.cascades.remove(&txn.id);
+        self.obs.cascade_flush_entries.record(refreshed);
+        if let Some(d) = last_depth {
+            self.obs.cascade_flush_depth.record(u64::from(d));
+        }
+        Ok(())
     }
 
     /// Materialize an invisible (COUNT_BIG = 0) group row in a system
@@ -1348,6 +1725,16 @@ impl Database {
             Ok(())
         };
         match &view.source {
+            ViewSource::Derived { parent, .. } => {
+                // Recurse through the parent (transitively down to base).
+                // Clone the parent def and RELEASE the catalog guard first:
+                // parking_lot read locks are not recursive under a waiting
+                // writer, and the recursion re-reads the catalog.
+                let p = cat.view_by_id(*parent)?.clone();
+                drop(cat);
+                let parent_rows = self.compute_view_from_base(&p)?;
+                return fold_derived(view, &p, &parent_rows);
+            }
             ViewSource::Single { table, group_by } => {
                 let t = cat.table_by_id(*table)?;
                 let tree = self.tree(t.index)?;
@@ -1380,10 +1767,59 @@ impl Database {
     }
 
     /// Verify that a view's stored rows exactly match a recomputation from
-    /// base (the correctness spine of every experiment). Quiesced only.
+    /// base (the correctness spine of every experiment). For derived views
+    /// this recomputes *transitively* down to the base tables. Quiesced
+    /// only.
     pub fn verify_view(&self, view_name: &str) -> Result<()> {
         let view = self.catalog.read().view(view_name)?.clone();
         let expected = self.compute_view_from_base(&view)?;
+        self.check_view_against(&view, view_name, &expected)
+    }
+
+    /// Verify a derived view against its **immediate parent's stored
+    /// rows** (not a base recomputation): the one-level fold must match
+    /// exactly. Combined with [`Database::verify_view`] on every level,
+    /// this pins blame to a single propagation step when a chain diverges.
+    /// Non-derived views fall back to the transitive check.
+    pub fn verify_view_from_parent(&self, view_name: &str) -> Result<()> {
+        let view = self.catalog.read().view(view_name)?.clone();
+        let ViewSource::Derived { parent, .. } = &view.source else {
+            return self.verify_view(view_name);
+        };
+        let p = self.catalog.read().view_by_id(*parent)?.clone();
+        let parent_rows = self.scan_view_rows(&p)?;
+        let expected = fold_derived(&view, &p, &parent_rows)?;
+        self.check_view_against(&view, view_name, &expected)
+    }
+
+    /// Materialize a view's stored visible rows as `group → (count, aggs)`.
+    #[allow(clippy::type_complexity)]
+    fn scan_view_rows(&self, view: &ViewDef) -> Result<HashMap<Vec<Value>, (i64, Vec<Value>)>> {
+        let tree = self.tree(view.index)?;
+        let (items, _) = tree.scan(None, None, false)?;
+        let mut out = HashMap::new();
+        for item in items {
+            let row = Row::from_bytes(&item.value)?;
+            let ngroup = view.group_types.len();
+            let group: Vec<Value> = (0..ngroup).map(|i| row.get(i).clone()).collect();
+            let count = row.get(ngroup).as_int()?;
+            if count == 0 {
+                continue; // logically absent
+            }
+            let aggs: Vec<Value> =
+                (0..view.aggs.len()).map(|i| row.get(ngroup + 1 + i).clone()).collect();
+            out.insert(group, (count, aggs));
+        }
+        Ok(out)
+    }
+
+    /// Compare a view's stored rows against an expected recomputation.
+    fn check_view_against(
+        &self,
+        view: &ViewDef,
+        view_name: &str,
+        expected: &HashMap<Vec<Value>, (i64, Vec<Value>)>,
+    ) -> Result<()> {
         let tree = self.tree(view.index)?;
         let (items, _) = tree.scan(None, None, false)?;
         let mut seen = 0usize;
@@ -1596,6 +2032,7 @@ impl Database {
         self.log.simulate_crash();
         self.versions.clear();
         self.touched.clear();
+        self.cascades.clear();
         self.ghost_queue.clear();
         self.watermark.clear_snapshots();
         self.locks.reset();
@@ -1675,12 +2112,13 @@ impl UndoHandler for Database {
                 let k = Key::from_bytes(key.clone());
                 let group = k.decode_values()?;
                 let cat = self.catalog.read();
-                let n_aggs = cat
+                let parent = cat
                     .views()
                     .find(|v| v.index == *index)
-                    .map(|v| v.aggs.len())
+                    .cloned()
                     .ok_or_else(|| Error::NotFound(format!("view for index {}", index.0)))?;
                 drop(cat);
+                let n_aggs = parent.aggs.len();
                 let region_off = agg_region_offset(&group);
                 let mut new_count = 0i64;
                 let mut ctx = LogCtx { log: &self.log, txn, last_lsn: last };
@@ -1710,6 +2148,59 @@ impl UndoHandler for Database {
                     }
                     Ok(())
                 })?;
+                // Mirror the accumulator fix in the cascade queue: a
+                // savepoint rollback of a parent delta retracts its
+                // projection from any still-queued child entries, so the
+                // later commit flush applies only surviving work. (Views
+                // with children are all-SUM by DDL validation, so the
+                // undo pairs reconstruct a complete forward delta: pos 0
+                // is COUNT_BIG, pos 1.. the aggregates.)
+                if self.graph.read().has_children(parent.id) {
+                    let mut fwd = RowDelta {
+                        group,
+                        count: 0,
+                        aggs: parent
+                            .aggs
+                            .iter()
+                            .map(|a| match a {
+                                AggSpec::SumFloat { .. } => ValueDelta::Float(0.0),
+                                _ => ValueDelta::Int(0),
+                            })
+                            .collect(),
+                    };
+                    for (pos, d) in deltas {
+                        if *pos == 0 {
+                            if let ValueDelta::Int(c) = d {
+                                fwd.count = *c;
+                            }
+                        } else if let Some(slot) = fwd.aggs.get_mut(*pos as usize - 1) {
+                            *slot = *d;
+                        }
+                    }
+                    let inv = fwd.inverse();
+                    let children: Vec<ViewId> = self.graph.read().children(parent.id).to_vec();
+                    for child_id in children {
+                        let child = self.catalog.read().view_by_id(child_id)?.clone();
+                        let projected = derived_delta(&child, &parent, &inv)?;
+                        if projected.is_noop() {
+                            continue;
+                        }
+                        let depth = self.graph.read().depth(child_id).unwrap_or(0);
+                        let kb = projected.key().as_bytes().to_vec();
+                        let pending = PendingDelta {
+                            group: projected.group,
+                            count: projected.count,
+                            aggs: projected.aggs,
+                        };
+                        // `update`, not `with_entry`: recovery undo (and a
+                        // full rollback, which drops the queue first) must
+                        // not materialize an empty queue as a side effect.
+                        self.cascades.update(&txn, |slot| match slot {
+                            Some(q) => q.retract(depth, child_id, &kb, &pending),
+                            None => Ok(()),
+                        })?;
+                    }
+                }
             }
             UndoOp::None | UndoOp::Page { .. } => {}
         }

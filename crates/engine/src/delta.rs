@@ -54,6 +54,9 @@ pub fn single_table_delta(view: &ViewDef, row: &Row, sign: i64) -> Result<Option
         ViewSource::Join { .. } => {
             return Err(Error::invalid("single_table_delta on a join view"))
         }
+        ViewSource::Derived { .. } => {
+            return Err(Error::invalid("single_table_delta on a derived view"))
+        }
     };
     Ok(row_contribution(view, row, sign)?.map(|aggs| RowDelta {
         group: group_by.iter().map(|&c| row.get(c).clone()).collect(),
@@ -102,6 +105,120 @@ pub fn update_deltas(view: &ViewDef, old: &Row, new: &Row) -> Result<Vec<RowDelt
             }
         }
     }
+}
+
+/// The group values of a derived-view row for a given parent group.
+/// An empty `group_by` is a global rollup, stored under one synthetic
+/// constant `Int(0)` group column (an empty key is the B-tree's leftmost
+/// fence and cannot name a row).
+pub fn derived_group(group_by: &[usize], parent_group: &[Value]) -> Vec<Value> {
+    if group_by.is_empty() {
+        vec![Value::Int(0)]
+    } else {
+        group_by.iter().map(|&c| parent_group[c].clone()).collect()
+    }
+}
+
+/// Project a parent view's delta into a derived child's delta — the linear
+/// propagation step of the cascade. The child's COUNT_BIG tracks the sum of
+/// parent counts (so the projection is exactly the parent's count delta),
+/// and each child aggregate indexes the parent's stored row layout:
+/// `col == parent_ngroup` sums the parent's COUNT_BIG, `col ==
+/// parent_ngroup + 1 + i` sums parent aggregate `i`. Linearity is what
+/// makes this sound under concurrent uncommitted escrow increments — the
+/// projection never reads the parent row, only the delta.
+pub fn derived_delta(child: &ViewDef, parent: &ViewDef, d: &RowDelta) -> Result<RowDelta> {
+    let group_by = match &child.source {
+        ViewSource::Derived { group_by, .. } => group_by,
+        _ => return Err(Error::invalid("derived_delta on a non-derived view")),
+    };
+    let pngroup = parent.group_types.len();
+    let mut aggs = Vec::with_capacity(child.aggs.len());
+    for spec in &child.aggs {
+        let col = spec.col();
+        let projected = if col == pngroup {
+            // Sums the parent's COUNT_BIG column.
+            match spec {
+                AggSpec::SumInt { .. } => ValueDelta::Int(d.count),
+                _ => {
+                    return Err(Error::Schema(format!(
+                        "derived view '{}' must sum the parent count as SumInt",
+                        child.name
+                    )))
+                }
+            }
+        } else if col > pngroup && col < pngroup + 1 + parent.aggs.len() {
+            let src = d.aggs[col - pngroup - 1];
+            match (spec, src) {
+                (AggSpec::SumInt { .. }, ValueDelta::Int(_))
+                | (AggSpec::SumFloat { .. }, ValueDelta::Float(_)) => src,
+                _ => {
+                    return Err(Error::corruption(format!(
+                        "derived view '{}' aggregate {col} type mismatch",
+                        child.name
+                    )))
+                }
+            }
+        } else {
+            return Err(Error::Schema(format!(
+                "derived view '{}' aggregate column {col} outside the parent's \
+                 aggregate region",
+                child.name
+            )));
+        };
+        aggs.push(projected);
+    }
+    Ok(RowDelta { group: derived_group(group_by, &d.group), count: d.count, aggs })
+}
+
+/// Fold a parent's materialized contents `group → (count, aggs)` into the
+/// derived child's expected contents — the recompute reference used to
+/// populate a new derived view, to verify one against its immediate
+/// parent, and by the differential oracles. Runs each parent row through
+/// [`derived_delta`] so population and incremental maintenance share one
+/// projection.
+#[allow(clippy::type_complexity)]
+pub fn fold_derived(
+    child: &ViewDef,
+    parent: &ViewDef,
+    parent_rows: &std::collections::HashMap<Vec<Value>, (i64, Vec<Value>)>,
+) -> Result<std::collections::HashMap<Vec<Value>, (i64, Vec<Value>)>> {
+    let mut out: std::collections::HashMap<Vec<Value>, (i64, Vec<Value>)> =
+        std::collections::HashMap::new();
+    for (pgroup, (pcount, paggs)) in parent_rows {
+        if *pcount == 0 {
+            continue; // logically absent parent row contributes nothing
+        }
+        let aggs = paggs
+            .iter()
+            .map(|v| match v {
+                Value::Int(i) => Ok(ValueDelta::Int(*i)),
+                Value::Float(f) => Ok(ValueDelta::Float(*f)),
+                other => Err(Error::corruption(format!(
+                    "non-numeric parent aggregate {other:?} in '{}'",
+                    parent.name
+                ))),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let d = RowDelta { group: pgroup.clone(), count: *pcount, aggs };
+        let cd = derived_delta(child, parent, &d)?;
+        let entry = out.entry(cd.group.clone()).or_insert_with(|| {
+            let zeros = child
+                .aggs
+                .iter()
+                .map(|a| match a {
+                    AggSpec::SumFloat { .. } => Value::Float(0.0),
+                    _ => Value::Int(0),
+                })
+                .collect();
+            (0i64, zeros)
+        });
+        entry.0 += cd.count;
+        for (slot, dv) in entry.1.iter_mut().zip(&cd.aggs) {
+            *slot = dv.apply_to(slot)?;
+        }
+    }
+    Ok(out)
 }
 
 fn merge_delta(a: ValueDelta, b: ValueDelta) -> Result<ValueDelta> {
@@ -206,6 +323,63 @@ mod tests {
         let mut r = row![1i64, 7i64];
         r.push(Value::Null);
         assert!(single_table_delta(&v, &r, 1).is_err());
+    }
+
+    fn derived_view(parent: &ViewDef, group_by: Vec<usize>, aggs: Vec<AggSpec>) -> ViewDef {
+        ViewDef {
+            id: ViewId(parent.id.0 + 1),
+            object: ObjectId(parent.object.0 + 1),
+            name: format!("d{}", parent.id.0),
+            source: ViewSource::Derived { parent: parent.id, group_by: group_by.clone() },
+            aggs,
+            filter: Predicate::True,
+            maintenance: MaintenanceMode::Escrow,
+            deferred: false,
+            eager_group_delete: false,
+            index: IndexId(parent.index.0 + 1),
+            root: PageId(1),
+            group_types: if group_by.is_empty() {
+                vec![ValueType::Int]
+            } else {
+                group_by.iter().map(|&c| parent.group_types[c]).collect()
+            },
+        }
+    }
+
+    #[test]
+    fn derived_delta_projects_count_and_aggs() {
+        // Parent layout: [grp@0, count@1, sum@2]. Identity child keeps the
+        // group and sums both the parent count and the parent sum.
+        let p = sum_view(Predicate::True);
+        let c = derived_view(&p, vec![0], vec![AggSpec::SumInt { col: 1 }, AggSpec::SumInt { col: 2 }]);
+        let d = RowDelta { group: vec![Value::Int(7)], count: 1, aggs: vec![ValueDelta::Int(100)] };
+        let out = derived_delta(&c, &p, &d).unwrap();
+        assert_eq!(out.group, vec![Value::Int(7)]);
+        assert_eq!(out.count, 1);
+        assert_eq!(out.aggs, vec![ValueDelta::Int(1), ValueDelta::Int(100)]);
+    }
+
+    #[test]
+    fn derived_global_rollup_uses_synthetic_group() {
+        let p = sum_view(Predicate::True);
+        let c = derived_view(&p, vec![], vec![AggSpec::SumInt { col: 2 }]);
+        let d = RowDelta { group: vec![Value::Int(9)], count: -1, aggs: vec![ValueDelta::Int(-30)] };
+        let out = derived_delta(&c, &p, &d).unwrap();
+        assert_eq!(out.group, vec![Value::Int(0)], "global rollup keys on Int(0)");
+        assert_eq!(out.count, -1);
+        assert_eq!(out.aggs, vec![ValueDelta::Int(-30)]);
+    }
+
+    #[test]
+    fn derived_delta_rejects_group_region_aggregates() {
+        let p = sum_view(Predicate::True);
+        // col 0 is the parent's group column — not summable.
+        let c = derived_view(&p, vec![0], vec![AggSpec::SumInt { col: 0 }]);
+        let d = RowDelta { group: vec![Value::Int(7)], count: 1, aggs: vec![ValueDelta::Int(1)] };
+        assert!(derived_delta(&c, &p, &d).is_err());
+        // And past the aggregate region.
+        let c = derived_view(&p, vec![0], vec![AggSpec::SumInt { col: 3 }]);
+        assert!(derived_delta(&c, &p, &d).is_err());
     }
 
     #[test]

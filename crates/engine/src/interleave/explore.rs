@@ -33,6 +33,10 @@ pub struct ExploreReport {
     /// Episodes that recorded at least one ELR commit-dependency edge —
     /// non-vacuity evidence for the ELR fixtures.
     pub dep_schedules: u64,
+    /// Episodes in which at least one committer flushed a non-empty
+    /// cascade queue (a `CascadeFlush` yield in the history) — non-vacuity
+    /// evidence for the derived-chain fixtures.
+    pub cascade_flush_schedules: u64,
 }
 
 fn executed_choices(ep: &Episode) -> Vec<usize> {
@@ -52,6 +56,14 @@ fn scan_episode(report: &mut ExploreReport, sc: &Scenario, ep: &Episode, choices
     }
     if !ep.dep_edges.is_empty() {
         report.dep_schedules += 1;
+    }
+    if ep.history.iter().any(|e| {
+        matches!(
+            e.kind,
+            super::sched::EventKind::Hook(txview_lock::SchedEvent::CascadeFlush { .. })
+        )
+    }) {
+        report.cascade_flush_schedules += 1;
     }
     if ep.workers.iter().any(|w| {
         matches!(&w.outcome, super::script::TxnOutcome::Aborted { reason }

@@ -35,7 +35,8 @@ pub use explore::{explore_dfs, explore_pct, replay, ExploreReport};
 pub use oracle::{check_episode, check_fifo};
 pub use sched::{Chooser, Event, EventKind, PctChooser, ReplayChooser, RotationChooser,
     VirtualScheduler};
-pub use script::{run_episode, Action, End, Episode, SOp, Scenario, Script, TxnOutcome};
+pub use script::{chain_level_name, chain_names, run_episode, Action, End, Episode, SOp,
+    Scenario, Script, TxnOutcome, CHAIN_TERMINAL};
 
 use crate::catalog::MaintenanceMode;
 use txview_txn::IsolationLevel;
@@ -58,6 +59,7 @@ pub fn escrow_vs_escrow(mode: MaintenanceMode) -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        chain_depth: 0,
     }
 }
 
@@ -80,6 +82,7 @@ pub fn escrow_vs_serializable_reader(mode: MaintenanceMode) -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        chain_depth: 0,
     }
 }
 
@@ -101,6 +104,7 @@ pub fn escrow_vs_snapshot_reader(mode: MaintenanceMode) -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        chain_depth: 0,
     }
 }
 
@@ -119,6 +123,7 @@ pub fn ghost_come_and_go(mode: MaintenanceMode) -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        chain_depth: 0,
     }
 }
 
@@ -150,6 +155,7 @@ pub fn deadlock_cycle(mode: MaintenanceMode) -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        chain_depth: 0,
     }
 }
 
@@ -185,6 +191,7 @@ pub fn fairness_scenario() -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        chain_depth: 0,
     }
 }
 
@@ -210,6 +217,7 @@ fn escrow_vs_escrow_3() -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        chain_depth: 0,
     }
 }
 
@@ -230,6 +238,7 @@ pub fn two_batch_overlap(elr: bool) -> Scenario {
         groups: vec![1, 2],
         pipeline: false,
         elr: false,
+        chain_depth: 0,
     }
     .with_pipeline(elr)
 }
@@ -252,6 +261,7 @@ pub fn elr_read_dependency(elr: bool) -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        chain_depth: 0,
     }
     .with_pipeline(elr)
 }
@@ -266,6 +276,64 @@ pub fn pipeline_scenarios() -> Vec<Scenario> {
         out.push(elr_read_dependency(elr));
     }
     out
+}
+
+/// Chain fixture A — commit race across DAG depths: a 2-level derived
+/// chain (`v → c0 → ctotal`) with two escrow incrementers on *disjoint*
+/// base groups. Their cascades are disjoint at the `v` and `c0` depths but
+/// collide on `ctotal`'s single global row, so every interleaving of the
+/// two commit-time flushes (including fully overlapped ones) must commute
+/// there and leave every chain level equal to recomputation.
+pub fn chain_commit_race(mode: MaintenanceMode) -> Scenario {
+    Scenario {
+        name: format!("chain_commit_race/{mode:?}"),
+        mode,
+        initial: vec![(1, 1, 10), (2, 2, 20)],
+        scripts: vec![
+            rc(vec![SOp::Insert { id: 3, grp: 1, amount: 5 }], End::Commit),
+            rc(vec![SOp::Insert { id: 4, grp: 2, amount: 7 }], End::Commit),
+        ],
+        groups: vec![1, 2],
+        pipeline: false,
+        elr: false,
+        chain_depth: 2,
+    }
+}
+
+/// Chain fixture B — ELR vs an in-flight cascade: with the pipeline and
+/// early lock release on, an RC reader polls the *mid-chain* view `c0`
+/// twice while a writer's increment cascades through it at commit. The
+/// reader must never observe a half-propagated chain (the cascade flush
+/// completes before the writer's escrow locks — including the chain-row
+/// locks taken during the flush — are released at log-append time).
+pub fn cascade_elr() -> Scenario {
+    Scenario {
+        name: "cascade_elr/Escrow".into(),
+        mode: MaintenanceMode::Escrow,
+        initial: vec![(1, 1, 10)],
+        scripts: vec![
+            rc(vec![SOp::Insert { id: 2, grp: 1, amount: 5 }], End::Commit),
+            rc(
+                vec![SOp::ReadChain { level: 0, grp: 1 }, SOp::ReadChain { level: 0, grp: 1 }],
+                End::Commit,
+            ),
+        ],
+        groups: vec![1],
+        pipeline: false,
+        elr: false,
+        chain_depth: 2,
+    }
+    .with_pipeline(true)
+}
+
+/// The chain fixtures: the depth race in both maintenance modes, plus the
+/// ELR cascade reader.
+pub fn chain_scenarios() -> Vec<Scenario> {
+    vec![
+        chain_commit_race(MaintenanceMode::Escrow),
+        chain_commit_race(MaintenanceMode::XLock),
+        cascade_elr(),
+    ]
 }
 
 /// Three-transaction deadlock cycle over base rows 1→2→3→1 (same-value
@@ -288,5 +356,6 @@ pub fn deadlock_cycle3(mode: MaintenanceMode) -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        chain_depth: 0,
     }
 }

@@ -116,9 +116,10 @@ fn group_universe(sc: &Scenario) -> Vec<i64> {
     for s in &sc.scripts {
         for op in &s.ops {
             match *op {
-                SOp::Insert { grp, .. } | SOp::Update { grp, .. } | SOp::ReadGroup { grp } => {
-                    groups.push(grp)
-                }
+                SOp::Insert { grp, .. }
+                | SOp::Update { grp, .. }
+                | SOp::ReadGroup { grp }
+                | SOp::ReadChain { grp, .. } => groups.push(grp),
                 _ => {}
             }
         }
@@ -350,7 +351,8 @@ fn serial_final(
                 SOp::Delete { id } => {
                     base.remove(&id);
                 }
-                SOp::ReadGroup { .. } | SOp::ScanView | SOp::ReadRow { .. } => {}
+                SOp::ReadGroup { .. } | SOp::ScanView | SOp::ReadRow { .. }
+                | SOp::ReadChain { .. } => {}
             }
         }
     }

@@ -45,6 +45,27 @@ pub enum SOp {
     ScanView,
     /// Read base row `id`.
     ReadRow { id: i64 },
+    /// Read the derived chain view at identity `level` for `grp`. Only
+    /// meaningful when the scenario has `chain_depth > level + 1` (identity
+    /// levels mirror `v`'s `(count, sum)` per group, so the freshness
+    /// oracle applies unchanged).
+    ReadChain { level: usize, grp: i64 },
+}
+
+/// Name of the identity chain view at `level` (level 0 derives from `v`).
+pub fn chain_level_name(level: usize) -> String {
+    format!("c{level}")
+}
+
+/// Name of the terminal (global rollup) chain view.
+pub const CHAIN_TERMINAL: &str = "ctotal";
+
+/// Names of the derived chain views a scenario with `chain_depth` builds,
+/// shallowest first; the last is the global rollup [`CHAIN_TERMINAL`].
+pub fn chain_names(chain_depth: usize) -> Vec<String> {
+    (0..chain_depth)
+        .map(|d| if d + 1 == chain_depth { CHAIN_TERMINAL.into() } else { chain_level_name(d) })
+        .collect()
 }
 
 /// How a script ends.
@@ -84,6 +105,10 @@ pub struct Scenario {
     pub pipeline: bool,
     /// With the pipeline: early escrow-lock release at log-append time.
     pub elr: bool,
+    /// Depth of the derived-view chain stacked on `v` (0 = none). Levels
+    /// `0..depth-1` are identity views (`group_by [0]`, sum of the sum
+    /// column); the last level is a single-row global rollup.
+    pub chain_depth: usize,
 }
 
 impl Scenario {
@@ -221,6 +246,16 @@ fn build_db(sc: &Scenario) -> Arc<Database> {
         eager_group_delete: false,
     })
     .expect("create view");
+    // Derived chain: each level sums the previous level's sum column; the
+    // terminal level is the global rollup. Registered before the seed rows
+    // so cascades — not the initial population scan — carry the deltas.
+    let mut parent = "v".to_string();
+    for (d, name) in chain_names(sc.chain_depth).into_iter().enumerate() {
+        let group_by = if d + 1 == sc.chain_depth { vec![] } else { vec![0] };
+        db.create_derived_view(&name, &parent, group_by, vec![AggSpec::SumInt { col: 2 }], sc.mode)
+            .expect("create chain view");
+        parent = name;
+    }
     for &(id, grp, amount) in &sc.initial {
         let mut txn = db.begin(IsolationLevel::ReadCommitted);
         db.insert(
@@ -264,7 +299,9 @@ fn shadow_apply(
             let (og, oa) = old.expect("engine accepted delete ⇒ row existed");
             vec![(og, -1, -oa)]
         }
-        SOp::ReadGroup { .. } | SOp::ScanView | SOp::ReadRow { .. } => Vec::new(),
+        SOp::ReadGroup { .. } | SOp::ScanView | SOp::ReadRow { .. } | SOp::ReadChain { .. } => {
+            Vec::new()
+        }
     }
 }
 
@@ -349,6 +386,15 @@ fn run_worker(
             SOp::ScanView => db.view_scan(&mut txn, "v", None, None).map(|rows| Action::Scan {
                 observed: rows.iter().map(row_to_group).collect(),
             }),
+            SOp::ReadChain { level, grp } => db
+                .view_lookup(&mut txn, &chain_level_name(level), &[Value::Int(grp)])
+                .map(|row| Action::Read {
+                    grp,
+                    observed: row.map(|r| {
+                        let (_, c, s) = row_to_group(&r);
+                        (c, s)
+                    }),
+                }),
             SOp::ReadRow { id } => db.get_row(&mut txn, "items", &[Value::Int(id)]).map(|row| {
                 Action::ReadRow {
                     id,
@@ -455,7 +501,19 @@ pub fn run_episode(scenario: &Scenario, chooser: Box<dyn Chooser>) -> Episode {
     // Ghost cleanup so the view dump reflects visible rows only, then the
     // engine's own cross-check.
     let _ = db.run_ghost_cleanup();
-    let verify_error = db.verify_view("v").err().map(|e| e.to_string());
+    let mut verify_error = db.verify_view("v").err().map(|e| e.to_string());
+    // Chain views must match both a full recomputation from the base table
+    // and a one-level fold of their immediate parent.
+    for name in chain_names(scenario.chain_depth) {
+        if verify_error.is_some() {
+            break;
+        }
+        verify_error = db
+            .verify_view(&name)
+            .and_then(|()| db.verify_view_from_parent(&name))
+            .err()
+            .map(|e| format!("chain view {name}: {e}"));
+    }
 
     let mut base_dump = BTreeMap::new();
     for r in db.dump_table("items").expect("dump table") {

@@ -45,6 +45,22 @@ use txview_wal::FaultLogStore;
 pub const BANK_VIEW: &str = "branch_balance";
 /// Churn view name.
 pub const CHURN_VIEW: &str = "group_totals";
+/// Terminal view of the derived chain (global rollup over the bank view).
+pub const CHAIN_TOTAL_VIEW: &str = "bank_total";
+
+/// Names of the derived chain views, shallowest first: `chain_depth - 1`
+/// identity levels over [`BANK_VIEW`], then the global [`CHAIN_TOTAL_VIEW`].
+pub fn chain_view_names(chain_depth: usize) -> Vec<String> {
+    (1..=chain_depth)
+        .map(|d| {
+            if d == chain_depth {
+                CHAIN_TOTAL_VIEW.to_string()
+            } else {
+                format!("bank_chain_{d}")
+            }
+        })
+        .collect()
+}
 
 /// Torture workload parameters. Defaults are sized so one episode runs in
 /// milliseconds while still exercising splits, ghosts, and evictions.
@@ -72,6 +88,11 @@ pub struct TortureConfig {
     /// With the pipeline: release escrow locks at log-append time (early
     /// lock release), tracked by commit dependencies.
     pub elr: bool,
+    /// Depth of the derived-view chain over the bank view (0 = none):
+    /// `chain_depth - 1` identity levels, then a global rollup whose single
+    /// row must always equal `accounts × initial_balance` (transfers
+    /// conserve money) — the conservation invariant the chain oracle pins.
+    pub chain_depth: usize,
 }
 
 impl Default for TortureConfig {
@@ -87,6 +108,7 @@ impl Default for TortureConfig {
             seed: 1,
             pipeline: false,
             elr: false,
+            chain_depth: 0,
         }
     }
 }
@@ -207,6 +229,24 @@ pub(crate) fn build(cfg: &TortureConfig) -> Result<(Arc<Database>, Parts)> {
         deferred: false,
         eager_group_delete: false,
     })?;
+    // Derived chain over the bank view. The bank view's stored layout is
+    // `[branch | COUNT_BIG | SUM(balance)]`, so group_by [0] + SumInt on
+    // column 2 is an identity level; the terminal level rolls everything
+    // into one global row.
+    let names = chain_view_names(cfg.chain_depth);
+    let mut chain_parent = BANK_VIEW.to_string();
+    for (i, name) in names.iter().enumerate() {
+        let last = i + 1 == names.len();
+        let group_by = if last { vec![] } else { vec![0] };
+        db.create_derived_view(
+            name,
+            &chain_parent,
+            group_by,
+            vec![AggSpec::SumInt { col: 2 }],
+            cfg.mode,
+        )?;
+        chain_parent = name.clone();
+    }
     let items = db.create_table(
         "items",
         Schema::new(
@@ -376,6 +416,38 @@ pub(crate) fn check_oracle(
     for view in [BANK_VIEW, CHURN_VIEW] {
         if let Err(e) = db.verify_view(view) {
             violations.push(format!("[{stage}] view '{view}' != recomputation from base: {e}"));
+        }
+    }
+    // Chain oracle: each level must equal both the transitive recomputation
+    // from base AND the one-step fold of its immediate parent's stored
+    // rows, and the terminal global row must conserve total money.
+    for view in chain_view_names(cfg.chain_depth) {
+        if let Err(e) = db.verify_view(&view) {
+            violations.push(format!(
+                "[{stage}] chain view '{view}' != transitive recomputation: {e}"
+            ));
+        }
+        if let Err(e) = db.verify_view_from_parent(&view) {
+            violations.push(format!(
+                "[{stage}] chain view '{view}' != fold of immediate parent: {e}"
+            ));
+        }
+    }
+    if cfg.chain_depth > 0 {
+        match db.dump_view(CHAIN_TOTAL_VIEW) {
+            Ok(rows) => {
+                let total: i64 =
+                    rows.iter().map(|r| r.get(2).as_int().unwrap_or(i64::MIN)).sum();
+                let want = cfg.accounts * cfg.initial_balance;
+                if rows.len() != 1 || total != want {
+                    violations.push(format!(
+                        "[{stage}] conservation: '{CHAIN_TOTAL_VIEW}' has {} rows totalling \
+                         {total}, expected 1 row totalling {want}",
+                        rows.len()
+                    ));
+                }
+            }
+            Err(e) => violations.push(format!("[{stage}] '{CHAIN_TOTAL_VIEW}' unreadable: {e}")),
         }
     }
     let ledger = match db.dump_table("ledger") {
@@ -651,9 +723,33 @@ pub fn run_pipeline_probe_sweep(
     cfg: &TortureConfig,
     per_probe: usize,
 ) -> Result<ProbeSweepReport> {
-    let offsets = measure_probe_offsets(cfg, &PIPELINE_PROBES)?;
+    run_probe_sweep(cfg, &PIPELINE_PROBES, per_probe)
+}
+
+/// The cascade flush's mid-chain crash seam: fires between DAG levels
+/// inside one transaction's commit flush (needs `chain_depth >= 2`).
+pub const CASCADE_PROBES: [&str; 1] = ["view.cascade.level"];
+
+/// Crash exactly *between cascade levels*: sample up to `per_probe`
+/// occurrences of [`CASCADE_PROBES`], run one crash episode per sampled
+/// offset, and assert the full oracle — a crash between level *k* and
+/// *k*+1 must either replay the whole chain as redo or undo it entirely,
+/// never leave a half-propagated DAG.
+pub fn run_cascade_probe_sweep(
+    cfg: &TortureConfig,
+    per_probe: usize,
+) -> Result<ProbeSweepReport> {
+    run_probe_sweep(cfg, &CASCADE_PROBES, per_probe)
+}
+
+fn run_probe_sweep(
+    cfg: &TortureConfig,
+    probes: &'static [&'static str],
+    per_probe: usize,
+) -> Result<ProbeSweepReport> {
+    let offsets = measure_probe_offsets(cfg, probes)?;
     let mut report = ProbeSweepReport::default();
-    for name in PIPELINE_PROBES {
+    for &name in probes {
         let occurrences: Vec<u64> =
             offsets.iter().filter(|(n, _)| *n == name).map(|&(_, o)| o).collect();
         let stride = (occurrences.len() / per_probe.max(1)).max(1);
@@ -718,9 +814,30 @@ pub struct StormSweepReport {
     pub violations: Vec<(u64, String)>,
 }
 
+/// Chain depth inferred from the catalog: how many of the views `build`
+/// registers for a chained config actually exist in `db`. Lets fingerprints
+/// taken without a config (replication followers, promoted leaders) cover
+/// the chain automatically.
+pub(crate) fn detect_chain_depth(db: &Database) -> usize {
+    if db.view_depth(CHAIN_TOTAL_VIEW).is_err() {
+        return 0;
+    }
+    let mut depth = 1;
+    while db.view_depth(&format!("bank_chain_{depth}")).is_ok() {
+        depth += 1;
+    }
+    depth
+}
+
 /// Byte-exact fingerprint of the committed state: every base-table row and
-/// every visible view row, length-framed, in key order.
+/// every visible view row (chain views included), length-framed, in key
+/// order.
 pub(crate) fn fingerprint(db: &Database) -> Result<Vec<u8>> {
+    fingerprint_with_chain(db, detect_chain_depth(db))
+}
+
+/// [`fingerprint`] extended with the derived chain views of `chain_depth`.
+pub(crate) fn fingerprint_with_chain(db: &Database, chain_depth: usize) -> Result<Vec<u8>> {
     let mut out = Vec::new();
     let frame = |out: &mut Vec<u8>, rows: Vec<Row>| {
         for r in rows {
@@ -733,7 +850,9 @@ pub(crate) fn fingerprint(db: &Database) -> Result<Vec<u8>> {
         out.extend_from_slice(table.as_bytes());
         frame(&mut out, db.dump_table(table)?);
     }
-    for view in [BANK_VIEW, CHURN_VIEW] {
+    let mut views: Vec<String> = vec![BANK_VIEW.into(), CHURN_VIEW.into()];
+    views.extend(chain_view_names(chain_depth));
+    for view in &views {
         out.extend_from_slice(view.as_bytes());
         frame(&mut out, db.dump_view(view)?);
     }
@@ -745,7 +864,8 @@ pub(crate) fn fingerprint(db: &Database) -> Result<Vec<u8>> {
 pub(crate) fn reference_run(cfg: &TortureConfig) -> Result<(WorkloadTrace, Vec<u8>)> {
     let (db, parts) = build(cfg)?;
     let trace = run_workload(&db, cfg, &parts.clock);
-    Ok((trace, fingerprint(&db)?))
+    let fp = fingerprint_with_chain(&db, cfg.chain_depth)?;
+    Ok((trace, fp))
 }
 
 /// Run one transient-storm episode and assert the absorption oracle:
@@ -795,12 +915,14 @@ fn storm_episode_with_reference(
     if trace.acked_transfers != ref_trace.acked_transfers {
         violations.push("acked transfer set diverged from the fault-free run".into());
     }
-    for view in [BANK_VIEW, CHURN_VIEW] {
+    let mut storm_views: Vec<String> = vec![BANK_VIEW.into(), CHURN_VIEW.into()];
+    storm_views.extend(chain_view_names(cfg.chain_depth));
+    for view in &storm_views {
         if let Err(e) = db.verify_view(view) {
             violations.push(format!("view '{view}' != recomputation from base: {e}"));
         }
     }
-    if fingerprint(&db)? != ref_fp {
+    if fingerprint_with_chain(&db, cfg.chain_depth)? != ref_fp {
         violations.push("committed state not byte-identical to the fault-free run".into());
     }
     Ok(StormReport {
@@ -1174,6 +1296,78 @@ mod tests {
         let report = run_metrics_check(&pipeline_cfg(true)).unwrap();
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert!(report.snapshot.counter_value("txn.pipeline.leader_syncs").unwrap_or(0) > 0);
+    }
+
+    fn chain_cfg(depth: usize) -> TortureConfig {
+        TortureConfig { txns: 12, chain_depth: depth, ..Default::default() }
+    }
+
+    #[test]
+    fn chain_fault_free_episode_passes_oracle() {
+        let ep = run_episode(&chain_cfg(2), &FaultSchedule::crash_at(1_000_000)).unwrap();
+        assert!(ep.violations.is_empty(), "{:?}", ep.violations);
+        assert_eq!(ep.trace.acked_commits, 11);
+    }
+
+    #[test]
+    fn chain_mini_sweep_is_clean() {
+        let report = run_sweep(&chain_cfg(2), 6).unwrap();
+        assert_eq!(report.episodes, 6);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn deep_chain_elr_episode_passes_oracle() {
+        let cfg = TortureConfig {
+            txns: 12,
+            chain_depth: 4,
+            pipeline: true,
+            elr: true,
+            ..Default::default()
+        };
+        let ep = run_episode(&cfg, &FaultSchedule::crash_at(1_000_000)).unwrap();
+        assert!(ep.violations.is_empty(), "{:?}", ep.violations);
+    }
+
+    #[test]
+    fn cascade_probe_sweep_crashes_between_levels() {
+        let report = run_cascade_probe_sweep(&chain_cfg(2), 3).unwrap();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.per_probe.len(), 1);
+        assert!(
+            report.per_probe[0].1 >= 1,
+            "mid-chain probe never fired — is the flush emitting view.cascade.level?"
+        );
+    }
+
+    #[test]
+    fn chain_storm_episode_is_absorbed() {
+        let cfg = chain_cfg(2);
+        let horizon = measure_horizon(&cfg).unwrap();
+        let ep = run_storm_episode(&cfg, &FaultSchedule::storm(5, horizon)).unwrap();
+        assert!(ep.violations.is_empty(), "{:?}", ep.violations);
+    }
+
+    #[test]
+    fn chain_metrics_are_deterministic_and_wired() {
+        let report = run_metrics_check(&chain_cfg(2)).unwrap();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        let s = &report.snapshot;
+        assert!(s.counter_value("view.graph.enqueues").unwrap_or(0) > 0);
+        assert!(s.counter_value("view.graph.refreshes").unwrap_or(0) > 0);
+        assert!(s.counter_value("view.graph.coalesce_hits").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn xlock_chain_episode_passes() {
+        let cfg = TortureConfig {
+            mode: MaintenanceMode::XLock,
+            txns: 12,
+            chain_depth: 2,
+            ..Default::default()
+        };
+        let ep = run_episode(&cfg, &FaultSchedule::crash_at(23)).unwrap();
+        assert!(ep.violations.is_empty(), "{:?}", ep.violations);
     }
 
     #[test]

@@ -203,6 +203,52 @@ fn pipeline_leader_handoff_race_capped() {
     }
 }
 
+/// Chain fixture: two incrementers on disjoint base groups whose cascades
+/// collide only on the terminal global rollup. The full tree is enormous
+/// (the two commit-time flushes each add escrow acquires at every chain
+/// level), so a deterministic 4,000-schedule DFS prefix runs with drift
+/// gates: every explored schedule must flush a non-empty cascade queue,
+/// and the deepest decision list is pinned exactly.
+#[test]
+fn chain_commit_race_capped() {
+    for (mode, max_dec) in [(MaintenanceMode::Escrow, 26), (MaintenanceMode::XLock, 27)] {
+        let sc = interleave::chain_commit_race(mode);
+        let r = explore_dfs(&sc, 4_000);
+        assert!(r.truncated, "[{}] tree shrank below the cap", sc.name);
+        assert!(r.violations.is_empty(), "[{}] first: {}", sc.name, r.violations[0].1);
+        assert_eq!(
+            r.cascade_flush_schedules, r.schedules,
+            "[{}] some schedule committed without a cascade flush",
+            sc.name
+        );
+        assert_eq!(r.max_decisions, max_dec, "[{}] decision-depth drift", sc.name);
+
+        let p = interleave::explore_pct(&sc, 0xC0FFEE, 50, 3);
+        assert!(p.violations.is_empty(), "[{}] PCT first: {}", sc.name, p.violations[0].1);
+        assert!(p.cascade_flush_schedules > 0, "[{}] PCT saw no flushes", sc.name);
+    }
+}
+
+/// Chain fixture: ELR vs an in-flight cascade, exhaustively explored with
+/// exact drift gates. An RC reader polls the mid-chain view while a
+/// writer's increment cascades through it at commit; with ELR the chain
+/// rows become visible at log-append time, so dependency edges must be
+/// recorded in a deterministic share of the schedules.
+#[test]
+fn cascade_elr_exhaustive() {
+    let sc = interleave::cascade_elr();
+    let r = explore_dfs(&sc, CAP);
+    assert!(!r.truncated, "[{}] truncated at {CAP}", sc.name);
+    assert!(r.violations.is_empty(), "[{}] first: {}", sc.name, r.violations[0].1);
+    assert_eq!(r.schedules, 4_420, "[{}] schedule-count drift", sc.name);
+    assert_eq!(r.dep_schedules, 2_181, "[{}] dep-schedule drift", sc.name);
+    assert_eq!(
+        r.cascade_flush_schedules, 4_420,
+        "[{}] flush non-vacuity: every schedule cascades",
+        sc.name
+    );
+}
+
 /// Replay determinism through the pipeline code path: same choices must
 /// reproduce the same decisions, history, and state with group commit and
 /// ELR enabled.

@@ -127,6 +127,16 @@ pub enum SchedEvent {
         /// Highest LSN the batch append will cover.
         upto: u64,
     },
+    /// A committing transaction is about to flush its cascade queue —
+    /// coalesced deltas destined for derived (view-over-view) rows — in
+    /// dependency order, *before* its commit record is appended (yield
+    /// point). Emitted only when the queue is non-empty, so scenarios
+    /// without derived views keep their exact schedule counts.
+    CascadeFlush {
+        /// Number of coalesced (view, group) entries queued at flush start.
+        /// Deeper levels enqueued *during* the flush are not counted.
+        entries: u64,
+    },
     /// An ELR reader depends on a predecessor whose commit record is not
     /// yet durable and is about to park until the predecessor's fate is
     /// known (`on_block` event).

@@ -185,6 +185,24 @@ impl TxnManager {
         force: bool,
         pre_release: impl FnOnce(Lsn) -> Result<()>,
     ) -> Result<Lsn> {
+        self.commit_with_hooks(txn, |_| Ok(force), pre_release)
+    }
+
+    /// The full commit seam: `pre_append` runs *inside* the transaction,
+    /// after the commit decision but **before the commit record is
+    /// appended** — the engine flushes its cascade queue there, so derived
+    /// views are refreshed by ordinary logged maintenance that the commit
+    /// record then covers (and, under ELR, before any escrow lock drops at
+    /// append time). It returns the log-force flag, computed *after* its
+    /// own work so a cascade flush upgrades a would-be no-force commit. On
+    /// error the transaction is left Active for the caller to roll back —
+    /// nothing has been appended yet.
+    pub fn commit_with_hooks(
+        &self,
+        txn: &mut Transaction,
+        pre_append: impl FnOnce(&mut Transaction) -> Result<bool>,
+        pre_release: impl FnOnce(Lsn) -> Result<()>,
+    ) -> Result<Lsn> {
         if txn.state != TxnState::Active {
             return Err(Error::invalid(format!("commit of finished {}", txn.id)));
         }
@@ -192,6 +210,7 @@ impl TxnManager {
         if let Some(h) = &hook {
             h.yield_point(txn.id, &txview_lock::SchedEvent::CommitStart);
         }
+        let force = pre_append(txn)?;
         let commit_t0 = self.obs.clock.now();
         let commit_lsn = self.log.append(txn.id, txn.last_lsn, RecordBody::Commit);
         let pipeline = if force { self.pipeline() } else { None };
@@ -445,6 +464,49 @@ mod tests {
         assert_eq!(t.state, TxnState::Committed);
         assert!(commit_lsn > flushed_before);
         assert_eq!(log.flushed_lsn(), flushed_before, "no group flush forced");
+    }
+
+    #[test]
+    fn pre_append_hook_runs_before_the_commit_record() {
+        let (log, _locks, mgr) = setup();
+        let mut t = mgr.begin(IsolationLevel::ReadCommitted);
+        let seen = std::cell::Cell::new(Lsn::NULL);
+        let commit_lsn = mgr
+            .commit_with_hooks(
+                &mut t,
+                |txn| {
+                    assert!(txn.is_active());
+                    seen.set(log.last_allocated_lsn());
+                    Ok(true)
+                },
+                |_| Ok(()),
+            )
+            .unwrap();
+        assert!(
+            commit_lsn > seen.get(),
+            "commit record ({commit_lsn:?}) must be appended after the hook ran ({:?})",
+            seen.get()
+        );
+        assert!(log.flushed_lsn() >= commit_lsn, "force=true from the hook is honored");
+    }
+
+    #[test]
+    fn pre_append_hook_failure_leaves_txn_active_and_log_commit_free() {
+        let (log, _locks, mgr) = setup();
+        let mut t = mgr.begin(IsolationLevel::ReadCommitted);
+        let err = mgr
+            .commit_with_hooks(&mut t, |_| Err(Error::invalid("flush failed")), |_| Ok(()))
+            .unwrap_err();
+        assert!(format!("{err}").contains("flush failed"));
+        assert!(t.is_active(), "caller still owns the rollback");
+        log.flush_all().unwrap();
+        let recs = log.read_durable_from(0).unwrap();
+        assert!(
+            recs.iter().all(|(_, r)| !matches!(r.body, RecordBody::Commit)),
+            "no commit record may exist for a failed pre-append hook"
+        );
+        let h = Recording(Mutex::new(Vec::new()));
+        mgr.rollback(&mut t, &h).unwrap();
     }
 
     #[test]

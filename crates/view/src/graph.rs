@@ -1,0 +1,200 @@
+//! The view-dependency DAG.
+//!
+//! Every registered view is either **base-sourced** (maintained directly
+//! from base-table deltas; depth 0) or **derived** (maintained from exactly
+//! one parent view's deltas; depth = parent depth + 1). A parent may have
+//! any number of children, so the shape is a forest of out-trees — a DAG
+//! whose topological order is simply ascending depth, which is what the
+//! cascade queue sorts by.
+//!
+//! Registration is the only mutation. A derived registration is rejected
+//! when the parent is unknown, the view is already registered, or the edge
+//! would close a cycle (defense in depth: the engine's DDL allocates fresh
+//! ids, so a cycle cannot arise there, but the graph does not rely on it).
+
+use std::collections::HashMap;
+use txview_common::{Error, Result, ViewId};
+
+/// One registered node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Node {
+    /// Parent view (`None` for base-sourced views).
+    parent: Option<ViewId>,
+    /// Topological depth: 0 for base-sourced, parent + 1 for derived.
+    depth: u32,
+}
+
+/// The dependency DAG over registered views.
+#[derive(Default, Clone, Debug)]
+pub struct ViewGraph {
+    nodes: HashMap<ViewId, Node>,
+    children: HashMap<ViewId, Vec<ViewId>>,
+}
+
+impl ViewGraph {
+    /// Empty graph.
+    pub fn new() -> ViewGraph {
+        ViewGraph::default()
+    }
+
+    /// Register a base-sourced view (depth 0).
+    pub fn register_base(&mut self, view: ViewId) -> Result<()> {
+        if self.nodes.contains_key(&view) {
+            return Err(Error::Schema(format!("view {view:?} already in graph")));
+        }
+        self.nodes.insert(view, Node { parent: None, depth: 0 });
+        Ok(())
+    }
+
+    /// Register a derived view over `parent`, returning its depth. Rejects
+    /// unknown parents, re-registration, and edges that would close a cycle.
+    pub fn register_derived(&mut self, view: ViewId, parent: ViewId) -> Result<u32> {
+        if self.nodes.contains_key(&view) {
+            return Err(Error::Schema(format!("view {view:?} already in graph")));
+        }
+        // Cycle check: walk the parent chain from `parent`; reaching `view`
+        // would mean the new edge closes a loop (self-edges included).
+        let mut cursor = Some(parent);
+        while let Some(v) = cursor {
+            if v == view {
+                return Err(Error::Schema(format!(
+                    "registering {view:?} over {parent:?} would create a cycle"
+                )));
+            }
+            cursor = self.nodes.get(&v).and_then(|n| n.parent);
+        }
+        let pdepth = self
+            .nodes
+            .get(&parent)
+            .ok_or_else(|| Error::Schema(format!("parent view {parent:?} not in graph")))?
+            .depth;
+        let depth = pdepth + 1;
+        self.nodes.insert(view, Node { parent: Some(parent), depth });
+        self.children.entry(parent).or_default().push(view);
+        Ok(depth)
+    }
+
+    /// The topological depth of a view, if registered.
+    pub fn depth(&self, view: ViewId) -> Option<u32> {
+        self.nodes.get(&view).map(|n| n.depth)
+    }
+
+    /// The parent of a derived view (`None` for base-sourced or unknown).
+    pub fn parent(&self, view: ViewId) -> Option<ViewId> {
+        self.nodes.get(&view).and_then(|n| n.parent)
+    }
+
+    /// Direct children of a view, in registration order.
+    pub fn children(&self, view: ViewId) -> &[ViewId] {
+        self.children.get(&view).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// True if the view has at least one child (cheap pre-check before
+    /// projecting deltas on the DML hot path).
+    pub fn has_children(&self, view: ViewId) -> bool {
+        self.children.get(&view).is_some_and(|c| !c.is_empty())
+    }
+
+    /// Number of registered views.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no views are registered.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Deepest registered level (0 for a flat, base-only graph).
+    pub fn max_depth(&self) -> u32 {
+        self.nodes.values().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// All views in topological order (ascending depth, ties by id — a
+    /// total, deterministic order every parent precedes its children in).
+    pub fn topo_order(&self) -> Vec<ViewId> {
+        let mut out: Vec<ViewId> = self.nodes.keys().copied().collect();
+        out.sort_by_key(|v| (self.nodes[v].depth, v.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u32) -> ViewId {
+        ViewId(n)
+    }
+
+    #[test]
+    fn depths_follow_parent_chain() {
+        let mut g = ViewGraph::new();
+        g.register_base(v(1)).unwrap();
+        assert_eq!(g.register_derived(v(2), v(1)).unwrap(), 1);
+        assert_eq!(g.register_derived(v(3), v(2)).unwrap(), 2);
+        assert_eq!(g.register_derived(v(4), v(1)).unwrap(), 1);
+        assert_eq!(g.depth(v(1)), Some(0));
+        assert_eq!(g.depth(v(3)), Some(2));
+        assert_eq!(g.parent(v(3)), Some(v(2)));
+        assert_eq!(g.parent(v(1)), None);
+        assert_eq!(g.children(v(1)), &[v(2), v(4)]);
+        assert!(g.has_children(v(2)));
+        assert!(!g.has_children(v(3)));
+        assert_eq!(g.max_depth(), 2);
+    }
+
+    #[test]
+    fn topo_order_is_depth_then_id() {
+        let mut g = ViewGraph::new();
+        g.register_base(v(5)).unwrap();
+        g.register_base(v(1)).unwrap();
+        g.register_derived(v(3), v(5)).unwrap();
+        g.register_derived(v(2), v(1)).unwrap();
+        g.register_derived(v(4), v(3)).unwrap();
+        assert_eq!(g.topo_order(), vec![v(1), v(5), v(2), v(3), v(4)]);
+        // Every parent precedes its children.
+        let order = g.topo_order();
+        for (i, view) in order.iter().enumerate() {
+            if let Some(p) = g.parent(*view) {
+                assert!(order[..i].contains(&p), "{view:?}'s parent after it");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut g = ViewGraph::new();
+        assert!(g.register_derived(v(2), v(1)).is_err());
+    }
+
+    #[test]
+    fn double_registration_rejected() {
+        let mut g = ViewGraph::new();
+        g.register_base(v(1)).unwrap();
+        assert!(g.register_base(v(1)).is_err());
+        g.register_derived(v(2), v(1)).unwrap();
+        assert!(g.register_derived(v(2), v(1)).is_err());
+        assert!(g.register_base(v(2)).is_err());
+    }
+
+    #[test]
+    fn self_edge_rejected_as_cycle() {
+        let mut g = ViewGraph::new();
+        g.register_base(v(1)).unwrap();
+        g.register_derived(v(2), v(1)).unwrap();
+        // A self-parented registration walks straight into itself.
+        assert!(g.register_derived(v(7), v(7)).is_err());
+    }
+
+    #[test]
+    fn empty_graph_is_sane() {
+        let g = ViewGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+        assert_eq!(g.max_depth(), 0);
+        assert_eq!(g.depth(v(1)), None);
+        assert!(g.topo_order().is_empty());
+        assert_eq!(g.children(v(1)), &[] as &[ViewId]);
+    }
+}

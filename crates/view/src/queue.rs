@@ -1,0 +1,257 @@
+//! The per-transaction coalescing cascade queue.
+//!
+//! Every delta a transaction applies to a view with children projects one
+//! pending delta per child and enqueues it here, keyed by
+//! `(depth, view, group-key bytes)`. A second delta for the same key
+//! **merges** into the existing entry (commutative addition — the same
+//! algebra escrow maintenance runs on the stored rows), so however many
+//! base mutations a transaction makes, each dirty `(view, group)` carries
+//! exactly one net delta at commit.
+//!
+//! Commit drains the queue in ascending key order. Depth leads the key, so
+//! the drain is a topological sweep: applying an entry at depth *d* may
+//! enqueue its own children at depth > *d*, which the same drain consumes
+//! later. Once an entry is popped it can never be re-created — every
+//! producer of that view sits at a strictly smaller depth and has already
+//! flushed — which is what makes the flush exactly-once per (view, group).
+
+use std::collections::BTreeMap;
+use txview_common::{Error, Result, Value, ViewId};
+use txview_wal::record::ValueDelta;
+
+/// Queue key: ascending-depth drain order, deterministic within a level.
+type QueueKey = (u32, ViewId, Vec<u8>);
+
+/// The net pending delta of one dirty (view, group) entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingDelta {
+    /// Decoded group values (what the key bytes encode).
+    pub group: Vec<Value>,
+    /// Net COUNT_BIG delta.
+    pub count: i64,
+    /// Net aggregate deltas, one per view aggregate column.
+    pub aggs: Vec<ValueDelta>,
+}
+
+impl PendingDelta {
+    /// True when the entry nets out to nothing (flush skips it).
+    pub fn is_noop(&self) -> bool {
+        self.count == 0
+            && self.aggs.iter().all(|d| match d {
+                ValueDelta::Int(i) => *i == 0,
+                ValueDelta::Float(f) => *f == 0.0,
+            })
+    }
+
+    /// Merge `other` into `self` (commutative addition, type-strict).
+    fn merge(&mut self, other: &PendingDelta) -> Result<()> {
+        self.count = self
+            .count
+            .checked_add(other.count)
+            .ok_or_else(|| Error::invalid("cascade count delta overflow"))?;
+        if self.aggs.len() != other.aggs.len() {
+            return Err(Error::corruption("cascade delta arity mismatch"));
+        }
+        for (a, b) in self.aggs.iter_mut().zip(&other.aggs) {
+            *a = match (&a, b) {
+                (ValueDelta::Int(x), ValueDelta::Int(y)) => ValueDelta::Int(
+                    x.checked_add(*y)
+                        .ok_or_else(|| Error::invalid("cascade agg delta overflow"))?,
+                ),
+                (ValueDelta::Float(x), ValueDelta::Float(y)) => ValueDelta::Float(x + y),
+                _ => return Err(Error::corruption("cascade delta type mismatch")),
+            };
+        }
+        Ok(())
+    }
+}
+
+/// What an enqueue did (the engine's coalesce-hit counter feeds off this).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// A fresh (view, group) entry was created.
+    Inserted,
+    /// The delta merged into an existing entry for the same key.
+    Coalesced,
+}
+
+/// One transaction's pending cascade work.
+#[derive(Default, Debug)]
+pub struct CascadeQueue {
+    entries: BTreeMap<QueueKey, PendingDelta>,
+}
+
+impl CascadeQueue {
+    /// Empty queue.
+    pub fn new() -> CascadeQueue {
+        CascadeQueue::default()
+    }
+
+    /// Enqueue (or coalesce) a pending delta for `(view, group)` at `depth`.
+    /// `key_bytes` is the view row's encoded key — the dedup identity.
+    pub fn enqueue(
+        &mut self,
+        depth: u32,
+        view: ViewId,
+        key_bytes: Vec<u8>,
+        delta: PendingDelta,
+    ) -> Result<EnqueueOutcome> {
+        match self.entries.entry((depth, view, key_bytes)) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                e.get_mut().merge(&delta)?;
+                Ok(EnqueueOutcome::Coalesced)
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(delta);
+                Ok(EnqueueOutcome::Inserted)
+            }
+        }
+    }
+
+    /// Merge an inverse delta into an existing entry, if present (savepoint
+    /// undo retracts projected work the same way the version accumulator
+    /// does). A missing entry is a no-op: the work was never enqueued (or
+    /// already flushed and is being undone through its own log records).
+    pub fn retract(
+        &mut self,
+        depth: u32,
+        view: ViewId,
+        key_bytes: &[u8],
+        inverse: &PendingDelta,
+    ) -> Result<()> {
+        if let Some(e) = self.entries.get_mut(&(depth, view, key_bytes.to_vec())) {
+            e.merge(inverse)?;
+        }
+        Ok(())
+    }
+
+    /// Pop the shallowest pending entry (depth, then view id, then key) —
+    /// the drain order of the commit flush.
+    pub fn pop_first(&mut self) -> Option<(u32, ViewId, Vec<u8>, PendingDelta)> {
+        let key = self.entries.keys().next().cloned()?;
+        let delta = self.entries.remove(&key)?;
+        Some((key.0, key.1, key.2, delta))
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Deepest pending level (None when empty).
+    pub fn max_depth(&self) -> Option<u32> {
+        self.entries.keys().next_back().map(|k| k.0)
+    }
+
+    /// Drop everything (rollback, crash).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(count: i64, agg: i64) -> PendingDelta {
+        PendingDelta { group: vec![Value::Int(1)], count, aggs: vec![ValueDelta::Int(agg)] }
+    }
+
+    #[test]
+    fn enqueue_coalesces_same_key() {
+        let mut q = CascadeQueue::new();
+        let out = q.enqueue(1, ViewId(2), vec![1], delta(1, 100)).unwrap();
+        assert_eq!(out, EnqueueOutcome::Inserted);
+        let out = q.enqueue(1, ViewId(2), vec![1], delta(1, 50)).unwrap();
+        assert_eq!(out, EnqueueOutcome::Coalesced);
+        assert_eq!(q.len(), 1);
+        let (d, v, k, pd) = q.pop_first().unwrap();
+        assert_eq!((d, v, k), (1, ViewId(2), vec![1]));
+        assert_eq!(pd.count, 2);
+        assert_eq!(pd.aggs, vec![ValueDelta::Int(150)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn distinct_groups_stay_distinct() {
+        let mut q = CascadeQueue::new();
+        q.enqueue(1, ViewId(2), vec![1], delta(1, 10)).unwrap();
+        q.enqueue(1, ViewId(2), vec![2], delta(1, 20)).unwrap();
+        q.enqueue(1, ViewId(3), vec![1], delta(1, 30)).unwrap();
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn drain_order_is_depth_view_key() {
+        let mut q = CascadeQueue::new();
+        q.enqueue(2, ViewId(9), vec![0], delta(1, 1)).unwrap();
+        q.enqueue(1, ViewId(5), vec![7], delta(1, 2)).unwrap();
+        q.enqueue(1, ViewId(5), vec![3], delta(1, 3)).unwrap();
+        q.enqueue(1, ViewId(4), vec![9], delta(1, 4)).unwrap();
+        assert_eq!(q.max_depth(), Some(2));
+        let mut order = Vec::new();
+        while let Some((d, v, k, _)) = q.pop_first() {
+            order.push((d, v, k));
+        }
+        assert_eq!(
+            order,
+            vec![
+                (1, ViewId(4), vec![9]),
+                (1, ViewId(5), vec![3]),
+                (1, ViewId(5), vec![7]),
+                (2, ViewId(9), vec![0]),
+            ]
+        );
+    }
+
+    #[test]
+    fn deeper_enqueue_during_drain_is_consumed() {
+        let mut q = CascadeQueue::new();
+        q.enqueue(1, ViewId(2), vec![1], delta(1, 5)).unwrap();
+        let (d, ..) = q.pop_first().unwrap();
+        assert_eq!(d, 1);
+        // Applying the level-1 entry projects into level 2.
+        q.enqueue(2, ViewId(3), vec![0], delta(1, 5)).unwrap();
+        let (d, v, ..) = q.pop_first().unwrap();
+        assert_eq!((d, v), (2, ViewId(3)));
+        assert!(q.pop_first().is_none());
+    }
+
+    #[test]
+    fn retract_nets_out_to_noop() {
+        let mut q = CascadeQueue::new();
+        q.enqueue(1, ViewId(2), vec![1], delta(1, 100)).unwrap();
+        q.retract(1, ViewId(2), &[1], &delta(-1, -100)).unwrap();
+        let (.., pd) = q.pop_first().unwrap();
+        assert!(pd.is_noop(), "retracted entry must net to a no-op");
+        // Retracting a missing key does nothing.
+        q.retract(3, ViewId(8), &[9], &delta(-1, 0)).unwrap();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        let mut q = CascadeQueue::new();
+        q.enqueue(1, ViewId(2), vec![1], delta(1, 1)).unwrap();
+        let bad = PendingDelta {
+            group: vec![Value::Int(1)],
+            count: 1,
+            aggs: vec![ValueDelta::Float(1.0)],
+        };
+        assert!(q.enqueue(1, ViewId(2), vec![1], bad).is_err());
+    }
+
+    #[test]
+    fn clear_empties_the_queue() {
+        let mut q = CascadeQueue::new();
+        q.enqueue(1, ViewId(2), vec![1], delta(1, 1)).unwrap();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.max_depth(), None);
+    }
+}

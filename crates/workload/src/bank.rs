@@ -23,6 +23,20 @@ use txview_engine::{
 /// Name of the bank's indexed view.
 pub const VIEW: &str = "branch_balance";
 
+/// Terminal view of the optional derived chain: a single-row global
+/// rollup of [`VIEW`] (total count and total money).
+pub const CHAIN_TOTAL: &str = "bank_total";
+
+/// Names of the derived chain views a bank with `chain_depth` stacks on
+/// [`VIEW`]: `chain_depth - 1` identity levels, then [`CHAIN_TOTAL`].
+pub fn chain_view_names(chain_depth: usize) -> Vec<String> {
+    (1..=chain_depth)
+        .map(|d| {
+            if d == chain_depth { CHAIN_TOTAL.to_string() } else { format!("balance_chain_{d}") }
+        })
+        .collect()
+}
+
 /// Bank workload parameters.
 #[derive(Clone, Debug)]
 pub struct BankConfig {
@@ -50,6 +64,11 @@ pub struct BankConfig {
     /// behaves like a device with a real fsync cost and commit-path
     /// batching becomes measurable.
     pub sync_latency_us: u64,
+    /// Depth of the derived chain stacked on [`VIEW`] (0 = none).
+    /// Depth `d` adds `d - 1` identity levels plus the global
+    /// [`CHAIN_TOTAL`] rollup, so every commit's view deltas cascade
+    /// `d` levels before the WAL commit record is appended.
+    pub chain_depth: usize,
 }
 
 impl Default for BankConfig {
@@ -65,6 +84,7 @@ impl Default for BankConfig {
             pipeline: false,
             elr: false,
             sync_latency_us: 0,
+            chain_depth: 0,
         }
     }
 }
@@ -117,6 +137,15 @@ impl Bank {
             deferred: false,
             eager_group_delete: false,
         })?;
+        // Stack the derived chain on the view: each level stores
+        // [branch | COUNT | SUM(balance)] (identity re-aggregation), the
+        // terminal level rolls everything into one global row.
+        let mut parent = VIEW.to_string();
+        for (i, name) in chain_view_names(cfg.chain_depth).into_iter().enumerate() {
+            let group_by = if i + 1 == cfg.chain_depth { vec![] } else { vec![0] };
+            db.create_derived_view(&name, &parent, group_by, vec![AggSpec::SumInt { col: 2 }], cfg.mode)?;
+            parent = name;
+        }
         // Load in batches.
         let mut i = 0i64;
         while i < cfg.accounts {
@@ -224,9 +253,48 @@ impl Bank {
         })
     }
 
-    /// Verify the view against base (quiesced).
+    /// Chain audit: read the terminal [`CHAIN_TOTAL`] rollup and check
+    /// money conservation there. Because commit-time flushing coalesces a
+    /// transfer's debit and credit before they reach the global row, the
+    /// rollup's SUM never transits an unbalanced state — even
+    /// ReadCommitted audits of the terminal view are exact (unlike
+    /// [`Bank::audit_op`], whose multi-row scan can catch [`VIEW`]
+    /// mid-transfer under ReadCommitted).
+    pub fn chain_audit_op(&self, anomalies: Arc<AtomicU64>) -> Arc<OpFn> {
+        assert!(self.cfg.chain_depth > 0, "chain_audit_op needs a chained bank");
+        let total = self.total_money();
+        let accounts = self.cfg.accounts;
+        Arc::new(move |db, txn, _rng, _seq| {
+            let rows = db.view_scan(txn, CHAIN_TOTAL, None, None)?;
+            // [group(0), COUNT_BIG, SUM(balance)]
+            let ok = rows.len() == 1
+                && rows[0].get(1).as_int()? == accounts
+                && rows[0].get(2).as_int()? == total;
+            if !ok {
+                anomalies.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(())
+        })
+    }
+
+    /// Verify the view against base (quiesced), and every chain level
+    /// against both its immediate parent and a transitive recompute.
     pub fn verify(&self) -> Result<()> {
-        self.db.verify_view(VIEW)
+        self.db.verify_view(VIEW)?;
+        for name in chain_view_names(self.cfg.chain_depth) {
+            self.db.verify_view(&name)?;
+            self.db.verify_view_from_parent(&name)?;
+        }
+        Ok(())
+    }
+
+    /// Total money as seen through the terminal chain view (quiesced).
+    pub fn chain_total(&self) -> Result<i64> {
+        let mut txn = self.db.begin(IsolationLevel::ReadCommitted);
+        let rows = self.db.view_scan(&mut txn, CHAIN_TOTAL, None, None)?;
+        let sum = rows.iter().map(|r| r.get(2).as_int().unwrap_or(0)).sum();
+        self.db.commit(&mut txn)?;
+        Ok(sum)
     }
 }
 
@@ -323,6 +391,78 @@ mod tests {
         assert!(res[1].committed > 0);
         assert_eq!(anomalies.load(Ordering::Relaxed), 0, "snapshot audits are exact");
         bank.verify().unwrap();
+    }
+
+    #[test]
+    fn chained_setup_is_consistent() {
+        let bank = Bank::setup(BankConfig { chain_depth: 3, ..small() }).unwrap();
+        bank.verify().unwrap();
+        assert_eq!(bank.chain_total().unwrap(), bank.total_money());
+    }
+
+    #[test]
+    fn transfers_conserve_money_through_the_chain() {
+        for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+            let bank = Bank::setup(BankConfig { chain_depth: 2, mode, ..small() }).unwrap();
+            let specs = [WorkerSpec {
+                name: "transfer".into(),
+                threads: 4,
+                isolation: IsolationLevel::ReadCommitted,
+                op: bank.transfer_op(2),
+            }];
+            let res = run_for(&bank.db, &specs, Duration::from_millis(300));
+            assert!(res[0].committed > 0);
+            bank.verify().unwrap();
+            assert_eq!(bank.chain_total().unwrap(), bank.total_money(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn coalescing_nets_transfers_before_the_terminal_rollup() {
+        // A transfer's debit and credit coalesce to a zero delta before the
+        // global rollup row is touched, so even ReadCommitted audits of the
+        // terminal view are exact while transfers are in flight.
+        let bank = Bank::setup(BankConfig { chain_depth: 2, ..small() }).unwrap();
+        let anomalies = Arc::new(AtomicU64::new(0));
+        let specs = [
+            WorkerSpec {
+                name: "transfer".into(),
+                threads: 2,
+                isolation: IsolationLevel::ReadCommitted,
+                op: bank.transfer_op(2),
+            },
+            WorkerSpec {
+                name: "chain-audit".into(),
+                threads: 1,
+                isolation: IsolationLevel::ReadCommitted,
+                op: bank.chain_audit_op(Arc::clone(&anomalies)),
+            },
+        ];
+        let res = run_for(&bank.db, &specs, Duration::from_millis(400));
+        assert!(res[0].committed > 0 && res[1].committed > 0);
+        assert_eq!(anomalies.load(Ordering::Relaxed), 0, "terminal rollup audits are exact");
+        bank.verify().unwrap();
+    }
+
+    #[test]
+    fn chained_bank_survives_pipelined_elr_commits() {
+        let bank = Bank::setup(BankConfig {
+            chain_depth: 3,
+            pipeline: true,
+            elr: true,
+            ..small()
+        })
+        .unwrap();
+        let specs = [WorkerSpec {
+            name: "transfer".into(),
+            threads: 3,
+            isolation: IsolationLevel::ReadCommitted,
+            op: bank.transfer_op(2),
+        }];
+        let res = run_for(&bank.db, &specs, Duration::from_millis(300));
+        assert!(res[0].committed > 0);
+        bank.verify().unwrap();
+        assert_eq!(bank.chain_total().unwrap(), bank.total_money());
     }
 
     #[test]

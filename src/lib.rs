@@ -56,6 +56,7 @@ pub use txview_engine as engine;
 pub use txview_lock as lock;
 pub use txview_storage as storage;
 pub use txview_txn as txn;
+pub use txview_view as view;
 pub use txview_wal as wal;
 pub use txview_workload as workload;
 

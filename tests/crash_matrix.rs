@@ -211,6 +211,52 @@ fn deferred_refresh_crash_window_is_all_or_nothing() {
     assert!(offset >= 2, "refresh window too small to be swept");
 }
 
+// ---- cascading view-graph crash matrix --------------------------------
+//
+// With a derived-view chain stacked on the bank view (identity levels →
+// global rollup), every crash point must recover a state where each chain
+// level equals BOTH a recomputation from base and a one-level fold of its
+// immediate parent, losing transactions' cascades never survive redo, and
+// the terminal rollup still conserves total balance. The probe rows land
+// crashes exactly *between* cascade levels of a commit-time flush — the
+// seam where a naive implementation leaves a half-propagated chain.
+
+use txview_engine::torture::run_cascade_probe_sweep;
+
+#[test]
+fn chained_views_survive_every_crash_point() {
+    for mode in [MaintenanceMode::Escrow, MaintenanceMode::XLock] {
+        let cfg = TortureConfig { mode, txns: 12, seed: 7, chain_depth: 2, ..Default::default() };
+        let report = run_sweep(&cfg, 32).unwrap();
+        assert!(report.episodes >= 24, "episodes {}", report.episodes);
+        assert!(
+            report.violations.is_empty(),
+            "chain oracle violations ({mode:?}): {:#?}",
+            report.violations
+        );
+        assert!(report.losers_undone > 0, "no crash point caught a durable loser");
+    }
+}
+
+#[test]
+fn crashes_between_cascade_levels_recover_the_whole_chain() {
+    // Depth 4 gives three level seams per flush; the probe sweep strides
+    // crash points across every observed `view.cascade.level` offset.
+    let cfg = TortureConfig { txns: 12, seed: 7, chain_depth: 4, ..Default::default() };
+    let report = run_cascade_probe_sweep(&cfg, 8).unwrap();
+    assert_eq!(report.per_probe.len(), 1);
+    assert!(
+        report.per_probe[0].1 >= 3,
+        "only {} mid-cascade crash episodes — probe coverage collapsed",
+        report.per_probe[0].1
+    );
+    assert!(
+        report.violations.is_empty(),
+        "mid-cascade crash violations: {:#?}",
+        report.violations
+    );
+}
+
 #[test]
 fn sweep_is_reproducible_for_a_fixed_seed() {
     let a = run_sweep(&cfg(MaintenanceMode::Escrow), 10).unwrap();
@@ -257,6 +303,28 @@ fn follower_crash_mid_replay_recovers_to_its_durable_prefix() {
         assert!(
             ep.violations.is_empty(),
             "follower crash at offset {offset}: {:#?}",
+            ep.violations
+        );
+        assert!(ep.crash_event.is_some(), "follower crash at offset {offset} never fired");
+    }
+}
+
+#[test]
+fn follower_replays_cascaded_chains_byte_identically() {
+    // Cascade refreshes are ordinary redo records, so a follower replaying
+    // the shipped WAL must converge on the exact chain bytes — the episode
+    // oracle compares full fingerprints (chain views included) against a
+    // reference replay of the same durable prefix, and crash points land
+    // mid-replay while chain records are in flight.
+    let cfg = TortureConfig { txns: 12, seed: 7, chain_depth: 2, ..Default::default() };
+    let rcfg = ReplConfig::default();
+    let horizon = measure_follower_horizon(&cfg, &rcfg).unwrap();
+    assert!(horizon > 4, "follower horizon {horizon} too small to sweep");
+    for offset in [1, horizon / 3, horizon / 2, horizon - 1] {
+        let ep = run_follower_crash_episode(&cfg, &rcfg, offset).unwrap();
+        assert!(
+            ep.violations.is_empty(),
+            "chained follower crash at offset {offset}: {:#?}",
             ep.violations
         );
         assert!(ep.crash_event.is_some(), "follower crash at offset {offset} never fired");
