@@ -16,13 +16,15 @@
 //! follower read throughput vs held lag and promotion time vs shipped
 //! prefix — and writes `BENCH_PR7.json`. `snapshot-pr8` sweeps commit
 //! throughput against derived-chain depth (coalesced vs eager cascade
-//! propagation) and writes `BENCH_PR8.json`. `--metrics` additionally
-//! runs a short contended deposit cell and prints the engine's full
-//! metrics table.
+//! propagation) and writes `BENCH_PR8.json`. `snapshot-pr9` runs the E16
+//! open-loop latency sweep over real TCP (serial vs pipelined+ELR commit
+//! paths under a seeded 50 µs WAL sync) plus the enforced pipeline gate,
+//! and writes `BENCH_PR9.json`. `--metrics` additionally runs a short
+//! contended deposit cell and prints the engine's full metrics table.
 
 use txview_bench::{
     e1, e11, e12, e13, e2, e3, e4, e5, e6, e7, e8, metrics_demo, smoke_scale, snapshot_json,
-    snapshot_pr6_json, snapshot_pr7_json, snapshot_pr8_json, ExpConfig,
+    snapshot_pr6_json, snapshot_pr7_json, snapshot_pr8_json, snapshot_pr9_json, ExpConfig,
 };
 
 fn main() {
@@ -39,13 +41,16 @@ fn main() {
     let want_pr6 = args.iter().any(|a| a == "snapshot-pr6");
     let want_pr7 = args.iter().any(|a| a == "snapshot-pr7");
     let want_pr8 = args.iter().any(|a| a == "snapshot-pr8");
+    let want_pr9 = args.iter().any(|a| a == "snapshot-pr9");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| {
-            if want_pr8 {
+            if want_pr9 {
+                "BENCH_PR9.json".to_string()
+            } else if want_pr8 {
                 "BENCH_PR8.json".to_string()
             } else if want_pr7 {
                 "BENCH_PR7.json".to_string()
@@ -77,13 +82,18 @@ fn main() {
     }
     let run_all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
 
-    if wanted
-        .iter()
-        .any(|w| w == "snapshot" || w == "snapshot-pr6" || w == "snapshot-pr7" || w == "snapshot-pr8")
-    {
+    if wanted.iter().any(|w| {
+        w == "snapshot"
+            || w == "snapshot-pr6"
+            || w == "snapshot-pr7"
+            || w == "snapshot-pr8"
+            || w == "snapshot-pr9"
+    }) {
         println!("writing bench snapshot (cell {:?}) to {out_path} ...", cfg.cell);
         let t0 = std::time::Instant::now();
-        let json = if want_pr8 {
+        let json = if want_pr9 {
+            snapshot_pr9_json(&cfg)
+        } else if want_pr8 {
             snapshot_pr8_json(&cfg)
         } else if want_pr7 {
             snapshot_pr7_json(&cfg)
@@ -134,7 +144,7 @@ fn main() {
     if ran == 0 && !metrics {
         eprintln!(
             "unknown experiment selection {wanted:?}; use e1..e8, e11, e12, e13, snapshot, \
-             snapshot-pr6, snapshot-pr7, snapshot-pr8, or all"
+             snapshot-pr6, snapshot-pr7, snapshot-pr8, snapshot-pr9, or all"
         );
         std::process::exit(2);
     }

@@ -539,6 +539,137 @@ pub fn e13(cfg: &ExpConfig) -> Table {
 /// the PR 6 pipeline gate compares against.
 pub const PR5_ESCROW_16T: f64 = 25_838.3;
 
+/// Outcome of the sync-latency pipeline gate: strict-serial vs pipelined
+/// commit paths measured **on this host**, under a seeded 50 µs WAL sync
+/// latency. Serialised into `BENCH_PR9.json` so the gate's verdict — and
+/// whether it was actually enforced — is diffable across PRs.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineGate {
+    /// Best-of-3 commits/s through the strict serial commit path.
+    pub serial: f64,
+    /// Best-of-3 commits/s through the group-commit pipeline.
+    pub pipelined: f64,
+    /// `pipelined / serial`.
+    pub ratio: f64,
+    /// Minimum ratio the gate demands.
+    pub threshold: f64,
+    /// Whether the verdict gates CI (always true — that is the point).
+    pub enforced: bool,
+    /// `ratio >= threshold`.
+    pub pass: bool,
+}
+
+/// The PR 9 pipeline gate, replacing the vacuous PR 6 one. The old gate
+/// compared against an absolute `BENCH_PR5.json` throughput recorded on a
+/// 16-core box and therefore had to be skipped on small hosts — on the
+/// 1-core CI runner it never gated anything. This one removes both
+/// machine dependencies:
+///
+/// * **relative, same-host** — serial and pipelined cells run back to
+///   back on the same machine; no cross-machine constant.
+/// * **seeded sync cost** — with a 0-cost in-memory WAL sync there is
+///   nothing for group commit to amortize, so the ratio measures noise.
+///   A seeded 50 µs `FaultLogStore` sync latency restores the quantity
+///   the pipeline exists to amortize. Batching then wins even on one
+///   core: N concurrent committers pay N device waits serially but ~1
+///   per batch pipelined, independent of true parallelism.
+/// * **commit-path cell, not the bank cell** — a full deposit
+///   transaction costs ~50 µs of CPU on a small host, the same as the
+///   seeded device. A cell whose bottleneck is CPU work measures the
+///   host, not the commit protocol (the original form of this gate sat
+///   at ~0.9x forever for exactly that reason). The gate cell is the
+///   commit path alone: N threads appending commit records and forcing
+///   them through [`LogManager::flush_strict`] (serial) or
+///   [`CommitPipeline::commit_wait`] (pipelined), over the same
+///   latency-seeded store. ELR is an engine-level lock policy with no
+///   WAL-layer analogue, so the pipelined arm is the bare pipeline —
+///   which only makes the bar higher.
+///
+/// The serial baseline uses `flush_strict`, the same call the engine's
+/// non-pipelined commit makes: the split-lock `flush_to` lets blocked
+/// flushers piggyback on each other's syncs (accidental group commit),
+/// which silently handed the baseline the very optimisation under test.
+///
+/// The threshold is 1.5x — very conservative against the ~batch-size
+/// ratio a healthy pipeline delivers — and the gate is **always
+/// enforced**.
+pub fn pipeline_sync_gate(cfg: &ExpConfig) -> PipelineGate {
+    const SYNC_US: u64 = 50;
+    const THRESHOLD: f64 = 1.5;
+    // Batching needs concurrent committers; never measure at 1 thread.
+    let threads = 8.min(cfg.max_threads).max(2);
+    // The microbench converges fast; cap the cell so the full-length
+    // configuration does not spend seconds on a smoke gate.
+    let cell = cfg.cell.min(Duration::from_millis(400));
+    let best = |pipelined: bool| {
+        (0..3)
+            .map(|_| commit_path_tput(cell, threads, pipelined, SYNC_US))
+            .fold(f64::MIN, f64::max)
+    };
+    let serial = best(false);
+    let pipelined = best(true);
+    let ratio = pipelined / serial.max(1e-9);
+    PipelineGate {
+        serial,
+        pipelined,
+        ratio,
+        threshold: THRESHOLD,
+        enforced: true,
+        pass: ratio >= THRESHOLD,
+    }
+}
+
+/// One commit-path cell for [`pipeline_sync_gate`]: `threads` committers
+/// appending commit records to a WAL whose store charges a deterministic
+/// `sync_us` per device sync, each forcing durability through either the
+/// strict serial flush or the group-commit pipeline. Every ack is checked
+/// against the flushed watermark — a protocol that acked without
+/// durability would inflate its own score.
+fn commit_path_tput(cell: Duration, threads: usize, pipelined: bool, sync_us: u64) -> f64 {
+    use std::sync::atomic::AtomicBool;
+    use txview_common::{Lsn, TxnId};
+    use txview_storage::fault::FaultClock;
+    use txview_txn::CommitPipeline;
+    use txview_wal::{FaultLogStore, LogManager, RecordBody};
+
+    let clock = FaultClock::new();
+    let store = FaultLogStore::new(Arc::clone(&clock));
+    store.set_sync_latency(sync_us, 0, 42);
+    let log = Arc::new(LogManager::open(Box::new(store)).expect("open log"));
+    let pipe = Arc::new(CommitPipeline::new(Arc::clone(&log), false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..threads)
+        .map(|i| {
+            let (log, pipe, stop, total) =
+                (Arc::clone(&log), Arc::clone(&pipe), Arc::clone(&stop), Arc::clone(&total));
+            std::thread::spawn(move || {
+                let mut txn = (i as u64) * 1_000_000 + 1;
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let lsn = log.append(TxnId(txn), Lsn::NULL, RecordBody::Commit);
+                    if pipelined {
+                        pipe.commit_wait(TxnId(txn), lsn, None).expect("commit");
+                    } else {
+                        log.flush_strict(lsn).expect("commit");
+                    }
+                    assert!(log.flushed_lsn() >= lsn, "acked commit not durable");
+                    txn += 1;
+                    n += 1;
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    let t0 = Instant::now();
+    std::thread::sleep(cell);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("committer");
+    }
+    total.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64()
+}
+
 /// The `--smoke-scale` CI gate: cheap evidence that the sharded hot path
 /// actually scales, without running the full evaluation. Two checks:
 ///
@@ -555,13 +686,15 @@ pub const PR5_ESCROW_16T: f64 = 25_838.3;
 ///   escrow untouched (its locks commute), pushing the true ratio to ~3x
 ///   (cf. E3) so short noisy cells still clear 2x with margin.
 ///
-/// * **pipeline gate (PR 6)** — escrow through the group-commit pipeline
-///   (elr on) at 16 threads must reach ≥ 2x the `BENCH_PR5.json` escrow
-///   16-thread baseline ([`PR5_ESCROW_16T`]). Group commit's win is
-///   amortizing the per-committer sync across a batch, which needs real
-///   concurrent committers: on < 4 hardware threads the batch is almost
-///   always size one, so like the self-scaling check this is printed but
-///   not enforced there.
+/// * **pipeline sync gate (PR 9, always enforced)** — the group-commit
+///   pipeline must beat the strict serial commit path by ≥ 1.5x under a
+///   seeded 50 µs WAL sync latency ([`pipeline_sync_gate`]). This
+///   replaces the PR 6 gate, which compared against an absolute 16-core
+///   baseline and was therefore skipped — i.e. vacuous — on the small CI
+///   host.
+/// * **PR 6 absolute ratio (informational)** — the old pipelined-16t /
+///   `BENCH_PR5.json` comparison is still printed for cross-PR context,
+///   but no longer gates: it measures the host as much as the code.
 ///
 /// Returns `(report, pass)`; the binary exits nonzero on `!pass`.
 pub fn smoke_scale(cfg: &ExpConfig) -> (String, bool) {
@@ -594,12 +727,12 @@ pub fn smoke_scale(cfg: &ExpConfig) -> (String, bool) {
         })
         .fold(f64::MIN, f64::max);
     let pipe_ratio = pipe16 / PR5_ESCROW_16T;
+    let sync_gate = pipeline_sync_gate(cfg);
 
     let scale_enforced = cores >= 4;
     let scale_ok = self_scale >= 1.3;
     let gap_ok = gap >= 2.0;
-    let pipe_ok = pipe_ratio >= 2.0;
-    let pass = gap_ok && ((scale_ok && pipe_ok) || !scale_enforced);
+    let pass = gap_ok && sync_gate.pass && (scale_ok || !scale_enforced);
 
     let mut report = String::new();
     report.push_str(&format!(
@@ -621,13 +754,17 @@ pub fn smoke_scale(cfg: &ExpConfig) -> (String, bool) {
         if gap_ok { "PASS" } else { "FAIL" }
     ));
     report.push_str(&format!(
+        "  pipeline / strict serial @50us sync = {:>9.0} / {:>9.0} = {:.2}x \
+         (need >= {:.2}x, {})\n",
+        sync_gate.pipelined,
+        sync_gate.serial,
+        sync_gate.ratio,
+        sync_gate.threshold,
+        if sync_gate.pass { "PASS" } else { "FAIL" }
+    ));
+    report.push_str(&format!(
         "  pipeline+elr 16t / PR5 16t = {pipe16:>9.0} / {PR5_ESCROW_16T:>9.0} = {pipe_ratio:.2}x \
-         (need >= 2.00x, {})\n",
-        if scale_enforced {
-            if pipe_ok { "PASS" } else { "FAIL" }
-        } else {
-            "informational: < 4 cores"
-        }
+         (informational: absolute cross-host baseline)\n"
     ));
     report.push_str(if pass { "smoke-scale: PASS\n" } else { "smoke-scale: FAIL\n" });
     (report, pass)

@@ -13,7 +13,11 @@
 pub mod experiments;
 pub mod snapshot;
 
-pub use experiments::{e1, e12, e13, e2, e3, e4, e5, e6, e7, e8, smoke_scale, ExpConfig};
+pub use experiments::{
+    e1, e12, e13, e2, e3, e4, e5, e6, e7, e8, pipeline_sync_gate, smoke_scale, ExpConfig,
+    PipelineGate,
+};
 pub use snapshot::{
     e11, metrics_demo, snapshot_json, snapshot_pr6_json, snapshot_pr7_json, snapshot_pr8_json,
+    snapshot_pr9_json,
 };

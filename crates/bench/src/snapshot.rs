@@ -403,6 +403,115 @@ pub fn snapshot_pr8_json(cfg: &ExpConfig) -> String {
     )
 }
 
+mod pr9 {
+    //! The `BENCH_PR9.json` cells: E16 — response-time percentiles vs
+    //! offered load over **real TCP**, through the full service stack
+    //! (wire codec, session layer, bounded worker queue, engine, group
+    //! commit), serial vs pipelined+ELR commit paths.
+
+    use super::*;
+    use std::time::Duration;
+    use txview_server::{run_load, LoadConfig, LoadReport, Server, ServerConfig};
+
+    /// Seeded WAL sync latency for every E16 cell — the cost group commit
+    /// amortizes (matches [`crate::experiments::pipeline_sync_gate`]).
+    pub const SYNC_US: u64 = 50;
+    pub const ACCOUNTS: i64 = 1024;
+    pub const BRANCHES: i64 = 8;
+
+    /// One open-loop cell: boot a bank server on an ephemeral port, offer
+    /// `rate` req/s for one bench cell, drain gracefully, verify views.
+    pub fn latency_cell(
+        cfg: &ExpConfig,
+        pipeline: bool,
+        elr: bool,
+        rate: f64,
+        connections: usize,
+    ) -> LoadReport {
+        let bank = Bank::setup(BankConfig {
+            mode: MaintenanceMode::Escrow,
+            accounts: ACCOUNTS,
+            branches: BRANCHES,
+            pipeline,
+            elr,
+            sync_latency_us: SYNC_US,
+            ..Default::default()
+        })
+        .expect("bank setup");
+        let server = Server::start(bank.db.clone(), "127.0.0.1:0", ServerConfig::default())
+            .expect("server start");
+        let report = run_load(&LoadConfig {
+            addr: server.local_addr().to_string(),
+            connections,
+            rate,
+            // Floor the cell length: an open-loop percentile needs enough
+            // samples even in --quick runs.
+            duration: cfg.cell.max(Duration::from_millis(400)),
+            read_fraction: 0.5,
+            accounts: ACCOUNTS, // must match the server's bank
+            branches: BRANCHES,
+            seed: 42,
+            ..Default::default()
+        });
+        server.shutdown().expect("graceful drain");
+        bank.verify().expect("views consistent after E16 cell");
+        report
+    }
+}
+
+/// The `BENCH_PR9.json` payload: the E16 latency-vs-offered-load sweep
+/// over real TCP (serial vs pipelined+ELR under a seeded 50 µs WAL sync),
+/// plus the `gates` section recording the enforced pipeline gate verdict
+/// (`pipeline_sync_gate`) so "was this actually gating CI?" is part of
+/// the diffable artifact.
+pub fn snapshot_pr9_json(cfg: &ExpConfig) -> String {
+    use crate::experiments::pipeline_sync_gate;
+    let jms = |v: f64| if v.is_finite() { format!("{v:.3}") } else { "0.0".into() };
+    let connections = 8.min(cfg.max_threads).max(2);
+    let paths: [(&str, bool, bool); 2] = [("serial", false, false), ("pipeline+elr", true, true)];
+    let mut cells = Vec::new();
+    for (path, pipeline, elr) in paths {
+        for rate in [300.0, 1000.0, 3000.0] {
+            let r = pr9::latency_cell(cfg, pipeline, elr, rate, connections);
+            cells.push(format!(
+                "{{\"path\": \"{path}\", \"offered_per_s\": {}, \"achieved_per_s\": {}, \
+                 \"sent\": {}, \"ok\": {}, \"acked_commits\": {}, \"p50_ms\": {}, \
+                 \"p95_ms\": {}, \"p99_ms\": {}, \"retryable_errors\": {}, \
+                 \"fatal_errors\": {}, \"io_errors\": {}}}",
+                jf(r.offered_rate),
+                jf(r.achieved_rate),
+                r.sent,
+                r.ok,
+                r.acked_commits,
+                jms(r.p50_ms()),
+                jms(r.latency.p95() as f64 / 1000.0),
+                jms(r.p99_ms()),
+                r.retryable_errors,
+                r.fatal_errors,
+                r.io_errors,
+            ));
+        }
+    }
+    let g = pipeline_sync_gate(cfg);
+    let gate_json = format!(
+        "{{\"serial_commits_per_s\": {}, \"pipelined_commits_per_s\": {}, \"ratio\": {}, \
+         \"threshold\": {}, \"enforced\": {}, \"pass\": {}}}",
+        jf(g.serial),
+        jf(g.pipelined),
+        if g.ratio.is_finite() { format!("{:.3}", g.ratio) } else { "0.0".into() },
+        g.threshold,
+        g.enforced,
+        g.pass,
+    );
+    format!(
+        "{{\n  \"bench\": \"PR9\",\n  \"cell_ms\": {},\n  \"sync_us\": {},\n  \"connections\": {connections},\n  \"e16_latency\": [\n    {}\n  ],\n  \"gates\": {{\n    \"pipeline_sync\": {}\n  }}\n}}\n",
+        cfg.cell.as_millis(),
+        pr9::SYNC_US,
+        cells.join(",\n    "),
+        gate_json,
+    )
+}
+
 /// E11 — observability cost and what the histograms show: escrow vs
 /// X-lock commit-latency percentiles at full contention (max threads,
 /// 8 hot view rows). Metrics are always on, so the "overhead" claim is
@@ -530,6 +639,23 @@ mod tests {
         }
         assert_eq!(s.matches("\"coalesced\"").count(), 3);
         assert_eq!(s.matches("\"eager\"").count(), 3);
+    }
+
+    #[test]
+    fn snapshot_pr9_json_has_expected_shape() {
+        let s = snapshot_pr9_json(&tiny());
+        check_balanced(&s);
+        assert!(s.contains("\"bench\": \"PR9\""));
+        assert!(s.contains("\"e16_latency\""));
+        for path in ["\"serial\"", "\"pipeline+elr\""] {
+            assert!(s.contains(path), "missing commit path {path}");
+        }
+        assert!(s.contains("\"p99_ms\""));
+        // The gate verdict — and the fact that it is enforced — is part
+        // of the artifact.
+        assert!(s.contains("\"pipeline_sync\""));
+        assert!(s.contains("\"enforced\": true"));
+        assert!(s.contains("\"threshold\": 1.5"));
     }
 
     #[test]

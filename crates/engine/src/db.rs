@@ -479,6 +479,18 @@ impl Database {
         self.txns.pipeline()
     }
 
+    /// Quiesce the commit path for shutdown: wait until no group-commit
+    /// round is in flight and no parked committer is still pending, then
+    /// flush the WAL tail. Callers must have stopped submitting new
+    /// commits first (the server stops its workers before calling this);
+    /// otherwise drain chases a moving target.
+    pub fn drain_commits(&self) -> Result<()> {
+        if let Some(p) = self.txns.pipeline() {
+            p.drain();
+        }
+        self.log.flush_all()
+    }
+
     /// Recorded ELR dependency edges `(dependent, pred, pred commit LSN)`
     /// — evidence the torture recovery oracle checks durable commit order
     /// against. Empty without an ELR pipeline.

@@ -169,9 +169,12 @@ fn pipeline_elr_read_dependency_exhaustive() {
 }
 
 /// Pipeline fixture: two-batch overlap (disjoint groups, the pipeline is
-/// the only interaction). The full tree is 167,596 schedules — gated
+/// the only interaction). The full tree is 137,566 schedules — gated
 /// exactly in `run_torture --interleave` full mode; here a deterministic
-/// 4,000-schedule DFS prefix runs with its own drift gate.
+/// 4,000-schedule DFS prefix runs with its own drift gate. (The tree was
+/// 167,596 before the leader-retention fix: a leader now keeps
+/// leadership through its sync when nobody is promotable, which removes
+/// the self-lead branches and turns them into follower parks.)
 #[test]
 fn pipeline_two_batch_overlap_capped() {
     for elr in [false, true] {
@@ -181,7 +184,7 @@ fn pipeline_two_batch_overlap_capped() {
         assert!(r.violations.is_empty(), "[{}] first: {}", sc.name, r.violations[0].1);
         // Non-vacuity + drift gate: schedules where a committer parks
         // behind an active leader must exist, in a deterministic count.
-        assert_eq!(r.follower_wait_schedules, 735, "[{}] follower drift", sc.name);
+        assert_eq!(r.follower_wait_schedules, 1_760, "[{}] follower drift", sc.name);
     }
 }
 
@@ -195,7 +198,7 @@ fn pipeline_leader_handoff_race_capped() {
         let r = explore_dfs(&sc, 1_500);
         assert!(r.truncated, "[{}] tree shrank below the cap", sc.name);
         assert!(r.violations.is_empty(), "[{}] first: {}", sc.name, r.violations[0].1);
-        assert_eq!(r.follower_wait_schedules, 165, "[{}] follower drift", sc.name);
+        assert_eq!(r.follower_wait_schedules, 500, "[{}] follower drift", sc.name);
 
         let p = interleave::explore_pct(&sc, 0xC0FFEE, 50, 3);
         assert!(p.violations.is_empty(), "[{}] PCT first: {}", sc.name, p.violations[0].1);

@@ -1,0 +1,98 @@
+//! Open-loop load client (E16 front end + CI SLO smoke).
+//!
+//! ```text
+//! run_load --addr 127.0.0.1:4471 --conns 8 --rate 2000 --secs 5
+//! run_load --addr-file /tmp/addr --quick --slo-p99-ms 250
+//! ```
+//!
+//! Prints a one-line report per run: offered vs achieved rate, p50/p95/p99
+//! latency, error counts. With `--slo-p99-ms X` the exit code is non-zero
+//! when the p99 exceeds the SLO or any fatal error was observed — that is
+//! the CI gate.
+
+use std::time::Duration;
+use txview_server::{run_load, LoadConfig};
+
+fn arg_val(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn arg_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    arg_val(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let addr = match arg_val(&args, "--addr") {
+        Some(a) => a,
+        None => {
+            let path = arg_val(&args, "--addr-file").unwrap_or_else(|| {
+                eprintln!("need --addr <host:port> or --addr-file <path>");
+                std::process::exit(2);
+            });
+            // Poll for the server's address file (it may still be loading).
+            let deadline = std::time::Instant::now() + Duration::from_secs(30);
+            loop {
+                match std::fs::read_to_string(&path) {
+                    Ok(s) if !s.trim().is_empty() => break s.trim().to_string(),
+                    _ if std::time::Instant::now() > deadline => {
+                        eprintln!("timed out waiting for addr file {path}");
+                        std::process::exit(2);
+                    }
+                    _ => std::thread::sleep(Duration::from_millis(100)),
+                }
+            }
+        }
+    };
+    let cfg = LoadConfig {
+        addr,
+        connections: arg_num(&args, "--conns", if quick { 4 } else { 8 }),
+        rate: arg_num(&args, "--rate", if quick { 300.0 } else { 2000.0 }),
+        duration: Duration::from_secs_f64(arg_num(&args, "--secs", if quick { 2.0 } else { 10.0 })),
+        read_fraction: arg_num(&args, "--read-fraction", 0.5),
+        accounts: arg_num(&args, "--accounts", 4096),
+        branches: arg_num(&args, "--branches", 8),
+        seed: arg_num(&args, "--seed", 42),
+        ..Default::default()
+    };
+    let slo_p99_ms: f64 = arg_num(&args, "--slo-p99-ms", 0.0);
+
+    println!(
+        "run_load: {} conns, offered {:.0} req/s for {:.1}s against {} ...",
+        cfg.connections,
+        cfg.rate,
+        cfg.duration.as_secs_f64(),
+        cfg.addr
+    );
+    let r = run_load(&cfg);
+    println!(
+        "offered {:.0}/s achieved {:.0}/s | sent {} ok {} acked {} | \
+         p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms | retryable {} fatal {} io {}",
+        r.offered_rate,
+        r.achieved_rate,
+        r.sent,
+        r.ok,
+        r.acked_commits,
+        r.p50_ms(),
+        r.latency.p95() as f64 / 1000.0,
+        r.p99_ms(),
+        r.retryable_errors,
+        r.fatal_errors,
+        r.io_errors,
+    );
+
+    if r.sent == 0 || r.ok == 0 {
+        eprintln!("SLO FAIL: no successful requests");
+        std::process::exit(1);
+    }
+    if r.fatal_errors > 0 {
+        eprintln!("SLO FAIL: {} fatal (non-retryable) errors", r.fatal_errors);
+        std::process::exit(1);
+    }
+    if slo_p99_ms > 0.0 && r.p99_ms() > slo_p99_ms {
+        eprintln!("SLO FAIL: p99 {:.2}ms exceeds {slo_p99_ms}ms", r.p99_ms());
+        std::process::exit(1);
+    }
+    println!("SLO OK");
+}

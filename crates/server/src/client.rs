@@ -1,0 +1,152 @@
+//! Blocking wire-protocol client: one TCP connection, one request in
+//! flight. Used by the load generator, the CI smoke, and the integration
+//! tests; it is deliberately the simplest correct implementation of the
+//! protocol so tests exercise the server, not a clever client.
+
+use crate::wire::{self, Request, Response, WireErrorCode};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use txview_common::{Error, Result, Value};
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connect with a default 10 s I/O timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        Client::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connect with an explicit read/write timeout. A timeout (rather than
+    /// blocking forever) is what lets load/torture clients observe a killed
+    /// server as an error instead of hanging.
+    pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Client { stream, buf: Vec::new() })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response> {
+        self.stream.write_all(&wire::encode_frame(&req.encode()))?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Response> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some((payload, used)) = wire::decode_frame(&self.buf)? {
+                self.buf.drain(..used);
+                return Response::decode(&payload);
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(Error::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Ping → Pong.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Open a transaction (0 = ReadCommitted, 1 = Serializable, 2 = Snapshot).
+    pub fn begin(&mut self, isolation: u8) -> Result<()> {
+        match self.request(&Request::Begin { isolation })? {
+            Response::Ok => Ok(()),
+            Response::Err { code, msg } => Err(wire_err(code, msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Commit the open transaction; returns the durable commit LSN.
+    pub fn commit(&mut self) -> Result<u64> {
+        match self.request(&Request::Commit)? {
+            Response::Committed { lsn } => Ok(lsn),
+            Response::Err { code, msg } => Err(wire_err(code, msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Roll back the open transaction.
+    pub fn rollback(&mut self) -> Result<()> {
+        match self.request(&Request::Rollback)? {
+            Response::Ok => Ok(()),
+            Response::Err { code, msg } => Err(wire_err(code, msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Deposit `delta` into `account`. Autocommits (returning `Some(lsn)`)
+    /// without an open transaction; buffers (returning `None`) inside one.
+    pub fn deposit(&mut self, account: i64, delta: i64) -> Result<Option<u64>> {
+        match self.request(&Request::Deposit { account, delta })? {
+            Response::Committed { lsn } => Ok(Some(lsn)),
+            Response::Ok => Ok(None),
+            Response::Err { code, msg } => Err(wire_err(code, msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Point-read a view row.
+    pub fn view_read(&mut self, view: &str, group: Vec<Value>) -> Result<Option<Vec<Value>>> {
+        match self.request(&Request::ViewRead { view: view.into(), group })? {
+            Response::Row { present: true, values } => Ok(Some(values)),
+            Response::Row { present: false, .. } => Ok(None),
+            Response::Err { code, msg } => Err(wire_err(code, msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Read-time AVG over a view's SUM aggregate.
+    pub fn view_avg(&mut self, view: &str, group: Vec<Value>, agg_idx: u32) -> Result<Option<f64>> {
+        match self.request(&Request::ViewAvg { view: view.into(), group, agg_idx })? {
+            Response::Avg { present: true, value } => Ok(Some(value)),
+            Response::Avg { present: false, .. } => Ok(None),
+            Response::Err { code, msg } => Err(wire_err(code, msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch rendered metrics.
+    pub fn metrics(&mut self) -> Result<String> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            Response::Err { code, msg } => Err(wire_err(code, msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+/// Reconstruct a client-side `Error` from a wire error so callers keep
+/// using `Error::is_retryable()` unchanged. The mapping is coarse on
+/// purpose — only the retryability partition and the fenced/degraded
+/// distinction are contractual.
+pub fn wire_err(code: WireErrorCode, msg: String) -> Error {
+    match code {
+        WireErrorCode::Degraded => Error::Degraded { reason: msg },
+        WireErrorCode::Fenced => Error::Fenced { reason: msg },
+        c if c.is_retryable() => {
+            Error::IoTransient(std::io::Error::other(format!("{c:?}: {msg}")))
+        }
+        c => Error::invalid(format!("{c:?}: {msg}")),
+    }
+}
+
+fn unexpected(resp: &Response) -> Error {
+    Error::corruption(format!("unexpected response type: {resp:?}"))
+}

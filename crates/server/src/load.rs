@@ -1,0 +1,273 @@
+//! Open-loop load generation (E16).
+//!
+//! The E-series driver (`txview_workload::driver`) is *closed-loop*: each
+//! worker issues its next operation only after the previous one returns,
+//! so under saturation the measured latency stays flat while throughput
+//! caps — the classic coordinated-omission blind spot. This generator is
+//! **open-loop**: every request has a *scheduled* send time fixed up
+//! front from the offered rate, and latency is measured from the
+//! scheduled time to the response, so time a request spends waiting
+//! behind a backed-up connection counts against the server, exactly as a
+//! real user would experience it.
+//!
+//! Each connection runs an independent arrival schedule (the offered rate
+//! is split evenly; connection k's phase is shifted by `k/N` of an
+//! interval so arrivals interleave instead of pulsing). The op mix is
+//! deposits (escrow-increment autocommits) and view point-reads/AVGs in a
+//! configurable ratio.
+
+use crate::client::Client;
+use crate::wire::{Request, Response};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use txview_common::obs::{HistSnapshot, Histogram};
+use txview_common::rng::Rng;
+use txview_common::Value;
+
+/// Parameters for one open-loop run.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server address, e.g. `"127.0.0.1:4471"`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Total offered load across all connections, requests/second.
+    pub rate: f64,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Fraction of requests that are reads (view lookup / AVG); the rest
+    /// are autocommit deposits.
+    pub read_fraction: f64,
+    /// Account id space for deposits.
+    pub accounts: i64,
+    /// Branch id space for view reads.
+    pub branches: i64,
+    /// RNG seed (per-connection streams derive from it).
+    pub seed: u64,
+    /// Per-request client I/O timeout.
+    pub timeout: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: String::new(),
+            connections: 4,
+            rate: 500.0,
+            duration: Duration::from_secs(2),
+            read_fraction: 0.5,
+            accounts: 1024,
+            branches: 8,
+            seed: 42,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Aggregated result of one open-loop run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Offered load (requests/second) the schedule targeted.
+    pub offered_rate: f64,
+    /// Requests actually sent.
+    pub sent: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Error responses with a retryable wire code.
+    pub retryable_errors: u64,
+    /// Error responses with a fatal wire code.
+    pub fatal_errors: u64,
+    /// Transport-level failures (timeouts, resets, EOF).
+    pub io_errors: u64,
+    /// Deposit acks received (each carries a durable commit LSN).
+    pub acked_commits: u64,
+    /// Latency distribution in microseconds, scheduled-send → response.
+    pub latency: HistSnapshot,
+    /// Completed requests / elapsed seconds.
+    pub achieved_rate: f64,
+    /// Wall-clock elapsed.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// p50 latency in milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.latency.p50() as f64 / 1000.0
+    }
+
+    /// p99 latency in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.latency.p99() as f64 / 1000.0
+    }
+}
+
+#[derive(Default)]
+struct Tallies {
+    sent: AtomicU64,
+    ok: AtomicU64,
+    retryable: AtomicU64,
+    fatal: AtomicU64,
+    io: AtomicU64,
+    acked: AtomicU64,
+}
+
+/// Run one open-loop load cell against a live server.
+pub fn run_load(cfg: &LoadConfig) -> LoadReport {
+    let hist = Arc::new(Histogram::new());
+    let tallies = Arc::new(Tallies::default());
+    let started = Instant::now();
+    let interval = Duration::from_secs_f64(cfg.connections as f64 / cfg.rate.max(1e-9));
+    let mut handles = Vec::with_capacity(cfg.connections);
+    for conn in 0..cfg.connections {
+        let cfg = cfg.clone();
+        let hist = Arc::clone(&hist);
+        let tallies = Arc::clone(&tallies);
+        // Phase-shift each connection so arrivals interleave.
+        let phase = interval.mul_f64(conn as f64 / cfg.connections.max(1) as f64);
+        handles.push(std::thread::spawn(move || {
+            connection_loop(&cfg, conn as u64, started + phase, interval, &hist, &tallies);
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let elapsed = started.elapsed();
+    let snap = hist.snapshot();
+    let ok = tallies.ok.load(Ordering::Relaxed);
+    LoadReport {
+        offered_rate: cfg.rate,
+        sent: tallies.sent.load(Ordering::Relaxed),
+        ok,
+        retryable_errors: tallies.retryable.load(Ordering::Relaxed),
+        fatal_errors: tallies.fatal.load(Ordering::Relaxed),
+        io_errors: tallies.io.load(Ordering::Relaxed),
+        acked_commits: tallies.acked.load(Ordering::Relaxed),
+        latency: snap,
+        achieved_rate: ok as f64 / elapsed.as_secs_f64().max(1e-9),
+        elapsed,
+    }
+}
+
+fn connection_loop(
+    cfg: &LoadConfig,
+    conn: u64,
+    first_tick: Instant,
+    interval: Duration,
+    hist: &Histogram,
+    tallies: &Tallies,
+) {
+    let mut rng = Rng::new(cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(conn));
+    let mut client = Client::connect_with_timeout(&cfg.addr, cfg.timeout).ok();
+    let deadline = first_tick + cfg.duration;
+    let mut tick = 0u64;
+    loop {
+        let scheduled = first_tick + interval.mul_f64(tick as f64);
+        tick += 1;
+        if scheduled >= deadline {
+            return;
+        }
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        // Open loop: if we are *behind* schedule we do not skip ticks; the
+        // backlog shows up as latency, which is the point.
+        let c = match client.as_mut() {
+            Some(c) => c,
+            None => match Client::connect_with_timeout(&cfg.addr, cfg.timeout) {
+                Ok(c) => {
+                    client = Some(c);
+                    client.as_mut().unwrap()
+                }
+                Err(_) => {
+                    tallies.io.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            },
+        };
+        let req = pick_op(cfg, &mut rng);
+        tallies.sent.fetch_add(1, Ordering::Relaxed);
+        match c.request(&req) {
+            Ok(resp) => {
+                hist.record(scheduled.elapsed().as_micros() as u64);
+                match resp {
+                    Response::Err { code, .. } => {
+                        if code.is_retryable() {
+                            tallies.retryable.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            tallies.fatal.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Response::Committed { .. } => {
+                        tallies.ok.fetch_add(1, Ordering::Relaxed);
+                        tallies.acked.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        tallies.ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(_) => {
+                tallies.io.fetch_add(1, Ordering::Relaxed);
+                client = None; // force reconnect next tick
+            }
+        }
+    }
+}
+
+fn pick_op(cfg: &LoadConfig, rng: &mut Rng) -> Request {
+    let read = (rng.below(1_000_000) as f64) < cfg.read_fraction * 1_000_000.0;
+    if read {
+        let branch = rng.below(cfg.branches.max(1) as u64) as i64;
+        if rng.below(2) == 0 {
+            Request::ViewRead {
+                view: txview_workload::bank::VIEW.into(),
+                group: vec![Value::Int(branch)],
+            }
+        } else {
+            Request::ViewAvg {
+                view: txview_workload::bank::VIEW.into(),
+                group: vec![Value::Int(branch)],
+                agg_idx: 0,
+            }
+        }
+    } else {
+        let account = rng.below(cfg.accounts.max(1) as u64) as i64;
+        let delta = rng.range_inclusive(-5, 5);
+        Request::Deposit { account, delta }
+    }
+}
+
+/// Shared per-account ack ledger for drain/kill torture sweeps: clients
+/// deposit `+1` into *private* accounts and record each ack here, so after
+/// recovery `balance(account) == acks(account)` is an exact oracle for
+/// "every acked commit survived" and `balance − acks ∈ {0, 1}` bounds the
+/// in-flight window of a graceful drain.
+#[derive(Default)]
+pub struct AckLedger {
+    acks: Mutex<std::collections::HashMap<i64, u64>>,
+}
+
+impl AckLedger {
+    /// Fresh empty ledger.
+    pub fn new() -> AckLedger {
+        AckLedger::default()
+    }
+
+    /// Record one acked deposit into `account`.
+    pub fn record(&self, account: i64) {
+        *self.acks.lock().entry(account).or_insert(0) += 1;
+    }
+
+    /// Acks recorded for `account`.
+    pub fn acked(&self, account: i64) -> u64 {
+        self.acks.lock().get(&account).copied().unwrap_or(0)
+    }
+
+    /// Total acks across all accounts.
+    pub fn total(&self) -> u64 {
+        self.acks.lock().values().sum()
+    }
+}

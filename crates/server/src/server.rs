@@ -1,0 +1,565 @@
+//! The TCP server: N connections multiplexed onto a bounded worker pool.
+//!
+//! ## Threads
+//!
+//! * **accept loop** — non-blocking accept with admission control: beyond
+//!   `max_sessions` a connection is answered with a retryable
+//!   [`WireErrorCode::Overloaded`] frame and dropped; a fenced engine
+//!   answers [`WireErrorCode::Fenced`] and drops. Nothing is queued for a
+//!   connection the server cannot serve.
+//! * **one reader per connection** — parses frames off the socket and
+//!   enqueues jobs. A session never has more than one request in flight
+//!   (per-session `in_flight` flag), so responses come back in request
+//!   order and the engine's `&mut Transaction` discipline holds. The job
+//!   queue is **bounded**: a full queue blocks the reader, which stops
+//!   reading its socket, which backpressures the client through TCP —
+//!   offered load beyond capacity turns into queueing delay at the
+//!   client, never unbounded memory here.
+//! * **W workers** — execute requests against the engine and write the
+//!   response frame.
+//!
+//! ## Shutdown (the ordering that makes acks honest)
+//!
+//! [`Server::shutdown`] drains: stop accepting → readers stop at a frame
+//! boundary → queued + in-flight requests finish and their responses are
+//! written → idle open transactions are rolled back → **the commit
+//! pipeline drains and the WAL tail is flushed** (`Database::drain_commits`)
+//! → workers stop. Every ack the server ever wrote corresponds to a commit
+//! that was durable before the process let go of the log.
+//!
+//! [`Server::kill_now`] is the abortive path for crash drills: it
+//! atomically stops response writes and severs every client socket, and is
+//! safe to call from *inside* a worker (e.g. a WAL crash-probe callback) —
+//! it never joins threads. After a kill, no ack is emitted for any commit
+//! whose durability the crash may retract; callers then freeze the fault
+//! store and check recovery against the set of acks that actually escaped.
+
+use crate::session::{Disposition, Session};
+use crate::wire::{self, Request, Response, WireErrorCode};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use txview_common::{Error, Result};
+use txview_engine::{Database, HealthState};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Admission cap on concurrent sessions; excess connections are shed
+    /// with a retryable `Overloaded` error.
+    pub max_sessions: usize,
+    /// Bound on queued (not yet executing) requests across all sessions.
+    pub queue_depth: usize,
+    /// Socket read timeout — the cadence at which blocked readers notice
+    /// state changes. Smaller = snappier shutdown, more wakeups.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            max_sessions: 64,
+            queue_depth: 128,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Run-state lattice; transitions only move right.
+const RUNNING: u8 = 0;
+const DRAINING: u8 = 1;
+const STOPPED: u8 = 2;
+const KILLED: u8 = 3;
+
+/// Monotonic counters, snapshotted by [`Server::stats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Connections admitted.
+    pub accepted: u64,
+    /// Connections shed by the session cap (`Overloaded`).
+    pub shed_overloaded: u64,
+    /// Connections refused because the engine is fenced.
+    pub refused_fenced: u64,
+    /// Requests executed.
+    pub requests: u64,
+    /// Error responses sent.
+    pub error_responses: u64,
+    /// Responses suppressed because the server was killed mid-request.
+    pub suppressed_responses: u64,
+    /// Connections dropped for wire-protocol violations.
+    pub protocol_errors: u64,
+}
+
+#[derive(Default)]
+struct Stats {
+    accepted: AtomicU64,
+    shed_overloaded: AtomicU64,
+    refused_fenced: AtomicU64,
+    requests: AtomicU64,
+    error_responses: AtomicU64,
+    suppressed_responses: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+struct SessionHandle {
+    id: u64,
+    /// The accept-side socket handle, kept for abortive teardown.
+    stream: TcpStream,
+    /// Clone used by workers to write responses.
+    write: Mutex<TcpStream>,
+    sess: Mutex<Session>,
+    /// True while a request from this session is queued or executing.
+    /// Readers wait on it before enqueueing the next frame (per-session
+    /// ordering); teardown waits on it before rolling back the session.
+    in_flight: Mutex<bool>,
+    in_flight_cv: Condvar,
+    /// Set when the connection must close (client EOF, protocol error,
+    /// fenced disposition).
+    closing: AtomicBool,
+}
+
+impl SessionHandle {
+    fn finish_in_flight(&self, inner: &Inner) {
+        let mut f = self.in_flight.lock();
+        *f = false;
+        self.in_flight_cv.notify_all();
+        drop(f);
+        inner.in_flight_count.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+struct Job {
+    session: Arc<SessionHandle>,
+    payload: Vec<u8>,
+}
+
+struct Inner {
+    db: Arc<Database>,
+    cfg: ServerConfig,
+    state: AtomicU8,
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when the queue gains a job or the state changes.
+    queue_cv: Condvar,
+    /// Signalled when the queue loses a job (backpressured readers wait).
+    space_cv: Condvar,
+    sessions: Mutex<HashMap<u64, Arc<SessionHandle>>>,
+    next_session: AtomicU64,
+    /// Jobs enqueued but not yet finished (queued + executing).
+    in_flight_count: AtomicU64,
+    stats: Stats,
+}
+
+impl Inner {
+    fn state(&self) -> u8 {
+        self.state.load(Ordering::Acquire)
+    }
+
+    fn advance_state(&self, to: u8) {
+        // Monotonic: never move left (a kill during a drain stays a kill).
+        let mut cur = self.state.load(Ordering::Acquire);
+        while cur < to {
+            match self.state.compare_exchange(cur, to, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        self.queue_cv.notify_all();
+        self.space_cv.notify_all();
+    }
+}
+
+/// Cloneable abortive-kill handle, safe to invoke from worker context
+/// (e.g. inside a WAL crash probe). See [`Server::kill_now`].
+#[derive(Clone)]
+pub struct ServerKiller {
+    inner: Arc<Inner>,
+}
+
+impl ServerKiller {
+    /// Abortive stop: suppress all further response writes, then sever
+    /// every client socket. Never blocks on thread joins.
+    pub fn kill_now(&self) {
+        self.inner.advance_state(KILLED);
+        let sessions = self.inner.sessions.lock();
+        for sh in sessions.values() {
+            let _ = sh.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// A running server bound to a local TCP address.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving `db`.
+    pub fn start(db: Arc<Database>, addr: &str, cfg: ServerConfig) -> Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            db,
+            cfg: cfg.clone(),
+            state: AtomicU8::new(RUNNING),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            in_flight_count: AtomicU64::new(0),
+            stats: Stats::default(),
+        });
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers.max(1) {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("txview-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .map_err(Error::Io)?,
+            );
+        }
+
+        let accept = {
+            let inner = Arc::clone(&inner);
+            let readers = Arc::clone(&readers);
+            std::thread::Builder::new()
+                .name("txview-accept".into())
+                .spawn(move || accept_loop(listener, &inner, &readers))
+                .map_err(Error::Io)?
+        };
+
+        Ok(Server { inner, addr: bound, accept: Some(accept), workers, readers })
+    }
+
+    /// The bound address (use with port 0 to discover the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the server counters.
+    pub fn stats(&self) -> ServerStats {
+        let s = &self.inner.stats;
+        ServerStats {
+            accepted: s.accepted.load(Ordering::Relaxed),
+            shed_overloaded: s.shed_overloaded.load(Ordering::Relaxed),
+            refused_fenced: s.refused_fenced.load(Ordering::Relaxed),
+            requests: s.requests.load(Ordering::Relaxed),
+            error_responses: s.error_responses.load(Ordering::Relaxed),
+            suppressed_responses: s.suppressed_responses.load(Ordering::Relaxed),
+            protocol_errors: s.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Handle for abortive kills from other threads / crash probes.
+    pub fn killer(&self) -> ServerKiller {
+        ServerKiller { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Graceful drain, then stop. See the module docs for the ordering.
+    pub fn shutdown(mut self) -> Result<ServerStats> {
+        self.inner.advance_state(DRAINING);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Readers finish their in-flight request, roll back idle open
+        // transactions, and deregister their sessions.
+        for h in self.readers.lock().drain(..) {
+            let _ = h.join();
+        }
+        // Wait for queued work to execute and its responses to be written.
+        while self.inner.in_flight_count.load(Ordering::Acquire) > 0
+            && self.inner.state() != KILLED
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // The seam this ordering exists for: only after every response is
+        // out and no new commit can arrive does the engine quiesce its
+        // group-commit pipeline and flush the WAL tail.
+        let drained = if self.inner.state() == KILLED {
+            Ok(()) // killed mid-drain: the crash drill owns the log now
+        } else {
+            self.inner.db.drain_commits()
+        };
+        self.inner.advance_state(STOPPED);
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        drained?;
+        Ok(self.stats())
+    }
+
+    /// Abortive stop (see [`ServerKiller::kill_now`]).
+    pub fn kill_now(&self) {
+        self.killer().kill_now();
+    }
+
+    /// Join all threads after a [`Server::kill_now`]. Separate from the
+    /// kill itself so a worker-context kill never self-joins.
+    pub fn join_after_kill(mut self) -> ServerStats {
+        assert_eq!(self.inner.state(), KILLED, "join_after_kill requires kill_now first");
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.readers.lock().drain(..) {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.stats()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inner: &Arc<Inner>,
+    readers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while inner.state() == RUNNING {
+        match listener.accept() {
+            Ok((stream, _peer)) => admit(stream, inner, readers),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Write one frame and drop the connection — the shed path never allocates
+/// session state.
+fn refuse(mut stream: TcpStream, code: WireErrorCode, msg: &str) {
+    let resp = Response::Err { code, msg: msg.into() };
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.write_all(&wire::encode_frame(&resp.encode()));
+}
+
+fn admit(stream: TcpStream, inner: &Arc<Inner>, readers: &Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    if inner.db.health().state() == HealthState::Fenced {
+        inner.stats.refused_fenced.fetch_add(1, Ordering::Relaxed);
+        refuse(stream, WireErrorCode::Fenced, &inner.db.health().reason());
+        return;
+    }
+    {
+        let sessions = inner.sessions.lock();
+        if sessions.len() >= inner.cfg.max_sessions {
+            drop(sessions);
+            inner.stats.shed_overloaded.fetch_add(1, Ordering::Relaxed);
+            refuse(
+                stream,
+                WireErrorCode::Overloaded,
+                "session limit reached; retry after backoff",
+            );
+            return;
+        }
+    }
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(inner.cfg.poll_interval));
+    let write = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let _ = write.set_write_timeout(Some(Duration::from_secs(5)));
+    let id = inner.next_session.fetch_add(1, Ordering::Relaxed);
+    let sh = Arc::new(SessionHandle {
+        id,
+        stream,
+        write: Mutex::new(write),
+        sess: Mutex::new(Session::new(Arc::clone(&inner.db))),
+        in_flight: Mutex::new(false),
+        in_flight_cv: Condvar::new(),
+        closing: AtomicBool::new(false),
+    });
+    inner.sessions.lock().insert(id, Arc::clone(&sh));
+    inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
+    let inner2 = Arc::clone(inner);
+    let handle = std::thread::Builder::new()
+        .name(format!("txview-reader-{id}"))
+        .spawn(move || reader_loop(&inner2, &sh));
+    match handle {
+        Ok(h) => readers.lock().push(h),
+        Err(_) => {
+            inner.sessions.lock().remove(&id);
+        }
+    }
+}
+
+fn reader_loop(inner: &Arc<Inner>, sh: &Arc<SessionHandle>) {
+    let mut stream = match sh.stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            teardown(inner, sh);
+            return;
+        }
+    };
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    'outer: while inner.state() == RUNNING && !sh.closing.load(Ordering::Acquire) {
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // client EOF
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                loop {
+                    match wire::decode_frame(&buf) {
+                        Ok(Some((payload, used))) => {
+                            buf.drain(..used);
+                            if !dispatch(inner, sh, payload) {
+                                break 'outer;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            // Stream-level corruption: framing is lost, the
+                            // connection cannot be resynchronized.
+                            inner.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            let resp = Response::Err {
+                                code: WireErrorCode::Protocol,
+                                msg: e.to_string(),
+                            };
+                            let _ = sh
+                                .write
+                                .lock()
+                                .write_all(&wire::encode_frame(&resp.encode()));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // poll tick: re-check state, keep reading
+            }
+            Err(_) => break,
+        }
+    }
+    teardown(inner, sh);
+}
+
+/// Enqueue one parsed frame, honouring per-session ordering and the queue
+/// bound. Returns false when the connection should close.
+fn dispatch(inner: &Arc<Inner>, sh: &Arc<SessionHandle>, payload: Vec<u8>) -> bool {
+    // Per-session ordering: wait for the previous request's response.
+    {
+        let mut f = sh.in_flight.lock();
+        while *f {
+            sh.in_flight_cv.wait(&mut f);
+        }
+        if inner.state() >= STOPPED || sh.closing.load(Ordering::Acquire) {
+            return false;
+        }
+        *f = true;
+    }
+    inner.in_flight_count.fetch_add(1, Ordering::AcqRel);
+    // Bounded queue: block (backpressure) while full. The stop re-check
+    // must happen under the queue lock even when there is space: workers
+    // exit only after observing an empty queue under this same lock, so a
+    // push that observes `state < STOPPED` here is guaranteed to be
+    // drained by a worker — never orphaned with `in_flight` stuck true.
+    let mut q = inner.queue.lock();
+    loop {
+        if inner.state() >= STOPPED {
+            drop(q);
+            sh.finish_in_flight(inner);
+            return false;
+        }
+        if q.len() < inner.cfg.queue_depth {
+            break;
+        }
+        inner.space_cv.wait(&mut q);
+    }
+    q.push_back(Job { session: Arc::clone(sh), payload });
+    inner.queue_cv.notify_one();
+    true
+}
+
+/// Connection teardown: wait out any in-flight request, roll back the
+/// session's open transaction, deregister.
+fn teardown(inner: &Arc<Inner>, sh: &Arc<SessionHandle>) {
+    sh.closing.store(true, Ordering::Release);
+    if inner.state() != KILLED {
+        // After a kill, responses are suppressed anyway — skip the wait so
+        // teardown can never park on a request the kill abandoned.
+        let mut f = sh.in_flight.lock();
+        while *f {
+            sh.in_flight_cv.wait(&mut f);
+        }
+    }
+    if inner.state() != KILLED {
+        sh.sess.lock().abort();
+    }
+    inner.sessions.lock().remove(&sh.id);
+    let _ = sh.stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock();
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break Some(j);
+                }
+                if inner.state() >= STOPPED {
+                    break None;
+                }
+                inner.queue_cv.wait(&mut q);
+            }
+        };
+        let Some(job) = job else { return };
+        inner.space_cv.notify_one();
+        if inner.state() == KILLED {
+            // Killed: the request is abandoned un-executed and un-acked.
+            inner.stats.suppressed_responses.fetch_add(1, Ordering::Relaxed);
+            job.session.finish_in_flight(inner);
+            continue;
+        }
+        execute(inner, &job);
+        job.session.finish_in_flight(inner);
+    }
+}
+
+fn execute(inner: &Arc<Inner>, job: &Job) {
+    inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let (resp, disp) = match Request::decode(&job.payload) {
+        Ok(req) => job.session.sess.lock().execute(req),
+        Err(e) => (
+            Response::Err { code: WireErrorCode::Protocol, msg: e.to_string() },
+            Disposition::Keep,
+        ),
+    };
+    if matches!(resp, Response::Err { .. }) {
+        inner.stats.error_responses.fetch_add(1, Ordering::Relaxed);
+    }
+    // The kill point: once the state is KILLED no ack leaves the process,
+    // so a commit whose durability the crash drill is about to retract is
+    // never reported successful.
+    if inner.state() == KILLED {
+        inner.stats.suppressed_responses.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let frame = wire::encode_frame(&resp.encode());
+    let write_ok = job.session.write.lock().write_all(&frame).is_ok();
+    if !write_ok || disp == Disposition::Close {
+        job.session.closing.store(true, Ordering::Release);
+        let _ = job.session.stream.shutdown(std::net::Shutdown::Both);
+    }
+}

@@ -36,8 +36,8 @@ pub struct TxnManager {
     /// lock only briefly.
     active: ShardMap<TxnId, ActiveTxn>,
     /// Optional group-commit pipeline. When installed, forced commits go
-    /// through leader-based batching instead of per-commit `flush_to`,
-    /// and (with ELR) escrow locks drop at log-append time.
+    /// through leader-based batching instead of the strict per-commit
+    /// `flush_strict`, and (with ELR) escrow locks drop at log-append time.
     pipeline: RwLock<Option<Arc<CommitPipeline>>>,
     obs: TxnObs,
 }
@@ -240,8 +240,11 @@ impl TxnManager {
                 p.commit_wait(txn.id, commit_lsn, hook.as_ref())?;
                 self.obs.log_force_us.record(self.obs.clock.now().saturating_sub(force_t0));
             } else if force {
+                // Strict per-commit flush: the serial baseline must not
+                // piggyback on concurrent committers' syncs — that sharing
+                // is the pipeline's job (see `LogManager::flush_strict`).
                 let force_t0 = self.obs.clock.now();
-                self.log.flush_to(commit_lsn)?;
+                self.log.flush_strict(commit_lsn)?;
                 self.obs.log_force_us.record(self.obs.clock.now().saturating_sub(force_t0));
             }
             // Resolve ELR read dependencies recorded during execution —

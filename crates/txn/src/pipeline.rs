@@ -3,12 +3,15 @@
 //! Committers enqueue their commit LSN on a shared queue. Exactly one of
 //! them — the *leader* — drains the queue, performs a single
 //! `append_upto` + `sync_appended` for the whole batch, then wakes the
-//! batch. Everyone else parks. The pipeline is two-deep: the leader hands
-//! off leadership *between* its append and its sync, so batch N+1 forms
-//! and appends to the OS while batch N's fsync is still in flight. The
-//! WAL's `appended_lsn` watermark keeps the two phases idempotent — a
-//! handed-off leader whose LSNs were already appended skips straight to
-//! the sync.
+//! batch. Everyone else parks. The pipeline is two-deep: when a parked
+//! successor already exists, the leader hands off leadership *between*
+//! its append and its sync, so batch N+1 forms and appends to the OS
+//! while batch N's fsync is still in flight. When no successor exists
+//! yet, the leader retains leadership through its sync so that arrivals
+//! park behind it and batch — never more than two leader rounds (one
+//! appending, one syncing) are ever in flight. The WAL's `appended_lsn`
+//! watermark keeps the two phases idempotent — a handed-off leader whose
+//! LSNs were already appended skips straight to the sync.
 //!
 //! Failure semantics: a failed sync is recorded as covering every LSN in
 //! `(flushed, batch_max]`. Parked committers inside that window error out
@@ -246,7 +249,10 @@ impl CommitPipeline {
 
         if let Err(e) = append_res {
             // Append itself failed: nothing new became syncable; resolve
-            // the whole batch with the error and stand down.
+            // the whole batch with the error and stand down. We still
+            // hold leadership here (the handoff below never ran), so
+            // release it or `finish_round` can promote nobody and every
+            // parked follower is stranded forever.
             let info = ErrInfo::of(&e);
             let mut st = self.state.lock();
             for &(t, l) in &batch {
@@ -254,6 +260,7 @@ impl CommitPipeline {
                     self.resolve(&mut st, t, l, WaiterSlot::Fail(info.clone()), hook);
                 }
             }
+            st.leader_active = false;
             self.finish_round(&mut st, hook);
             self.cv.notify_all();
             return Err(e);
@@ -261,13 +268,20 @@ impl CommitPipeline {
 
         self.log.probe_point("wal.pipeline.post_append_pre_wake");
 
-        // Pipelined handoff: leadership is released *before* our sync, so
-        // the next batch can form and append while we fsync. If a parked
-        // committer beyond the appended watermark exists, promote it to
-        // leader now; otherwise the next enqueuer self-leads.
+        // Pipelined handoff: if a parked committer beyond the appended
+        // watermark already exists, promote it to leader now — it appends
+        // batch N+1 while our sync for batch N is in flight (the two-deep
+        // pipeline). If nobody is promotable yet, *retain* leadership
+        // through the sync: committers arriving while we fsync must park
+        // as followers of the next batch, not self-lead. (Releasing
+        // leadership here unconditionally was the group-commit bug: with
+        // a real device every arrival during the sync became its own
+        // batch-of-one leader, the leaders convoyed on the WAL sync
+        // mutex, and batching never engaged — one device sync per commit,
+        // exactly the serial path the pipeline exists to beat.)
+        let mut handed_off = false;
         {
             let mut st = self.state.lock();
-            st.leader_active = false;
             let appended = self.log.appended_lsn();
             let next = st
                 .queue
@@ -275,7 +289,7 @@ impl CommitPipeline {
                 .find(|&&(t, l)| l > appended && matches!(st.waiters.get(&t), Some(WaiterSlot::Pending)))
                 .map(|&(t, l)| (t, l));
             if let Some((t, l)) = next {
-                st.leader_active = true;
+                handed_off = true;
                 st.waiters.insert(t, WaiterSlot::Lead);
                 if let Some(h) = hook {
                     h.on_grant(t, &SchedEvent::LogForceGrant { commit_lsn: l.0 });
@@ -326,6 +340,13 @@ impl CommitPipeline {
         self.obs.batch_commits.record(resolved + 1);
         // Prune failure records that a successful sync has superseded.
         st.failures.retain(|&(max, _)| max > flushed);
+        // If leadership was not handed off mid-round, we still hold it:
+        // release it so `finish_round` can promote whoever batched up
+        // behind our sync (when it was, the successor owns the flag and
+        // clears it at the end of its own round).
+        if !handed_off {
+            st.leader_active = false;
+        }
         self.finish_round(&mut st, hook);
         self.cv.notify_all();
         drop(st);
@@ -378,6 +399,37 @@ impl CommitPipeline {
             if let Some(h) = hook {
                 h.on_grant(t, &SchedEvent::LogForceGrant { commit_lsn: l.0 });
             }
+        }
+    }
+
+    /// Block until the pipeline is quiescent: no leader round in flight,
+    /// no enqueued committers, and no parked waiter still `Pending`.
+    ///
+    /// This is the shutdown-ordering seam the server layer needs: closing
+    /// a listener while a leader batch is between `append_upto` and
+    /// `sync_appended` would otherwise tear down the process with
+    /// acked-but-parked committers still waiting on the batch — their
+    /// wake (ack or failure) would never be delivered. `drain()` makes
+    /// shutdown wait for every in-flight round to resolve its whole batch
+    /// first; callers must stop feeding new commits before draining or
+    /// the wait may never end.
+    ///
+    /// Note `drain()` does not itself flush anything: an empty pipeline
+    /// with unflushed log tail still needs `LogManager::flush_all` (the
+    /// engine's `drain_commits` does both).
+    pub fn drain(&self) {
+        let mut st = self.state.lock();
+        loop {
+            let pending_waiters = st
+                .waiters
+                .values()
+                .any(|w| matches!(w, WaiterSlot::Pending | WaiterSlot::Lead));
+            if !st.leader_active && st.queue.is_empty() && !pending_waiters {
+                return;
+            }
+            // Round completions broadcast on the same condvar the waiters
+            // use, so a drain parked here wakes whenever a batch resolves.
+            self.cv.wait(&mut st);
         }
     }
 
@@ -497,6 +549,45 @@ mod tests {
         let batches = s.hist_value("txn.pipeline.batch_commits").unwrap();
         // Every commit was resolved by exactly one round.
         assert_eq!(batches.sum, (n * 20) as u64);
+    }
+
+    #[test]
+    fn drain_on_idle_pipeline_returns_immediately() {
+        let log = mgr();
+        let p = CommitPipeline::new(Arc::clone(&log), false);
+        p.drain(); // must not block
+    }
+
+    #[test]
+    fn drain_waits_for_in_flight_batches() {
+        let log = mgr();
+        let p = Arc::new(CommitPipeline::new(Arc::clone(&log), false));
+        let n = 8;
+        let barrier = Arc::new(std::sync::Barrier::new(n + 1));
+        let mut handles = Vec::new();
+        for i in 0..n {
+            let (p, log, barrier) = (Arc::clone(&p), Arc::clone(&log), Arc::clone(&barrier));
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                for round in 0..10 {
+                    let txn = (i * 100 + round) as u64 + 1;
+                    let lsn = append_commit(&log, txn);
+                    p.commit_wait(TxnId(txn), lsn, None).unwrap();
+                }
+            }));
+        }
+        barrier.wait();
+        // Drain concurrently with the committers: when it returns after
+        // they finish, no waiter slot may be unresolved and the queue must
+        // be empty.
+        for h in handles {
+            h.join().unwrap();
+        }
+        p.drain();
+        let st = p.state.lock();
+        assert!(!st.leader_active);
+        assert!(st.queue.is_empty());
+        assert!(st.waiters.values().all(|w| !matches!(w, WaiterSlot::Pending)));
     }
 
     #[test]

@@ -160,12 +160,17 @@ impl LogStore for FaultLogStore {
             slot.as_mut().map(|l| l.base_us + l.rng.below(l.jitter_us + 1))
         };
         if let Some(us) = spin_us {
-            // Spin rather than sleep: sub-millisecond sleeps are rounded up
-            // by the OS scheduler, and the point is a faithful device-latency
-            // profile, not yielding the core.
+            // Timed loop rather than sleep: sub-millisecond sleeps are
+            // rounded up by the OS scheduler. But yield inside the loop —
+            // a real fsync is a *blocking* syscall, so during the device
+            // wait the core belongs to other runnable threads (on a small
+            // host, exactly the committers group commit wants to batch
+            // behind the in-flight sync). A pure spin starves them and
+            // inverts every serial-vs-pipelined comparison measured on
+            // fewer cores than committers.
             let start = std::time::Instant::now();
             while (start.elapsed().as_micros() as u64) < us {
-                std::hint::spin_loop();
+                std::thread::yield_now();
             }
         }
         Ok(())

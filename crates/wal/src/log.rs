@@ -367,6 +367,30 @@ impl LogManager {
         self.sync_appended()
     }
 
+    /// Strict serial flush: append and sync with the sync mutex held
+    /// across *both* phases, so concurrent committers cannot piggyback on
+    /// each other's device syncs — every commit pays its own.
+    ///
+    /// `flush_to`'s split-lock flush releases the tail before the sync and
+    /// reads the appended watermark under the sync mutex, which makes
+    /// blocked flushers share whichever sync runs first. That sharing is
+    /// exactly group commit — correct, but it is the *feature* the commit
+    /// pipeline exists to provide, and a baseline that gets it for free
+    /// makes every serial-vs-pipelined comparison vacuous. The serial
+    /// commit path uses this strict variant so "serial" means what it
+    /// says: one device sync per committer. Page-flush hooks, checkpoints,
+    /// and the pipeline's own leader rounds keep the sharing `flush_to`.
+    pub fn flush_strict(&self, target: Lsn) -> Result<()> {
+        let _sync = self.sync_lock.lock();
+        if self.flushed_lsn() >= target {
+            // Our bytes were covered by a sync that completed before we
+            // reached the device; they are durable, nothing to pay.
+            return Ok(());
+        }
+        self.append_upto(target)?;
+        self.sync_appended_locked()
+    }
+
     /// Phase 1 of a flush: hand every pending record with `lsn <= target`
     /// to the store, advancing the `appended_lsn` watermark. The bytes are
     /// *not* durable until a subsequent [`LogManager::sync_appended`]. The
@@ -411,6 +435,11 @@ impl LogManager {
     /// become no-ops.
     pub fn sync_appended(&self) -> Result<()> {
         let _sync = self.sync_lock.lock();
+        self.sync_appended_locked()
+    }
+
+    /// [`LogManager::sync_appended`] body; caller holds `sync_lock`.
+    fn sync_appended_locked(&self) -> Result<()> {
         let appended = self.appended_lsn.load(Ordering::SeqCst);
         if appended > self.flushed_lsn.load(Ordering::SeqCst) {
             let policy = *self.retry.lock();
@@ -800,6 +829,38 @@ mod tests {
         log.sync_appended().unwrap();
         assert_eq!(log.flushed_lsn(), a);
         assert_eq!(log.read_durable_from(0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn flush_strict_pays_one_sync_per_commit() {
+        // The vacuous-baseline bug: `flush_to` lets a blocked flusher
+        // piggyback on whichever sync runs first (accidental group
+        // commit). `flush_strict` must not — N sequential strict flushes
+        // of N commit records cost N device syncs.
+        let log = LogManager::in_memory();
+        let mut lsns = Vec::new();
+        for t in 1..=4u64 {
+            lsns.push(log.append(TxnId(t), Lsn::NULL, RecordBody::Commit));
+        }
+        for &l in &lsns {
+            log.flush_strict(l).unwrap();
+        }
+        // The first strict flush appends only records <= its target, so
+        // each later commit still pays its own append + sync.
+        let syncs = log.obs_snapshot().hist_value("wal.sync_us").unwrap().count();
+        assert_eq!(syncs, 4, "strict flush must not share syncs");
+        assert_eq!(log.flushed_lsn(), *lsns.last().unwrap());
+    }
+
+    #[test]
+    fn flush_strict_skips_only_already_durable_targets() {
+        let log = LogManager::in_memory();
+        let a = log.append(TxnId(1), Lsn::NULL, RecordBody::Commit);
+        log.flush_strict(a).unwrap();
+        let syncs_before = log.obs_snapshot().hist_value("wal.sync_us").unwrap().count();
+        log.flush_strict(a).unwrap(); // already durable: no extra device op
+        let syncs_after = log.obs_snapshot().hist_value("wal.sync_us").unwrap().count();
+        assert_eq!(syncs_before, syncs_after);
     }
 
     #[test]
