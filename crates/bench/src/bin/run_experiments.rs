@@ -19,12 +19,15 @@
 //! propagation) and writes `BENCH_PR8.json`. `snapshot-pr9` runs the E16
 //! open-loop latency sweep over real TCP (serial vs pipelined+ELR commit
 //! paths under a seeded 50 µs WAL sync) plus the enforced pipeline gate,
-//! and writes `BENCH_PR9.json`. `--metrics` additionally runs a short
+//! and writes `BENCH_PR9.json`. `snapshot-pr10` runs E17 — hash vs
+//! B-tree point reads and the mixed snapshot-scan HTAP cell — and writes
+//! `BENCH_PR10.json`. `--metrics` additionally runs a short
 //! contended deposit cell and prints the engine's full metrics table.
 
 use txview_bench::{
     e1, e11, e12, e13, e2, e3, e4, e5, e6, e7, e8, metrics_demo, smoke_scale, snapshot_json,
-    snapshot_pr6_json, snapshot_pr7_json, snapshot_pr8_json, snapshot_pr9_json, ExpConfig,
+    snapshot_pr10_json, snapshot_pr6_json, snapshot_pr7_json, snapshot_pr8_json,
+    snapshot_pr9_json, ExpConfig,
 };
 
 fn main() {
@@ -42,13 +45,16 @@ fn main() {
     let want_pr7 = args.iter().any(|a| a == "snapshot-pr7");
     let want_pr8 = args.iter().any(|a| a == "snapshot-pr8");
     let want_pr9 = args.iter().any(|a| a == "snapshot-pr9");
+    let want_pr10 = args.iter().any(|a| a == "snapshot-pr10");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| {
-            if want_pr9 {
+            if want_pr10 {
+                "BENCH_PR10.json".to_string()
+            } else if want_pr9 {
                 "BENCH_PR9.json".to_string()
             } else if want_pr8 {
                 "BENCH_PR8.json".to_string()
@@ -88,10 +94,13 @@ fn main() {
             || w == "snapshot-pr7"
             || w == "snapshot-pr8"
             || w == "snapshot-pr9"
+            || w == "snapshot-pr10"
     }) {
         println!("writing bench snapshot (cell {:?}) to {out_path} ...", cfg.cell);
         let t0 = std::time::Instant::now();
-        let json = if want_pr9 {
+        let json = if want_pr10 {
+            snapshot_pr10_json(&cfg)
+        } else if want_pr9 {
             snapshot_pr9_json(&cfg)
         } else if want_pr8 {
             snapshot_pr8_json(&cfg)
@@ -144,7 +153,7 @@ fn main() {
     if ran == 0 && !metrics {
         eprintln!(
             "unknown experiment selection {wanted:?}; use e1..e8, e11, e12, e13, snapshot, \
-             snapshot-pr6, snapshot-pr7, snapshot-pr8, snapshot-pr9, or all"
+             snapshot-pr6, snapshot-pr7, snapshot-pr8, snapshot-pr9, snapshot-pr10, or all"
         );
         std::process::exit(2);
     }

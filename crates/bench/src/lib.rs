@@ -19,5 +19,5 @@ pub use experiments::{
 };
 pub use snapshot::{
     e11, metrics_demo, snapshot_json, snapshot_pr6_json, snapshot_pr7_json, snapshot_pr8_json,
-    snapshot_pr9_json,
+    snapshot_pr9_json, snapshot_pr10_json,
 };

@@ -512,6 +512,385 @@ pub fn snapshot_pr9_json(cfg: &ExpConfig) -> String {
     )
 }
 
+mod pr10 {
+    //! The `BENCH_PR10.json` cells: E17 — the hash point-read fast path
+    //! measured against the B-tree lookup it shadows (same keys, results
+    //! asserted identical), and a mixed HTAP cell running long snapshot
+    //! scans against escrow writers plus a MIN/MAX extremum deleter.
+
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+    use txview_common::schema::{Column, Schema};
+    use txview_common::value::ValueType;
+    use txview_common::{row, Value};
+    use txview_engine::{AggSpec, Database, Predicate, ViewSource, ViewSpec};
+
+    pub const BANK_VIEW: &str = "branch_balance";
+    pub const STATS_VIEW: &str = "reading_stats";
+    pub const ACCOUNTS: i64 = 512;
+    pub const BRANCHES: i64 = 8;
+    const STATS_GROUPS: i64 = 4;
+
+    /// Accounts + escrow SUM bank view, plus a `readings` table under a
+    /// MIN/MAX/AVG stats view. `hash` attaches the point-read hash index
+    /// to both views (the B-tree baseline cell leaves it off).
+    pub fn build(hash: bool) -> Arc<Database> {
+        let db = Database::new_in_memory(256);
+        let t = db
+            .create_table(
+                "accounts",
+                Schema::new(
+                    vec![
+                        Column::new("id", ValueType::Int),
+                        Column::new("branch", ValueType::Int),
+                        Column::new("balance", ValueType::Int),
+                    ],
+                    vec![0],
+                )
+                .expect("schema"),
+            )
+            .expect("create accounts");
+        db.create_indexed_view(ViewSpec {
+            name: BANK_VIEW.into(),
+            source: ViewSource::Single { table: t, group_by: vec![1] },
+            aggs: vec![AggSpec::SumInt { col: 2 }],
+            filter: Predicate::True,
+            maintenance: MaintenanceMode::Escrow,
+            deferred: false,
+            eager_group_delete: false,
+        })
+        .expect("create bank view");
+        let readings = db
+            .create_table(
+                "readings",
+                Schema::new(
+                    vec![
+                        Column::new("id", ValueType::Int),
+                        Column::new("grp", ValueType::Int),
+                        Column::new("val", ValueType::Int),
+                    ],
+                    vec![0],
+                )
+                .expect("schema"),
+            )
+            .expect("create readings");
+        db.create_indexed_view(ViewSpec {
+            name: STATS_VIEW.into(),
+            source: ViewSource::Single { table: readings, group_by: vec![1] },
+            aggs: vec![
+                AggSpec::SumInt { col: 2 },
+                AggSpec::Min { col: 2 },
+                AggSpec::Max { col: 2 },
+                AggSpec::Avg { col: 2, float: false },
+            ],
+            filter: Predicate::True,
+            maintenance: MaintenanceMode::XLock,
+            deferred: false,
+            eager_group_delete: false,
+        })
+        .expect("create stats view");
+        let mut txn = db.begin(IsolationLevel::ReadCommitted);
+        for id in 0..ACCOUNTS {
+            db.insert(&mut txn, "accounts", row![id, id % BRANCHES, 100i64]).expect("load");
+        }
+        for id in 0..STATS_GROUPS * 3 {
+            db.insert(&mut txn, "readings", row![id, id % STATS_GROUPS, 10 * (id / STATS_GROUPS + 1)])
+                .expect("load readings");
+        }
+        db.commit(&mut txn).expect("load commit");
+        if hash {
+            db.create_hash_index(BANK_VIEW).expect("hash on bank view");
+            db.create_hash_index(STATS_VIEW).expect("hash on stats view");
+        }
+        db.checkpoint().expect("checkpoint");
+        db
+    }
+
+    /// Groups in the point-read cell: enough view rows that the B-tree
+    /// needs a real descent while a sized hash directory still answers in
+    /// two page fetches (directory + single-page bucket).
+    const PR_GROUPS: i64 = 2048;
+
+    /// Point-read cell: single-threaded group lookups against a
+    /// 2048-group view, either through the hash fast path or the plain
+    /// B-tree path. Before timing, every group is read through both paths
+    /// and asserted equal — the differential oracle runs in-cell but
+    /// outside the measured loop, so reads/s compares like with like.
+    /// Returns (reads/s, p50 ns, p99 ns).
+    pub fn point_read_cell(cfg: &ExpConfig, use_hash: bool) -> (f64, u64, u64) {
+        let db = Database::new_in_memory(4096);
+        let t = db
+            .create_table(
+                "accounts",
+                Schema::new(
+                    vec![
+                        Column::new("id", ValueType::Int),
+                        Column::new("branch", ValueType::Int),
+                        Column::new("balance", ValueType::Int),
+                    ],
+                    vec![0],
+                )
+                .expect("schema"),
+            )
+            .expect("create accounts");
+        db.create_indexed_view(ViewSpec {
+            name: BANK_VIEW.into(),
+            source: ViewSource::Single { table: t, group_by: vec![1] },
+            aggs: vec![AggSpec::SumInt { col: 2 }],
+            filter: Predicate::True,
+            maintenance: MaintenanceMode::Escrow,
+            deferred: false,
+            eager_group_delete: false,
+        })
+        .expect("create bank view");
+        let mut txn = db.begin(IsolationLevel::ReadCommitted);
+        for id in 0..PR_GROUPS * 2 {
+            db.insert(&mut txn, "accounts", row![id, id % PR_GROUPS, 100i64]).expect("load");
+        }
+        db.commit(&mut txn).expect("load commit");
+        if use_hash {
+            db.create_hash_index_sized(BANK_VIEW, (PR_GROUPS / 8) as usize)
+                .expect("hash on bank view");
+            let mut txn = db.begin(IsolationLevel::ReadCommitted);
+            for b in 0..PR_GROUPS {
+                let g = [Value::Int(b)];
+                let hash = db.view_point_read(&mut txn, BANK_VIEW, &g).expect("point read");
+                let tree = db.view_lookup(&mut txn, BANK_VIEW, &g).expect("lookup");
+                assert_eq!(hash, tree, "hash point read diverged from B-tree at group {b}");
+                assert!(hash.is_some(), "group {b} missing");
+            }
+            db.commit(&mut txn).expect("oracle commit");
+        }
+        db.checkpoint().expect("checkpoint");
+        let mut lat = Vec::with_capacity(1 << 16);
+        let t_start = Instant::now();
+        let deadline = t_start + cfg.cell;
+        let mut reads = 0u64;
+        // A xorshift walk over the groups: point reads scattered across
+        // the key space, so the B-tree path cannot ride one hot leaf and
+        // the hash path cannot ride one hot bucket.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        while Instant::now() < deadline {
+            let mut txn = db.begin(IsolationLevel::ReadCommitted);
+            for _ in 0..64 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let g = [Value::Int((state % PR_GROUPS as u64) as i64)];
+                let t0 = Instant::now();
+                let got = if use_hash {
+                    db.view_point_read(&mut txn, BANK_VIEW, &g).expect("point read")
+                } else {
+                    db.view_lookup(&mut txn, BANK_VIEW, &g).expect("lookup")
+                };
+                lat.push(t0.elapsed().as_nanos() as u64);
+                assert!(got.is_some());
+                reads += 1;
+            }
+            db.commit(&mut txn).expect("read commit");
+        }
+        let secs = t_start.elapsed().as_secs_f64();
+        lat.sort_unstable();
+        let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+        (reads as f64 / secs, pct(0.50), pct(0.99))
+    }
+
+    /// What the mixed HTAP cell measured.
+    pub struct HtapResult {
+        pub writer_commits_per_s: f64,
+        pub deleter_commits_per_s: f64,
+        pub scans_per_s: f64,
+        pub rows_per_scan: usize,
+        pub scan_p50_us: u64,
+        /// Read-committed point reads served off the hash index per second
+        /// (a hot-group reader thread running beside the writers).
+        pub point_reads_per_s: f64,
+        /// Mean number of writer commits that landed while a snapshot scan
+        /// transaction was open — the staleness its snapshot carries.
+        pub freshness_lag_commits: f64,
+        pub minmax_recomputes: u64,
+        pub hash_point_reads: u64,
+    }
+
+    /// Mixed HTAP cell: two escrow writer threads deposit into the bank
+    /// view, one deleter thread churns the stats view's MAX (insert a new
+    /// maximum, then delete it — every delete takes the recompute path),
+    /// and one snapshot reader runs long multi-scan transactions. Inside
+    /// one snapshot transaction the bank view's total must not move
+    /// between repeated scans (snapshot stability), while the freshness
+    /// lag records how far the live state ran ahead.
+    pub fn htap_cell(cfg: &ExpConfig) -> HtapResult {
+        let db = build(true);
+        let before = db.metrics_snapshot();
+        let stop = Arc::new(AtomicBool::new(false));
+        let write_commits = Arc::new(AtomicU64::new(0));
+        let delete_commits = Arc::new(AtomicU64::new(0));
+        let mut writers = Vec::new();
+        for w in 0..2usize {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            let commits = Arc::clone(&write_commits);
+            writers.push(std::thread::spawn(move || {
+                let mut seq = w as i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let id = seq.rem_euclid(ACCOUNTS);
+                    let ok = db.run_txn(IsolationLevel::ReadCommitted, 5, |txn| {
+                        db.update_with(txn, "accounts", &[Value::Int(id)], |r| {
+                            let mut out = r.clone();
+                            out.set(2, Value::Int(r.get(2).as_int().unwrap() + 1));
+                            out
+                        })
+                    });
+                    if ok.is_ok() {
+                        commits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    seq += 2;
+                }
+            }));
+        }
+        let point_reads = Arc::new(AtomicU64::new(0));
+        {
+            // Hot-group point reader: read-committed lookups through the
+            // hash fast path while the writers churn the same rows.
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            let reads = Arc::clone(&point_reads);
+            writers.push(std::thread::spawn(move || {
+                let mut b = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+                    for _ in 0..32 {
+                        let got = db
+                            .view_point_read(&mut txn, BANK_VIEW, &[Value::Int(b % BRANCHES)])
+                            .expect("point read");
+                        assert!(got.is_some(), "bank group vanished under point reader");
+                        b += 1;
+                    }
+                    db.commit(&mut txn).expect("point-read commit");
+                    reads.fetch_add(32, Ordering::Relaxed);
+                }
+            }));
+        }
+        {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            let commits = Arc::clone(&delete_commits);
+            writers.push(std::thread::spawn(move || {
+                let mut id = STATS_GROUPS * 3;
+                let mut val = 1_000i64; // above every seeded value: always the new MAX
+                while !stop.load(Ordering::Relaxed) {
+                    let ins = db.run_txn(IsolationLevel::ReadCommitted, 5, |txn| {
+                        db.insert(txn, "readings", row![id, id % STATS_GROUPS, val])
+                    });
+                    if ins.is_ok() {
+                        commits.fetch_add(1, Ordering::Relaxed);
+                        // Deleting the row that *is* the group MAX forces
+                        // the recompute-from-base fallback every time.
+                        if db
+                            .run_txn(IsolationLevel::ReadCommitted, 5, |txn| {
+                                db.delete(txn, "readings", &[Value::Int(id)])
+                            })
+                            .is_ok()
+                        {
+                            commits.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    id += 1;
+                    val += 1;
+                }
+            }));
+        }
+        let t_start = Instant::now();
+        let deadline = t_start + cfg.cell;
+        let mut scan_lat = Vec::new();
+        let mut scans = 0u64;
+        let mut rows_per_scan = 0usize;
+        let mut lag_total = 0u64;
+        while Instant::now() < deadline {
+            let c0 = write_commits.load(Ordering::Relaxed) + delete_commits.load(Ordering::Relaxed);
+            let t0 = Instant::now();
+            let mut txn = db.begin(IsolationLevel::Snapshot);
+            let mut first_total: Option<i64> = None;
+            for _ in 0..16 {
+                let rows = db.view_scan(&mut txn, BANK_VIEW, None, None).expect("scan");
+                rows_per_scan = rows.len();
+                let total: i64 = rows.iter().map(|r| r.get(2).as_int().unwrap()).sum();
+                match first_total {
+                    None => first_total = Some(total),
+                    Some(t) => assert_eq!(t, total, "snapshot scan saw the total move"),
+                }
+                let _ = db.view_scan(&mut txn, STATS_VIEW, None, None).expect("stats scan");
+            }
+            db.commit(&mut txn).expect("scan commit");
+            scan_lat.push(t0.elapsed().as_micros() as u64);
+            let c1 = write_commits.load(Ordering::Relaxed) + delete_commits.load(Ordering::Relaxed);
+            lag_total += c1 - c0;
+            scans += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in writers {
+            h.join().expect("worker thread");
+        }
+        let secs = t_start.elapsed().as_secs_f64();
+        db.verify_view(BANK_VIEW).expect("bank view consistent after HTAP cell");
+        db.verify_view(STATS_VIEW).expect("stats view consistent after HTAP cell");
+        let after = db.metrics_snapshot();
+        let delta = |name: &str| {
+            after.counter_value(name).unwrap_or(0) - before.counter_value(name).unwrap_or(0)
+        };
+        scan_lat.sort_unstable();
+        HtapResult {
+            writer_commits_per_s: write_commits.load(Ordering::Relaxed) as f64 / secs,
+            deleter_commits_per_s: delete_commits.load(Ordering::Relaxed) as f64 / secs,
+            scans_per_s: scans as f64 / secs,
+            rows_per_scan,
+            scan_p50_us: scan_lat[scan_lat.len() / 2],
+            point_reads_per_s: point_reads.load(Ordering::Relaxed) as f64 / secs,
+            freshness_lag_commits: lag_total as f64 / scans.max(1) as f64,
+            minmax_recomputes: delta("engine.minmax_recomputes"),
+            hash_point_reads: delta("engine.hash_point_reads"),
+        }
+    }
+}
+
+/// The `BENCH_PR10.json` payload: E17 — hash vs B-tree point-read
+/// latency (p50/p99 ns, results asserted byte-identical in-cell) and the
+/// mixed HTAP cell (snapshot-scan freshness lag vs escrow-writer and
+/// MIN/MAX-deleter throughput).
+pub fn snapshot_pr10_json(cfg: &ExpConfig) -> String {
+    let mut pr_cells = Vec::new();
+    for (path, use_hash) in [("btree", false), ("hash", true)] {
+        let (reads_per_s, p50, p99) = pr10::point_read_cell(cfg, use_hash);
+        pr_cells.push(format!(
+            "{{\"path\": \"{path}\", \"reads_per_s\": {}, \"p50_ns\": {p50}, \"p99_ns\": {p99}}}",
+            jf(reads_per_s),
+        ));
+    }
+    let h = pr10::htap_cell(cfg);
+    let htap_json = format!(
+        "{{\"writer_commits_per_s\": {}, \"deleter_commits_per_s\": {}, \"scans_per_s\": {}, \
+         \"rows_per_scan\": {}, \"scan_p50_us\": {}, \"point_reads_per_s\": {}, \
+         \"freshness_lag_commits\": {}, \"minmax_recomputes\": {}, \"hash_point_reads\": {}}}",
+        jf(h.writer_commits_per_s),
+        jf(h.deleter_commits_per_s),
+        jf(h.scans_per_s),
+        h.rows_per_scan,
+        h.scan_p50_us,
+        jf(h.point_reads_per_s),
+        jf(h.freshness_lag_commits),
+        h.minmax_recomputes,
+        h.hash_point_reads,
+    );
+    format!(
+        "{{\n  \"bench\": \"PR10\",\n  \"cell_ms\": {},\n  \"e17_point_read\": [\n    {}\n  ],\n  \"e17_htap\": {}\n}}\n",
+        cfg.cell.as_millis(),
+        pr_cells.join(",\n    "),
+        htap_json,
+    )
+}
+
 /// E11 — observability cost and what the histograms show: escrow vs
 /// X-lock commit-latency percentiles at full contention (max threads,
 /// 8 hot view rows). Metrics are always on, so the "overhead" claim is
@@ -656,6 +1035,21 @@ mod tests {
         assert!(s.contains("\"pipeline_sync\""));
         assert!(s.contains("\"enforced\": true"));
         assert!(s.contains("\"threshold\": 1.5"));
+    }
+
+    #[test]
+    fn snapshot_pr10_json_has_expected_shape() {
+        let s = snapshot_pr10_json(&tiny());
+        check_balanced(&s);
+        assert!(s.contains("\"bench\": \"PR10\""));
+        assert!(s.contains("\"e17_point_read\""));
+        assert!(s.contains("\"e17_htap\""));
+        for path in ["\"btree\"", "\"hash\""] {
+            assert!(s.contains(path), "missing point-read path {path}");
+        }
+        assert!(s.contains("\"p50_ns\""));
+        assert!(s.contains("\"freshness_lag_commits\""));
+        assert!(s.contains("\"minmax_recomputes\""));
     }
 
     #[test]

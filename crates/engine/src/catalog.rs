@@ -99,6 +99,16 @@ pub enum AggSpec {
         /// Source column in the base row.
         col: usize,
     },
+    /// AVG of a base column, stored as its SUM (COUNT_BIG(*) is always
+    /// maintained, so the quotient is derived at read time — the paper's
+    /// required rewrite). The stored sum commutes under addition, so AVG is
+    /// escrow-maintainable and composes with cascades and replication.
+    Avg {
+        /// Source column in the base row.
+        col: usize,
+        /// Stored sum is FLOAT (else INT).
+        float: bool,
+    },
 }
 
 impl AggSpec {
@@ -108,13 +118,18 @@ impl AggSpec {
             AggSpec::SumInt { col }
             | AggSpec::SumFloat { col }
             | AggSpec::Min { col }
-            | AggSpec::Max { col } => *col,
+            | AggSpec::Max { col }
+            | AggSpec::Avg { col, .. } => *col,
         }
     }
 
     /// True iff this aggregate commutes under addition (escrow-capable).
+    /// AVG qualifies because its stored representation *is* a sum.
     pub fn is_escrow_capable(&self) -> bool {
-        matches!(self, AggSpec::SumInt { .. } | AggSpec::SumFloat { .. })
+        matches!(
+            self,
+            AggSpec::SumInt { .. } | AggSpec::SumFloat { .. } | AggSpec::Avg { .. }
+        )
     }
 
     /// The stored value type of the aggregate column.
@@ -122,6 +137,15 @@ impl AggSpec {
         match self {
             AggSpec::SumInt { .. } => Ok(ValueType::Int),
             AggSpec::SumFloat { .. } => Ok(ValueType::Float),
+            AggSpec::Avg { col, float } => {
+                let want = if *float { ValueType::Float } else { ValueType::Int };
+                if base.columns()[*col].ty != want {
+                    return Err(Error::Schema(format!(
+                        "AVG column {col} is not {want:?}"
+                    )));
+                }
+                Ok(want)
+            }
             AggSpec::Min { col } | AggSpec::Max { col } => {
                 let ty = base.columns()[*col].ty;
                 if ty == ValueType::Str {
@@ -270,6 +294,11 @@ pub struct ViewDef {
     pub root: PageId,
     /// Types of the group-by columns (for decoding view keys).
     pub group_types: Vec<ValueType>,
+    /// Optional hash point-read fast path: `(index id, directory page)` of
+    /// a redo-logged hash index mirroring every visible view row. The
+    /// B-tree stays the ordered/scan authority; the hash only accelerates
+    /// point reads on hot groups.
+    pub hash: Option<(IndexId, PageId)>,
 }
 
 impl ViewDef {
@@ -356,6 +385,14 @@ impl Catalog {
     pub fn view(&self, name: &str) -> Result<&ViewDef> {
         self.views
             .get(name)
+            .ok_or_else(|| Error::Schema(format!("unknown view '{name}'")))
+    }
+
+    /// Look up a view by name, mutably (DDL that amends a view in place,
+    /// e.g. attaching the hash point-read index).
+    pub fn view_mut(&mut self, name: &str) -> Result<&mut ViewDef> {
+        self.views
+            .get_mut(name)
             .ok_or_else(|| Error::Schema(format!("unknown view '{name}'")))
     }
 
@@ -489,6 +526,9 @@ fn encode_agg(a: &AggSpec, w: &mut Writer) {
         AggSpec::SumFloat { col } => w.u8(1).u16(*col as u16),
         AggSpec::Min { col } => w.u8(2).u16(*col as u16),
         AggSpec::Max { col } => w.u8(3).u16(*col as u16),
+        AggSpec::Avg { col, float } => {
+            w.u8(4).u16(*col as u16).bool(*float)
+        }
     };
 }
 
@@ -500,6 +540,7 @@ fn decode_agg(r: &mut Reader<'_>) -> Result<AggSpec> {
         1 => AggSpec::SumFloat { col },
         2 => AggSpec::Min { col },
         3 => AggSpec::Max { col },
+        4 => AggSpec::Avg { col, float: r.bool()? },
         t => return Err(Error::corruption(format!("bad agg tag {t}"))),
     })
 }
@@ -574,6 +615,14 @@ impl Catalog {
             w.u16(v.group_types.len() as u16);
             for &t in &v.group_types {
                 w.u8(encode_vt(t));
+            }
+            match v.hash {
+                None => {
+                    w.u8(0);
+                }
+                Some((idx, dir)) => {
+                    w.u8(1).u32(idx.0).page(dir);
+                }
             }
         }
         w.u32(self.indexes.len() as u32);
@@ -662,6 +711,11 @@ impl Catalog {
             for _ in 0..ng {
                 group_types.push(decode_vt(r.u8()?)?);
             }
+            let hash = match r.u8()? {
+                0 => None,
+                1 => Some((IndexId(r.u32()?), r.page()?)),
+                t => return Err(Error::corruption(format!("bad hash tag {t}"))),
+            };
             cat.views.insert(
                 name.clone(),
                 ViewDef {
@@ -677,6 +731,7 @@ impl Catalog {
                     index,
                     root,
                     group_types,
+                    hash,
                 },
             );
         }
@@ -798,6 +853,7 @@ mod tests {
             index: c.alloc_index(),
             root: PageId(1),
             group_types: vec![ValueType::Int],
+            hash: None,
         };
         let v1 = mk(&mut c, "v1", ViewSource::Single { table: t1, group_by: vec![1] });
         let v2 = mk(
@@ -838,6 +894,7 @@ mod tests {
             index: c.alloc_index(),
             root: PageId(2),
             group_types: vec![ValueType::Int],
+            hash: None,
         };
         let pid = parent.id;
         let child = ViewDef {
@@ -853,6 +910,7 @@ mod tests {
             index: c.alloc_index(),
             root: PageId(3),
             group_types: vec![ValueType::Int],
+            hash: None,
         };
         let cid = child.id;
         c.add_view(parent).unwrap();

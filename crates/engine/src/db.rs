@@ -31,6 +31,7 @@ use crate::escrow::{
     encode_view_row, initial_aggs, RowDelta,
 };
 use crate::ghosts::GhostQueue;
+use crate::hashidx::{HashIndex, DEFAULT_BUCKETS};
 use crate::health::{HealthMonitor, HealthState, HealthStatsSnapshot};
 use crate::versions::VersionStore;
 use crate::watermark::CommitWatermark;
@@ -120,6 +121,10 @@ pub struct Database {
     pub(crate) txns: TxnManager,
     pub(crate) catalog: RwLock<Catalog>,
     trees: RwLock<HashMap<IndexId, Arc<Tree>>>,
+    /// Hash point-read indexes, keyed by the *view tree's* index id (the
+    /// id every maintenance site already has in hand when it writes the
+    /// tree and must mirror into the hash).
+    hashes: RwLock<HashMap<IndexId, Arc<HashIndex>>>,
     pub(crate) versions: VersionStore,
     watermark: CommitWatermark,
     /// View rows touched per transaction (for version publication at
@@ -159,7 +164,7 @@ pub struct Database {
     /// `run_txn` telemetry: total backoff slept, in microseconds.
     txn_backoff_micros: AtomicU64,
     /// Engine-level observability (escrow vs X-path counters, phase clock).
-    obs: EngineObs,
+    pub(crate) obs: EngineObs,
 }
 
 /// Engine-level observability: which maintenance path view deltas take,
@@ -173,6 +178,12 @@ pub struct EngineObs {
     pub escrow_applies: StripedCounter,
     /// View deltas applied through the X-lock full-rewrite (MIN/MAX) path.
     pub minmax_rewrites: StripedCounter,
+    /// MIN/MAX deletes that retired the stored extremum and recomputed the
+    /// group from base (the expensive fallback; non-extremal deletes fold
+    /// in place and never touch base).
+    pub minmax_recomputes: StripedCounter,
+    /// Point reads answered by a view's hash index (vs B-tree descent).
+    pub hash_point_reads: StripedCounter,
     /// Invisible group rows materialized by system transactions.
     pub group_creates: StripedCounter,
     /// Ghost rows physically removed by cleanup sweeps.
@@ -251,6 +262,7 @@ impl Database {
             txns,
             catalog: RwLock::new(Catalog::new()),
             trees: RwLock::new(HashMap::new()),
+            hashes: RwLock::new(HashMap::new()),
             versions: VersionStore::new(),
             watermark: CommitWatermark::new(),
             touched: ShardMap::with_default_shards(),
@@ -307,6 +319,14 @@ impl Database {
             trees.insert(i.index, Arc::new(Tree::open(&self.pool, i.index, i.root)));
         }
         drop(trees);
+        let mut hashes = self.hashes.write();
+        hashes.clear();
+        for v in cat.views() {
+            if let Some((hid, dir)) = v.hash {
+                hashes.insert(v.index, Arc::new(HashIndex::open(&self.pool, hid, dir)));
+            }
+        }
+        drop(hashes);
         // Rebuild the dependency DAG. View ids are allocated in DDL order,
         // so registering ascending guarantees each parent precedes its
         // children (DDL rejects forward references).
@@ -403,6 +423,8 @@ impl Database {
         let mut s = Snapshot::default();
         s.counter("engine.escrow_applies", self.obs.escrow_applies.get());
         s.counter("engine.minmax_rewrites", self.obs.minmax_rewrites.get());
+        s.counter("engine.minmax_recomputes", self.obs.minmax_recomputes.get());
+        s.counter("engine.hash_point_reads", self.obs.hash_point_reads.get());
         s.counter("engine.group_creates", self.obs.group_creates.get());
         s.counter("engine.ghosts_removed", self.obs.ghosts_removed.get());
         s.gauge("engine.ghost_backlog", self.ghost_queue.len() as i64);
@@ -595,6 +617,23 @@ impl Database {
             .ok_or_else(|| Error::NotFound(format!("index {}", index.0)))
     }
 
+    /// The hash point-read mirror of a view's tree, if one is attached.
+    /// Keyed by the *tree's* index id so maintenance sites can mirror a
+    /// write without a catalog lookup. `None` for base tables, secondary
+    /// indexes, and views without the fast path.
+    pub(crate) fn hash_for(&self, index: IndexId) -> Option<Arc<HashIndex>> {
+        self.hashes.read().get(&index).cloned()
+    }
+
+    /// Resolve a hash index by its *own* catalog index id — how the undo
+    /// executor routes a logical undo whose record was logged against the
+    /// hash rather than the tree (each mirror record carries its own undo,
+    /// so a crash between the tree append and the hash append reverses
+    /// exactly the prefix that survived).
+    fn hash_by_own_id(&self, index: IndexId) -> Option<Arc<HashIndex>> {
+        self.hashes.read().values().find(|h| h.index_id() == index).cloned()
+    }
+
     // ---- DDL -------------------------------------------------------------
 
     /// Create a table with a clustered index on its primary key.
@@ -676,6 +715,7 @@ impl Database {
                 index,
                 root,
                 group_types,
+                hash: None,
             };
             cat.add_view(def.clone())?;
             def
@@ -697,6 +737,58 @@ impl Database {
         self.checkpoint()?;
         self.persist_catalog()?;
         Ok(def.id)
+    }
+
+    /// Attach a hash point-read index to an existing view and backfill it
+    /// from the view's B-tree. Like other DDL this assumes quiesced DML and
+    /// checkpoints before returning. Idempotent: a view that already has a
+    /// hash is left untouched. Deferred views are rejected — their refresh
+    /// path rebuilds rows wholesale and does not mirror single-row writes.
+    pub fn create_hash_index(&self, view_name: &str) -> Result<()> {
+        self.create_hash_index_sized(view_name, DEFAULT_BUCKETS)
+    }
+
+    /// [`create_hash_index`](Self::create_hash_index) with an explicit
+    /// directory size. Pick roughly `expected_groups / 100` so a bucket's
+    /// entries stay within one page and a point read costs exactly two
+    /// fetches (directory + bucket) regardless of how deep the view's
+    /// B-tree has grown.
+    pub fn create_hash_index_sized(&self, view_name: &str, nbuckets: usize) -> Result<()> {
+        if nbuckets == 0 {
+            return Err(Error::invalid("hash index needs at least one bucket"));
+        }
+        let (view_index, hid) = {
+            let mut cat = self.catalog.write();
+            let v = cat.view(view_name)?;
+            if v.hash.is_some() {
+                return Ok(());
+            }
+            if v.deferred {
+                return Err(Error::invalid("hash index unsupported on deferred views"));
+            }
+            let index = v.index;
+            let hid = cat.alloc_index();
+            (index, hid)
+        };
+        let hash = HashIndex::create(&self.pool, &self.log, hid, nbuckets)?;
+        let dir = hash.dir();
+        // Backfill every live (non-ghost) row in one transaction. Logical
+        // undo never reaches these records (UndoOp::None), but redo replays
+        // them — a crash mid-backfill leaves orphan pages, never a
+        // half-attached index, because the catalog update comes last.
+        let tree = self.tree(view_index)?;
+        let mut txn = self.begin(IsolationLevel::ReadCommitted);
+        let (items, _) = tree.scan(None, None, false)?;
+        for item in items {
+            let mut ctx = LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
+            hash.put(&item.key, &item.value, &mut ctx, &OpLog::Update { undo: UndoOp::None })?;
+        }
+        self.txns.commit(&mut txn)?;
+        self.catalog.write().view_mut(view_name)?.hash = Some((hid, dir));
+        self.hashes.write().insert(view_index, Arc::new(hash));
+        self.checkpoint()?;
+        self.persist_catalog()?;
+        Ok(())
     }
 
     /// Create a **derived** indexed view — a view over another view — and
@@ -762,11 +854,18 @@ impl Database {
                         )));
                     }
                 } else if col > pngroup && col < pngroup + 1 + parent.aggs.len() {
-                    let ok = matches!(
-                        (spec, &parent.aggs[col - pngroup - 1]),
-                        (AggSpec::SumInt { .. }, AggSpec::SumInt { .. })
-                            | (AggSpec::SumFloat { .. }, AggSpec::SumFloat { .. })
-                    );
+                    // AVG stores its running SUM (COUNT_BIG is the divisor),
+                    // so an Avg column composes wherever a same-typed Sum
+                    // does — the projection only ever adds stored sums.
+                    let int_like = |s: &AggSpec| {
+                        matches!(s, AggSpec::SumInt { .. } | AggSpec::Avg { float: false, .. })
+                    };
+                    let float_like = |s: &AggSpec| {
+                        matches!(s, AggSpec::SumFloat { .. } | AggSpec::Avg { float: true, .. })
+                    };
+                    let parent_spec = &parent.aggs[col - pngroup - 1];
+                    let ok = (int_like(spec) && int_like(parent_spec))
+                        || (float_like(spec) && float_like(parent_spec));
                     if !ok {
                         return Err(Error::Schema(format!(
                             "derived view '{name}': aggregate column {col} type \
@@ -804,6 +903,7 @@ impl Database {
                 index,
                 root,
                 group_types,
+                hash: None,
             };
             cat.add_view(def.clone())?;
             def
@@ -1299,8 +1399,19 @@ impl Database {
                 }
                 continue;
             }
-            for delta in deltas {
-                self.apply_delta(txn, view, Some(base), &delta)?;
+            // A same-group update on a MIN/MAX view arrives as a
+            // (delete, insert) pair. The base row is rewritten before
+            // maintenance runs, so if the delete half retires an extremum
+            // and recomputes the group from base, the recomputation already
+            // includes the *new* value — applying the insert half on top
+            // would double-count it.
+            let paired_update =
+                deltas.len() == 2 && deltas[0].group == deltas[1].group && deltas[0].count < 0;
+            for (i, delta) in deltas.iter().enumerate() {
+                let recomputed = self.apply_delta(txn, view, Some(base), delta)?;
+                if recomputed && paired_update && i == 0 {
+                    break;
+                }
             }
         }
         Ok(())
@@ -1351,15 +1462,20 @@ impl Database {
     /// `base` is `None` for derived views (cascade applies): they are
     /// all-SUM by construction, so the MIN/MAX recompute path that needs
     /// the base table is unreachable.
+    ///
+    /// Returns `true` iff the MIN/MAX fallback recomputed the whole group
+    /// from the base table (callers pairing an update's delete/insert
+    /// halves must then drop the insert half — the recomputation already
+    /// reflects the rewritten base row).
     fn apply_delta(
         &self,
         txn: &mut Transaction,
         view: &ViewDef,
         base: Option<&TableDef>,
         delta: &RowDelta,
-    ) -> Result<()> {
+    ) -> Result<bool> {
         if delta.is_noop() {
-            return Ok(());
+            return Ok(false);
         }
         let key = delta.key();
         let kb = key.as_bytes().to_vec();
@@ -1405,6 +1521,7 @@ impl Database {
             let current = tree.get(&key)?;
             let Some((_, cur_value)) = current else { continue };
             self.safeguard_base_version(view, &tree, &key, &kb)?;
+            let mut recomputed = false;
             if all_sums {
                 self.apply_additive_delta(txn, view, &tree, &key, delta)?;
                 self.note_additive(txn.id, view.index, &kb, &delta.to_undo_pairs())?;
@@ -1416,7 +1533,8 @@ impl Database {
                         view.name
                     ))
                 })?;
-                self.apply_minmax_delta(txn, view, base, &tree, &key, &cur_value, delta)?;
+                recomputed =
+                    self.apply_minmax_delta(txn, view, base, &tree, &key, &cur_value, delta)?;
                 self.note_exclusive(txn.id, view.index, &kb);
                 self.obs.minmax_rewrites.inc();
             }
@@ -1425,8 +1543,10 @@ impl Database {
             }
             // Propagate to children: project this delta onto each derived
             // view and enqueue (coalescing) or, in eager mode, apply now.
+            // (MIN/MAX views cannot have children — derived DDL requires an
+            // all-SUM parent — so a recomputed group never skips a child.)
             self.cascade_children(txn, view, delta)?;
-            return Ok(());
+            return Ok(recomputed);
         }
     }
 
@@ -1548,7 +1668,11 @@ impl Database {
         let bytes = encode_view_row(group, 0, &escrow::zero_aggs(view))?;
         match self.txns.system(|id, last| {
             let mut ctx = LogCtx { log: &self.log, txn: id, last_lsn: last };
-            tree.insert(key, &bytes, &mut ctx, &OpLog::System)
+            tree.insert(key, &bytes, &mut ctx, &OpLog::System)?;
+            if let Some(h) = self.hash_for(view.index) {
+                h.put(key.as_bytes(), &bytes, &mut ctx, &OpLog::System)?;
+            }
+            Ok(())
         }) {
             Ok(()) => {
                 self.obs.group_creates.inc();
@@ -1610,6 +1734,7 @@ impl Database {
             deltas: delta.to_undo_pairs(),
         };
         let mut new_count = 0i64;
+        let mut hash_undo = None;
         {
             let mut ctx = LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
             tree.modify_value_region(
@@ -1623,8 +1748,32 @@ impl Database {
                 &mut ctx,
                 &OpLog::Update { undo: undo.clone() },
             )?;
+            // Mirror the same commutative patch into the hash fast path.
+            // The mirror record carries its *own* logical undo keyed by the
+            // hash's index id: each record reverses only its own structure,
+            // so a crash that lands between the two appends (the probe
+            // window) undoes exactly the prefix that survived.
+            if let Some(h) = self.hash_for(view.index) {
+                let hu = UndoOp::Escrow {
+                    index: h.index_id(),
+                    key: key.as_bytes().to_vec(),
+                    deltas: delta.to_undo_pairs(),
+                };
+                let hprev = *ctx.last_lsn;
+                h.patch_region(
+                    key.as_bytes(),
+                    region_off,
+                    |old| apply_additive(old, view, delta),
+                    &mut ctx,
+                    &OpLog::Update { undo: hu.clone() },
+                )?;
+                hash_undo = Some((hu, hprev));
+            }
         }
         txn.push_undo(undo, prev);
+        if let Some((hu, hprev)) = hash_undo {
+            txn.push_undo(hu, hprev);
+        }
         if new_count == 0 {
             if view.eager_group_delete {
                 self.eager_delete_group(txn, view, tree, key)?;
@@ -1648,12 +1797,22 @@ impl Database {
             return Ok(()); // somebody legitimately resurrected it before our X
         }
         let prev = txn.last_lsn;
-        let undo = UndoOp::IndexDelete { index: view.index, key: kb, row: value };
+        let undo = UndoOp::IndexDelete { index: view.index, key: kb.clone(), row: value.clone() };
+        let mut hash_undo = None;
         {
             let mut ctx = LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
             tree.remove_record(key, &mut ctx, &OpLog::Update { undo: undo.clone() })?;
+            if let Some(h) = self.hash_for(view.index) {
+                let hu = UndoOp::IndexDelete { index: h.index_id(), key: kb, row: value };
+                let hprev = *ctx.last_lsn;
+                h.remove(key.as_bytes(), &mut ctx, &OpLog::Update { undo: hu.clone() })?;
+                hash_undo = Some((hu, hprev));
+            }
         }
         txn.push_undo(undo, prev);
+        if let Some((hu, hprev)) = hash_undo {
+            txn.push_undo(hu, hprev);
+        }
         self.note_exclusive(txn.id, view.index, key.as_bytes());
         Ok(())
     }
@@ -1670,21 +1829,39 @@ impl Database {
         key: &Key,
         cur_value: &[u8],
         delta: &RowDelta,
-    ) -> Result<()> {
+    ) -> Result<bool> {
         let region_off = agg_region_offset(&delta.group);
+        let mut recomputed = false;
         let new_value = if delta.count >= 0 {
             let mut out = cur_value.to_vec();
             let region = apply_insert_merge(&cur_value[region_off..], view, delta)?;
             out[region_off..].copy_from_slice(&region);
             out
+        } else if !escrow::delete_retires_extremum(&cur_value[region_off..], view, delta)? {
+            // Non-extremal delete: the departing value sits strictly inside
+            // every stored MIN/MAX, so the extrema stand and the additive
+            // aggregates fold in place under the row X lock already held —
+            // no base-table access, same cost as the escrow path.
+            let mut out = cur_value.to_vec();
+            let region = escrow::apply_delete_keep_extrema(&cur_value[region_off..], view, delta)?;
+            out[region_off..].copy_from_slice(&region);
+            out
         } else {
-            // Recompute the group from base (S object lock serializes with
-            // writers; deadlocks are detected and retried upstream).
+            // The departing row equals a stored extremum: the paper's
+            // fallback — recompute this one group from base under an S
+            // object lock (serializes with writers; deadlocks are detected
+            // and retried upstream). The crash probe sits between the lock
+            // grant and the view-row rewrite, the window the crash matrix
+            // exercises. A group that vanished from base stores the escrow
+            // invariant (count 0, zero sums) so a later resurrection's
+            // insert-merge starts from clean aggregates.
             self.locks.acquire(txn.id, LockName::Object(base.id), LockMode::S)?;
-            let recomputed = self.compute_view_from_base(view)?;
-            let (count, aggs) = match recomputed.get(&delta.group) {
-                Some(v) => v.clone(),
-                None => (0, initial_aggs(view, delta)?),
+            self.log.probe_point("view.minmax.recompute");
+            self.obs.minmax_recomputes.inc();
+            recomputed = true;
+            let (count, aggs) = match self.compute_group_from_base(view, base, &delta.group)? {
+                Some(v) => v,
+                None => (0, escrow::zero_aggs(view)),
             };
             encode_view_row(&delta.group, count, &aggs)?
         };
@@ -1694,16 +1871,30 @@ impl Database {
             key: key.as_bytes().to_vec(),
             old_row: cur_value.to_vec(),
         };
+        let mut hash_undo = None;
         {
             let mut ctx = LogCtx { log: &self.log, txn: txn.id, last_lsn: &mut txn.last_lsn };
             tree.update_value(key, &new_value, &mut ctx, &OpLog::Update { undo: undo.clone() })?;
+            if let Some(h) = self.hash_for(view.index) {
+                let hu = UndoOp::IndexUpdate {
+                    index: h.index_id(),
+                    key: key.as_bytes().to_vec(),
+                    old_row: cur_value.to_vec(),
+                };
+                let hprev = *ctx.last_lsn;
+                h.put(key.as_bytes(), &new_value, &mut ctx, &OpLog::Update { undo: hu.clone() })?;
+                hash_undo = Some((hu, hprev));
+            }
         }
         txn.push_undo(undo, prev);
+        if let Some((hu, hprev)) = hash_undo {
+            txn.push_undo(hu, hprev);
+        }
         let count = escrow::decode_agg_region(&new_value[region_off..], view.aggs.len())?.0;
         if count == 0 {
             self.enqueue_ghost(view.index, key.as_bytes().to_vec());
         }
-        Ok(())
+        Ok(recomputed)
     }
 
     // ---- recompute / verify / deferred ---------------------------------
@@ -1776,6 +1967,45 @@ impl Database {
             }
         }
         Ok(out)
+    }
+
+    /// Recompute one group's `(COUNT_BIG, aggregates)` from the base table
+    /// — the MIN/MAX retirement fallback. Scoped to a single group so an
+    /// extremal delete pays one base scan filtered to its own group, not a
+    /// full view rebuild. `None` if no live base row maps to the group.
+    /// Single-table sources only: MIN/MAX is rejected on join and derived
+    /// views at DDL, so this path can never see them.
+    fn compute_group_from_base(
+        &self,
+        view: &ViewDef,
+        base: &TableDef,
+        group: &[Value],
+    ) -> Result<Option<(i64, Vec<Value>)>> {
+        let ViewSource::Single { group_by, .. } = &view.source else {
+            return Err(Error::invalid("group recompute on a non-single-table view"));
+        };
+        let tree = self.tree(base.index)?;
+        let (items, _) = tree.scan(None, None, false)?;
+        let mut acc: Option<(i64, Vec<Value>)> = None;
+        for item in items {
+            let row = Row::from_bytes(&item.value)?;
+            if !group_by.iter().zip(group).all(|(&c, g)| row.get(c) == g) {
+                continue;
+            }
+            let Some(contrib) = crate::delta::row_contribution(view, &row, 1)? else {
+                continue; // filtered out
+            };
+            let delta = RowDelta { group: group.to_vec(), count: 1, aggs: contrib };
+            acc = Some(match acc {
+                None => (1, initial_aggs(view, &delta)?),
+                Some((count, aggs)) => {
+                    let region = escrow::encode_agg_region(count, &aggs);
+                    let merged = apply_insert_merge(&region, view, &delta)?;
+                    escrow::decode_agg_region(&merged, view.aggs.len())?
+                }
+            });
+        }
+        Ok(acc)
     }
 
     /// Verify that a view's stored rows exactly match a recomputation from
@@ -1869,6 +2099,39 @@ impl Database {
                 "view '{view_name}' has {seen} visible groups, expected {}",
                 expected.len()
             )));
+        }
+        // Hash-mirror oracle: when the view carries a point-read index, its
+        // entry set must be byte-identical to the tree's live records
+        // (count-0 rows included — both structures drop them together at
+        // ghost cleanup). Runs inside every verify, so the crash and
+        // replication tortures audit the hash for free.
+        if let Some(h) = self.hash_for(view.index) {
+            let (items, _) = tree.scan(None, None, false)?;
+            let tree_rows: HashMap<Vec<u8>, Vec<u8>> =
+                items.into_iter().map(|i| (i.key, i.value)).collect();
+            let hash_rows = h.scan_all()?;
+            if hash_rows.len() != tree_rows.len() {
+                return Err(Error::corruption(format!(
+                    "view '{view_name}' hash has {} entries, tree has {}",
+                    hash_rows.len(),
+                    tree_rows.len()
+                )));
+            }
+            for (k, v) in hash_rows {
+                match tree_rows.get(&k) {
+                    Some(tv) if *tv == v => {}
+                    Some(_) => {
+                        return Err(Error::corruption(format!(
+                            "view '{view_name}' hash entry {k:?} differs from tree value"
+                        )))
+                    }
+                    None => {
+                        return Err(Error::corruption(format!(
+                            "view '{view_name}' hash has spurious entry {k:?}"
+                        )))
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -1970,7 +2233,11 @@ impl Database {
             if removable {
                 self.txns.system(|id, last| {
                     let mut ctx = LogCtx { log: &self.log, txn: id, last_lsn: last };
-                    tree.remove_record(&key, &mut ctx, &OpLog::System)
+                    tree.remove_record(&key, &mut ctx, &OpLog::System)?;
+                    if let Some(h) = self.hash_for(index) {
+                        h.remove(key.as_bytes(), &mut ctx, &OpLog::System)?;
+                    }
+                    Ok(())
                 })?;
                 report.removed += 1;
                 self.obs.ghosts_removed.inc();
@@ -2092,6 +2359,12 @@ impl UndoHandler for Database {
         let how = OpLog::Clr { undo_next };
         match op {
             UndoOp::IndexInsert { index, key } => {
+                // A hash-logged insert undoes by removing the entry.
+                if let Some(h) = self.hash_by_own_id(*index) {
+                    let mut ctx = LogCtx { log: &self.log, txn, last_lsn: last };
+                    h.remove(key, &mut ctx, &how)?;
+                    return Ok(());
+                }
                 // Undo a base-row insert: ghost it (X lock held by owner).
                 let tree = self.tree(*index)?;
                 let k = Key::from_bytes(key.clone());
@@ -2100,6 +2373,12 @@ impl UndoHandler for Database {
                 self.enqueue_ghost(*index, key.clone());
             }
             UndoOp::IndexDelete { index, key, row } => {
+                // A hash-logged remove undoes by re-inserting the entry.
+                if let Some(h) = self.hash_by_own_id(*index) {
+                    let mut ctx = LogCtx { log: &self.log, txn, last_lsn: last };
+                    h.put(key, row, &mut ctx, &how)?;
+                    return Ok(());
+                }
                 // Undo a base-row delete: resurrect the ghost.
                 let tree = self.tree(*index)?;
                 let k = Key::from_bytes(key.clone());
@@ -2114,12 +2393,37 @@ impl UndoHandler for Database {
                 }
             }
             UndoOp::IndexUpdate { index, key, old_row } => {
+                // A hash-logged replace undoes by restoring the old entry.
+                if let Some(h) = self.hash_by_own_id(*index) {
+                    let mut ctx = LogCtx { log: &self.log, txn, last_lsn: last };
+                    h.put(key, old_row, &mut ctx, &how)?;
+                    return Ok(());
+                }
                 let tree = self.tree(*index)?;
                 let k = Key::from_bytes(key.clone());
                 let mut ctx = LogCtx { log: &self.log, txn, last_lsn: last };
                 tree.update_value(&k, old_row, &mut ctx, &how)?;
             }
             UndoOp::Escrow { index, key, deltas } => {
+                // A hash-logged escrow patch undoes by the inverse patch —
+                // commutative, so concurrent E-holders compose, exactly as
+                // on the tree. None of the tree arm's bookkeeping applies
+                // (the accumulator and cascade queues key the tree's id).
+                if let Some(h) = self.hash_by_own_id(*index) {
+                    let k = Key::from_bytes(key.clone());
+                    let group = k.decode_values()?;
+                    let region_off = agg_region_offset(&group);
+                    let n_aggs = deltas.iter().map(|(p, _)| *p as usize).max().unwrap_or(0);
+                    let mut ctx = LogCtx { log: &self.log, txn, last_lsn: last };
+                    h.patch_region(
+                        key,
+                        region_off,
+                        |old| apply_undo_pairs(old, n_aggs, deltas),
+                        &mut ctx,
+                        &how,
+                    )?;
+                    return Ok(());
+                }
                 let tree = self.tree(*index)?;
                 let k = Key::from_bytes(key.clone());
                 let group = k.decode_values()?;
@@ -2175,7 +2479,9 @@ impl UndoHandler for Database {
                             .aggs
                             .iter()
                             .map(|a| match a {
-                                AggSpec::SumFloat { .. } => ValueDelta::Float(0.0),
+                                AggSpec::SumFloat { .. } | AggSpec::Avg { float: true, .. } => {
+                                    ValueDelta::Float(0.0)
+                                }
                                 _ => ValueDelta::Int(0),
                             })
                             .collect(),

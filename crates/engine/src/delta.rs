@@ -32,8 +32,12 @@ pub fn row_contribution(view: &ViewDef, row: &Row, sign: i64) -> Result<Option<V
             )));
         }
         let d = match spec {
-            AggSpec::SumInt { .. } => ValueDelta::Int(v.as_int()? * sign),
-            AggSpec::SumFloat { .. } => ValueDelta::Float(v.as_float()? * sign as f64),
+            AggSpec::SumInt { .. } | AggSpec::Avg { float: false, .. } => {
+                ValueDelta::Int(v.as_int()? * sign)
+            }
+            AggSpec::SumFloat { .. } | AggSpec::Avg { float: true, .. } => {
+                ValueDelta::Float(v.as_float()? * sign as f64)
+            }
             AggSpec::Min { .. } | AggSpec::Max { .. } => match v {
                 Value::Int(i) => ValueDelta::Int(*i),
                 Value::Float(f) => ValueDelta::Float(*f),
@@ -150,8 +154,11 @@ pub fn derived_delta(child: &ViewDef, parent: &ViewDef, d: &RowDelta) -> Result<
         } else if col > pngroup && col < pngroup + 1 + parent.aggs.len() {
             let src = d.aggs[col - pngroup - 1];
             match (spec, src) {
-                (AggSpec::SumInt { .. }, ValueDelta::Int(_))
-                | (AggSpec::SumFloat { .. }, ValueDelta::Float(_)) => src,
+                (AggSpec::SumInt { .. } | AggSpec::Avg { float: false, .. }, ValueDelta::Int(_))
+                | (
+                    AggSpec::SumFloat { .. } | AggSpec::Avg { float: true, .. },
+                    ValueDelta::Float(_),
+                ) => src,
                 _ => {
                     return Err(Error::corruption(format!(
                         "derived view '{}' aggregate {col} type mismatch",
@@ -207,7 +214,9 @@ pub fn fold_derived(
                 .aggs
                 .iter()
                 .map(|a| match a {
-                    AggSpec::SumFloat { .. } => Value::Float(0.0),
+                    AggSpec::SumFloat { .. } | AggSpec::Avg { float: true, .. } => {
+                        Value::Float(0.0)
+                    }
                     _ => Value::Int(0),
                 })
                 .collect();
@@ -254,6 +263,7 @@ mod tests {
             index: IndexId(2),
             root: PageId(1),
             group_types: vec![ValueType::Int],
+            hash: None,
         }
     }
 
@@ -343,6 +353,7 @@ mod tests {
             } else {
                 group_by.iter().map(|&c| parent.group_types[c]).collect()
             },
+            hash: None,
         }
     }
 

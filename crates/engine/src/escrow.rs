@@ -276,7 +276,7 @@ pub fn apply_insert_merge(region: &[u8], view: &ViewDef, delta: &RowDelta) -> Re
         .ok_or_else(|| Error::invalid("COUNT_BIG overflow"))?;
     for (i, (spec, d)) in view.aggs.iter().zip(&delta.aggs).enumerate() {
         match spec {
-            AggSpec::SumInt { .. } | AggSpec::SumFloat { .. } => {
+            AggSpec::SumInt { .. } | AggSpec::SumFloat { .. } | AggSpec::Avg { .. } => {
                 aggs[i] = apply_delta_checked(*d, &aggs[i])?;
             }
             AggSpec::Min { .. } => {
@@ -303,10 +303,58 @@ pub fn zero_aggs(view: &ViewDef) -> Vec<Value> {
     view.aggs
         .iter()
         .map(|spec| match spec {
-            AggSpec::SumFloat { .. } => Value::Float(0.0),
+            AggSpec::SumFloat { .. } | AggSpec::Avg { float: true, .. } => Value::Float(0.0),
             _ => Value::Int(0),
         })
         .collect()
+}
+
+/// Decide whether a single-row delete (`delta.count < 0`) retires a stored
+/// extremum: the deleted contribution equals (or, on a corrupt view, beats)
+/// the stored MIN/MAX on some column while the group stays visible. A
+/// retiring delete must recompute the group from base; a non-retiring one
+/// applies cheaply via [`apply_delete_keep_extrema`]. A delete that empties
+/// the group never retires — a COUNT_BIG of zero ghosts the row, and the
+/// next insert-merge overwrites the stale extrema unconditionally.
+pub fn delete_retires_extremum(region: &[u8], view: &ViewDef, delta: &RowDelta) -> Result<bool> {
+    let (count, aggs) = decode_agg_region(region, view.aggs.len())?;
+    let new_count = count
+        .checked_add(delta.count)
+        .ok_or_else(|| Error::invalid("COUNT_BIG overflow"))?;
+    if new_count <= 0 {
+        return Ok(false);
+    }
+    for (i, (spec, d)) in view.aggs.iter().zip(&delta.aggs).enumerate() {
+        let retired = match spec {
+            AggSpec::Min { .. } => delta_value(d).total_cmp(&aggs[i]).is_le(),
+            AggSpec::Max { .. } => delta_value(d).total_cmp(&aggs[i]).is_ge(),
+            _ => false,
+        };
+        if retired {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Apply a non-extremal delete under X-lock maintenance: COUNT_BIG and the
+/// escrow-capable aggregates take their (negative) additive deltas; MIN/MAX
+/// values are untouched because the deleted row was strictly inside them.
+pub fn apply_delete_keep_extrema(
+    region: &[u8],
+    view: &ViewDef,
+    delta: &RowDelta,
+) -> Result<Vec<u8>> {
+    let (count, mut aggs) = decode_agg_region(region, view.aggs.len())?;
+    let new_count = count
+        .checked_add(delta.count)
+        .ok_or_else(|| Error::invalid("COUNT_BIG overflow"))?;
+    for (i, (spec, d)) in view.aggs.iter().zip(&delta.aggs).enumerate() {
+        if spec.is_escrow_capable() {
+            aggs[i] = apply_delta_checked(*d, &aggs[i])?;
+        }
+    }
+    Ok(encode_agg_region(new_count, &aggs))
 }
 
 /// The contributed value carried by a MIN/MAX delta.
@@ -335,6 +383,12 @@ pub fn initial_aggs(view: &ViewDef, delta: &RowDelta) -> Result<Vec<Value>> {
             (AggSpec::SumFloat { .. }, ValueDelta::Int(v)) => {
                 Err(Error::type_mismatch("Float delta for SUM(float)", format!("Int({v})")))
             }
+            (AggSpec::Avg { float: false, .. }, ValueDelta::Int(v)) => Ok(Value::Int(*v)),
+            (AggSpec::Avg { float: true, .. }, ValueDelta::Float(v)) => Ok(Value::Float(*v)),
+            (AggSpec::Avg { float, .. }, d) => Err(Error::type_mismatch(
+                if *float { "Float delta for AVG(float)" } else { "Int delta for AVG(int)" },
+                format!("{d:?}"),
+            )),
             (AggSpec::Min { .. } | AggSpec::Max { .. }, d) => Ok(delta_value(d)),
         })
         .collect()
@@ -361,6 +415,7 @@ mod tests {
             index: IndexId(2),
             root: PageId(1),
             group_types: vec![ValueType::Int],
+            hash: None,
         }
     }
 
@@ -554,6 +609,67 @@ mod tests {
             apply_insert_merge(&region, &v, &bad),
             Err(Error::TypeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn avg_is_additive_everywhere() {
+        // AVG stores its SUM: zero/initial/additive all behave like a sum.
+        let v = view(vec![AggSpec::Avg { col: 2, float: false }, AggSpec::Avg { col: 3, float: true }]);
+        assert_eq!(zero_aggs(&v), vec![Value::Int(0), Value::Float(0.0)]);
+        let delta = RowDelta {
+            group: vec![Value::Int(1)],
+            count: 1,
+            aggs: vec![ValueDelta::Int(8), ValueDelta::Float(0.5)],
+        };
+        assert_eq!(initial_aggs(&v, &delta).unwrap(), vec![Value::Int(8), Value::Float(0.5)]);
+        let region = encode_agg_region(2, &[Value::Int(10), Value::Float(1.0)]);
+        let after = apply_additive(&region, &v, &delta).unwrap();
+        let (c, a) = decode_agg_region(&after, 2).unwrap();
+        assert_eq!(c, 3);
+        assert_eq!(a, vec![Value::Int(18), Value::Float(1.5)]);
+        // Mistyped deltas stay hard errors.
+        let bad = RowDelta {
+            group: vec![],
+            count: 1,
+            aggs: vec![ValueDelta::Float(0.5), ValueDelta::Float(0.5)],
+        };
+        assert!(matches!(initial_aggs(&v, &bad), Err(Error::TypeMismatch { .. })));
+        assert!(matches!(apply_additive(&region, &v, &bad), Err(Error::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn delete_retirement_classification() {
+        let v = view(vec![AggSpec::Min { col: 2 }, AggSpec::Max { col: 2 }]);
+        let region = encode_agg_region(3, &[Value::Int(10), Value::Int(90)]);
+        let del = |x: i64| RowDelta {
+            group: vec![],
+            count: -1,
+            aggs: vec![ValueDelta::Int(x), ValueDelta::Int(x)],
+        };
+        // Strictly inside both extrema: cheap.
+        assert!(!delete_retires_extremum(&region, &v, &del(50)).unwrap());
+        // Equal to the stored min / max: must recompute.
+        assert!(delete_retires_extremum(&region, &v, &del(10)).unwrap());
+        assert!(delete_retires_extremum(&region, &v, &del(90)).unwrap());
+        // Emptying the group never retires (ghosted row, extrema unread).
+        let region1 = encode_agg_region(1, &[Value::Int(10), Value::Int(10)]);
+        assert!(!delete_retires_extremum(&region1, &v, &del(10)).unwrap());
+    }
+
+    #[test]
+    fn non_extremal_delete_keeps_extrema_and_sums_sums() {
+        let v = view(vec![AggSpec::Min { col: 2 }, AggSpec::SumInt { col: 2 }]);
+        let region = encode_agg_region(3, &[Value::Int(10), Value::Int(150)]);
+        let delta = RowDelta {
+            group: vec![],
+            count: -1,
+            aggs: vec![ValueDelta::Int(50), ValueDelta::Int(-50)],
+        };
+        assert!(!delete_retires_extremum(&region, &v, &delta).unwrap());
+        let after = apply_delete_keep_extrema(&region, &v, &delta).unwrap();
+        let (c, a) = decode_agg_region(&after, 2).unwrap();
+        assert_eq!(c, 2);
+        assert_eq!(a, vec![Value::Int(10), Value::Int(100)]);
     }
 
     #[test]

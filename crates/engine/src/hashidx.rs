@@ -1,0 +1,517 @@
+//! Hash point-read fast path for indexed views.
+//!
+//! A [`HashIndex`] sits *alongside* a view's B-tree: the tree remains the
+//! ordered/scan authority (range scans, gap locks, verification), while the
+//! hash answers equality probes on hot groups in O(1) page fetches instead
+//! of a root-to-leaf descent. Every bucket mutation goes through the same
+//! physiological logging as the B-tree ([`RedoOp`] applied under the page
+//! latch, pageLSN stamped), so crash recovery and WAL-shipping replication
+//! replay hash pages as ordinary redo — no special cases anywhere in the
+//! recovery path.
+//!
+//! Layout: one **directory** page holds `nbuckets` slots, slot *i* being the
+//! 4-byte [`PageId`] of bucket *i*'s first page. Bucket pages are slotted
+//! pages (`PageType::HashBucket`) whose reserved node-header bytes 0..4
+//! store the next-overflow page id (`u32::MAX` = none). Entries are
+//! `[klen:u16 | key | value]`, unsorted within a bucket. The structure is
+//! static (no rehashing): overflow pages chain off a full bucket, which is
+//! exactly the fixed-directory design the point-read benchmark measures.
+//!
+//! Concurrency mirrors the tree: a coarse index latch held shared by all
+//! operations and exclusively by structure growth (overflow allocation,
+//! which runs as its own committed system transaction, like a B-tree
+//! split), plus per-page frame latches for the byte access. Transaction
+//! locks are the engine's concern — callers hold the view-row lock before
+//! mutating either structure, and the engine mirrors every tree write into
+//! the hash inside the same transaction, so the two structures agree at
+//! every commit boundary (and after every recovery, since both are redone
+//! and logically undone together).
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+use txview_btree::{LogCtx, OpLog};
+use txview_common::codec::checksum64;
+use txview_common::{Error, IndexId, Lsn, PageId, Result};
+use txview_storage::buffer::{BufferPool, PinnedPage};
+use txview_storage::page::PageType;
+use txview_wal::log::PAYLOAD_HEADER_LEN;
+use txview_wal::record::{RecordBody, RedoOp, TxnKind};
+use txview_wal::LogManager;
+
+/// Default bucket count for view hash indexes. Views hold one row per
+/// group; tens of buckets keep chains at one page for every workload in
+/// the experiment suite while bounding the directory to one page.
+pub const DEFAULT_BUCKETS: usize = 32;
+
+/// Crash-probe fired immediately before a logged bucket-page write (the
+/// crash matrix uses it to land a crash between the B-tree write and its
+/// hash mirror).
+pub const BUCKET_WRITE_PROBE: &str = "hash.bucket.write";
+
+/// A static-directory hash index over a buffer pool.
+pub struct HashIndex {
+    index_id: IndexId,
+    dir: PageId,
+    pool: Arc<BufferPool>,
+    latch: RwLock<()>,
+}
+
+/// Which bucket a key lands in.
+fn bucket_of(key: &[u8], nbuckets: usize) -> usize {
+    (checksum64(key) % nbuckets as u64) as usize
+}
+
+/// Encode one bucket entry: `[klen:u16 | key | value]`.
+fn encode_entry(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + key.len() + value.len());
+    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(value);
+    out
+}
+
+/// Split an encoded entry into `(key, value)`.
+fn decode_entry(rec: &[u8]) -> Result<(&[u8], &[u8])> {
+    if rec.len() < 2 {
+        return Err(Error::corruption("hash entry shorter than its header"));
+    }
+    let klen = u16::from_le_bytes(rec[..2].try_into().unwrap()) as usize;
+    if 2 + klen > rec.len() {
+        return Err(Error::corruption("hash entry key overruns the record"));
+    }
+    Ok((&rec[2..2 + klen], &rec[2 + klen..]))
+}
+
+/// Next-overflow pointer stored in a bucket page's reserved header.
+fn next_of(guard: &txview_storage::buffer::PageReadGuard<'_>) -> PageId {
+    let b = &guard.payload()[..4];
+    PageId(u32::from_le_bytes(b.try_into().unwrap()))
+}
+
+fn slots<'a>(
+    guard: &'a txview_storage::buffer::PageReadGuard<'_>,
+) -> txview_storage::slotted::SlottedRef<'a> {
+    txview_storage::slotted::SlottedRef::wrap(&guard.payload()[PAYLOAD_HEADER_LEN..])
+}
+
+impl HashIndex {
+    /// Create an empty hash index: directory plus `nbuckets` bucket pages,
+    /// all formatted and logged under one flushed system transaction (DDL
+    /// survives any crash, like `Tree::create`).
+    pub fn create(
+        pool: &Arc<BufferPool>,
+        log: &LogManager,
+        index_id: IndexId,
+        nbuckets: usize,
+    ) -> Result<HashIndex> {
+        let sys = log.alloc_txn_id();
+        let mut last = Lsn::NULL;
+        let mut ctx = LogCtx { log, txn: sys, last_lsn: &mut last };
+        ctx.append(RecordBody::Begin { kind: TxnKind::System });
+        let (dir, dir_page) = Self::new_bucket_page(pool, &mut ctx)?;
+        for i in 0..nbuckets {
+            let (pid, _) = Self::new_bucket_page(pool, &mut ctx)?;
+            let mut g = dir_page.write();
+            let redo = RedoOp::SlotInsert { idx: i as u16, bytes: pid.0.to_le_bytes().to_vec() };
+            let inverse = RedoOp::SlotRemove { idx: i as u16 };
+            Self::apply_logged(&dir_page, &mut g, redo, inverse, &mut ctx, &OpLog::System)?;
+        }
+        let commit = ctx.append(RecordBody::Commit);
+        ctx.append(RecordBody::End);
+        log.flush_to(commit)?;
+        Ok(HashIndex { index_id, dir, pool: Arc::clone(pool), latch: RwLock::new(()) })
+    }
+
+    /// Open an existing hash index rooted at directory page `dir`. Touches
+    /// no pages — catalog load runs before ARIES redo, so the directory may
+    /// not be materialized yet (the bucket count is read from the directory
+    /// on each probe, like `Tree::open` defers its root fetch).
+    pub fn open(pool: &Arc<BufferPool>, index_id: IndexId, dir: PageId) -> HashIndex {
+        HashIndex { index_id, dir, pool: Arc::clone(pool), latch: RwLock::new(()) }
+    }
+
+    /// The index id this hash serves (its own catalog id, not the tree's).
+    pub fn index_id(&self) -> IndexId {
+        self.index_id
+    }
+
+    /// The directory page id (persisted in the catalog).
+    pub fn dir(&self) -> PageId {
+        self.dir
+    }
+
+    /// Allocate and format one `HashBucket` page with a null next pointer.
+    fn new_bucket_page(pool: &Arc<BufferPool>, ctx: &mut LogCtx<'_>) -> Result<(PageId, PinnedPage)> {
+        let (pid, page) = pool.new_page(PageType::HashBucket)?;
+        let mut g = page.write();
+        let fmt = RedoOp::FormatPage { ty: 5, header_len: PAYLOAD_HEADER_LEN as u16 };
+        fmt.apply(g.payload_mut(), PAYLOAD_HEADER_LEN)?;
+        g.payload_mut()[..4].copy_from_slice(&PageId::NULL.0.to_le_bytes());
+        let _ = ctx.log_op(
+            pid,
+            fmt,
+            RedoOp::FormatPage { ty: 0, header_len: PAYLOAD_HEADER_LEN as u16 },
+            &OpLog::System,
+        );
+        let hdr = RedoOp::Patch { off: 0, bytes: g.payload()[..PAYLOAD_HEADER_LEN].to_vec() };
+        let lsn = ctx.log_op(pid, hdr.clone(), hdr, &OpLog::System);
+        g.set_lsn(lsn);
+        drop(g);
+        Ok((pid, page))
+    }
+
+    /// Bucket head page id for `key`.
+    fn bucket_head(&self, key: &[u8]) -> Result<PageId> {
+        let dir = self.pool.fetch(self.dir)?;
+        let g = dir.read();
+        let s = slots(&g);
+        let rec = s.get(bucket_of(key, s.count()));
+        Ok(PageId(u32::from_le_bytes(rec.try_into().map_err(|_| {
+            Error::corruption("hash directory slot is not a page id")
+        })?)))
+    }
+
+    /// Find `key` in its bucket chain: `(page, slot index)` if present.
+    fn find(&self, key: &[u8]) -> Result<Option<(PinnedPage, usize)>> {
+        let mut pid = self.bucket_head(key)?;
+        loop {
+            let page = self.pool.fetch(pid)?;
+            let next = {
+                let g = page.read();
+                let s = slots(&g);
+                for i in 0..s.count() {
+                    let (k, _) = decode_entry(s.get(i))?;
+                    if k == key {
+                        drop(g);
+                        return Ok(Some((page, i)));
+                    }
+                }
+                next_of(&g)
+            };
+            if next.is_null() {
+                return Ok(None);
+            }
+            pid = next;
+        }
+    }
+
+    /// Apply a slotted redo op to a latched page and log it (the B-tree's
+    /// idiom, byte for byte — which is why replication replays hash pages
+    /// with zero new code).
+    fn apply_logged(
+        page: &PinnedPage,
+        guard: &mut txview_storage::buffer::PageWriteGuard<'_>,
+        redo: RedoOp,
+        inverse: RedoOp,
+        ctx: &mut LogCtx<'_>,
+        how: &OpLog,
+    ) -> Result<()> {
+        ctx.log.probe_point(BUCKET_WRITE_PROBE);
+        redo.apply(guard.payload_mut(), PAYLOAD_HEADER_LEN)?;
+        let lsn = ctx.log_op(page.id(), redo, inverse, how);
+        if !lsn.is_null() {
+            guard.set_lsn(lsn);
+        }
+        Ok(())
+    }
+
+    /// Point lookup: value bytes if the key is present.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let _t = self.latch.read();
+        match self.find(key)? {
+            Some((page, idx)) => {
+                let g = page.read();
+                let (_, v) = decode_entry(slots(&g).get(idx))?;
+                Ok(Some(v.to_vec()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Insert or replace `key → value`.
+    pub fn put(&self, key: &[u8], value: &[u8], ctx: &mut LogCtx<'_>, how: &OpLog) -> Result<()> {
+        let rec = encode_entry(key, value);
+        loop {
+            {
+                let _t = self.latch.read();
+                if let Some((page, idx)) = self.find(key)? {
+                    let mut g = page.write();
+                    let old = slots_mut_snapshot(&g, idx);
+                    let grow = rec.len().saturating_sub(old.len());
+                    if free_space(&g) >= grow {
+                        let redo = RedoOp::SlotUpdate { idx: idx as u16, bytes: rec.clone() };
+                        let inverse = RedoOp::SlotUpdate { idx: idx as u16, bytes: old };
+                        Self::apply_logged(&page, &mut g, redo, inverse, ctx, how)?;
+                        return Ok(());
+                    }
+                } else {
+                    // Append into the first chain page with room.
+                    let mut pid = self.bucket_head(key)?;
+                    loop {
+                        let page = self.pool.fetch(pid)?;
+                        let mut g = page.write();
+                        let (count, free, next) = (slot_count(&g), free_space(&g), next_in(&g));
+                        if free >= rec.len() + 8 {
+                            let redo =
+                                RedoOp::SlotInsert { idx: count as u16, bytes: rec.clone() };
+                            let inverse = RedoOp::SlotRemove { idx: count as u16 };
+                            Self::apply_logged(&page, &mut g, redo, inverse, ctx, how)?;
+                            return Ok(());
+                        }
+                        if next.is_null() {
+                            break; // chain is full: grow it below
+                        }
+                        pid = next;
+                    }
+                }
+            }
+            // Chain full (or a replace outgrew its page): link a fresh
+            // overflow page in a committed system transaction, then retry.
+            self.grow_chain(key, ctx.log)?;
+        }
+    }
+
+    /// Remove `key` if present (idempotent — mirrors may race cleanup).
+    pub fn remove(&self, key: &[u8], ctx: &mut LogCtx<'_>, how: &OpLog) -> Result<()> {
+        let _t = self.latch.read();
+        let Some((page, idx)) = self.find(key)? else { return Ok(()) };
+        let mut g = page.write();
+        let old = slots_mut_snapshot(&g, idx);
+        let redo = RedoOp::SlotRemove { idx: idx as u16 };
+        let inverse = RedoOp::SlotInsert { idx: idx as u16, bytes: old };
+        Self::apply_logged(&page, &mut g, redo, inverse, ctx, how)?;
+        Ok(())
+    }
+
+    /// Read-modify-write of the tail of an entry's value starting at
+    /// `region_off` (the escrow mirror: same additive patch as the tree, so
+    /// concurrent E-lock holders compose instead of overwriting each other).
+    pub fn patch_region<F>(
+        &self,
+        key: &[u8],
+        region_off: usize,
+        f: F,
+        ctx: &mut LogCtx<'_>,
+        how: &OpLog,
+    ) -> Result<()>
+    where
+        F: FnOnce(&[u8]) -> Result<Vec<u8>>,
+    {
+        let _t = self.latch.read();
+        let Some((page, idx)) = self.find(key)? else {
+            return Err(Error::NotFound(format!(
+                "hash entry for escrow patch in index {}",
+                self.index_id.0
+            )));
+        };
+        let mut g = page.write();
+        let rec = slots_mut_snapshot(&g, idx);
+        let rec_off = 2 + key.len() + region_off;
+        if rec_off > rec.len() {
+            return Err(Error::corruption("hash value region beyond entry"));
+        }
+        let old_region = rec[rec_off..].to_vec();
+        let new_region = f(&old_region)?;
+        if new_region.len() != old_region.len() {
+            return Err(Error::invalid(format!(
+                "hash escrow patch must preserve length ({} -> {})",
+                old_region.len(),
+                new_region.len()
+            )));
+        }
+        let redo = RedoOp::SlotPatch { idx: idx as u16, off: rec_off as u16, bytes: new_region };
+        let inverse = RedoOp::SlotPatch { idx: idx as u16, off: rec_off as u16, bytes: old_region };
+        Self::apply_logged(&page, &mut g, redo, inverse, ctx, how)?;
+        Ok(())
+    }
+
+    /// All `(key, value)` entries, in bucket-chain order (verification).
+    pub fn scan_all(&self) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let _t = self.latch.read();
+        let heads: Vec<PageId> = {
+            let dir = self.pool.fetch(self.dir)?;
+            let g = dir.read();
+            let s = slots(&g);
+            (0..s.count())
+                .map(|i| {
+                    let rec = s.get(i);
+                    Ok(PageId(u32::from_le_bytes(rec.try_into().map_err(|_| {
+                        Error::corruption("hash directory slot is not a page id")
+                    })?)))
+                })
+                .collect::<Result<_>>()?
+        };
+        let mut out = Vec::new();
+        for head in heads {
+            let mut pid = head;
+            while !pid.is_null() {
+                let page = self.pool.fetch(pid)?;
+                let g = page.read();
+                let s = slots(&g);
+                for i in 0..s.count() {
+                    let (k, v) = decode_entry(s.get(i))?;
+                    out.push((k.to_vec(), v.to_vec()));
+                }
+                pid = next_of(&g);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Link one fresh overflow page at the tail of `key`'s bucket chain
+    /// (committed system transaction under the exclusive latch, like a
+    /// B-tree split — a user rollback never unlinks it).
+    fn grow_chain(&self, key: &[u8], log: &LogManager) -> Result<()> {
+        let _t = self.latch.write();
+        let sys = log.alloc_txn_id();
+        let mut last = Lsn::NULL;
+        let mut ctx = LogCtx { log, txn: sys, last_lsn: &mut last };
+        ctx.append(RecordBody::Begin { kind: TxnKind::System });
+        // Walk to the chain tail (another thread may have grown it already;
+        // the extra page is then simply spare capacity).
+        let mut pid = self.bucket_head(key)?;
+        loop {
+            let page = self.pool.fetch(pid)?;
+            let next = next_of(&page.read());
+            if next.is_null() {
+                let (new_pid, _) = Self::new_bucket_page(&self.pool, &mut ctx)?;
+                let mut g = page.write();
+                let redo =
+                    RedoOp::Patch { off: 0, bytes: new_pid.0.to_le_bytes().to_vec() };
+                let inverse =
+                    RedoOp::Patch { off: 0, bytes: PageId::NULL.0.to_le_bytes().to_vec() };
+                // Bypass apply_logged's probe: chain growth is structural,
+                // not a record write (System ops log physical inverses).
+                redo.apply(g.payload_mut(), PAYLOAD_HEADER_LEN)?;
+                let lsn = ctx.log_op(page.id(), redo, inverse, &OpLog::System);
+                g.set_lsn(lsn);
+                break;
+            }
+            pid = next;
+        }
+        ctx.append(RecordBody::Commit);
+        ctx.append(RecordBody::End);
+        Ok(())
+    }
+}
+
+/// Slot count through a write guard.
+fn slot_count(guard: &txview_storage::buffer::PageWriteGuard<'_>) -> usize {
+    txview_storage::slotted::SlottedRef::wrap(&guard.payload()[PAYLOAD_HEADER_LEN..]).count()
+}
+
+/// Free space through a write guard.
+fn free_space(guard: &txview_storage::buffer::PageWriteGuard<'_>) -> usize {
+    txview_storage::slotted::SlottedRef::wrap(&guard.payload()[PAYLOAD_HEADER_LEN..]).free_space()
+}
+
+/// Next-overflow pointer through a write guard.
+fn next_in(guard: &txview_storage::buffer::PageWriteGuard<'_>) -> PageId {
+    PageId(u32::from_le_bytes(guard.payload()[..4].try_into().unwrap()))
+}
+
+/// Copy of the record in slot `idx`, read through a write guard.
+fn slots_mut_snapshot(guard: &txview_storage::buffer::PageWriteGuard<'_>, idx: usize) -> Vec<u8> {
+    txview_storage::slotted::SlottedRef::wrap(&guard.payload()[PAYLOAD_HEADER_LEN..])
+        .get(idx)
+        .to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use txview_storage::disk::MemDisk;
+    use txview_wal::record::UndoOp;
+
+    fn setup() -> (Arc<BufferPool>, LogManager) {
+        let pool = BufferPool::new(Arc::new(MemDisk::new()), 64);
+        let log = LogManager::in_memory();
+        (pool, log)
+    }
+
+    fn put(h: &HashIndex, log: &LogManager, k: &[u8], v: &[u8]) {
+        let txn = log.alloc_txn_id();
+        let mut last = Lsn::NULL;
+        let mut ctx = LogCtx { log, txn, last_lsn: &mut last };
+        h.put(k, v, &mut ctx, &OpLog::Update { undo: UndoOp::None }).unwrap();
+    }
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let (pool, log) = setup();
+        let h = HashIndex::create(&pool, &log, IndexId(9), 4).unwrap();
+        put(&h, &log, b"alpha", b"1");
+        put(&h, &log, b"beta", b"2");
+        assert_eq!(h.get(b"alpha").unwrap().as_deref(), Some(&b"1"[..]));
+        assert_eq!(h.get(b"beta").unwrap().as_deref(), Some(&b"2"[..]));
+        assert_eq!(h.get(b"gamma").unwrap(), None);
+        // Replace in place.
+        put(&h, &log, b"alpha", b"one");
+        assert_eq!(h.get(b"alpha").unwrap().as_deref(), Some(&b"one"[..]));
+        // Remove is idempotent.
+        let txn = log.alloc_txn_id();
+        let mut last = Lsn::NULL;
+        let mut ctx = LogCtx { log: &log, txn, last_lsn: &mut last };
+        h.remove(b"alpha", &mut ctx, &OpLog::Update { undo: UndoOp::None }).unwrap();
+        h.remove(b"alpha", &mut ctx, &OpLog::Update { undo: UndoOp::None }).unwrap();
+        assert_eq!(h.get(b"alpha").unwrap(), None);
+        assert_eq!(h.scan_all().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn overflow_chains_grow_and_stay_readable() {
+        let (pool, log) = setup();
+        // One bucket forces every key into the same chain.
+        let h = HashIndex::create(&pool, &log, IndexId(9), 1).unwrap();
+        let big = vec![7u8; 600];
+        for i in 0..40u32 {
+            put(&h, &log, &i.to_le_bytes(), &big);
+        }
+        for i in 0..40u32 {
+            assert_eq!(h.get(&i.to_le_bytes()).unwrap().as_deref(), Some(&big[..]));
+        }
+        assert_eq!(h.scan_all().unwrap().len(), 40);
+    }
+
+    #[test]
+    fn reopen_sees_all_entries() {
+        let (pool, log) = setup();
+        let h = HashIndex::create(&pool, &log, IndexId(9), 8).unwrap();
+        for i in 0..20u32 {
+            put(&h, &log, &i.to_le_bytes(), b"v");
+        }
+        let dir = h.dir();
+        drop(h);
+        let h2 = HashIndex::open(&pool, IndexId(9), dir);
+        for i in 0..20u32 {
+            assert!(h2.get(&i.to_le_bytes()).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn patch_region_applies_in_place() {
+        let (pool, log) = setup();
+        let h = HashIndex::create(&pool, &log, IndexId(9), 2).unwrap();
+        put(&h, &log, b"k", b"aaaabbbb");
+        let txn = log.alloc_txn_id();
+        let mut last = Lsn::NULL;
+        let mut ctx = LogCtx { log: &log, txn, last_lsn: &mut last };
+        h.patch_region(
+            b"k",
+            4,
+            |old| {
+                assert_eq!(old, b"bbbb");
+                Ok(b"BBBB".to_vec())
+            },
+            &mut ctx,
+            &OpLog::Update { undo: UndoOp::None },
+        )
+        .unwrap();
+        assert_eq!(h.get(b"k").unwrap().as_deref(), Some(&b"aaaaBBBB"[..]));
+        // Length-changing patches are rejected.
+        let err = h
+            .patch_region(b"k", 4, |_| Ok(vec![1]), &mut ctx, &OpLog::Update { undo: UndoOp::None })
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidOperation(_)));
+    }
+}

@@ -37,6 +37,11 @@ pub struct ExploreReport {
     /// cascade queue (a `CascadeFlush` yield in the history) — non-vacuity
     /// evidence for the derived-chain fixtures.
     pub cascade_flush_schedules: u64,
+    /// Episodes in which some transaction *blocked* waiting for an X-mode
+    /// lock — non-vacuity evidence for the X-lock maintenance fixtures
+    /// (e.g. the MIN/MAX delete race: the recompute window must actually
+    /// serialize against the concurrent writer in some schedules).
+    pub xlock_wait_schedules: u64,
 }
 
 fn executed_choices(ep: &Episode) -> Vec<usize> {
@@ -64,6 +69,17 @@ fn scan_episode(report: &mut ExploreReport, sc: &Scenario, ep: &Episode, choices
         )
     }) {
         report.cascade_flush_schedules += 1;
+    }
+    if ep.history.iter().any(|e| {
+        matches!(
+            e.kind,
+            super::sched::EventKind::Hook(txview_lock::SchedEvent::LockBlocked {
+                mode: txview_lock::LockMode::X,
+                ..
+            })
+        )
+    }) {
+        report.xlock_wait_schedules += 1;
     }
     if ep.workers.iter().any(|w| {
         matches!(&w.outcome, super::script::TxnOutcome::Aborted { reason }

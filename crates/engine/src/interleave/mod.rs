@@ -59,6 +59,7 @@ pub fn escrow_vs_escrow(mode: MaintenanceMode) -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        minmax: false,
         chain_depth: 0,
     }
 }
@@ -82,6 +83,7 @@ pub fn escrow_vs_serializable_reader(mode: MaintenanceMode) -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        minmax: false,
         chain_depth: 0,
     }
 }
@@ -104,6 +106,7 @@ pub fn escrow_vs_snapshot_reader(mode: MaintenanceMode) -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        minmax: false,
         chain_depth: 0,
     }
 }
@@ -123,6 +126,7 @@ pub fn ghost_come_and_go(mode: MaintenanceMode) -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        minmax: false,
         chain_depth: 0,
     }
 }
@@ -155,6 +159,7 @@ pub fn deadlock_cycle(mode: MaintenanceMode) -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        minmax: false,
         chain_depth: 0,
     }
 }
@@ -191,6 +196,7 @@ pub fn fairness_scenario() -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        minmax: false,
         chain_depth: 0,
     }
 }
@@ -217,6 +223,7 @@ fn escrow_vs_escrow_3() -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        minmax: false,
         chain_depth: 0,
     }
 }
@@ -238,6 +245,7 @@ pub fn two_batch_overlap(elr: bool) -> Scenario {
         groups: vec![1, 2],
         pipeline: false,
         elr: false,
+        minmax: false,
         chain_depth: 0,
     }
     .with_pipeline(elr)
@@ -261,6 +269,7 @@ pub fn elr_read_dependency(elr: bool) -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        minmax: false,
         chain_depth: 0,
     }
     .with_pipeline(elr)
@@ -296,6 +305,7 @@ pub fn chain_commit_race(mode: MaintenanceMode) -> Scenario {
         groups: vec![1, 2],
         pipeline: false,
         elr: false,
+        minmax: false,
         chain_depth: 2,
     }
 }
@@ -321,6 +331,7 @@ pub fn cascade_elr() -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        minmax: false,
         chain_depth: 2,
     }
     .with_pipeline(true)
@@ -334,6 +345,32 @@ pub fn chain_scenarios() -> Vec<Scenario> {
         chain_commit_race(MaintenanceMode::XLock),
         cascade_elr(),
     ]
+}
+
+/// MIN/MAX fixture — extremum-delete race: transaction A deletes the row
+/// holding the group MAX (forcing the paper's fallback: recompute the
+/// group from base under an S object lock) while transaction B inserts a
+/// new maximum into the same group. B's base insert (IX on the base
+/// object, X on the view group row) collides with A's recompute window (S
+/// on the base object, X on the same view row) in every order the
+/// explorer can produce — including schedules where one blocks behind the
+/// other's X and schedules that deadlock and pick a victim. Every
+/// interleaving must leave the stored MIN/MAX/SUM equal to recomputation.
+pub fn minmax_delete_race() -> Scenario {
+    Scenario {
+        name: "minmax_delete_race/XLock".into(),
+        mode: MaintenanceMode::XLock,
+        initial: vec![(1, 1, 10), (2, 1, 30), (3, 1, 20)],
+        scripts: vec![
+            rc(vec![SOp::Delete { id: 2 }], End::Commit),
+            rc(vec![SOp::Insert { id: 4, grp: 1, amount: 50 }], End::Commit),
+        ],
+        groups: vec![1],
+        pipeline: false,
+        elr: false,
+        minmax: true,
+        chain_depth: 0,
+    }
 }
 
 /// Three-transaction deadlock cycle over base rows 1→2→3→1 (same-value
@@ -356,6 +393,7 @@ pub fn deadlock_cycle3(mode: MaintenanceMode) -> Scenario {
         groups: vec![1],
         pipeline: false,
         elr: false,
+        minmax: false,
         chain_depth: 0,
     }
 }

@@ -105,6 +105,11 @@ pub struct Scenario {
     pub pipeline: bool,
     /// With the pipeline: early escrow-lock release at log-append time.
     pub elr: bool,
+    /// Give the view MIN/MAX aggregates (forcing X-mode maintenance with
+    /// the recompute-on-extremum-delete fallback) in addition to the SUM.
+    /// The view row grows to `(grp, count, sum, min, max)`; everything the
+    /// oracle models reads the `(count, sum)` prefix, which is unchanged.
+    pub minmax: bool,
     /// Depth of the derived-view chain stacked on `v` (0 = none). Levels
     /// `0..depth-1` are identity views (`group_by [0]`, sum of the sum
     /// column); the last level is a single-row global rollup.
@@ -236,10 +241,15 @@ fn build_db(sc: &Scenario) -> Arc<Database> {
         db.enable_commit_pipeline(sc.elr);
     }
     let t = db.create_table("items", schema()).expect("create table");
+    let aggs = if sc.minmax {
+        vec![AggSpec::SumInt { col: 2 }, AggSpec::Min { col: 2 }, AggSpec::Max { col: 2 }]
+    } else {
+        vec![AggSpec::SumInt { col: 2 }]
+    };
     db.create_indexed_view(ViewSpec {
         name: "v".into(),
         source: ViewSource::Single { table: t, group_by: vec![1] },
-        aggs: vec![AggSpec::SumInt { col: 2 }],
+        aggs,
         filter: Predicate::True,
         maintenance: sc.mode,
         deferred: false,

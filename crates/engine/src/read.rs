@@ -64,6 +64,45 @@ impl Database {
         Ok(out)
     }
 
+    /// Point lookup of a view row through the hash fast path when the view
+    /// carries one — same contract as [`Database::view_lookup`], O(1) page
+    /// fetches instead of a root-to-leaf descent on hot groups.
+    ///
+    /// Only the read-committed path probes the hash: a snapshot read needs
+    /// the version store (the hash holds only the newest image), and a
+    /// serializable miss needs the B-tree to find the gap to range-lock.
+    /// Both, and views without a hash, fall back to `view_lookup` — the
+    /// fast path changes latency, never results (the differential proptest
+    /// pins byte-identical rows from both paths).
+    pub fn view_point_read(
+        &self,
+        txn: &mut Transaction,
+        view_name: &str,
+        group: &[Value],
+    ) -> Result<Option<Row>> {
+        let view = self.catalog.read().view(view_name)?.clone();
+        let Some(hash) = self.hash_for(view.index) else {
+            return self.view_lookup(txn, view_name, group);
+        };
+        if txn.isolation != IsolationLevel::ReadCommitted {
+            return self.view_lookup(txn, view_name, group);
+        }
+        let key = Key::from_values(group);
+        let kb = key.as_bytes().to_vec();
+        let name = LockName::key(view.index, kb.clone());
+        self.locks.acquire(txn.id, name.clone(), LockMode::S)?;
+        self.txns.note_read_dependency(txn, &name);
+        let out = match hash.get(&kb)? {
+            Some(bytes) if self.view_row_visible(view.index, &bytes)? => {
+                Some(Row::from_bytes(&bytes)?)
+            }
+            _ => None,
+        };
+        self.locks.release(txn.id, &name);
+        self.obs.hash_point_reads.inc();
+        Ok(out)
+    }
+
     /// Range scan of a view over group keys in `[lo, hi_exclusive)` (both
     /// optional). Returns visible rows in key order.
     pub fn view_scan(
@@ -194,18 +233,24 @@ impl Database {
         }
     }
 
-    /// Derived AVG of a SUM aggregate, following the paper's rule: AVG is
-    /// not stored (it does not commute); it is computed at read time as
-    /// `SUM / COUNT_BIG` from the same row, at the transaction's isolation
-    /// level. `agg_idx` selects the SUM column among the view's aggregates.
-    /// Returns `None` when the group is invisible.
+    /// Derived AVG of a SUM-backed aggregate, following the paper's rule:
+    /// AVG is not stored as a quotient (it does not commute); the stored
+    /// value is the running SUM ([`crate::catalog::AggSpec::Avg`] or a
+    /// plain SUM column) and the quotient `SUM / COUNT_BIG` is computed at
+    /// read time from the same row, at the transaction's isolation level.
+    /// `agg_idx` selects the column among the view's aggregates.
+    ///
+    /// Returns `Value::Null` when the group is empty or invisible — SQL
+    /// semantics: the average over zero rows is NULL, not 0 and not an
+    /// absent row (a serializable reader still gap-locks the miss through
+    /// `view_aggregates`, so the NULL is stable).
     pub fn view_avg(
         &self,
         txn: &mut Transaction,
         view_name: &str,
         group: &[Value],
         agg_idx: usize,
-    ) -> Result<Option<f64>> {
+    ) -> Result<Value> {
         let view = self.catalog.read().view(view_name)?.clone();
         if agg_idx >= view.aggs.len() {
             return Err(Error::Schema(format!(
@@ -218,9 +263,9 @@ impl Database {
         }
         match self.view_aggregates(txn, view_name, group)? {
             Some((count, aggs)) if count > 0 => {
-                Ok(Some(aggs[agg_idx].as_float()? / count as f64))
+                Ok(Value::Float(aggs[agg_idx].as_float()? / count as f64))
             }
-            _ => Ok(None),
+            _ => Ok(Value::Null),
         }
     }
 

@@ -213,6 +213,12 @@ fn run_repl_workload(link: &mut ReplLink, plan: &[(usize, bool)]) -> Result<Repl
     let mut rng = Rng::new(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
     let mut trace = ReplTrace::default();
     let mut seq = 0i64;
+    // Mirrors run_workload's shadow of the seeded readings rows; only
+    // consulted when cfg.minmax is on (same rng discipline, same horizon).
+    let mut next_reading = 12i64;
+    let mut live_readings: Vec<(i64, i64)> = (0..4i64)
+        .flat_map(|g| (0..3i64).map(move |k| (g * 3 + k, 10 * (k + 1))))
+        .collect();
     for t in 0..cfg.txns {
         for &(at, on) in plan {
             if at == t {
@@ -246,6 +252,13 @@ fn run_repl_workload(link: &mut ReplLink, plan: &[(usize, bool)]) -> Result<Repl
                 })
             }
         };
+        let body = body.and_then(|()| {
+            if cfg.minmax {
+                torture::do_reading(&db, &mut txn, &mut live_readings, &mut next_reading, &mut rng)
+            } else {
+                Ok(())
+            }
+        });
         let body = body.and_then(|()| {
             if t % 4 == 1 {
                 db.log().flush_all()?;
@@ -920,6 +933,39 @@ mod tests {
             link.follower.fingerprint().unwrap(),
             torture::fingerprint(&link.db).unwrap()
         );
+    }
+
+    #[test]
+    fn minmax_and_hash_redo_ship_as_ordinary_records() {
+        // MIN/MAX recompute rewrites and hash-bucket pages carry no special
+        // replication handling: with the gated workload on, the follower
+        // must still converge to byte-identical logs and an identical
+        // recovered fingerprint (which includes the hash-index pages).
+        let cfg = TortureConfig { txns: 16, minmax: true, ..Default::default() };
+        let rcfg = ReplConfig::default();
+        let mut link = ReplLink::new(&cfg, &rcfg, 7).unwrap();
+        assert!(link.converge(300).unwrap());
+        let trace = run_repl_workload(&mut link, &[]).unwrap();
+        assert!(trace.base.acked_commits > 0);
+        link.db.log().flush_all().unwrap();
+        assert!(link.converge(600).unwrap());
+        assert_eq!(
+            link.follower.store().durable_bytes(),
+            link.parts.store.durable_bytes(),
+            "logs not byte-identical after convergence"
+        );
+        assert_eq!(
+            link.follower.fingerprint().unwrap(),
+            torture::fingerprint(&link.db).unwrap()
+        );
+    }
+
+    #[test]
+    fn minmax_leader_crash_episode_promotes_cleanly() {
+        let cfg = TortureConfig { txns: 16, minmax: true, ..Default::default() };
+        let ep = run_leader_crash_episode(&cfg, &ReplConfig::default(), 40, false).unwrap();
+        assert!(ep.violations.is_empty(), "{:?}", ep.violations);
+        assert!(ep.crash_event.is_some());
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub const BANK_VIEW: &str = "branch_balance";
 pub const CHURN_VIEW: &str = "group_totals";
 /// Terminal view of the derived chain (global rollup over the bank view).
 pub const CHAIN_TOTAL_VIEW: &str = "bank_total";
+/// MIN/MAX/AVG stats view over the `readings` table (only built when
+/// [`TortureConfig::minmax`] is set).
+pub const MINMAX_VIEW: &str = "reading_stats";
 
 /// Names of the derived chain views, shallowest first: `chain_depth - 1`
 /// identity levels over [`BANK_VIEW`], then the global [`CHAIN_TOTAL_VIEW`].
@@ -93,6 +96,11 @@ pub struct TortureConfig {
     /// row must always equal `accounts × initial_balance` (transfers
     /// conserve money) — the conservation invariant the chain oracle pins.
     pub chain_depth: usize,
+    /// Build the MIN/MAX/AVG stats view over a `readings` table, attach
+    /// hash point-read indexes to it and to [`CHURN_VIEW`], and mix
+    /// extremum-deleting churn into the workload. Off by default so
+    /// existing horizons and pinned schedules stay byte-identical.
+    pub minmax: bool,
 }
 
 impl Default for TortureConfig {
@@ -109,6 +117,7 @@ impl Default for TortureConfig {
             pipeline: false,
             elr: false,
             chain_depth: 0,
+            minmax: false,
         }
     }
 }
@@ -267,6 +276,40 @@ pub(crate) fn build(cfg: &TortureConfig) -> Result<(Arc<Database>, Parts)> {
         deferred: false,
         eager_group_delete: false,
     })?;
+    if cfg.minmax {
+        let readings = db.create_table(
+            "readings",
+            Schema::new(
+                vec![
+                    Column::new("id", ValueType::Int),
+                    Column::new("grp", ValueType::Int),
+                    Column::new("val", ValueType::Int),
+                ],
+                vec![0],
+            )?,
+        )?;
+        // MIN/MAX force X-lock maintenance regardless of cfg.mode; AVG and
+        // SUM ride along so one row exercises every aggregate kind at once.
+        db.create_indexed_view(ViewSpec {
+            name: MINMAX_VIEW.into(),
+            source: ViewSource::Single { table: readings, group_by: vec![1] },
+            aggs: vec![
+                AggSpec::SumInt { col: 2 },
+                AggSpec::Min { col: 2 },
+                AggSpec::Max { col: 2 },
+                AggSpec::Avg { col: 2, float: false },
+            ],
+            filter: Predicate::True,
+            maintenance: MaintenanceMode::XLock,
+            deferred: false,
+            eager_group_delete: false,
+        })?;
+        // Hash point-read mirrors: one over the X-lock stats view (put/
+        // remove mirrors) and one over the escrow churn view (patch_region
+        // mirrors), so both mirror flavors sit under the crash schedule.
+        db.create_hash_index(MINMAX_VIEW)?;
+        db.create_hash_index(CHURN_VIEW)?;
+    }
     db.create_table(
         "ledger",
         Schema::new(
@@ -286,6 +329,15 @@ pub(crate) fn build(cfg: &TortureConfig) -> Result<(Arc<Database>, Parts)> {
     }
     for g in (0..cfg.churn_groups).step_by(2) {
         db.insert(&mut txn, "items", row![g, g, 7i64])?;
+    }
+    if cfg.minmax {
+        // Three distinct values per group so the workload's extremal
+        // deletes have a real MIN/MAX to retire from the very first txn.
+        for g in 0..4i64 {
+            for k in 0..3i64 {
+                db.insert(&mut txn, "readings", row![g * 3 + k, g, 10 * (k + 1)])?;
+            }
+        }
     }
     db.commit(&mut txn)?;
     db.checkpoint()?;
@@ -326,6 +378,45 @@ pub(crate) fn do_toggle(db: &Database, txn: &mut txview_txn::Transaction, g: i64
     }
 }
 
+/// One reading op for the MIN/MAX workload: mostly inserts with random
+/// values, plus deletes that alternate between the tracked extremum (the
+/// stored MAX — forces the recompute-from-base fallback under its X lock)
+/// and an arbitrary victim (the cheap keep-extrema path). `live` is the
+/// workload's optimistic shadow of surviving rows; rollbacks desync it, so
+/// deletes tolerate `NotFound` exactly like [`do_toggle`] does.
+pub(crate) fn do_reading(
+    db: &Database,
+    txn: &mut txview_txn::Transaction,
+    live: &mut Vec<(i64, i64)>,
+    next_id: &mut i64,
+    rng: &mut Rng,
+) -> Result<()> {
+    if live.is_empty() || rng.below(5) < 3 {
+        let id = *next_id;
+        *next_id += 1;
+        let val = rng.range_inclusive(1, 99);
+        db.insert(txn, "readings", row![id, id % 4, val])?;
+        live.push((id, val));
+        return Ok(());
+    }
+    let idx = if rng.below(2) == 0 {
+        let mut best = 0usize;
+        for (i, &(_, v)) in live.iter().enumerate() {
+            if v > live[best].1 {
+                best = i;
+            }
+        }
+        best
+    } else {
+        rng.below(live.len() as u64) as usize
+    };
+    let (id, _) = live.remove(idx);
+    match db.delete(txn, "readings", &[Value::Int(id)]) {
+        Ok(()) | Err(Error::NotFound(_)) => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
 /// Run the deterministic single-threaded workload: two transfer
 /// transactions, then one churn transaction, repeating. Injected faults
 /// surface as errors → rollback; commits acknowledged while the clock has
@@ -334,6 +425,12 @@ pub(crate) fn run_workload(db: &Database, cfg: &TortureConfig, clock: &FaultCloc
     let mut rng = Rng::new(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
     let mut trace = WorkloadTrace::default();
     let mut seq = 0i64;
+    // Shadow of the readings rows seeded by `build` (ids g*3+k, vals
+    // 10/20/30 per group); only consulted when cfg.minmax is set.
+    let mut next_reading = 12i64;
+    let mut live_readings: Vec<(i64, i64)> = (0..4i64)
+        .flat_map(|g| (0..3i64).map(move |k| (g * 3 + k, 10 * (k + 1))))
+        .collect();
     for t in 0..cfg.txns {
         trace.attempted += 1;
         let mut txn = db.begin(IsolationLevel::ReadCommitted);
@@ -362,6 +459,16 @@ pub(crate) fn run_workload(db: &Database, cfg: &TortureConfig, clock: &FaultCloc
                 })
             }
         };
+        // With minmax on, every transaction also touches the stats view, so
+        // extremum recomputes and hash-bucket writes interleave with the
+        // bank/churn traffic under the same crash schedule.
+        let body = body.and_then(|()| {
+            if cfg.minmax {
+                do_reading(db, &mut txn, &mut live_readings, &mut next_reading, &mut rng)
+            } else {
+                Ok(())
+            }
+        });
         // Every few transactions, force the in-flight records durable (as
         // a page steal would) so a crash in the window before the commit
         // record lands leaves a *loser with durable work* — the case that
@@ -413,7 +520,14 @@ pub(crate) fn check_oracle(
     stage: &str,
     violations: &mut Vec<String>,
 ) {
-    for view in [BANK_VIEW, CHURN_VIEW] {
+    let mut views = vec![BANK_VIEW, CHURN_VIEW];
+    if cfg.minmax {
+        // verify_view also audits any attached hash index byte-for-byte
+        // against the B-tree, so this one call covers MIN/MAX recompute
+        // correctness AND hash/tree coherence after recovery.
+        views.push(MINMAX_VIEW);
+    }
+    for view in views {
         if let Err(e) = db.verify_view(view) {
             violations.push(format!("[{stage}] view '{view}' != recomputation from base: {e}"));
         }
@@ -740,6 +854,25 @@ pub fn run_cascade_probe_sweep(
     per_probe: usize,
 ) -> Result<ProbeSweepReport> {
     run_probe_sweep(cfg, &CASCADE_PROBES, per_probe)
+}
+
+/// The two seams this PR's maintenance paths open: the window between the
+/// MIN/MAX recomputer's X-lock grant and the view-row rewrite, and every
+/// redo-logged hash-bucket write (mirror inserts, escrow patches, removes).
+pub const MINMAX_PROBES: [&str; 2] = ["view.minmax.recompute", "hash.bucket.write"];
+
+/// Crash exactly inside the MIN/MAX recompute window and on hash-bucket
+/// writes: sample up to `per_probe` occurrences of [`MINMAX_PROBES`], run
+/// one crash episode per sampled offset, and assert the full oracle — the
+/// recomputed extremum must land atomically with its group row, and the
+/// hash index must replay to byte-equality with the B-tree. Requires
+/// `cfg.minmax`; without it the probes never fire and the sweep reports
+/// zero episodes.
+pub fn run_minmax_probe_sweep(
+    cfg: &TortureConfig,
+    per_probe: usize,
+) -> Result<ProbeSweepReport> {
+    run_probe_sweep(cfg, &MINMAX_PROBES, per_probe)
 }
 
 fn run_probe_sweep(
@@ -1338,6 +1471,55 @@ mod tests {
             report.per_probe[0].1 >= 1,
             "mid-chain probe never fired — is the flush emitting view.cascade.level?"
         );
+    }
+
+    fn minmax_cfg() -> TortureConfig {
+        // 16 ends the schedule on a committing transfer (t=15), whose flush
+        // carries the t=5 deliberate abort into the durable log — a tail
+        // rollback (t ≡ 5 mod 12 right after a flush tick) would instead
+        // leave a legitimate loser and make the losers==0 assert moot.
+        TortureConfig { txns: 16, minmax: true, ..Default::default() }
+    }
+
+    #[test]
+    fn minmax_fault_free_episode_passes_oracle() {
+        let ep = run_episode(&minmax_cfg(), &FaultSchedule::crash_at(1_000_000)).unwrap();
+        assert!(ep.violations.is_empty(), "{:?}", ep.violations);
+        assert_eq!(ep.recovery.losers, 0);
+    }
+
+    #[test]
+    fn minmax_mini_sweep_is_clean() {
+        let report = run_sweep(&minmax_cfg(), 6).unwrap();
+        assert_eq!(report.episodes, 6);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn minmax_probe_sweep_covers_both_seams() {
+        let report = run_minmax_probe_sweep(&minmax_cfg(), 3).unwrap();
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.per_probe.len(), 2);
+        for &(name, ran) in &report.per_probe {
+            assert!(ran >= 1, "probe {name} never got a crash episode");
+        }
+    }
+
+    #[test]
+    fn minmax_gate_actually_changes_the_workload() {
+        // Non-vacuity: with the gate on, both new probes must occur in the
+        // fault-free schedule (otherwise the sweep above proves nothing),
+        // and with it off they must never fire — the off-path draws no
+        // extra rng and emits no extra events, keeping pinned horizons.
+        let on = measure_probe_offsets(&minmax_cfg(), &MINMAX_PROBES).unwrap();
+        for name in MINMAX_PROBES {
+            let n = on.iter().filter(|(p, _)| *p == name).count();
+            assert!(n >= 2, "probe {name} fired {n} times; workload too tame");
+        }
+        let off =
+            measure_probe_offsets(&TortureConfig { minmax: false, ..minmax_cfg() }, &MINMAX_PROBES)
+                .unwrap();
+        assert!(off.is_empty(), "gated probes fired with minmax off: {off:?}");
     }
 
     #[test]

@@ -252,6 +252,39 @@ fn cascade_elr_exhaustive() {
     );
 }
 
+/// MIN/MAX fixture: extremum delete (recompute-from-base under the S
+/// object lock) racing a same-group insert of a new maximum, exhaustively
+/// explored. The schedule count is pinned exactly (any drift means the
+/// yield-point set or the recompute lock protocol changed), X-lock waits
+/// get a non-vacuity floor (the recompute window must actually serialize
+/// against the writer somewhere), and some schedules must deadlock (the S
+/// object lock vs IX base-object lock inversion) and recover cleanly.
+#[test]
+fn minmax_delete_race_exhaustive() {
+    let sc = interleave::minmax_delete_race();
+    let r = explore_dfs(&sc, CAP);
+    assert!(!r.truncated, "[{}] truncated at {CAP}", sc.name);
+    if let Some((choices, msg)) = r.violations.first() {
+        panic!(
+            "[{}] {} violations; first: {msg}\nreplay: interleave::replay(&sc, &{choices:?})",
+            sc.name,
+            r.violations.len()
+        );
+    }
+    assert_eq!(r.schedules, 1_766, "[{}] schedule-count drift", sc.name);
+    assert!(
+        r.xlock_wait_schedules >= 500,
+        "[{}] only {} schedules blocked on an X lock — recompute never contended",
+        sc.name,
+        r.xlock_wait_schedules
+    );
+    assert!(
+        r.aborted_schedules > 0,
+        "[{}] no schedule deadlocked — the lock-order inversion is gone",
+        sc.name
+    );
+}
+
 /// Replay determinism through the pipeline code path: same choices must
 /// reproduce the same decisions, history, and state with group commit and
 /// ELR enabled.

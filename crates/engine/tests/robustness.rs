@@ -135,11 +135,48 @@ fn derived_avg_reads() {
     }
     db.commit(&mut txn).unwrap();
     let mut r = db.begin(IsolationLevel::ReadCommitted);
-    let avg = db.view_avg(&mut r, "totals", &[Value::Int(0)], 0).unwrap().unwrap();
+    let avg = db.view_avg(&mut r, "totals", &[Value::Int(0)], 0).unwrap().as_float().unwrap();
     assert!((avg - 21.0).abs() < 1e-9);
-    // Missing group → None; bad aggregate index → error.
-    assert!(db.view_avg(&mut r, "totals", &[Value::Int(99)], 0).unwrap().is_none());
+    // Missing/empty group → SQL NULL; bad aggregate index → error.
+    assert_eq!(db.view_avg(&mut r, "totals", &[Value::Int(99)], 0).unwrap(), Value::Null);
     assert!(db.view_avg(&mut r, "totals", &[Value::Int(0)], 5).is_err());
+    db.commit(&mut r).unwrap();
+}
+
+/// A group *emptied by deletes* differs from a missing one: the stored row
+/// lingers (count 0, a ghost awaiting cleanup) — AVG over it must still be
+/// SQL NULL, not a division by zero and not the stale quotient, both
+/// before and after the ghost is swept.
+#[test]
+fn avg_of_emptied_group_is_null() {
+    let db = setup_with_pool(256);
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    for (id, amount) in [(1i64, 10i64), (2, 20)] {
+        db.insert(&mut txn, "items", row![id, 7i64, amount]).unwrap();
+    }
+    db.commit(&mut txn).unwrap();
+
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    db.delete(&mut txn, "items", &[Value::Int(1)]).unwrap();
+    db.delete(&mut txn, "items", &[Value::Int(2)]).unwrap();
+    db.commit(&mut txn).unwrap();
+
+    let mut r = db.begin(IsolationLevel::ReadCommitted);
+    assert_eq!(db.view_avg(&mut r, "totals", &[Value::Int(7)], 0).unwrap(), Value::Null);
+    db.commit(&mut r).unwrap();
+
+    // After ghost cleanup the row is gone entirely; still NULL.
+    db.run_ghost_cleanup().unwrap();
+    let mut r = db.begin(IsolationLevel::ReadCommitted);
+    assert_eq!(db.view_avg(&mut r, "totals", &[Value::Int(7)], 0).unwrap(), Value::Null);
+    // And a refilled group averages only its live rows.
+    db.commit(&mut r).unwrap();
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    db.insert(&mut txn, "items", row![3i64, 7i64, 12i64]).unwrap();
+    db.commit(&mut txn).unwrap();
+    let mut r = db.begin(IsolationLevel::ReadCommitted);
+    let avg = db.view_avg(&mut r, "totals", &[Value::Int(7)], 0).unwrap().as_float().unwrap();
+    assert!((avg - 12.0).abs() < 1e-9);
     db.commit(&mut r).unwrap();
 }
 

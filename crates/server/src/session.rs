@@ -199,8 +199,9 @@ impl Session {
     fn do_view_avg(&mut self, view: &str, group: &[Value], agg_idx: usize) -> Response {
         self.with_read_txn(|db, txn| {
             db.view_avg(txn, view, group, agg_idx).map(|avg| match avg {
-                Some(v) => Response::Avg { present: true, value: v },
-                None => Response::Avg { present: false, value: 0.0 },
+                // SQL NULL (empty/invisible group) travels as absent.
+                Value::Float(v) => Response::Avg { present: true, value: v },
+                _ => Response::Avg { present: false, value: 0.0 },
             })
         })
     }

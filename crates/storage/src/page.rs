@@ -46,6 +46,8 @@ pub enum PageType {
     BTreeInterior,
     /// Catalog page.
     Catalog,
+    /// Hash-index page (directory or bucket; the point-read fast path).
+    HashBucket,
 }
 
 impl PageType {
@@ -56,6 +58,7 @@ impl PageType {
             PageType::BTreeLeaf => 2,
             PageType::BTreeInterior => 3,
             PageType::Catalog => 4,
+            PageType::HashBucket => 5,
         }
     }
 
@@ -66,6 +69,7 @@ impl PageType {
             2 => PageType::BTreeLeaf,
             3 => PageType::BTreeInterior,
             4 => PageType::Catalog,
+            5 => PageType::HashBucket,
             t => return Err(Error::corruption(format!("bad page type {t}"))),
         })
     }

@@ -153,6 +153,7 @@ impl RedoOp {
                 2 => Some(PageType::BTreeLeaf),
                 3 => Some(PageType::BTreeInterior),
                 4 => Some(PageType::Catalog),
+                5 => Some(PageType::HashBucket),
                 _ => Some(PageType::Free),
             },
             _ => None,

@@ -331,6 +331,69 @@ fn follower_replays_cascaded_chains_byte_identically() {
     }
 }
 
+// ---- MIN/MAX recompute & hash-index crash matrix ----------------------
+//
+// The recompute-on-delete fallback rewrites a MIN/MAX view row from a base
+// rescan under the deleter's X lock, and every hash-index mirror is a
+// redo-logged bucket-page write. Two probes pin the seams: one between the
+// recomputer's lock grant and the view-row rewrite, one immediately before
+// each logged bucket write. Crashes at both must recover a view equal to
+// recomputation AND a hash byte-identical to the B-tree (the verify oracle
+// audits the hash on every episode).
+
+use txview_engine::torture::run_minmax_probe_sweep;
+
+fn minmax_cfg() -> TortureConfig {
+    TortureConfig { txns: 16, seed: 7, minmax: true, ..Default::default() }
+}
+
+#[test]
+fn minmax_and_hash_views_survive_every_crash_point() {
+    let report = run_sweep(&minmax_cfg(), 32).unwrap();
+    assert!(report.episodes >= 24, "episodes {}", report.episodes);
+    assert!(
+        report.violations.is_empty(),
+        "minmax/hash oracle violations: {:#?}",
+        report.violations
+    );
+    assert!(report.losers_undone > 0, "no crash point caught a durable loser");
+}
+
+#[test]
+fn crashes_in_recompute_window_and_bucket_writes_recover() {
+    let report = run_minmax_probe_sweep(&minmax_cfg(), 8).unwrap();
+    assert_eq!(report.per_probe.len(), 2);
+    for &(name, ran) in &report.per_probe {
+        assert!(ran >= 3, "only {ran} crash episodes landed on probe {name}");
+    }
+    assert!(
+        report.violations.is_empty(),
+        "recompute/bucket-write crash violations: {:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn follower_replays_minmax_and_hash_redo_byte_identically() {
+    // Recompute rewrites and hash-bucket pages are ordinary redo records:
+    // a follower crashing mid-replay must still reopen onto its durable
+    // prefix and reconverge to the leader's exact bytes, hash pages
+    // included (the episode oracle compares full fingerprints).
+    let cfg = minmax_cfg();
+    let rcfg = ReplConfig::default();
+    let horizon = measure_follower_horizon(&cfg, &rcfg).unwrap();
+    assert!(horizon > 4, "follower horizon {horizon} too small to sweep");
+    for offset in [1, horizon / 3, horizon / 2, horizon - 1] {
+        let ep = run_follower_crash_episode(&cfg, &rcfg, offset).unwrap();
+        assert!(
+            ep.violations.is_empty(),
+            "minmax follower crash at offset {offset}: {:#?}",
+            ep.violations
+        );
+        assert!(ep.crash_event.is_some(), "follower crash at offset {offset} never fired");
+    }
+}
+
 #[test]
 fn promotion_after_partial_catch_up_serves_exactly_the_shipped_prefix() {
     // Async shipping plus duplicate/reorder channel faults keeps the

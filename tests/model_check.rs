@@ -261,6 +261,7 @@ fn concurrent_scenario(mode: MaintenanceMode, s1: Script, s2: Script) -> Scenari
         groups: vec![0, 1, 2],
         pipeline: false,
         elr: false,
+        minmax: false,
         chain_depth: 0,
     }
 }
